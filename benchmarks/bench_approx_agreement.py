@@ -1,0 +1,53 @@
+"""E14 — the iteration dimension of FACT: ε-agreement crossover.
+
+FACT quantifies over the iteration count ``ℓ``.  k-set consensus is
+decided at ``ℓ = 1``; ε-approximate agreement needs ``ℓ`` growing with
+the precision.  Measured crossover (2 processes, ε = 3^-m, outputs on
+the 3^-m grid): solvable from ``Chr^ℓ s`` **iff ℓ >= m** — one
+chromatic subdivision contracts the edge by exactly 1/3 per round.
+"""
+
+from repro.analysis import render_table
+from repro.tasks.approximate_agreement import (
+    approximate_agreement_task,
+    realization_map,
+    solvable_at_depth,
+)
+from repro.tasks.solvability import verify_carried_map
+from repro.core import full_affine_task
+
+
+def bench_crossover_table(benchmark):
+    def table():
+        return {
+            (m, l): solvable_at_depth(m, l)
+            for m in (1, 2, 3)
+            for l in (1, 2, 3)
+        }
+
+    results = benchmark(table)
+    rows = [
+        [f"eps=3^-{m}"] + ["yes" if results[(m, l)] else "no" for l in (1, 2, 3)]
+        for m in (1, 2, 3)
+    ]
+    print()
+    print(render_table(["task \\ depth", "l=1", "l=2", "l=3"], rows))
+    assert all(results[(m, l)] == (l >= m) for m in (1, 2, 3) for l in (1, 2, 3))
+
+
+def bench_negative_search_depth2(benchmark):
+    """The exhaustive refutation at (m=3, l=2)."""
+    assert not benchmark(solvable_at_depth, 3, 2)
+
+
+def bench_constructive_map_verification(benchmark):
+    """Verifying the diagonal's canonical realization map at depth 3."""
+    task = approximate_agreement_task(3)
+    affine = full_affine_task(2, 3)
+    mapping = realization_map(3)
+    assert benchmark(verify_carried_map, affine, task, mapping)
+
+
+def bench_task_construction(benchmark):
+    task = benchmark(approximate_agreement_task, 2)
+    task.validate()

@@ -1,0 +1,72 @@
+"""E19 — the BG simulation substrate.
+
+Times resilient simulations (2 simulators, 3–5 simulated processes,
+full-information codes) and validates the BG guarantees on every run:
+identical histories across simulators, snapshot self-inclusion and
+monotonicity, and the ``>= n - f`` progress bound under crashes.
+Includes the safe-agreement substrate in isolation.
+"""
+
+from repro.analysis import render_table
+from repro.protocols.safe_agreement import fuzz_safe_agreement
+from repro.runtime.bg_simulation import (
+    check_simulated_history,
+    full_information_code,
+    run_bg_simulation,
+)
+
+
+def bench_bg_crash_free(benchmark):
+    codes = {j: full_information_code(2) for j in range(3)}
+
+    def run():
+        outcome = run_bg_simulation(codes, n_simulators=2, seed=1)
+        assert outcome.completed_simulated() == frozenset({0, 1, 2})
+        assert outcome.histories_agree()
+        return outcome
+
+    benchmark(run)
+
+
+def bench_bg_with_crashes(benchmark):
+    codes = {j: full_information_code(2) for j in range(3)}
+
+    def sweep():
+        completed = []
+        for seed in range(10):
+            outcome = run_bg_simulation(
+                codes,
+                n_simulators=2,
+                crash_simulators={1: 10 + seed},
+                seed=seed,
+            )
+            assert len(outcome.completed_simulated()) >= 2
+            assert outcome.histories_agree()
+            for j, history in outcome.merged_histories().items():
+                check_simulated_history(j, history)
+            completed.append(len(outcome.completed_simulated()))
+        return completed
+
+    completed = benchmark(sweep)
+    print()
+    print(
+        render_table(
+            ["crash seed", "simulated completed (of 3, f=1)"],
+            list(enumerate(completed)),
+        )
+    )
+
+
+def bench_bg_scale_simulated(benchmark):
+    codes = {j: full_information_code(2) for j in range(5)}
+
+    def run():
+        outcome = run_bg_simulation(codes, n_simulators=2, seed=3)
+        assert outcome.completed_simulated() == frozenset(range(5))
+        return outcome
+
+    benchmark(run)
+
+
+def bench_safe_agreement(benchmark):
+    benchmark(fuzz_safe_agreement, 3, 40, 2)

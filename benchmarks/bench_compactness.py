@@ -1,0 +1,54 @@
+"""E12 — Section 1 "Compact models" + the Sperner evidence.
+
+* non-compactness witnesses for 1-resilience and 1-obstruction-freedom
+  (every finite prefix complies; the limit run does not);
+* affine models are prefix-closed, and solvable tasks are solvable in a
+  bounded number of iterations (König);
+* Sperner parity over ``Chr² s`` — the depth-2 evidence that wait-free
+  2-set consensus is impossible for 3 processes.
+"""
+
+from repro.analysis.compactness import (
+    affine_model_is_prefix_closed,
+    bounded_round_solvability,
+    obstruction_free_witness,
+    solo_run_prefixes_comply_one_resilient,
+)
+from repro.analysis.sperner import fuzz_sperner
+from repro.tasks import set_consensus_task
+
+
+def bench_non_compactness_witnesses(benchmark):
+    def both():
+        return (
+            solo_run_prefixes_comply_one_resilient(),
+            obstruction_free_witness(),
+        )
+
+    one_res, one_of = benchmark(both)
+    print(f"\n1-resilience witness: {one_res}")
+    print(f"1-obstruction-freedom witness: {one_of}")
+    assert not one_res["compact"]
+    assert not one_of["compact"]
+
+
+def bench_affine_prefix_closure(benchmark, ra_1res):
+    assert benchmark(affine_model_is_prefix_closed, ra_1res)
+
+
+def bench_bounded_round_solvability(benchmark, ra_1res):
+    task = set_consensus_task(3, 2)
+    depth = benchmark(bounded_round_solvability, ra_1res, task)
+    print(f"\n2-set consensus solvable from R_A(1-res) at depth {depth}")
+    assert depth == 1
+
+
+def bench_sperner_parity_chr2(benchmark, chr2):
+    """Every admissible labeling of Chr² s has an odd number of
+    panchromatic facets — so no 2-set-consensus map exists at depth 2
+    either (the wait-free negative)."""
+    assert benchmark(fuzz_sperner, chr2, 60, 12)
+
+
+def bench_sperner_parity_chr1(benchmark, chr1):
+    assert benchmark(fuzz_sperner, chr1, 200, 4)

@@ -1,0 +1,126 @@
+"""E11 — Theorems 15/16 (FACT): set-consensus power of affine tasks.
+
+For every fair model in the zoo, the minimal ``k`` such that one shot
+of its affine task solves k-set consensus — decided by exhaustive
+simplicial-map search — equals ``setcon(A)``.  The wait-free row uses
+depth 1 (Sperner parity supplies the depth-2 evidence, see
+``bench_compactness``).  This is the headline "who wins, by how much"
+table of the reproduction.
+"""
+
+from repro.adversaries import (
+    agreement_function_of,
+    figure5b_adversary,
+    k_concurrency_alpha,
+    setcon,
+    t_resilience_alpha,
+    t_resilient,
+    k_obstruction_free,
+    wait_free,
+)
+from repro.analysis import render_table
+from repro.core import full_affine_task, r_affine, r_k_obstruction_free, r_t_resilient
+from repro.tasks import minimal_set_consensus
+
+
+def bench_fact_table(benchmark):
+    cases = [
+        ("wait-free (Chr s)", full_affine_task(3, 1), setcon(wait_free(3))),
+        ("R_A(1-OF)", r_affine(k_concurrency_alpha(3, 1)), 1),
+        ("R_A(2-OF)", r_affine(k_concurrency_alpha(3, 2)), 2),
+        ("R_A(1-res)", r_affine(t_resilience_alpha(3, 1)), 2),
+        (
+            "R_A(fig5b)",
+            r_affine(agreement_function_of(figure5b_adversary())),
+            setcon(figure5b_adversary()),
+        ),
+        ("R_1-OF (Def 6)", r_k_obstruction_free(3, 1), 1),
+        ("R_2-OF (Def 6)", r_k_obstruction_free(3, 2), 2),
+        ("R_1-res (SHG16)", r_t_resilient(3, 1), setcon(t_resilient(3, 1))),
+    ]
+
+    def decide_all():
+        return [
+            (name, minimal_set_consensus(task), expected)
+            for name, task, expected in cases
+        ]
+
+    rows = benchmark(decide_all)
+    print()
+    print(
+        render_table(
+            ["affine task", "min k (measured)", "setcon (paper)"], rows
+        )
+    )
+    for name, measured, expected in rows:
+        assert measured == expected, name
+
+
+def bench_consensus_positive_search(benchmark, ra_1of):
+    """Time the positive search: consensus map out of R_{1-OF}."""
+    from repro.tasks import solves_set_consensus
+
+    assert benchmark(solves_set_consensus, ra_1of, 1)
+
+
+def bench_consensus_negative_search(benchmark, ra_1res):
+    """Time the exhaustive refutation: no consensus map out of
+    R_A(1-res)."""
+    from repro.tasks import solves_set_consensus
+
+    assert not benchmark(solves_set_consensus, ra_1res, 1)
+
+
+def bench_ktas_table(benchmark):
+    """E21: k-test-and-set thresholds match setcon across the zoo —
+    the paper's concluding pointer ([25]) instantiated at ℓ=1."""
+    from repro.tasks.test_and_set import k_test_and_set_task
+    from repro.tasks.solvability import MapSearch
+
+    models = [
+        ("wait-free Chr s", full_affine_task(3, 1), 3),
+        ("R_A(1-OF)", r_affine(k_concurrency_alpha(3, 1)), 1),
+        ("R_A(2-OF)", r_affine(k_concurrency_alpha(3, 2)), 2),
+        ("R_A(1-res)", r_affine(t_resilience_alpha(3, 1)), 2),
+    ]
+
+    def decide_all():
+        rows = []
+        for name, affine, power in models:
+            solvable = [
+                MapSearch(affine, k_test_and_set_task(3, k)).search()
+                is not None
+                for k in (1, 2, 3)
+            ]
+            rows.append((name, power, solvable))
+        return rows
+
+    rows = benchmark(decide_all)
+    print()
+    print(
+        render_table(
+            ["model", "setcon", "1-TAS", "2-TAS", "3-TAS"],
+            [
+                (name, power, *["yes" if s else "no" for s in solvable])
+                for name, power, solvable in rows
+            ],
+        )
+    )
+    for name, power, solvable in rows:
+        for index, answer in enumerate(solvable, start=1):
+            assert answer == (index >= power), (name, index)
+
+
+def bench_equivalence_of_ra_and_def6_at_k2(benchmark):
+    """The task-computability face of the E9 finding: Definition 9's
+    strictly smaller complex has the same set-consensus power as
+    Definition 6's R_{2-OF}."""
+
+    def both():
+        ra = r_affine(k_concurrency_alpha(3, 2))
+        rk = r_k_obstruction_free(3, 2)
+        return minimal_set_consensus(ra), minimal_set_consensus(rk)
+
+    measured = benchmark(both)
+    print(f"\nmin-k: R_A(2-OF) = {measured[0]}, R_2-OF = {measured[1]}")
+    assert measured == (2, 2)

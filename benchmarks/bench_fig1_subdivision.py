@@ -1,0 +1,70 @@
+"""E1a / E1b — Figure 1: ``Chr s`` and ``R_{1-res}`` regenerated.
+
+Paper data points (3 processes):
+
+* Figure 1a — the standard chromatic subdivision: 12 vertices, 13
+  facets (one per ordered set partition), each facet a 2-simplex;
+* Figure 1b — ``R_{1-res}``: the sub-complex of ``Chr² s`` obtained by
+  removing the corner-adjacent facets (every process must see at least
+  one other process).
+"""
+
+from repro.analysis import complex_census, render_mapping
+from repro.core.rtres import r_t_resilient
+from repro.topology import fubini_number, standard_simplex
+from repro.topology.geometry import subdivision_volume_check
+from repro.topology.subdivision import iterated_subdivision
+
+
+def bench_chr_construction(benchmark):
+    """Time building Chr s from scratch (no cache)."""
+    base = standard_simplex(3)
+    result = benchmark(iterated_subdivision, base, 1)
+    census = complex_census(result)
+    print()
+    print(render_mapping("Figure 1a — Chr s census:", census))
+    assert census["vertices"] == 12
+    assert census["facets"] == fubini_number(3) == 13
+    assert census["f_vector"] == [12, 24, 13]
+
+
+def bench_chr2_construction(benchmark):
+    """Time building Chr² s from scratch."""
+    base = standard_simplex(3)
+    result = benchmark(iterated_subdivision, base, 2)
+    census = complex_census(result)
+    print()
+    print(render_mapping("Chr² s census:", census))
+    assert census["facets"] == fubini_number(3) ** 2 == 169
+    assert census["vertices"] == 99
+
+
+def bench_chr_geometric_validation(benchmark):
+    """Time the geometric subdivision check (volumes add up)."""
+    base = standard_simplex(3)
+    chr1 = iterated_subdivision(base, 1)
+    assert benchmark(subdivision_volume_check, chr1, 3)
+
+
+def bench_r1res_construction(benchmark):
+    """Time building R_{1-res} (Figure 1b) from Chr² s."""
+    result = benchmark(r_t_resilient, 3, 1)
+    census = complex_census(result.complex)
+    print()
+    print(render_mapping("Figure 1b — R_1-res census:", census))
+    assert census["facets"] == 142
+    assert census["pure"]
+
+
+def bench_rtres_family(benchmark):
+    """The whole t-resilience family at n=3."""
+
+    def family():
+        return [
+            len(r_t_resilient(3, t).complex.facets) for t in range(3)
+        ]
+
+    counts = benchmark(family)
+    print()
+    print(f"R_t-res facet counts for t=0,1,2: {counts}")
+    assert counts == [97, 142, 169]

@@ -1,0 +1,81 @@
+"""E2 — Figure 2: the adversary-class diagram, regenerated as a table.
+
+The paper's diagram nests: t-resilient ⊂ superset-closed ⊂ fair and
+k-OF / wait-free ⊂ symmetric ⊂ fair.  The benchmark classifies the
+whole catalogue and checks every containment the figure draws.
+"""
+
+from repro.adversaries import (
+    build_catalogue,
+    csize,
+    is_fair,
+    setcon,
+)
+from repro.analysis import render_table
+
+
+def classify(entries):
+    rows = []
+    for entry in entries:
+        adversary = entry.adversary
+        rows.append(
+            (
+                entry.name,
+                adversary.is_superset_closed(),
+                adversary.is_symmetric(),
+                is_fair(adversary),
+                setcon(adversary),
+                csize(adversary),
+            )
+        )
+    return rows
+
+
+def bench_figure2_classification(benchmark):
+    entries = build_catalogue(3)
+    rows = benchmark(classify, entries)
+    print()
+    print(
+        render_table(
+            ["adversary", "ssc", "sym", "fair", "setcon", "csize"],
+            rows,
+        )
+    )
+    by_name = {row[0]: row for row in rows}
+
+    # Figure 2 containments, instantiated:
+    for name, ssc, sym, fair, _, _ in rows:
+        if ssc or sym:
+            assert fair, f"{name}: superset-closed/symmetric must be fair"
+
+    # t-resilient adversaries are both superset-closed and symmetric.
+    assert by_name["1-resilient"][1] and by_name["1-resilient"][2]
+    # k-OF: symmetric but not superset-closed.
+    assert by_name["1-obstruction-free"][2]
+    assert not by_name["1-obstruction-free"][1]
+    # The running example: superset-closed but not symmetric.
+    assert by_name["figure-5b"][1] and not by_name["figure-5b"][2]
+    # And something genuinely outside the fair class exists.
+    assert any(not fair for (_, _, _, fair, _, _) in rows)
+
+
+def bench_setcon_recursion(benchmark):
+    """Time Definition 1's recursion on the hardest catalogue member."""
+    from repro.adversaries import wait_free
+    from repro.adversaries.setcon import _setcon_of_live_sets
+
+    adversary = wait_free(4)
+
+    def compute():
+        _setcon_of_live_sets.cache_clear()
+        return setcon(adversary)
+
+    assert benchmark(compute) == 4
+
+
+def bench_fairness_decision(benchmark):
+    """Time the full Definition-2 sweep on the running example."""
+    from repro.adversaries import figure5b_adversary
+
+    adversary = figure5b_adversary()
+    assert benchmark(is_fair, adversary)

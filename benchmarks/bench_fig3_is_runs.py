@@ -1,0 +1,104 @@
+"""E3 — Figure 3: valid immediate-snapshot outputs, regenerated.
+
+The figure's two example runs for three processes:
+
+* (a) the ordered run ``{p2}, {p1}, {p3}`` — nested views of sizes
+  1, 2, 3;
+* (b) the synchronous run ``{p1, p2, p3}`` — all views full.
+
+Both are produced twice: combinatorially (ordered partitions) and
+operationally (the Borowsky–Gafni protocol on the scheduler), and the
+two roads agree.
+"""
+
+import random
+
+from repro.analysis import render_table
+from repro.runtime.immediate_snapshot import standalone_is_protocol
+from repro.runtime.memory import SharedMemory
+from repro.runtime.scheduler import Scheduler
+from repro.topology.enumeration import (
+    fubini_number,
+    is_valid_is_views,
+    ordered_set_partitions,
+    views_of_partition,
+)
+
+
+def bench_enumerate_all_is_runs(benchmark):
+    """Enumerate every 3-process IS run (Figure 3 shows two of them)."""
+
+    def enumerate_runs():
+        return [
+            views_of_partition(partition)
+            for partition in ordered_set_partitions(range(3))
+        ]
+
+    runs = benchmark(enumerate_runs)
+    assert len(runs) == fubini_number(3)
+    assert all(is_valid_is_views(views) for views in runs)
+
+    ordered = views_of_partition(
+        (frozenset({1}), frozenset({0}), frozenset({2}))
+    )
+    sync = views_of_partition((frozenset({0, 1, 2}),))
+    print()
+    print(
+        render_table(
+            ["run", "p1 sees", "p2 sees", "p3 sees"],
+            [
+                [
+                    "{p2},{p1},{p3}",
+                    sorted(ordered[0]),
+                    sorted(ordered[1]),
+                    sorted(ordered[2]),
+                ],
+                [
+                    "{p1,p2,p3}",
+                    sorted(sync[0]),
+                    sorted(sync[1]),
+                    sorted(sync[2]),
+                ],
+            ],
+        )
+    )
+    assert ordered[1] == frozenset({1})
+    assert ordered[0] == frozenset({0, 1})
+    assert ordered[2] == frozenset({0, 1, 2})
+    assert all(view == frozenset({0, 1, 2}) for view in sync.values())
+
+
+def run_bg_protocol(n, seed):
+    rng = random.Random(seed)
+    memory = SharedMemory(n)
+    scheduler = Scheduler(
+        {i: standalone_is_protocol(i, n, memory, i) for i in range(n)}
+    )
+    while len(scheduler.outputs) < n:
+        alive = [i for i in range(n) if i not in scheduler.outputs]
+        scheduler.step(rng.choice(alive))
+    return {i: frozenset(view) for i, view in scheduler.outputs.items()}
+
+
+def bench_borowsky_gafni_protocol(benchmark):
+    """Time one randomized execution of the BG level-descent protocol."""
+    views = benchmark(run_bg_protocol, 3, 42)
+    assert is_valid_is_views(views)
+
+
+def bench_bg_outputs_are_enumerated_runs(benchmark):
+    """Operational outputs always match some combinatorial run."""
+    expected = {
+        frozenset(views_of_partition(p).items())
+        for p in ordered_set_partitions(range(3))
+    }
+
+    def sweep():
+        hits = 0
+        for seed in range(120):
+            views = run_bg_protocol(3, seed)
+            assert frozenset(views.items()) in expected
+            hits += 1
+        return hits
+
+    assert benchmark(sweep) == 120

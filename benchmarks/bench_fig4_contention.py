@@ -1,0 +1,96 @@
+"""E4 — Figure 4: the 2-contention complex, regenerated.
+
+Checks the figure's two example runs (4a: a fully reversed pair of
+rounds makes every pair contend; 4b: mixed orders leave exactly one
+contending pair) and the census of ``Cont2`` in ``Chr² s`` (4c).
+"""
+
+from repro.analysis import render_mapping
+from repro.core.contention import (
+    are_contending,
+    contention_complex,
+    is_contention_simplex,
+)
+from repro.runtime.iis import run_iis
+
+
+def bench_contention_complex(benchmark):
+    cont = benchmark(contention_complex, 3)
+    print()
+    print(
+        render_mapping(
+            "Figure 4c — Cont2 census (vertices, edges, triangles):",
+            {"f_vector": cont.f_vector()},
+        )
+    )
+    assert cont.f_vector() == [99, 78, 6]
+
+
+def bench_figure4a_reversed_orders(benchmark):
+    def build():
+        return run_iis(
+            3,
+            [
+                (frozenset({1}), frozenset({0}), frozenset({2})),
+                (frozenset({2}), frozenset({0}), frozenset({1})),
+            ],
+        )
+
+    execution = benchmark(build)
+    vertices = [execution.vertex_of(pid) for pid in range(3)]
+    assert is_contention_simplex(vertices)
+    pairs = sum(
+        1
+        for i in range(3)
+        for j in range(i + 1, 3)
+        if are_contending(vertices[i], vertices[j])
+    )
+    print(f"\nFigure 4a: contending pairs = {pairs} (all three)")
+    assert pairs == 3
+
+
+def bench_figure4b_mixed_orders(benchmark):
+    def build():
+        return run_iis(
+            3,
+            [
+                (frozenset({0}), frozenset({1}), frozenset({2})),
+                (frozenset({1}), frozenset({0, 2})),
+            ],
+        )
+
+    execution = benchmark(build)
+    vertices = {pid: execution.vertex_of(pid) for pid in range(3)}
+    contending = sorted(
+        (a, b)
+        for a in range(3)
+        for b in range(a + 1, 3)
+        if are_contending(vertices[a], vertices[b])
+    )
+    print(f"\nFigure 4b: contending pairs = {contending} (only p1, p2)")
+    assert contending == [(0, 1)]
+
+
+def bench_contention_triangles_are_reversed_runs(benchmark):
+    """Each of the 6 contention triangles comes from strictly reversed
+    round orders — enumerate and verify."""
+    from repro.topology.subdivision import chr_complex
+    from repro.core.views import view1, view2
+
+    chr2 = chr_complex(3, 2)
+
+    def count_triangles():
+        return [
+            facet
+            for facet in chr2.facets
+            if is_contention_simplex(facet)
+        ]
+
+    triangles = benchmark(count_triangles)
+    assert len(triangles) == 6
+    for facet in triangles:
+        ordered = sorted(facet, key=lambda v: len(view1(v)))
+        sizes1 = [len(view1(v)) for v in ordered]
+        sizes2 = [len(view2(v)) for v in ordered]
+        assert sizes1 == [1, 2, 3]
+        assert sizes2 == [3, 2, 1]

@@ -1,0 +1,77 @@
+"""E5 — Figure 5: critical simplices for the two example models.
+
+* (a) the α-model with ``alpha(P) = min(|P|, 1)`` (1-obstruction-
+  freedom): 7 critical simplices in ``Chr s``;
+* (b) the adversary ``{p2}, {p1,p3}`` + supersets: 15.
+
+Also validates the structural results about their distribution
+(Lemma 3 / Corollary 4 / Lemma 11) over the whole of ``Chr s``.
+"""
+
+from repro.core.critical import CriticalStructure, is_critical
+from repro.core.theorems import (
+    check_corollary4,
+    check_critical_distribution,
+    check_critical_view_uniqueness,
+    full_participation_simplices,
+)
+
+
+def count_critical(chr1, alpha):
+    return [
+        frozenset(sigma)
+        for sigma in chr1.simplices
+        if is_critical(sigma, alpha)
+    ]
+
+
+def bench_figure5a_critical_census(benchmark, chr1, alpha_1of):
+    crit = benchmark(count_critical, chr1, alpha_1of)
+    by_dim = {}
+    for sigma in crit:
+        by_dim[len(sigma) - 1] = by_dim.get(len(sigma) - 1, 0) + 1
+    print(f"\nFigure 5a — critical simplices (1-OF): {len(crit)}, by dim {by_dim}")
+    assert len(crit) == 7
+
+
+def bench_figure5b_critical_census(benchmark, chr1, alpha_fig5b):
+    crit = benchmark(count_critical, chr1, alpha_fig5b)
+    print(f"\nFigure 5b — critical simplices (fig5b): {len(crit)}")
+    assert len(crit) == 15
+
+
+def bench_lemma3_distribution(benchmark, alpha_fig5b):
+    simplices = full_participation_simplices(3)
+
+    def sweep():
+        structure = CriticalStructure(alpha_fig5b)
+        return all(
+            check_critical_distribution(sigma, alpha_fig5b, structure)
+            for sigma in simplices
+        )
+
+    assert benchmark(sweep)
+
+
+def bench_corollary4(benchmark, chr1, alpha_1res):
+    def sweep():
+        structure = CriticalStructure(alpha_1res)
+        return all(
+            check_corollary4(frozenset(sigma), alpha_1res, structure)
+            for sigma in chr1.simplices
+        )
+
+    assert benchmark(sweep)
+
+
+def bench_lemma11_uniqueness(benchmark, chr1, alpha_fig5b):
+    def sweep():
+        structure = CriticalStructure(alpha_fig5b)
+        return all(
+            check_critical_view_uniqueness(
+                frozenset(sigma), alpha_fig5b, structure
+            )
+            for sigma in chr1.simplices
+        )
+
+    assert benchmark(sweep)

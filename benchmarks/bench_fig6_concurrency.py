@@ -1,0 +1,61 @@
+"""E6 — Figure 6: the concurrency maps of the two example models.
+
+The figure colors each simplex of ``Chr s`` black/orange/green for
+concurrency level 0/1/2; the benchmark regenerates the level census:
+
+* (a) 1-obstruction-freedom: 18 at level 0, 31 at level 1;
+* (b) the running example:    4 at level 0, 14 at level 1, 31 at 2.
+"""
+
+from repro.analysis import render_mapping
+from repro.core.concurrency import concurrency_census, concurrency_map
+
+
+def bench_figure6a_concurrency(benchmark, chr1, alpha_1of):
+    census = benchmark(concurrency_census, chr1, alpha_1of)
+    print()
+    print(render_mapping("Figure 6a — Conc levels (1-OF):", census))
+    assert census == {0: 18, 1: 31}
+
+
+def bench_figure6b_concurrency(benchmark, chr1, alpha_fig5b):
+    census = benchmark(concurrency_census, chr1, alpha_fig5b)
+    print()
+    print(render_mapping("Figure 6b — Conc levels (fig5b):", census))
+    assert census == {0: 4, 1: 14, 2: 31}
+
+
+def bench_concurrency_map_monotone(benchmark, chr1, alpha_fig5b):
+    """Level monotonicity under inclusion, over all simplex pairs."""
+
+    def check():
+        mapping = concurrency_map(chr1, alpha_fig5b)
+        items = sorted(mapping.items(), key=lambda kv: len(kv[0]))
+        for small, level_small in items:
+            for big, level_big in items:
+                if small < big and level_small > level_big:
+                    return False
+        return True
+
+    assert benchmark(check)
+
+
+def bench_star_structure(benchmark, chr1, alpha_fig5b):
+    """The figure's observation: level-k simplices lie in the star of
+    the critical simplices of power k (and no higher)."""
+    from repro.core.critical import CriticalStructure
+
+    def check():
+        structure = CriticalStructure(alpha_fig5b)
+        mapping = concurrency_map(chr1, alpha_fig5b)
+        for sigma, level in mapping.items():
+            if level == 0:
+                continue
+            powers = [
+                alpha_fig5b(next(iter(theta)).carrier)
+                for theta in structure.cs(sigma)
+            ]
+            assert max(powers) == level
+        return True
+
+    assert benchmark(check)

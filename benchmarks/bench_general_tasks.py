@@ -1,0 +1,88 @@
+"""E17 — general tasks over genuine input complexes.
+
+The full generality of FACT: ``φ : R_A^ℓ(I) → O`` with ``I`` a real
+input complex.  Measured separations at ℓ = 1 (each cell decided by
+exhaustive carried-map search over ``L(I)``):
+
+* binary consensus is unsolvable from the wait-free ``Chr s`` — the
+  FLP impossibility, machine-decided;
+* binary consensus **is** solvable from ``R_A(1-OF)``;
+* 1-resilience solves binary 2-set consensus but not binary consensus.
+"""
+
+from repro.adversaries import k_concurrency_alpha
+from repro.analysis import render_table
+from repro.core import full_affine_task, r_affine, r_t_resilient
+from repro.tasks.general_task import (
+    binary_consensus_task,
+    binary_k_set_consensus_task,
+    general_task_solvable,
+)
+
+
+def bench_flp_refutation(benchmark):
+    """FLP at depth 1: exhaustive refutation over Chr(I)."""
+    task = binary_consensus_task(3)
+    affine = full_affine_task(3, 1)
+    result = benchmark.pedantic(
+        general_task_solvable, args=(affine, task), rounds=2, iterations=1
+    )
+    assert not result
+
+
+def bench_consensus_from_r1of(benchmark):
+    task = binary_consensus_task(3)
+    affine = r_affine(k_concurrency_alpha(3, 1))
+    assert benchmark(general_task_solvable, affine, task)
+
+
+def bench_separation_table(benchmark):
+    consensus = binary_consensus_task(3)
+    two_set = binary_k_set_consensus_task(3, 2)
+    models = [
+        ("wait-free Chr s", full_affine_task(3, 1)),
+        ("R_A(1-OF)", r_affine(k_concurrency_alpha(3, 1))),
+        ("R_1-res", r_t_resilient(3, 1)),
+    ]
+
+    def decide_all():
+        return [
+            (
+                name,
+                general_task_solvable(affine, consensus),
+                general_task_solvable(affine, two_set),
+            )
+            for name, affine in models
+        ]
+
+    rows = benchmark.pedantic(decide_all, rounds=1, iterations=1)
+    print()
+    print(
+        render_table(
+            ["model (one shot)", "binary consensus", "binary 2-set consensus"],
+            [
+                (name, "yes" if c else "no", "yes" if k2 else "no")
+                for name, c, k2 in rows
+            ],
+        )
+    )
+    # Binary 2-set consensus is solvable everywhere (only two values
+    # exist, so the identity map works); binary consensus separates.
+    assert rows == [
+        ("wait-free Chr s", False, True),
+        ("R_A(1-OF)", True, True),
+        ("R_1-res", False, True),
+    ]
+
+
+def bench_domain_construction(benchmark):
+    """Cost of building L(I) — 8 glued copies of R_{1-res}."""
+    from repro.tasks.general_task import (
+        binary_input_complex,
+        subdivide_input_complex,
+    )
+
+    affine = r_t_resilient(3, 1)
+    inputs = binary_input_complex(3)
+    domain = benchmark(subdivide_input_complex, affine, inputs)
+    assert len(domain.facets) == 8 * 142

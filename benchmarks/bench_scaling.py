@@ -1,0 +1,77 @@
+"""Scaling benchmarks: how the constructions grow with ``n``.
+
+Not a paper figure — engineering telemetry for the library itself:
+subdivision growth follows the Fubini numbers, ``setcon`` is
+exponential, ``R_A`` construction is dominated by the ``Chr² s``
+facet sweep.
+"""
+
+import pytest
+
+from repro.adversaries import (
+    agreement_function_of,
+    setcon,
+    t_resilience_alpha,
+    t_resilient,
+)
+from repro.analysis import render_table
+from repro.core.ra import r_affine
+from repro.topology import fubini_number, standard_simplex
+from repro.topology.subdivision import iterated_subdivision
+
+
+@pytest.mark.parametrize("n", [2, 3, 4])
+def bench_chr_growth(benchmark, n):
+    base = standard_simplex(n)
+    result = benchmark(iterated_subdivision, base, 1)
+    assert len(result.facets) == fubini_number(n)
+
+
+@pytest.mark.parametrize("n", [3, 4])
+def bench_setcon_growth(benchmark, n):
+    from repro.adversaries.setcon import _setcon_of_live_sets
+
+    adversary = t_resilient(n, 1)
+
+    def compute():
+        _setcon_of_live_sets.cache_clear()
+        return setcon(adversary)
+
+    assert benchmark(compute) == 2
+
+
+def bench_agreement_function_tabulation(benchmark):
+    adversary = t_resilient(4, 2)
+    alpha = benchmark(agreement_function_of, adversary)
+    assert alpha(frozenset(range(4))) == 3
+
+
+def bench_ra_construction_n3(benchmark, alpha_1res):
+    task = benchmark(r_affine, alpha_1res)
+    assert len(task.complex.facets) == 142
+
+
+@pytest.mark.slow
+def bench_ra_construction_n4(benchmark):
+    alpha = t_resilience_alpha(4, 1)
+    task = benchmark.pedantic(r_affine, args=(alpha,), rounds=1, iterations=1)
+    print(f"\nR_A(1-res, n=4): {len(task.complex.facets)} facets of Chr² s (5625 total)")
+    assert task.complex.is_pure(3)
+
+
+def bench_summary_table(benchmark):
+    def collect():
+        rows = []
+        for n in (2, 3, 4):
+            rows.append(
+                (n, fubini_number(n), fubini_number(n) ** 2)
+            )
+        return rows
+
+    rows = benchmark(collect)
+    print()
+    print(
+        render_table(
+            ["n", "facets of Chr s", "facets of Chr² s"], rows
+        )
+    )

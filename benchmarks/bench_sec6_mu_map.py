@@ -1,0 +1,59 @@
+"""E10 — Section 6.2: µ_Q and Properties 9/10/12, exhaustively.
+
+Times the exhaustive verification of the three properties of the
+α-adaptive leader-election map over every facet of ``R_A`` and every
+candidate coalition ``Q`` — the mechanized counterpart of the paper's
+proofs.
+"""
+
+from repro.analysis import render_table
+from repro.protocols.mu_map import MuMap, verify_mu_properties
+
+
+def bench_mu_properties_1of(benchmark, alpha_1of, ra_1of):
+    report = benchmark(verify_mu_properties, alpha_1of, ra_1of)
+    assert report == {
+        "validity": True,
+        "agreement": True,
+        "robustness": True,
+    }
+
+
+def bench_mu_properties_fig5b(benchmark, alpha_fig5b, ra_fig5b):
+    report = benchmark(verify_mu_properties, alpha_fig5b, ra_fig5b)
+    assert all(report.values())
+
+
+def bench_mu_leader_distribution(benchmark, alpha_fig5b, ra_fig5b):
+    """Distribution of per-facet distinct-leader counts (with Q = Pi):
+    bounded by alpha(Pi) = 2 and the bound is achieved."""
+    full = frozenset(range(3))
+
+    def distribution():
+        mu = MuMap(alpha_fig5b)
+        counts = {}
+        for facet in ra_fig5b.complex.facets:
+            leaders = len({mu(v, full) for v in facet})
+            counts[leaders] = counts.get(leaders, 0) + 1
+        return counts
+
+    counts = benchmark(distribution)
+    print()
+    print(
+        render_table(
+            ["distinct leaders per facet", "facets"],
+            sorted(counts.items()),
+        )
+    )
+    assert max(counts) == 2
+    assert min(counts) >= 1
+
+
+def bench_mu_single_evaluation(benchmark, alpha_1res, ra_1res):
+    """Latency of one µ_Q evaluation (warm caches)."""
+    mu = MuMap(alpha_1res)
+    vertex = sorted(ra_1res.complex.vertices, key=repr)[0]
+    full = frozenset(range(3))
+    mu(vertex, full)  # warm
+    leader = benchmark(mu, vertex, full)
+    assert leader in range(3)

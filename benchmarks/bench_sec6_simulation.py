@@ -1,0 +1,65 @@
+"""E13 — Section 6: simulating the α-model inside ``R*_A``.
+
+Two halves, both timed and validated:
+
+* the α-adaptive set-consensus protocol over iterated affine tasks
+  (validity, α-agreement, termination);
+* the sequence-numbered snapshot simulation (snapshot comparability,
+  self-inclusion, termination), including under a constant adversarial
+  facet schedule.
+"""
+
+from repro.analysis import render_table
+from repro.protocols.adaptive_set_consensus import fuzz_adaptive_set_consensus
+from repro.runtime.simulation import fuzz_snapshot_simulation
+
+
+def bench_set_consensus_in_ra_star(benchmark, alpha_fig5b, ra_fig5b):
+    outcomes = benchmark(
+        fuzz_adaptive_set_consensus, alpha_fig5b, ra_fig5b, 40, 3
+    )
+    bound = alpha_fig5b(frozenset(range(3)))
+    distribution = {}
+    for outcome in outcomes:
+        d = outcome.distinct_decisions()
+        distribution[d] = distribution.get(d, 0) + 1
+        assert d <= bound
+    print()
+    print(
+        render_table(
+            ["distinct decisions", "runs"], sorted(distribution.items())
+        )
+    )
+
+
+def bench_consensus_in_r1of_star(benchmark, alpha_1of, ra_1of):
+    outcomes = benchmark(
+        fuzz_adaptive_set_consensus, alpha_1of, ra_1of, 40, 5
+    )
+    assert all(o.distinct_decisions() == 1 for o in outcomes)
+
+
+def bench_snapshot_simulation(benchmark, ra_1res):
+    results = benchmark(fuzz_snapshot_simulation, ra_1res, 20, 9)
+    total_ops = sum(len(ops) for run in results for ops in run.values())
+    print(f"\nsnapshot simulation: {total_ops} ops across 20 runs, all linearizable evidence passed")
+    assert total_ops > 0
+
+
+def bench_snapshot_simulation_iteration_cost(benchmark, ra_1res):
+    """Iterations needed for a fixed 3-op-per-process workload."""
+    from repro.runtime.simulation import SnapshotSimulation
+
+    scripts = {
+        pid: [("write", f"w{pid}"), ("snapshot",), ("write", f"x{pid}")]
+        for pid in range(3)
+    }
+
+    def run_once():
+        sim = SnapshotSimulation(ra_1res, scripts, seed=31)
+        sim.run()
+        return sim.iterations
+
+    iterations = benchmark(run_once)
+    print(f"\niterations to drain the workload: {iterations}")
+    assert iterations < 100

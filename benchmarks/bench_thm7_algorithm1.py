@@ -1,0 +1,53 @@
+"""E8 — Theorem 7: Algorithm 1 solves ``R_A`` in the α-model.
+
+Times randomized α-model executions of the paper's Algorithm 1 (real
+scheduler, real immediate-snapshot objects, crashes) and validates both
+halves of the theorem on every run: safety (outputs form a simplex of
+``R_A``) and liveness (all correct processes decide).
+"""
+
+from repro.analysis import render_table
+from repro.runtime.algorithm1 import fuzz_algorithm1
+
+
+def bench_algorithm1_one_resilient(benchmark, alpha_1res, ra_1res):
+    outcomes = benchmark(
+        fuzz_algorithm1, alpha_1res, ra_1res, 40, 7
+    )
+    assert len(outcomes) == 40
+    assert all(outcome.in_affine_task for outcome in outcomes)
+
+
+def bench_algorithm1_one_obstruction_free(benchmark, alpha_1of, ra_1of):
+    outcomes = benchmark(fuzz_algorithm1, alpha_1of, ra_1of, 40, 11)
+    assert all(outcome.in_affine_task for outcome in outcomes)
+
+
+def bench_algorithm1_fig5b(benchmark, alpha_fig5b, ra_fig5b):
+    outcomes = benchmark(fuzz_algorithm1, alpha_fig5b, ra_fig5b, 40, 13)
+    assert all(outcome.in_affine_task for outcome in outcomes)
+
+
+def bench_algorithm1_summary(benchmark, alpha_1res, ra_1res):
+    """One timed pass plus a printed per-run summary table."""
+    outcomes = benchmark(fuzz_algorithm1, alpha_1res, ra_1res, 15, 99)
+    rows = [
+        (
+            index,
+            "".join(map(str, sorted(outcome.plan.participants))),
+            "".join(map(str, sorted(outcome.plan.crashed)))
+            if hasattr(outcome.plan, "crashed")
+            else "".join(map(str, sorted(outcome.plan.faulty))),
+            outcome.result.steps_taken,
+            len(outcome.simplex),
+        )
+        for index, outcome in enumerate(outcomes)
+    ]
+    print()
+    print(
+        render_table(
+            ["run", "participants", "crashed", "steps", "deciders"], rows
+        )
+    )
+    coverage = {len(outcome.simplex) for outcome in outcomes}
+    assert coverage  # some decider-set sizes were exercised

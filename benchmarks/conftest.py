@@ -1,0 +1,71 @@
+"""Shared fixtures for the benchmark harness.
+
+Every ``bench_figN_*.py`` module regenerates one figure (or theorem) of
+the paper: it prints the reproduced data (run pytest with ``-s`` to see
+it) and asserts the expected shape, while pytest-benchmark times the
+underlying computation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversaries import (
+    agreement_function_of,
+    figure5b_adversary,
+    k_concurrency_alpha,
+    t_resilience_alpha,
+    wait_free_alpha,
+)
+from repro.core import r_affine
+from repro.topology import chr_complex
+
+
+@pytest.fixture(scope="session")
+def chr1():
+    return chr_complex(3, 1)
+
+
+@pytest.fixture(scope="session")
+def chr2():
+    return chr_complex(3, 2)
+
+
+@pytest.fixture(scope="session")
+def alpha_1of():
+    return k_concurrency_alpha(3, 1)
+
+
+@pytest.fixture(scope="session")
+def alpha_2of():
+    return k_concurrency_alpha(3, 2)
+
+
+@pytest.fixture(scope="session")
+def alpha_1res():
+    return t_resilience_alpha(3, 1)
+
+
+@pytest.fixture(scope="session")
+def alpha_wf():
+    return wait_free_alpha(3)
+
+
+@pytest.fixture(scope="session")
+def alpha_fig5b():
+    return agreement_function_of(figure5b_adversary(), name="fig5b")
+
+
+@pytest.fixture(scope="session")
+def ra_1of(alpha_1of):
+    return r_affine(alpha_1of)
+
+
+@pytest.fixture(scope="session")
+def ra_1res(alpha_1res):
+    return r_affine(alpha_1res)
+
+
+@pytest.fixture(scope="session")
+def ra_fig5b(alpha_fig5b):
+    return r_affine(alpha_fig5b)

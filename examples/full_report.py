@@ -1,0 +1,187 @@
+#!/usr/bin/env python3
+"""Regenerate every fast experiment of the reproduction in one run.
+
+Walks E1–E21 (skipping only the slow n=4 sweeps) and prints a compact
+PASS/FAIL report — the one-command sanity check that the paper still
+reproduces on this machine.
+
+Run:  python examples/full_report.py
+"""
+
+import time
+
+from repro.adversaries import (
+    agreement_function_of,
+    build_catalogue,
+    figure5b_adversary,
+    is_fair,
+    k_concurrency_alpha,
+    setcon,
+    t_resilience_alpha,
+    wait_free_alpha,
+)
+from repro.analysis import banner, render_check
+from repro.analysis.compactness import (
+    obstruction_free_witness,
+    solo_run_prefixes_comply_one_resilient,
+)
+from repro.analysis.landscape import classify_all, summarize
+from repro.analysis.sperner import fuzz_sperner
+from repro.core import (
+    concurrency_census,
+    contention_complex,
+    full_affine_task,
+    r_affine,
+    r_k_obstruction_free,
+    r_t_resilient,
+)
+from repro.core.theorems import ra_equals_rkof, ra_equals_rtres
+from repro.protocols.adaptive_set_consensus import fuzz_adaptive_set_consensus
+from repro.protocols.alpha_set_consensus import fuzz_alpha_set_consensus
+from repro.protocols.mu_map import verify_mu_properties
+from repro.runtime.algorithm1 import fuzz_algorithm1
+from repro.runtime.bg_simulation import full_information_code, run_bg_simulation
+from repro.tasks import minimal_set_consensus
+from repro.tasks.approximate_agreement import solvable_at_depth
+from repro.tasks.general_task import binary_consensus_task, general_task_solvable
+from repro.topology import chr_complex, fubini_number
+
+
+def main() -> None:
+    started = time.time()
+    print(banner("repro — full fast-experiment report"))
+    checks = []
+
+    def record(name, passed):
+        checks.append(passed)
+        print(render_check(name, passed))
+
+    chr1, chr2 = chr_complex(3, 1), chr_complex(3, 2)
+    record(
+        "E1a  Chr s census (12 vertices, 13 facets)",
+        len(chr1.vertices) == 12 and len(chr1.facets) == fubini_number(3),
+    )
+    record(
+        "E1b  R_1-res census (142 facets)",
+        len(r_t_resilient(3, 1).complex.facets) == 142,
+    )
+
+    catalogue = build_catalogue(3)
+    record(
+        "E2   classification: superset-closed/symmetric => fair",
+        all(
+            is_fair(e.adversary)
+            for e in catalogue
+            if e.adversary.is_superset_closed() or e.adversary.is_symmetric()
+        ),
+    )
+
+    record("E4   Cont2 census [99, 78, 6]", contention_complex(3).f_vector() == [99, 78, 6])
+
+    alpha_1of = k_concurrency_alpha(3, 1)
+    alpha_fig = agreement_function_of(figure5b_adversary(), name="fig5b")
+    record(
+        "E6   concurrency censuses (Figures 6a/6b)",
+        concurrency_census(chr1, alpha_1of) == {0: 18, 1: 31}
+        and concurrency_census(chr1, alpha_fig) == {0: 4, 1: 14, 2: 31},
+    )
+
+    ra_1of = r_affine(alpha_1of)
+    ra_fig = r_affine(alpha_fig)
+    record(
+        "E7   R_A facet counts (73 / 145)",
+        len(ra_1of.complex.facets) == 73 and len(ra_fig.complex.facets) == 145,
+    )
+
+    record(
+        "E9   union guard matches R_1-OF and all R_t-res",
+        ra_equals_rkof(3, 1, "union")
+        and all(ra_equals_rtres(3, t, "union") for t in range(3)),
+    )
+
+    outcomes = fuzz_algorithm1(alpha_fig, ra_fig, runs=20, seed=1)
+    record(
+        "E8   Algorithm 1 safety+liveness (20 fuzzed runs)",
+        all(o.in_affine_task for o in outcomes),
+    )
+
+    record(
+        "E10  µ_Q Properties 9/10/12 (exhaustive)",
+        all(verify_mu_properties(alpha_fig, ra_fig).values()),
+    )
+
+    record(
+        "E11  FACT: min-k = setcon on three models",
+        minimal_set_consensus(ra_1of) == 1
+        and minimal_set_consensus(ra_fig) == 2
+        and minimal_set_consensus(full_affine_task(3, 1)) == 3,
+    )
+
+    record(
+        "E12  non-compactness witnesses + Sperner parity",
+        not solo_run_prefixes_comply_one_resilient()["compact"]
+        and not obstruction_free_witness()["compact"]
+        and fuzz_sperner(chr2, 20, seed=2),
+    )
+
+    results = fuzz_adaptive_set_consensus(alpha_fig, ra_fig, runs=20, seed=3)
+    record(
+        "E13  set consensus in R*_A (alpha bound)",
+        all(o.distinct_decisions() <= 2 for o in results),
+    )
+
+    record(
+        "E14  ε-agreement crossover at depth == precision",
+        all(
+            solvable_at_depth(m, l) == (l >= m)
+            for m in (1, 2)
+            for l in (1, 2)
+        ),
+    )
+
+    summary = summarize(classify_all(3))
+    record(
+        "E15  landscape: 127 / 43 fair / 37 alphas / 37 tasks",
+        (summary.total, summary.fair, summary.distinct_alphas_fair,
+         summary.distinct_affine_tasks) == (127, 43, 37, 37),
+    )
+
+    outs = fuzz_alpha_set_consensus(alpha_fig, runs=20, seed=4)
+    record("E16  α-set-consensus object in the α-model", len(outs) == 20)
+
+    record(
+        "E17  FLP by search; consensus from R_A(1-OF)",
+        not general_task_solvable(full_affine_task(3, 1), binary_consensus_task(3))
+        and general_task_solvable(ra_1of, binary_consensus_task(3)),
+    )
+
+    bg = run_bg_simulation(
+        {j: full_information_code(2) for j in range(3)},
+        n_simulators=2,
+        crash_simulators={1: 20},
+        seed=5,
+    )
+    record(
+        "E19  BG simulation under a simulator crash",
+        len(bg.completed_simulated()) >= 2 and bg.histories_agree(),
+    )
+
+    from repro.tasks.test_and_set import k_test_and_set_task
+    from repro.tasks.solvability import MapSearch
+
+    record(
+        "E21  1-TAS exactly at consensus power",
+        MapSearch(ra_1of, k_test_and_set_task(3, 1)).search() is not None
+        and MapSearch(ra_fig, k_test_and_set_task(3, 1)).search() is None,
+    )
+
+    print()
+    status = "ALL PASS" if all(checks) else "FAILURES PRESENT"
+    print(
+        f"{status}: {sum(checks)}/{len(checks)} experiment groups, "
+        f"{time.time() - started:.1f}s"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,128 @@
+"""repro — affine tasks for fair adversaries, executably.
+
+A from-scratch reproduction of
+
+    Petr Kuznetsov, Thibault Rieutord, Yuan He.
+    "An Asynchronous Computability Theorem for Fair Adversaries."
+    PODC 2018 (extended version arXiv:2004.08348).
+
+The library implements the paper end to end:
+
+* :mod:`repro.topology` — chromatic simplicial complexes, the standard
+  chromatic subdivision ``Chr`` and its iterations, carriers, maps,
+  geometry and connectivity;
+* :mod:`repro.adversaries` — adversaries, ``setcon``, agreement
+  functions, fairness (Definition 2);
+* :mod:`repro.core` — contention and critical simplices, concurrency
+  maps, and the affine tasks ``R_A``, ``R_{k-OF}``, ``R_{t-res}``;
+* :mod:`repro.tasks` — tasks, k-set consensus, and the FACT decision
+  procedure (search for a carried chromatic simplicial map);
+* :mod:`repro.runtime` — an asynchronous shared-memory runtime:
+  schedulers, immediate snapshots, IIS, the paper's Algorithm 1 and the
+  Section-6 simulation in ``R*_A``;
+* :mod:`repro.protocols` — ``µ_Q`` leader election and α-adaptive set
+  consensus in the affine model;
+* :mod:`repro.analysis` — censuses, compactness, Sperner parity.
+
+Quickstart::
+
+    from repro import r_affine_of_adversary, t_resilient, setcon
+    adversary = t_resilient(3, 1)
+    task = r_affine_of_adversary(adversary)
+    print(task.complex)           # the affine task R_A as a complex
+    print(setcon(adversary))      # its agreement power
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured record of every figure and theorem.
+"""
+
+from .adversaries import (
+    Adversary,
+    AgreementFunction,
+    agreement_function_of,
+    build_catalogue,
+    csize,
+    figure5b_adversary,
+    is_fair,
+    k_concurrency_alpha,
+    k_obstruction_free,
+    setcon,
+    symmetric_from_sizes,
+    t_resilience_alpha,
+    t_resilient,
+    wait_free,
+    wait_free_alpha,
+)
+from .core import (
+    AffineTask,
+    contention_complex,
+    full_affine_task,
+    r_affine,
+    r_affine_of_adversary,
+    r_k_obstruction_free,
+    r_t_resilient,
+)
+from .tasks import (
+    Task,
+    binary_consensus_task,
+    consensus_task,
+    find_carried_map,
+    general_task_solvable,
+    k_test_and_set_task,
+    leader_election_task,
+    minimal_set_consensus,
+    set_consensus_task,
+    solves_set_consensus,
+)
+from .topology import (
+    ChromaticComplex,
+    ChrVertex,
+    SimplicialComplex,
+    chr_complex,
+    chromatic_subdivision,
+    standard_simplex,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Adversary",
+    "AgreementFunction",
+    "agreement_function_of",
+    "build_catalogue",
+    "csize",
+    "figure5b_adversary",
+    "is_fair",
+    "k_concurrency_alpha",
+    "k_obstruction_free",
+    "setcon",
+    "symmetric_from_sizes",
+    "t_resilience_alpha",
+    "t_resilient",
+    "wait_free",
+    "wait_free_alpha",
+    "AffineTask",
+    "contention_complex",
+    "full_affine_task",
+    "r_affine",
+    "r_affine_of_adversary",
+    "r_k_obstruction_free",
+    "r_t_resilient",
+    "Task",
+    "binary_consensus_task",
+    "consensus_task",
+    "find_carried_map",
+    "general_task_solvable",
+    "k_test_and_set_task",
+    "leader_election_task",
+    "minimal_set_consensus",
+    "set_consensus_task",
+    "solves_set_consensus",
+    "ChromaticComplex",
+    "ChrVertex",
+    "SimplicialComplex",
+    "chr_complex",
+    "chromatic_subdivision",
+    "standard_simplex",
+    "__version__",
+]

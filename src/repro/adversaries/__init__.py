@@ -1,0 +1,101 @@
+"""Adversarial models, agreement power, agreement functions, fairness.
+
+Implements Section 3 of the paper: adversaries as sets of live sets,
+the ``setcon`` recursion, minimal hitting sets, agreement functions
+``alpha(P) = setcon(A|P)`` with their structural laws, and the fairness
+criterion (Definition 2) with counterexample extraction.
+"""
+
+from .adversary import (
+    Adversary,
+    ProcessSet,
+    from_live_sets,
+    k_obstruction_free,
+    symmetric_from_sizes,
+    t_resilient,
+    wait_free,
+)
+from .setcon import (
+    csize,
+    hitting_set_census,
+    hitting_sets,
+    minimal_hitting_set,
+    setcon,
+    setcon_restricted,
+    setcon_superset_closed,
+    setcon_symmetric,
+)
+from .agreement import (
+    AgreementFunction,
+    agreement_function_of,
+    from_callable,
+    k_concurrency_alpha,
+    t_resilience_alpha,
+    wait_free_alpha,
+)
+from .fairness import (
+    FairnessViolation,
+    check_superset_closed_implies_fair,
+    check_symmetric_implies_fair,
+    fairness_counterexample,
+    fairness_violations,
+    is_fair,
+)
+from .operations import (
+    check_setcon_monotone,
+    includes,
+    intersection,
+    is_permutation_equivalent,
+    renamed,
+    union,
+    union_fairness_counterexample,
+)
+from .catalogue import (
+    CatalogueEntry,
+    build_catalogue,
+    catalogue_by_name,
+    figure5b_adversary,
+    unfair_example,
+)
+
+__all__ = [
+    "Adversary",
+    "ProcessSet",
+    "from_live_sets",
+    "k_obstruction_free",
+    "symmetric_from_sizes",
+    "t_resilient",
+    "wait_free",
+    "csize",
+    "hitting_set_census",
+    "hitting_sets",
+    "minimal_hitting_set",
+    "setcon",
+    "setcon_restricted",
+    "setcon_superset_closed",
+    "setcon_symmetric",
+    "AgreementFunction",
+    "agreement_function_of",
+    "from_callable",
+    "k_concurrency_alpha",
+    "t_resilience_alpha",
+    "wait_free_alpha",
+    "FairnessViolation",
+    "check_superset_closed_implies_fair",
+    "check_symmetric_implies_fair",
+    "fairness_counterexample",
+    "fairness_violations",
+    "is_fair",
+    "check_setcon_monotone",
+    "includes",
+    "intersection",
+    "is_permutation_equivalent",
+    "renamed",
+    "union",
+    "union_fairness_counterexample",
+    "CatalogueEntry",
+    "build_catalogue",
+    "catalogue_by_name",
+    "figure5b_adversary",
+    "unfair_example",
+]

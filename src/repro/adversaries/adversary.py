@@ -1,0 +1,214 @@
+"""Adversaries: sets of live sets (Delporte et al., Section 3).
+
+An adversary ``A`` over processes ``Pi = {0, ..., n-1}`` is a collection
+of *live sets*; an infinite run is ``A``-compliant when the set of
+correct processes in it is a live set.  This module provides the
+:class:`Adversary` value type, the restriction operators ``A|P`` and
+``A|P,Q`` used throughout the paper, and constructors for the standard
+families (wait-free, ``t``-resilient, ``k``-obstruction-free,
+superset-closed and symmetric closures).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import FrozenSet, Iterable, Iterator, Tuple
+
+ProcessSet = FrozenSet[int]
+
+
+def _as_process_set(processes: Iterable[int]) -> ProcessSet:
+    return frozenset(int(p) for p in processes)
+
+
+class Adversary:
+    """An adversary: a finite collection of live sets over ``n`` processes.
+
+    Instances are immutable, hashable, and iterable over their live
+    sets.  Live sets must be non-empty subsets of ``range(n)``.
+    """
+
+    def __init__(self, n: int, live_sets: Iterable[Iterable[int]]):
+        if n <= 0:
+            raise ValueError("an adversary needs at least one process")
+        self.n = n
+        universe = frozenset(range(n))
+        cleaned = set()
+        for live in live_sets:
+            live = _as_process_set(live)
+            if not live:
+                raise ValueError("live sets must be non-empty")
+            if not live <= universe:
+                raise ValueError(f"live set {sorted(live)} outside 0..{n - 1}")
+            cleaned.add(live)
+        self.live_sets: FrozenSet[ProcessSet] = frozenset(cleaned)
+
+    # -- dunder ----------------------------------------------------------
+    def __iter__(self) -> Iterator[ProcessSet]:
+        return iter(self.live_sets)
+
+    def __len__(self) -> int:
+        return len(self.live_sets)
+
+    def __contains__(self, live: Iterable[int]) -> bool:
+        return _as_process_set(live) in self.live_sets
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Adversary):
+            return NotImplemented
+        return self.n == other.n and self.live_sets == other.live_sets
+
+    def __hash__(self) -> int:
+        return hash((self.n, self.live_sets))
+
+    def __repr__(self) -> str:
+        shown = sorted(sorted(live) for live in self.live_sets)
+        return f"Adversary(n={self.n}, live_sets={shown})"
+
+    # -- core structure ---------------------------------------------------
+    @property
+    def processes(self) -> ProcessSet:
+        """The process universe ``Pi``."""
+        return frozenset(range(self.n))
+
+    def is_empty(self) -> bool:
+        return not self.live_sets
+
+    def restrict(self, participants: Iterable[int]) -> "Adversary":
+        """``A|P``: live sets of ``A`` included in ``P``."""
+        participants = _as_process_set(participants)
+        return Adversary(
+            self.n,
+            (live for live in self.live_sets if live <= participants),
+        )
+
+    def restrict_intersecting(
+        self, participants: Iterable[int], targets: Iterable[int]
+    ) -> "Adversary":
+        """``A|P,Q``: live sets within ``P`` that intersect ``Q`` (Def. 2)."""
+        participants = _as_process_set(participants)
+        targets = _as_process_set(targets)
+        return Adversary(
+            self.n,
+            (
+                live
+                for live in self.live_sets
+                if live <= participants and live & targets
+            ),
+        )
+
+    # -- structural predicates ---------------------------------------------
+    def is_superset_closed(self) -> bool:
+        """Every superset (within ``Pi``) of a live set is live."""
+        universe = self.processes
+        for live in self.live_sets:
+            others = universe - live
+            for extra in _all_subsets(others):
+                if live | extra not in self.live_sets:
+                    return False
+        return True
+
+    def is_symmetric(self) -> bool:
+        """Membership depends only on the live set's size."""
+        sizes = {len(live) for live in self.live_sets}
+        for size in sizes:
+            expected = sum(1 for _ in combinations(range(self.n), size))
+            actual = sum(1 for live in self.live_sets if len(live) == size)
+            if actual != expected:
+                return False
+        return True
+
+    def live_sizes(self) -> FrozenSet[int]:
+        """The set of live-set sizes (drives symmetric ``setcon``)."""
+        return frozenset(len(live) for live in self.live_sets)
+
+    # -- closures -----------------------------------------------------------
+    def superset_closure(self) -> "Adversary":
+        """The least superset-closed adversary containing this one."""
+        universe = self.processes
+        closed = set()
+        for live in self.live_sets:
+            for extra in _all_subsets(universe - live):
+                closed.add(live | extra)
+        return Adversary(self.n, closed)
+
+    def symmetric_closure(self) -> "Adversary":
+        """The least symmetric adversary containing this one."""
+        closed = set()
+        for size in self.live_sizes():
+            for combo in combinations(range(self.n), size):
+                closed.add(frozenset(combo))
+        return Adversary(self.n, closed)
+
+
+def _all_subsets(items: ProcessSet) -> Iterator[ProcessSet]:
+    items = sorted(items)
+    for size in range(len(items) + 1):
+        for combo in combinations(items, size):
+            yield frozenset(combo)
+
+
+# ----------------------------------------------------------------------
+# Standard families
+# ----------------------------------------------------------------------
+def wait_free(n: int) -> Adversary:
+    """The wait-free adversary: every non-empty subset is live."""
+    return Adversary(n, _non_empty_subsets(n))
+
+
+def t_resilient(n: int, t: int) -> Adversary:
+    """``A_{t-res}``: all subsets of size at least ``n - t``."""
+    if not 0 <= t < n:
+        raise ValueError("need 0 <= t < n")
+    return Adversary(
+        n,
+        (
+            frozenset(combo)
+            for size in range(n - t, n + 1)
+            for combo in combinations(range(n), size)
+        ),
+    )
+
+
+def k_obstruction_free(n: int, k: int) -> Adversary:
+    """The ``k``-obstruction-free adversary: subsets of size at most ``k``.
+
+    Symmetric but (for ``k < n``) not superset-closed — the canonical
+    example separating the two classes in Figure 2.
+    """
+    if not 1 <= k <= n:
+        raise ValueError("need 1 <= k <= n")
+    return Adversary(
+        n,
+        (
+            frozenset(combo)
+            for size in range(1, k + 1)
+            for combo in combinations(range(n), size)
+        ),
+    )
+
+
+def symmetric_from_sizes(n: int, sizes: Iterable[int]) -> Adversary:
+    """The symmetric adversary whose live sets are those of given sizes."""
+    sizes = sorted(set(sizes))
+    if any(size < 1 or size > n for size in sizes):
+        raise ValueError("sizes must lie in 1..n")
+    return Adversary(
+        n,
+        (
+            frozenset(combo)
+            for size in sizes
+            for combo in combinations(range(n), size)
+        ),
+    )
+
+
+def from_live_sets(n: int, live_sets: Iterable[Iterable[int]]) -> Adversary:
+    """Explicit constructor (alias of the class constructor)."""
+    return Adversary(n, live_sets)
+
+
+def _non_empty_subsets(n: int) -> Iterator[ProcessSet]:
+    for size in range(1, n + 1):
+        for combo in combinations(range(n), size):
+            yield frozenset(combo)

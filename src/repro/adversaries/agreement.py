@@ -1,0 +1,189 @@
+"""Agreement functions (Kuznetsov & Rieutord, NETYS 2017; Section 3).
+
+The agreement function of a model maps each potential participating set
+``P`` to the best level of set consensus solvable when participation is
+confined to ``P``.  For an adversarial ``A``-model,
+``alpha(P) = setcon(A|P)``.
+
+:class:`AgreementFunction` is the object the whole affine-task
+construction is parameterized by: critical simplices, concurrency maps
+and ``R_A`` only ever consult ``alpha``, never the adversary itself.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from .adversary import Adversary, ProcessSet
+from .setcon import setcon_restricted
+
+
+class AgreementFunction:
+    """A map ``alpha : 2^Pi -> {0, ..., n}`` with the paper's conventions.
+
+    ``alpha(∅) = 0``; construction validates monotonicity and bounded
+    growth, the two structural properties Section 3 derives for any
+    model's agreement function:
+
+    * monotone: ``P ⊆ P' => alpha(P) <= alpha(P')``;
+    * bounded growth: ``alpha(P') <= alpha(P) + |P' \\ P|``.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        table: Dict[ProcessSet, int],
+        name: str = "alpha",
+        validate: bool = True,
+    ):
+        self.n = n
+        self.name = name
+        full_table: Dict[ProcessSet, int] = {frozenset(): 0}
+        for subset in _all_subsets(n):
+            if subset:
+                if subset not in table:
+                    raise ValueError(f"missing alpha value for {sorted(subset)}")
+                full_table[subset] = table[subset]
+        self._table = full_table
+        if validate:
+            problem = self.violation()
+            if problem is not None:
+                raise ValueError(f"not a valid agreement function: {problem}")
+
+    # -- evaluation -------------------------------------------------------
+    def __call__(self, participants: Iterable[int]) -> int:
+        return self._table[frozenset(participants)]
+
+    @property
+    def processes(self) -> ProcessSet:
+        return frozenset(range(self.n))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AgreementFunction):
+            return NotImplemented
+        return self.n == other.n and self._table == other._table
+
+    def __hash__(self) -> int:
+        return hash((self.n, tuple(sorted(self._table.items(), key=repr))))
+
+    def __repr__(self) -> str:
+        return f"AgreementFunction(n={self.n}, name={self.name!r})"
+
+    def table(self) -> Dict[ProcessSet, int]:
+        """A copy of the full value table (including the empty set)."""
+        return dict(self._table)
+
+    # -- structural properties ---------------------------------------------
+    def violation(self) -> Optional[str]:
+        """A human-readable witness that a structural law fails, or None."""
+        subsets = sorted(self._table, key=lambda s: (len(s), sorted(s)))
+        for small in subsets:
+            for big in subsets:
+                if small < big:
+                    a_small, a_big = self._table[small], self._table[big]
+                    if a_small > a_big:
+                        return (
+                            f"monotonicity: alpha({sorted(small)})={a_small} > "
+                            f"alpha({sorted(big)})={a_big}"
+                        )
+                    if a_big > a_small + len(big - small):
+                        return (
+                            f"bounded growth: alpha({sorted(big)})={a_big} > "
+                            f"alpha({sorted(small)})={a_small} + {len(big - small)}"
+                        )
+        for subset in subsets:
+            value = self._table[subset]
+            if not 0 <= value <= len(subset):
+                return f"range: alpha({sorted(subset)})={value} not in 0..|P|"
+        return None
+
+    def is_regular(self) -> bool:
+        """Regularity: ``alpha(P) >= alpha(P \\ Q) >= alpha(P) - |Q|``.
+
+        This is the consequence of fairness used by Lemma 3 and Lemma 5;
+        for table-defined functions it is equivalent to monotonicity +
+        bounded growth, so it holds by construction — the method exists
+        as an executable statement of the law.
+        """
+        for participants in _all_subsets(self.n):
+            for removed in _all_subsets_of(participants):
+                remaining = participants - removed
+                if not (
+                    self._table[participants]
+                    >= self._table[remaining]
+                    >= self._table[participants] - len(removed)
+                ):
+                    return False
+        return True
+
+    # -- views used by the affine construction ------------------------------
+    def positive_participations(self) -> List[ProcessSet]:
+        """All ``P`` with ``alpha(P) >= 1`` (where the α-model has runs)."""
+        return [
+            subset
+            for subset in _all_subsets(self.n)
+            if subset and self._table[subset] >= 1
+        ]
+
+
+def _all_subsets(n: int) -> List[ProcessSet]:
+    result: List[ProcessSet] = []
+    universe = list(range(n))
+    for size in range(n + 1):
+        for combo in combinations(universe, size):
+            result.append(frozenset(combo))
+    return result
+
+
+def _all_subsets_of(items: ProcessSet) -> List[ProcessSet]:
+    items = sorted(items)
+    result: List[ProcessSet] = []
+    for size in range(len(items) + 1):
+        for combo in combinations(items, size):
+            result.append(frozenset(combo))
+    return result
+
+
+# ----------------------------------------------------------------------
+# Constructors
+# ----------------------------------------------------------------------
+def agreement_function_of(adversary: Adversary, name: Optional[str] = None) -> AgreementFunction:
+    """``alpha(P) = setcon(A|P)`` — the agreement function of an adversary."""
+    table = {
+        subset: setcon_restricted(adversary, subset)
+        for subset in _all_subsets(adversary.n)
+        if subset
+    }
+    return AgreementFunction(
+        adversary.n, table, name=name or f"alpha[{adversary!r}]"
+    )
+
+
+def from_callable(
+    n: int, fn: Callable[[ProcessSet], int], name: str = "alpha"
+) -> AgreementFunction:
+    """Tabulate an agreement function from a formula."""
+    table = {
+        subset: int(fn(subset)) for subset in _all_subsets(n) if subset
+    }
+    return AgreementFunction(n, table, name=name)
+
+
+def k_concurrency_alpha(n: int, k: int) -> AgreementFunction:
+    """``alpha(P) = min(|P|, k)`` — k-obstruction-freedom / k-concurrency."""
+    return from_callable(n, lambda P: min(len(P), k), name=f"{k}-OF")
+
+
+def t_resilience_alpha(n: int, t: int) -> AgreementFunction:
+    """``alpha(P) = |P| - (n - t) + 1`` when ``|P| >= n - t``, else 0."""
+    return from_callable(
+        n,
+        lambda P: max(0, len(P) - (n - t) + 1),
+        name=f"{t}-res",
+    )
+
+
+def wait_free_alpha(n: int) -> AgreementFunction:
+    """``alpha(P) = |P|`` — the wait-free agreement function."""
+    return from_callable(n, len, name="wait-free")

@@ -1,0 +1,113 @@
+"""A zoo of named adversaries used by tests, examples and benchmarks.
+
+The catalogue contains every adversary the paper discusses by name,
+including the running 3-process example of Figures 5b/6b/7b
+(``{p2}, {p1, p3}`` plus all supersets, with processes renamed to
+``p1 -> 0, p2 -> 1, p3 -> 2``), plus extra members exercising each
+region of the Figure 2 classification diagram.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List
+
+from .adversary import (
+    Adversary,
+    from_live_sets,
+    k_obstruction_free,
+    symmetric_from_sizes,
+    t_resilient,
+    wait_free,
+)
+
+
+@dataclass(frozen=True)
+class CatalogueEntry:
+    """A named adversary with the provenance of its definition."""
+
+    name: str
+    adversary: Adversary
+    description: str
+
+
+def figure5b_adversary() -> Adversary:
+    """The paper's running example: ``{p2}, {p1, p3}`` plus supersets.
+
+    With the renaming ``p1 -> 0, p2 -> 1, p3 -> 2`` the generators are
+    ``{1}`` and ``{0, 2}``.  Superset-closed (hence fair), not
+    symmetric; ``csize = setcon = 2`` (hitting sets must meet both
+    ``{1}`` and ``{0, 2}``).
+    """
+    return from_live_sets(3, [{1}, {0, 2}]).superset_closure()
+
+
+def unfair_example() -> Adversary:
+    """A 3-process adversary violating Definition 2.
+
+    ``A = {{0, 1}, {2}}`` (exactly these two live sets, no closure).
+    Witness: ``P = {0, 2}``, ``Q = {0}``.  No live set inside ``P``
+    intersects ``Q`` (``{0, 1}`` is not inside ``P`` and ``{2}`` misses
+    ``Q``), so ``setcon(A|P,Q) = 0``, while
+    ``min(|Q|, setcon(A|P)) = min(1, 1) = 1`` — the coalition ``Q``
+    achieves strictly better agreement than the participation allows,
+    which is exactly what fairness forbids.
+    """
+    return from_live_sets(3, [{0, 1}, {2}])
+
+
+def build_catalogue(n: int = 3) -> List[CatalogueEntry]:
+    """The standard zoo for an ``n``-process system (default 3)."""
+    entries: List[CatalogueEntry] = [
+        CatalogueEntry(
+            "wait-free",
+            wait_free(n),
+            "all non-empty subsets live (Herlihy-Shavit 1999 regime)",
+        ),
+        CatalogueEntry(
+            "1-resilient",
+            t_resilient(n, 1),
+            "subsets of size >= n-1 (Saraph-Herlihy-Gafni 2016 regime)",
+        ),
+        CatalogueEntry(
+            "1-obstruction-free",
+            k_obstruction_free(n, 1),
+            "singletons only (Gafni-He-Kuznetsov-Rieutord 2016 regime)",
+        ),
+        CatalogueEntry(
+            "2-obstruction-free",
+            k_obstruction_free(n, 2),
+            "subsets of size <= 2; symmetric, not superset-closed",
+        ),
+        CatalogueEntry(
+            "figure-5b",
+            figure5b_adversary()
+            if n == 3
+            else from_live_sets(n, [{1}, {0, 2}]).superset_closure(),
+            "the paper's running example {p2},{p1,p3} + supersets",
+        ),
+        CatalogueEntry(
+            "sizes-1-and-n",
+            symmetric_from_sizes(n, [1, n]),
+            "solo runs or full participation; symmetric, not superset-closed",
+        ),
+        CatalogueEntry(
+            "unfair-example",
+            unfair_example() if n == 3 else from_live_sets(n, [set(range(2)), {n - 1}]),
+            "a non-fair adversary: a coalition beats the whole participation",
+        ),
+    ]
+    if n > 2:
+        entries.append(
+            CatalogueEntry(
+                f"{n - 1}-resilient(=wait-free)",
+                t_resilient(n, n - 1),
+                "maximal resilience coincides with wait-freedom",
+            )
+        )
+    return entries
+
+
+def catalogue_by_name(n: int = 3) -> Dict[str, Adversary]:
+    """Name-indexed view of :func:`build_catalogue`."""
+    return {entry.name: entry.adversary for entry in build_catalogue(n)}

@@ -1,0 +1,100 @@
+"""Fairness of adversaries (Definition 2).
+
+An adversary is *fair* when a subset ``Q`` of the participants ``P``
+cannot achieve better set consensus than ``P`` itself:
+
+    for all Q ⊆ P ⊆ Pi:  setcon(A|P,Q) = min(|Q|, setcon(A|P)).
+
+The module provides the decision procedure (with counterexample
+extraction), and the two paper-level sufficient conditions as
+executable cross-checks: superset-closed and symmetric adversaries are
+fair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Iterator, List, Optional
+
+from .adversary import Adversary, ProcessSet
+from .setcon import setcon
+
+
+@dataclass(frozen=True)
+class FairnessViolation:
+    """A witness ``(P, Q)`` where Definition 2 fails, with both sides."""
+
+    participants: ProcessSet
+    targets: ProcessSet
+    lhs: int  # setcon(A|P,Q)
+    rhs: int  # min(|Q|, setcon(A|P))
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"P={sorted(self.participants)}, Q={sorted(self.targets)}: "
+            f"setcon(A|P,Q)={self.lhs} != min(|Q|, setcon(A|P))={self.rhs}"
+        )
+
+
+def fairness_violations(adversary: Adversary) -> Iterator[FairnessViolation]:
+    """Yield every ``(P, Q)`` pair violating Definition 2."""
+    for participants in _subsets(adversary.n):
+        restricted = adversary.restrict(participants)
+        power = setcon(restricted)
+        for targets in _subsets_of(participants):
+            if not targets:
+                continue
+            lhs = setcon(
+                adversary.restrict_intersecting(participants, targets)
+            )
+            rhs = min(len(targets), power)
+            if lhs != rhs:
+                yield FairnessViolation(participants, targets, lhs, rhs)
+
+
+def is_fair(adversary: Adversary) -> bool:
+    """Decision procedure for Definition 2."""
+    return next(fairness_violations(adversary), None) is None
+
+
+def fairness_counterexample(
+    adversary: Adversary,
+) -> Optional[FairnessViolation]:
+    """The first violation found, or ``None`` for fair adversaries."""
+    return next(fairness_violations(adversary), None)
+
+
+def check_superset_closed_implies_fair(adversary: Adversary) -> bool:
+    """Executable form of the paper's claim: superset-closed => fair.
+
+    Returns True when the implication holds on this instance (it always
+    should); used as a property test over random adversaries.
+    """
+    if not adversary.is_superset_closed():
+        return True
+    return is_fair(adversary)
+
+
+def check_symmetric_implies_fair(adversary: Adversary) -> bool:
+    """Executable form of: symmetric => fair."""
+    if not adversary.is_symmetric():
+        return True
+    return is_fair(adversary)
+
+
+def _subsets(n: int) -> List[ProcessSet]:
+    result = []
+    for size in range(n + 1):
+        for combo in combinations(range(n), size):
+            result.append(frozenset(combo))
+    return result
+
+
+def _subsets_of(items: ProcessSet) -> List[ProcessSet]:
+    items = sorted(items)
+    result = []
+    for size in range(len(items) + 1):
+        for combo in combinations(items, size):
+            result.append(frozenset(combo))
+    return result

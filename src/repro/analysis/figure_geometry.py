@@ -1,0 +1,143 @@
+"""Redraw the paper's figures: exact 2D coordinates + classifications.
+
+The paper's Figures 1, 4, 5, 6 and 7 are drawings of complexes over the
+2-simplex.  This module emits everything needed to re-plot them
+faithfully: each vertex's exact position (the Appendix-A barycentric
+embedding projected onto the standard equilateral triangle) and each
+simplex's classification (contending / critical / concurrency level /
+kept-by-``R_A``), as plain JSON-ready dictionaries.
+
+No plotting library is used or required — the output feeds whatever
+renderer the user prefers (matplotlib, TikZ, d3, ...).
+"""
+
+from __future__ import annotations
+
+from math import sqrt
+from typing import Any, Dict, List, Tuple
+
+from ..adversaries import (
+    agreement_function_of,
+    figure5b_adversary,
+    k_concurrency_alpha,
+)
+from ..adversaries.agreement import AgreementFunction
+from ..core.concurrency import concurrency_map
+from ..core.contention import is_contention_simplex
+from ..core.critical import critical_simplices
+from ..core.ra import r_affine
+from ..topology.chromatic import ChromaticComplex
+from ..topology.geometry import realize_vertex
+from ..topology.subdivision import chr_complex
+
+#: Corners of the standard equilateral triangle for processes 0, 1, 2.
+TRIANGLE = ((0.0, 0.0), (1.0, 0.0), (0.5, sqrt(3.0) / 2.0))
+
+
+def planar_position(vertex, n: int = 3) -> Tuple[float, float]:
+    """Project the barycentric realization onto the drawing triangle."""
+    weights = realize_vertex(vertex, n)
+    x = sum(w * TRIANGLE[i][0] for i, w in enumerate(weights))
+    y = sum(w * TRIANGLE[i][1] for i, w in enumerate(weights))
+    return (float(x), float(y))
+
+
+def _vertex_id(vertex) -> str:
+    return repr(vertex)
+
+
+def complex_drawing(K: ChromaticComplex, n: int = 3) -> Dict[str, Any]:
+    """Vertices (id, color, position) and simplices (by vertex ids)."""
+    vertices = {}
+    for vertex in K.vertices:
+        vertices[_vertex_id(vertex)] = {
+            "process": getattr(vertex, "color", vertex),
+            "position": planar_position(vertex, n),
+        }
+    simplices = [
+        sorted(_vertex_id(v) for v in sigma) for sigma in K.simplices
+    ]
+    return {"vertices": vertices, "simplices": simplices}
+
+
+def figure1a_drawing() -> Dict[str, Any]:
+    """Chr s with its 13 triangles — Figure 1a."""
+    chr1 = chr_complex(3, 1)
+    drawing = complex_drawing(chr1)
+    drawing["facets"] = [
+        sorted(_vertex_id(v) for v in facet) for facet in chr1.facets
+    ]
+    return drawing
+
+
+def figure4c_drawing() -> Dict[str, Any]:
+    """Chr² s with contending simplices flagged red — Figure 4c."""
+    chr2 = chr_complex(3, 2)
+    drawing = complex_drawing(chr2)
+    drawing["contending"] = [
+        sorted(_vertex_id(v) for v in sigma)
+        for sigma in chr2.simplices
+        if len(sigma) >= 2 and is_contention_simplex(sigma)
+    ]
+    return drawing
+
+
+def figure5_drawing(alpha: AgreementFunction) -> Dict[str, Any]:
+    """Chr s with critical simplices flagged orange — Figure 5."""
+    chr1 = chr_complex(3, 1)
+    drawing = complex_drawing(chr1)
+    critical: List[List[str]] = []
+    for facet in chr1.facets:
+        for theta in critical_simplices(facet, alpha):
+            ids = sorted(_vertex_id(v) for v in theta)
+            if ids not in critical:
+                critical.append(ids)
+    drawing["critical"] = critical
+    return drawing
+
+
+def figure6_drawing(alpha: AgreementFunction) -> Dict[str, Any]:
+    """Chr s with each simplex's concurrency level — Figure 6."""
+    chr1 = chr_complex(3, 1)
+    drawing = complex_drawing(chr1)
+    levels = concurrency_map(chr1, alpha)
+    drawing["levels"] = [
+        {
+            "simplex": sorted(_vertex_id(v) for v in sigma),
+            "level": level,
+        }
+        for sigma, level in sorted(levels.items(), key=repr)
+    ]
+    return drawing
+
+
+def figure7_drawing(alpha: AgreementFunction) -> Dict[str, Any]:
+    """Chr² s with the facets of R_A flagged blue — Figure 7."""
+    chr2 = chr_complex(3, 2)
+    task = r_affine(alpha)
+    drawing = complex_drawing(chr2)
+    drawing["kept_facets"] = [
+        sorted(_vertex_id(v) for v in facet)
+        for facet in task.complex.facets
+    ]
+    drawing["dropped_facets"] = [
+        sorted(_vertex_id(v) for v in facet)
+        for facet in chr2.facets - task.complex.facets
+    ]
+    return drawing
+
+
+def all_drawings() -> Dict[str, Any]:
+    """Every figure's drawing data, keyed like the paper."""
+    alpha_1of = k_concurrency_alpha(3, 1)
+    alpha_fig = agreement_function_of(figure5b_adversary(), name="fig5b")
+    return {
+        "figure1a": figure1a_drawing(),
+        "figure4c": figure4c_drawing(),
+        "figure5a": figure5_drawing(alpha_1of),
+        "figure5b": figure5_drawing(alpha_fig),
+        "figure6a": figure6_drawing(alpha_1of),
+        "figure6b": figure6_drawing(alpha_fig),
+        "figure7a": figure7_drawing(alpha_1of),
+        "figure7b": figure7_drawing(alpha_fig),
+    }

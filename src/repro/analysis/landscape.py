@@ -1,0 +1,168 @@
+"""The complete landscape of small adversaries.
+
+The paper characterizes *fair* adversaries; at n = 3 the space of all
+adversaries is small enough to enumerate outright (127 non-empty
+collections of non-empty live sets).  This module classifies every one
+of them — fairness, agreement power, agreement function, affine task —
+and aggregates the landscape:
+
+* how much of the space fairness covers,
+* how many distinct agreement functions (and hence α-models) exist,
+* how many distinct affine tasks ``R_A`` arise, and which fair
+  adversaries collapse to the same one (the paper's Theorem 15 says
+  task computability only depends on ``R_A``).
+
+This is the exhaustive backdrop to Figure 2: not just examples in each
+region, but the whole census.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple
+
+from ..adversaries.adversary import Adversary
+from ..adversaries.agreement import AgreementFunction, agreement_function_of
+from ..adversaries.fairness import is_fair
+from ..adversaries.setcon import setcon
+from ..core.affine import AffineTask
+from ..core.ra import r_affine
+
+
+def all_adversaries(n: int) -> Iterator[Adversary]:
+    """Every non-empty adversary over ``n`` processes.
+
+    There are ``2^(2^n - 1) - 1`` of them; feasible for n <= 3.
+    """
+    subsets = [
+        frozenset(combo)
+        for size in range(1, n + 1)
+        for combo in combinations(range(n), size)
+    ]
+    for count in range(1, len(subsets) + 1):
+        for collection in combinations(subsets, count):
+            yield Adversary(n, collection)
+
+
+@dataclass
+class LandscapeEntry:
+    """Classification of one adversary."""
+
+    adversary: Adversary
+    fair: bool
+    superset_closed: bool
+    symmetric: bool
+    power: int
+    alpha_key: Tuple[Tuple[Tuple[int, ...], int], ...]
+
+    @property
+    def live_set_count(self) -> int:
+        return len(self.adversary)
+
+
+def alpha_signature(alpha: AgreementFunction) -> Tuple:
+    """A hashable key identifying the agreement function."""
+    return tuple(
+        sorted(
+            (tuple(sorted(participants)), value)
+            for participants, value in alpha.table().items()
+        )
+    )
+
+
+def classify_all(n: int = 3) -> List[LandscapeEntry]:
+    """Classify every adversary over ``n`` processes."""
+    entries = []
+    for adversary in all_adversaries(n):
+        alpha = agreement_function_of(adversary)
+        entries.append(
+            LandscapeEntry(
+                adversary=adversary,
+                fair=is_fair(adversary),
+                superset_closed=adversary.is_superset_closed(),
+                symmetric=adversary.is_symmetric(),
+                power=setcon(adversary),
+                alpha_key=alpha_signature(alpha),
+            )
+        )
+    return entries
+
+
+@dataclass
+class LandscapeSummary:
+    """Aggregate view of the adversary landscape."""
+
+    total: int
+    fair: int
+    superset_closed: int
+    symmetric: int
+    power_histogram: Dict[int, int]
+    distinct_alphas_fair: int
+    distinct_affine_tasks: int
+    largest_alpha_class: int
+
+
+def summarize(
+    entries: List[LandscapeEntry],
+    build_affine: bool = True,
+) -> LandscapeSummary:
+    """Aggregate the landscape; optionally build every distinct ``R_A``.
+
+    Affine tasks are built once per distinct agreement function (the
+    construction only depends on α), so the expensive step is bounded
+    by the number of distinct α's, not the number of adversaries.
+    """
+    power_histogram: Dict[int, int] = {}
+    alpha_classes: Dict[Tuple, int] = {}
+    for entry in entries:
+        power_histogram[entry.power] = (
+            power_histogram.get(entry.power, 0) + 1
+        )
+        if entry.fair:
+            alpha_classes[entry.alpha_key] = (
+                alpha_classes.get(entry.alpha_key, 0) + 1
+            )
+
+    distinct_tasks = 0
+    if build_affine and entries:
+        n = entries[0].adversary.n
+        seen_complexes = set()
+        representatives: Dict[Tuple, Adversary] = {}
+        for entry in entries:
+            if entry.fair and entry.alpha_key not in representatives:
+                representatives[entry.alpha_key] = entry.adversary
+        for adversary in representatives.values():
+            task = r_affine(agreement_function_of(adversary))
+            seen_complexes.add(task.complex)
+        distinct_tasks = len(seen_complexes)
+
+    return LandscapeSummary(
+        total=len(entries),
+        fair=sum(1 for e in entries if e.fair),
+        superset_closed=sum(1 for e in entries if e.superset_closed),
+        symmetric=sum(1 for e in entries if e.symmetric),
+        power_histogram=dict(sorted(power_histogram.items())),
+        distinct_alphas_fair=len(alpha_classes),
+        distinct_affine_tasks=distinct_tasks,
+        largest_alpha_class=max(alpha_classes.values(), default=0),
+    )
+
+
+def fair_task_classes(n: int = 3) -> Dict[AffineTask, List[Adversary]]:
+    """Group fair adversaries by their affine task ``R_A``.
+
+    Theorem 15 says members of one class solve exactly the same tasks.
+    """
+    classes: Dict[AffineTask, List[Adversary]] = {}
+    alpha_to_task: Dict[Tuple, AffineTask] = {}
+    for adversary in all_adversaries(n):
+        if not is_fair(adversary):
+            continue
+        alpha = agreement_function_of(adversary)
+        key = alpha_signature(alpha)
+        if key not in alpha_to_task:
+            alpha_to_task[key] = r_affine(alpha)
+        task = alpha_to_task[key]
+        classes.setdefault(task, []).append(adversary)
+    return classes

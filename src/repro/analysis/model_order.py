@@ -1,0 +1,136 @@
+"""The partial order of fair models under affine-task inclusion.
+
+If ``R_A ⊆ R_B`` as complexes then every ``R_A*`` run is an ``R_B*``
+run, so the ``A``-model solves at least the tasks the ``B``-model does
+— inclusion of affine tasks is (contravariantly) a *strength* order on
+fair models.  This module computes that order on the landscape's
+distinct affine tasks and verifies its consistency with agreement
+power: inclusion can only decrease ``setcon``... precisely,
+
+    ``R_A ⊆ R_B  ⇒  setcon(A) <= setcon(B)``
+
+(a stronger model is captured by a smaller complex).  It also extracts
+the Hasse diagram and the chains/antichains structure — the
+lattice-like landscape behind Figure 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+from ..adversaries.adversary import Adversary
+from ..adversaries.setcon import setcon
+from ..core.affine import AffineTask
+from .landscape import fair_task_classes
+
+
+@dataclass
+class ModelClass:
+    """One ``R_A``-equivalence class of fair adversaries."""
+
+    task: AffineTask
+    members: List[Adversary]
+    power: int
+    facets: int
+
+
+def model_classes(n: int = 3) -> List[ModelClass]:
+    """The landscape's distinct affine tasks with their member lists."""
+    classes = []
+    for task, members in fair_task_classes(n).items():
+        classes.append(
+            ModelClass(
+                task=task,
+                members=list(members),
+                power=setcon(members[0]),
+                facets=len(task.complex.facets),
+            )
+        )
+    classes.sort(key=lambda c: (c.facets, repr(c.task.complex)))
+    return classes
+
+
+def inclusion_order(
+    classes: Sequence[ModelClass],
+) -> nx.DiGraph:
+    """The strict inclusion order ``i -> j`` iff ``R_i ⊊ R_j``."""
+    graph = nx.DiGraph()
+    graph.add_nodes_from(range(len(classes)))
+    for i, a in enumerate(classes):
+        for j, b in enumerate(classes):
+            if i != j and a.task.complex.complex.is_sub_complex_of(
+                b.task.complex.complex
+            ):
+                graph.add_edge(i, j)
+    return graph
+
+
+def hasse_diagram(order: nx.DiGraph) -> nx.DiGraph:
+    """Transitive reduction of the inclusion order."""
+    return nx.transitive_reduction(order)
+
+
+def check_inclusion_respects_power(
+    classes: Sequence[ModelClass], order: nx.DiGraph
+) -> Optional[Tuple[int, int]]:
+    """``R_A ⊆ R_B ⇒ setcon(A) <= setcon(B)``; returns a violation."""
+    for i, j in order.edges:
+        if classes[i].power > classes[j].power:
+            return (i, j)
+    return None
+
+
+def longest_chain(order: nx.DiGraph) -> List[int]:
+    """A maximum chain in the inclusion order (DAG longest path)."""
+    return nx.dag_longest_path(order)
+
+
+def maximal_antichain_size(order: nx.DiGraph) -> int:
+    """Size of a maximum antichain (Mirsky/Dilworth via matching).
+
+    Computed as the maximum independent set of the comparability
+    relation — exact via complement-graph cliques at this scale.
+    """
+    comparability = nx.Graph()
+    comparability.add_nodes_from(order.nodes)
+    closure = nx.transitive_closure(order)
+    comparability.add_edges_from(closure.edges)
+    complement = nx.complement(comparability)
+    cliques = nx.find_cliques(complement)
+    return max((len(c) for c in cliques), default=0)
+
+
+@dataclass
+class OrderSummary:
+    """Aggregate shape of the fair-model order."""
+
+    classes: int
+    comparable_pairs: int
+    hasse_edges: int
+    longest_chain_length: int
+    maximal_antichain: int
+    minimum_facets: int
+    maximum_facets: int
+    power_respected: bool
+
+
+def summarize_order(n: int = 3) -> OrderSummary:
+    """Compute the full order summary for the ``n``-process landscape."""
+    classes = model_classes(n)
+    order = inclusion_order(classes)
+    closure = nx.transitive_closure(order)
+    hasse = hasse_diagram(order)
+    violation = check_inclusion_respects_power(classes, closure)
+    return OrderSummary(
+        classes=len(classes),
+        comparable_pairs=closure.number_of_edges(),
+        hasse_edges=hasse.number_of_edges(),
+        longest_chain_length=len(longest_chain(order)),
+        maximal_antichain=maximal_antichain_size(order),
+        minimum_facets=min(c.facets for c in classes),
+        maximum_facets=max(c.facets for c in classes),
+        power_respected=violation is None,
+    )

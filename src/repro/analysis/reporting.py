@@ -1,0 +1,45 @@
+"""Plain-text rendering of the reproduced figures and tables.
+
+Benchmarks and examples print through these helpers so every
+experiment's output has a uniform, diff-friendly shape.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+
+def render_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    """A fixed-width text table."""
+    rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    def fmt(row: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(width) for cell, width in zip(row, widths))
+    lines = [fmt(list(headers)), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)
+
+
+def render_mapping(title: str, mapping: Dict) -> str:
+    """A one-mapping-per-line block with a title."""
+    lines = [title]
+    for key in sorted(mapping, key=repr):
+        lines.append(f"  {key}: {mapping[key]}")
+    return "\n".join(lines)
+
+
+def render_check(name: str, passed: bool) -> str:
+    """A single PASS/FAIL line."""
+    status = "PASS" if passed else "FAIL"
+    return f"[{status}] {name}"
+
+
+def banner(text: str) -> str:
+    """A section banner for benchmark output."""
+    bar = "=" * max(60, len(text) + 4)
+    return f"{bar}\n| {text}\n{bar}"

@@ -1,0 +1,81 @@
+"""Sperner-style parity evidence for set-consensus impossibility.
+
+The backtracking decision procedure of :mod:`repro.tasks.solvability`
+refutes ``(alpha(Pi) - 1)``-set consensus directly for the restricted
+affine tasks, but for the *wait-free* complex ``Chr² s`` at ``n = 3``
+the refutation of 2-set consensus is Sperner's lemma: any admissible
+labeling (each vertex labeled by a process it witnessed) has an odd —
+hence non-zero — number of trichromatic facets, so no simplicial map
+to the 2-set-consensus output complex exists.
+
+The module implements admissible labelings and the trichromatic count,
+so the parity statement can be checked on any subdivision-like complex
+and property-tested over random labelings (experiment E11's wait-free
+row at depth 2).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, FrozenSet, Iterable
+
+from ..topology.chromatic import ChromaticComplex, ChrVertex
+from ..topology.subdivision import carrier_in_s
+
+Labeling = Dict[ChrVertex, int]
+
+
+def admissible_labelings_domain(K: ChromaticComplex) -> Dict[ChrVertex, FrozenSet[int]]:
+    """Per-vertex allowed labels: the processes the vertex witnessed.
+
+    Sperner admissibility for subdivisions of ``s``: a vertex carried by
+    the face ``t`` may only be labeled by an element of ``t``.
+    """
+    return {v: carrier_in_s([v]) for v in K.vertices}
+
+
+def random_admissible_labeling(
+    K: ChromaticComplex, rng: random.Random
+) -> Labeling:
+    """Sample an admissible labeling uniformly per vertex."""
+    domain = admissible_labelings_domain(K)
+    return {v: rng.choice(sorted(options)) for v, options in domain.items()}
+
+
+def is_admissible(K: ChromaticComplex, labeling: Labeling) -> bool:
+    """Does every vertex carry a witnessed label?"""
+    domain = admissible_labelings_domain(K)
+    return all(labeling[v] in domain[v] for v in K.vertices)
+
+
+def panchromatic_facets(K: ChromaticComplex, labeling: Labeling) -> int:
+    """How many facets see every label ``0..n-1`` (trichromatic at n=3)."""
+    n = K.dimension + 1
+    full = frozenset(range(n))
+    return sum(
+        1
+        for facet in K.facets
+        if frozenset(labeling[v] for v in facet) == full
+    )
+
+
+def sperner_parity_holds(K: ChromaticComplex, labeling: Labeling) -> bool:
+    """Sperner's lemma instance: the panchromatic count is odd.
+
+    True for every admissible labeling of a subdivision of ``s`` —
+    which is exactly why a ``(n-1)``-set-consensus map out of the full
+    ``Chr^m s`` cannot exist: such a map would be an admissible
+    labeling with *zero* panchromatic facets.
+    """
+    return panchromatic_facets(K, labeling) % 2 == 1
+
+
+def fuzz_sperner(
+    K: ChromaticComplex, trials: int, seed: int = 0
+) -> bool:
+    """Check the parity over many random admissible labelings."""
+    rng = random.Random(seed)
+    return all(
+        sperner_parity_holds(K, random_admissible_labeling(K, rng))
+        for _ in range(trials)
+    )

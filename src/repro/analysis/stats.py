@@ -1,0 +1,79 @@
+"""Census statistics for the complexes the paper draws.
+
+Facet counts, f-vectors, per-carrier-size breakdowns and comparisons
+between affine tasks — the numeric content of Figures 1, 4, 5, 6 and 7.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from ..core.affine import AffineTask
+from ..topology.chromatic import ChromaticComplex, chi
+from ..topology.subdivision import carrier_in_s
+
+
+def complex_census(K: ChromaticComplex) -> Dict[str, object]:
+    """Vertex/facet/f-vector summary of a chromatic complex."""
+    return {
+        "vertices": len(K.vertices),
+        "facets": len(K.facets),
+        "simplices": len(K.simplices),
+        "f_vector": K.f_vector(),
+        "dimension": K.dimension,
+        "pure": K.is_pure(),
+    }
+
+
+def facet_share(task: AffineTask, ambient: ChromaticComplex) -> float:
+    """Fraction of the ambient complex's facets kept by the affine task."""
+    return len(task.complex.facets) / len(ambient.facets)
+
+
+def vertices_by_witnessed_size(K: ChromaticComplex) -> Dict[int, int]:
+    """How many vertices witness participations of each size.
+
+    For ``R_{t-res}`` this is the corner-exclusion structure of
+    Figure 1b: no vertex may witness fewer than ``n - t`` processes.
+    """
+    census: Dict[int, int] = {}
+    for vertex in K.vertices:
+        size = len(carrier_in_s([vertex]))
+        census[size] = census.get(size, 0) + 1
+    return dict(sorted(census.items()))
+
+
+def facets_by_color_census(K: ChromaticComplex) -> Dict[int, int]:
+    """Facet count by number of distinct colors (should be pure)."""
+    census: Dict[int, int] = {}
+    for facet in K.facets:
+        size = len(chi(facet))
+        census[size] = census.get(size, 0) + 1
+    return dict(sorted(census.items()))
+
+
+def compare_affine_tasks(
+    tasks: Iterable[AffineTask],
+) -> List[Dict[str, object]]:
+    """Side-by-side census of several affine tasks (Figure 7 table)."""
+    rows = []
+    for task in tasks:
+        row = {"name": task.name, "depth": task.depth}
+        row.update(complex_census(task.complex))
+        rows.append(row)
+    return rows
+
+
+def inclusion_matrix(tasks: List[AffineTask]) -> List[List[bool]]:
+    """``matrix[i][j]``: is task ``i``'s complex a sub-complex of ``j``'s?
+
+    Reflects relative model strength: a smaller affine task iterates to
+    a smaller (more constrained, at-least-as-powerful) model.
+    """
+    return [
+        [
+            a.complex.complex.is_sub_complex_of(b.complex.complex)
+            for b in tasks
+        ]
+        for a in tasks
+    ]

@@ -1,0 +1,275 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands regenerate the paper's artifacts from the terminal:
+
+* ``figures``    — censuses behind Figures 1/4/6/7;
+* ``classify``   — the Figure-2 classification of the adversary zoo;
+* ``landscape``  — the exhaustive n=3 adversary landscape (E15);
+* ``fact``       — the FACT set-consensus table (E11);
+* ``algorithm1`` — fuzz Algorithm 1 under α-model schedules (E8);
+* ``crossover``  — the ε-agreement depth crossover (E14);
+* ``inspect``    — classify one adversary given as live sets.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from .adversaries import (
+    Adversary,
+    agreement_function_of,
+    build_catalogue,
+    csize,
+    fairness_counterexample,
+    figure5b_adversary,
+    is_fair,
+    k_concurrency_alpha,
+    setcon,
+    t_resilience_alpha,
+    wait_free,
+)
+from .analysis import (
+    banner,
+    complex_census,
+    render_mapping,
+    render_table,
+)
+from .core import (
+    concurrency_census,
+    contention_complex,
+    full_affine_task,
+    r_affine,
+    r_k_obstruction_free,
+    r_t_resilient,
+)
+from .topology import chr_complex, fubini_number
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    print(banner("Figure 1 — subdivisions"))
+    for depth in (1, 2):
+        census = complex_census(chr_complex(3, depth))
+        print(render_mapping(f"Chr^{depth} s:", census))
+    print(banner("Figure 4c — Cont2"))
+    print(render_mapping("census:", {"f_vector": contention_complex(3).f_vector()}))
+    print(banner("Figure 6 — concurrency censuses"))
+    chr1 = chr_complex(3, 1)
+    print(render_mapping("1-OF:", concurrency_census(chr1, k_concurrency_alpha(3, 1))))
+    print(
+        render_mapping(
+            "fig5b:",
+            concurrency_census(
+                chr1, agreement_function_of(figure5b_adversary())
+            ),
+        )
+    )
+    print(banner("Figure 7 — affine tasks"))
+    rows = [
+        ("R_A(1-OF)", len(r_affine(k_concurrency_alpha(3, 1)).complex.facets)),
+        ("R_A(1-res)", len(r_affine(t_resilience_alpha(3, 1)).complex.facets)),
+        (
+            "R_A(fig5b)",
+            len(
+                r_affine(
+                    agreement_function_of(figure5b_adversary())
+                ).complex.facets
+            ),
+        ),
+        ("R_1-OF (Def 6)", len(r_k_obstruction_free(3, 1).complex.facets)),
+        ("R_1-res (SHG16)", len(r_t_resilient(3, 1).complex.facets)),
+    ]
+    print(render_table(["task", "facets"], rows))
+    return 0
+
+
+def _cmd_classify(args: argparse.Namespace) -> int:
+    print(banner(f"Figure 2 — classification (n = {args.n})"))
+    rows = []
+    for entry in build_catalogue(args.n):
+        adversary = entry.adversary
+        rows.append(
+            [
+                entry.name,
+                "yes" if adversary.is_superset_closed() else "no",
+                "yes" if adversary.is_symmetric() else "no",
+                "yes" if is_fair(adversary) else "NO",
+                setcon(adversary),
+                csize(adversary),
+            ]
+        )
+    print(render_table(["adversary", "ssc", "sym", "fair", "setcon", "csize"], rows))
+    return 0
+
+
+def _cmd_landscape(args: argparse.Namespace) -> int:
+    from .analysis.landscape import classify_all, summarize
+
+    print(banner("E15 — the complete n=3 adversary landscape"))
+    summary = summarize(classify_all(3))
+    print(
+        render_mapping(
+            "summary:",
+            {
+                "adversaries": summary.total,
+                "fair": summary.fair,
+                "superset-closed": summary.superset_closed,
+                "symmetric": summary.symmetric,
+                "setcon histogram": summary.power_histogram,
+                "distinct alphas (fair)": summary.distinct_alphas_fair,
+                "distinct affine tasks": summary.distinct_affine_tasks,
+            },
+        )
+    )
+    return 0
+
+
+def _cmd_fact(args: argparse.Namespace) -> int:
+    from .tasks import minimal_set_consensus
+
+    print(banner("E11 — FACT set-consensus table"))
+    cases = [
+        ("wait-free (Chr s)", full_affine_task(3, 1)),
+        ("R_A(1-OF)", r_affine(k_concurrency_alpha(3, 1))),
+        ("R_A(2-OF)", r_affine(k_concurrency_alpha(3, 2))),
+        ("R_A(1-res)", r_affine(t_resilience_alpha(3, 1))),
+        ("R_A(fig5b)", r_affine(agreement_function_of(figure5b_adversary()))),
+    ]
+    rows = [(name, minimal_set_consensus(task)) for name, task in cases]
+    print(render_table(["affine task", "min k-set consensus"], rows))
+    return 0
+
+
+def _cmd_algorithm1(args: argparse.Namespace) -> int:
+    from .runtime import fuzz_algorithm1
+
+    print(banner(f"E8 — Algorithm 1, {args.runs} fuzzed α-model runs"))
+    alpha = t_resilience_alpha(3, 1)
+    task = r_affine(alpha)
+    outcomes = fuzz_algorithm1(alpha, task, runs=args.runs, seed=args.seed)
+    steps = [outcome.result.steps_taken for outcome in outcomes]
+    print(
+        render_mapping(
+            "1-resilient model:",
+            {
+                "runs": len(outcomes),
+                "safety violations": 0,
+                "min/median/max steps": (
+                    min(steps),
+                    sorted(steps)[len(steps) // 2],
+                    max(steps),
+                ),
+            },
+        )
+    )
+    return 0
+
+
+def _cmd_crossover(args: argparse.Namespace) -> int:
+    from .tasks.approximate_agreement import solvable_at_depth
+
+    print(banner("E14 — ε-agreement depth crossover"))
+    rows = []
+    for m in (1, 2, 3):
+        rows.append(
+            [f"eps=3^-{m}"]
+            + [
+                "yes" if solvable_at_depth(m, depth) else "no"
+                for depth in (1, 2, 3)
+            ]
+        )
+    print(render_table(["task \\ depth", "l=1", "l=2", "l=3"], rows))
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    live_sets = json.loads(args.live_sets)
+    adversary = Adversary(args.n, [set(live) for live in live_sets])
+    print(banner(f"inspecting {adversary!r}"))
+    fair = is_fair(adversary)
+    info = {
+        "superset-closed": adversary.is_superset_closed(),
+        "symmetric": adversary.is_symmetric(),
+        "fair": fair,
+        "setcon": setcon(adversary),
+        "csize": csize(adversary),
+    }
+    print(render_mapping("classification:", info))
+    if not fair:
+        print(f"fairness counterexample: {fairness_counterexample(adversary)}")
+    elif setcon(adversary) >= 1:
+        alpha = agreement_function_of(adversary)
+        task = r_affine(alpha)
+        print(render_mapping("affine task R_A:", complex_census(task.complex)))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Affine tasks for fair adversaries — paper artifacts from the CLI.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("figures", help="censuses behind Figures 1/4/6/7")
+
+    classify = sub.add_parser("classify", help="Figure-2 classification")
+    classify.add_argument("--n", type=int, default=3)
+
+    sub.add_parser("landscape", help="the exhaustive n=3 landscape (E15)")
+    sub.add_parser("fact", help="the FACT set-consensus table (E11)")
+
+    algorithm1 = sub.add_parser(
+        "algorithm1", help="fuzz Algorithm 1 in the α-model (E8)"
+    )
+    algorithm1.add_argument("--runs", type=int, default=30)
+    algorithm1.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("crossover", help="ε-agreement depth crossover (E14)")
+
+    inspect = sub.add_parser("inspect", help="classify one adversary")
+    inspect.add_argument(
+        "live_sets",
+        help='JSON list of live sets, e.g. "[[1],[0,2]]"',
+    )
+    inspect.add_argument("--n", type=int, default=3)
+
+    export = sub.add_parser(
+        "export", help="dump all figure data as JSON"
+    )
+    export.add_argument("--output", default=None, help="file path (default: stdout)")
+    return parser
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from .analysis.figure_data import export_json
+
+    payload = export_json(args.output)
+    if args.output is None:
+        print(payload)
+    else:
+        print(f"wrote {args.output}")
+    return 0
+
+
+_HANDLERS = {
+    "export": _cmd_export,
+    "figures": _cmd_figures,
+    "classify": _cmd_classify,
+    "landscape": _cmd_landscape,
+    "fact": _cmd_fact,
+    "algorithm1": _cmd_algorithm1,
+    "crossover": _cmd_crossover,
+    "inspect": _cmd_inspect,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _HANDLERS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

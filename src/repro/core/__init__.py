@@ -1,0 +1,115 @@
+"""The paper's contribution: affine tasks for fair adversaries.
+
+Implements Section 4 (views, contention, critical simplices,
+concurrency maps, the affine task ``R_A``), the published special cases
+``R_{k-OF}`` and ``R_{t-res}``, and the structural lemmas of Section 5
+as executable checks.
+"""
+
+from .views import (
+    view1,
+    view2,
+    view2_colors,
+    views,
+    witnessed_participation,
+)
+from .contention import (
+    are_contending,
+    contention_complex,
+    contention_simplices,
+    is_contention_simplex,
+    max_contention_dim,
+)
+from .critical import (
+    CriticalStructure,
+    critical_members,
+    critical_simplices,
+    critical_view,
+    is_critical,
+)
+from .concurrency import (
+    concurrency_census,
+    concurrency_level,
+    concurrency_map,
+)
+from .affine import (
+    AffineTask,
+    affine_model_prefixes,
+    full_affine_task,
+    lift_vertex,
+)
+from .participation import (
+    all_participations,
+    check_delta_matches_alpha,
+    check_full_runs_where_defined,
+    delta_empty_participations,
+    participation_profile,
+    solo_output_processes,
+)
+from .rkof import r_k_obstruction_free
+from .rtres import r_t_resilient
+from .ra import (
+    DEFAULT_VARIANT,
+    GuardVariant,
+    RABuilder,
+    r_affine,
+    r_affine_of_adversary,
+)
+from .theorems import (
+    check_corollary4,
+    check_critical_distribution,
+    check_critical_view_uniqueness,
+    critical_hitting_number,
+    family_hitting_number,
+    full_participation_simplices,
+    guard_variant_report,
+    ra_equals_rkof,
+    ra_equals_rtres,
+)
+
+__all__ = [
+    "view1",
+    "view2",
+    "view2_colors",
+    "views",
+    "witnessed_participation",
+    "are_contending",
+    "contention_complex",
+    "contention_simplices",
+    "is_contention_simplex",
+    "max_contention_dim",
+    "CriticalStructure",
+    "critical_members",
+    "critical_simplices",
+    "critical_view",
+    "is_critical",
+    "concurrency_census",
+    "concurrency_level",
+    "concurrency_map",
+    "AffineTask",
+    "affine_model_prefixes",
+    "full_affine_task",
+    "lift_vertex",
+    "all_participations",
+    "check_delta_matches_alpha",
+    "check_full_runs_where_defined",
+    "delta_empty_participations",
+    "participation_profile",
+    "solo_output_processes",
+    "r_k_obstruction_free",
+    "r_t_resilient",
+    "DEFAULT_VARIANT",
+    "GuardVariant",
+    "RABuilder",
+    "r_affine",
+    "r_affine_of_adversary",
+    "check_corollary4",
+    "check_critical_distribution",
+    "check_critical_view_uniqueness",
+    "critical_hitting_number",
+    "family_hitting_number",
+    "full_participation_simplices",
+    "guard_variant_report",
+    "ra_equals_rkof",
+    "ra_equals_rtres",
+]

@@ -1,0 +1,187 @@
+"""Affine tasks and affine models (Section 2).
+
+An affine task is a pure non-empty sub-complex ``L`` of ``Chr^l s``,
+read as a generalized simplex agreement: processes start on the
+vertices of ``s`` and must output vertices of ``L`` forming a simplex,
+respecting carrier inclusion.  Its carrier map is
+``Delta(t) = L ∩ Chr^l(t)`` for each face ``t`` of ``s``.
+
+Iterating the task composes subdivided copies of ``L`` inside each of
+its own facets, producing ``L^m ⊆ Chr^{l·m} s``; the affine *model*
+``L*`` is the (compact, by construction) set of infinite IIS runs all
+of whose ``l``-round prefixes stay inside the iterates.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional
+
+from ..topology.chromatic import ChromaticComplex, ChrVertex, ProcessId, chi
+from ..topology.subdivision import (
+    carrier_in_s,
+    chr_complex,
+    subdivision_restricted_to,
+)
+
+Simplex = FrozenSet
+
+
+class AffineTask:
+    """An affine task ``(s, L, Delta)`` with ``L ⊆ Chr^depth s``.
+
+    Parameters
+    ----------
+    n:
+        Number of processes.
+    depth:
+        The ``l`` with ``L ⊆ Chr^l s``.
+    sub_complex:
+        The output complex ``L``; must be a pure non-empty
+        ``(n-1)``-dimensional sub-complex of ``Chr^depth s`` (validated
+        when ``depth <= 2``, where the ambient complex is materialized).
+    """
+
+    def __init__(
+        self,
+        n: int,
+        depth: int,
+        sub_complex: ChromaticComplex,
+        name: str = "L",
+        validate: bool = True,
+    ):
+        self.n = n
+        self.depth = depth
+        self.complex = sub_complex
+        self.name = name
+        if validate:
+            if sub_complex.complex.is_empty():
+                raise ValueError("affine tasks must be non-empty")
+            if not sub_complex.is_pure(n - 1):
+                raise ValueError(
+                    f"affine tasks must be pure of dimension {n - 1}"
+                )
+            if depth <= 2:
+                ambient = chr_complex(n, depth)
+                if not sub_complex.complex.is_sub_complex_of(ambient.complex):
+                    raise ValueError(
+                        f"{name} is not a sub-complex of Chr^{depth} s"
+                    )
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:
+        return (
+            f"AffineTask({self.name}, n={self.n}, depth={self.depth}, "
+            f"facets={len(self.complex.facets)})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AffineTask):
+            return NotImplemented
+        return (
+            self.n == other.n
+            and self.depth == other.depth
+            and self.complex == other.complex
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.n, self.depth, self.complex))
+
+    # ------------------------------------------------------------------
+    def delta(self, face: Iterable[ProcessId]) -> ChromaticComplex:
+        """The task's carrier map: ``Delta(t) = L ∩ Chr^depth(t)``.
+
+        May be empty for small faces — participation must then grow
+        before outputs are produced (Section 2).
+        """
+        return subdivision_restricted_to(self.complex, frozenset(face))
+
+    def facets_for_participation(
+        self, participants: Iterable[ProcessId]
+    ) -> FrozenSet[Simplex]:
+        """Facets of ``Delta(participants)`` — full runs of that face."""
+        participants = frozenset(participants)
+        return frozenset(
+            sigma
+            for sigma in self.delta(participants).facets
+            if chi(sigma) == participants
+        )
+
+    def contains_run(self, sigma: Iterable[ChrVertex]) -> bool:
+        """Is a simplex (a set of per-process outputs) a valid output?"""
+        return frozenset(sigma) in self.complex
+
+    # ------------------------------------------------------------------
+    def iterate(self, m: int) -> "AffineTask":
+        """``L^m``: the ``m``-fold iteration, a sub-complex of ``Chr^{depth*m} s``.
+
+        Facets of ``L^{k+1}`` are obtained by planting a copy of ``L``
+        inside each facet ``sigma`` of ``L^k`` via the chromatic
+        isomorphism ``s -> sigma`` lifted through the subdivision
+        structure.
+        """
+        if m < 1:
+            raise ValueError("iteration count must be >= 1")
+        result = self
+        for _ in range(m - 1):
+            result = result.compose_with(self)
+        return result
+
+    def compose_with(self, inner: "AffineTask") -> "AffineTask":
+        """The task "run ``self``, then run ``inner`` on the outputs"."""
+        if inner.n != self.n:
+            raise ValueError("compose requires matching process counts")
+        facets: List[Simplex] = []
+        for outer_facet in self.complex.facets:
+            mapping = {v.color: v for v in outer_facet}
+            if len(mapping) != self.n:
+                continue  # only full-participation facets compose
+            for inner_facet in inner.complex.facets:
+                facets.append(
+                    frozenset(lift_vertex(v, mapping) for v in inner_facet)
+                )
+        return AffineTask(
+            self.n,
+            self.depth + inner.depth,
+            ChromaticComplex(facets),
+            name=f"{self.name}∘{inner.name}",
+            validate=False,
+        )
+
+
+def lift_vertex(vertex: ChrVertex, mapping: Dict[ProcessId, ChrVertex]) -> ChrVertex:
+    """Transport a ``Chr^l s`` vertex along the chromatic iso ``s -> sigma``.
+
+    ``mapping`` sends each base color to the corresponding vertex of the
+    target facet ``sigma``; the lift rebuilds carriers structurally, so
+    the image lives in ``Chr^l(sigma)`` — a sub-complex of deeper
+    iterated subdivisions when ``sigma`` itself is a subdivision facet.
+    """
+    lifted_carrier = frozenset(
+        mapping[member] if isinstance(member, int) else lift_vertex(member, mapping)
+        for member in vertex.carrier
+    )
+    return ChrVertex(vertex.color, lifted_carrier)
+
+
+def full_affine_task(n: int, depth: int = 1) -> AffineTask:
+    """The unrestricted affine task ``Chr^depth s`` (the IS^depth task).
+
+    Its iterations generate the full IIS model — the wait-free case of
+    the paper's framework.
+    """
+    return AffineTask(
+        n, depth, chr_complex(n, depth), name=f"Chr^{depth}"
+    )
+
+
+def affine_model_prefixes(
+    task: AffineTask, iterations: int
+) -> FrozenSet[Simplex]:
+    """Facets of ``L^iterations`` — the finite prefixes of the model ``L*``.
+
+    Materializing iterates grows as ``facets(L)^m``; callers should keep
+    ``iterations`` small (the compactness analysis in
+    :mod:`repro.analysis.compactness` explains why bounded prefixes
+    suffice).
+    """
+    return task.iterate(iterations).complex.facets if iterations > 1 else task.complex.facets

@@ -1,0 +1,62 @@
+"""The concurrency map ``Conc_alpha`` (Definition 8, Figure 6).
+
+Each simplex of ``Chr s`` is assigned the highest agreement power
+witnessed by a critical simplex it contains:
+
+    ``Conc_alpha(sigma) = max(0 ∪ {alpha(chi(carrier(tau, s))) :
+                                   tau in CS_alpha(sigma)})``.
+
+In ``R_A``, contention simplices that cannot rely on critical members
+must have dimension strictly below the concurrency level of their
+carrier — the affine-task analogue of "at most ``Conc`` processes run
+unchecked".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable
+
+from ..adversaries.agreement import AgreementFunction
+from ..topology.chromatic import ChromaticComplex, ChrVertex
+from .critical import CriticalStructure
+
+Simplex = FrozenSet[ChrVertex]
+
+
+def concurrency_level(
+    sigma: Iterable[ChrVertex],
+    alpha: AgreementFunction,
+    structure: CriticalStructure | None = None,
+) -> int:
+    """``Conc_alpha(sigma)`` for one simplex of ``Chr s``."""
+    structure = structure or CriticalStructure(alpha)
+    levels = {0}
+    for tau in structure.cs(sigma):
+        carrier = next(iter(tau)).carrier
+        levels.add(alpha(carrier))
+    return max(levels)
+
+
+def concurrency_map(
+    chr1: ChromaticComplex, alpha: AgreementFunction
+) -> Dict[Simplex, int]:
+    """``Conc_alpha`` tabulated over every simplex of ``Chr s``."""
+    structure = CriticalStructure(alpha)
+    return {
+        frozenset(sigma): concurrency_level(sigma, alpha, structure)
+        for sigma in chr1.simplices
+    }
+
+
+def concurrency_census(
+    chr1: ChromaticComplex, alpha: AgreementFunction
+) -> Dict[int, int]:
+    """How many simplices of ``Chr s`` sit at each concurrency level.
+
+    This is the numeric content of Figure 6: the figure colors
+    simplices black/orange/green by level 0/1/2.
+    """
+    census: Dict[int, int] = {}
+    for level in concurrency_map(chr1, alpha).values():
+        census[level] = census.get(level, 0) + 1
+    return census

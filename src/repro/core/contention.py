@@ -1,0 +1,72 @@
+"""2-contention simplices ``Cont2`` (Definition 5, Figure 4).
+
+Two vertices of ``Chr² s`` *contend* when their views are ordered in
+opposite ways across the two IS rounds: one saw strictly less in the
+first round but strictly more in the second.  In run terms (Figure 4a):
+the execution order of the two processes is strictly reversed between
+the rounds, so each believes it went first and neither can defer to the
+other's choice — the configuration that defeats agreement.
+
+``Cont2`` — all simplices whose vertices pairwise contend — is
+inclusion-closed, hence a complex.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable
+
+from ..topology.chromatic import ChromaticComplex, ChrVertex
+from ..topology.subdivision import chr_complex
+from .views import view1, view2
+
+
+def are_contending(u: ChrVertex, v: ChrVertex) -> bool:
+    """Definition 5's pairwise condition: views strictly reversed."""
+    u1, u2 = view1(u), view2(u)
+    v1, v2 = view1(v), view2(v)
+    return (u1 < v1 and v2 < u2) or (v1 < u1 and u2 < v2)
+
+
+def is_contention_simplex(sigma: Iterable[ChrVertex]) -> bool:
+    """Is ``sigma`` a 2-contention simplex (every two vertices contend)?
+
+    Single vertices qualify vacuously, matching the universally
+    quantified Definition 5.
+    """
+    vertices = list(sigma)
+    return all(
+        are_contending(u, v) for u, v in combinations(vertices, 2)
+    )
+
+
+def contention_simplices(chr2: ChromaticComplex, min_dim: int = 0):
+    """All 2-contention simplices of dimension >= ``min_dim`` in ``chr2``."""
+    return frozenset(
+        sigma
+        for sigma in chr2.simplices
+        if len(sigma) >= min_dim + 1 and is_contention_simplex(sigma)
+    )
+
+
+def contention_complex(n: int) -> ChromaticComplex:
+    """The 2-contention complex ``Cont2`` inside ``Chr² s`` (Figure 4c)."""
+    chr2 = chr_complex(n, 2)
+    return ChromaticComplex(contention_simplices(chr2))
+
+
+def max_contention_dim(sigma: Iterable[ChrVertex]) -> int:
+    """The largest dimension of a contention face of ``sigma``.
+
+    Because ``Cont2`` is determined pairwise, this is the size of a
+    maximum clique in the contention graph of ``sigma``'s vertices,
+    minus one.  ``sigma`` has at most ``n`` vertices so exhaustive
+    search is fine.
+    """
+    vertices = list(sigma)
+    best = -1
+    for size in range(len(vertices), 0, -1):
+        for combo in combinations(vertices, size):
+            if is_contention_simplex(combo):
+                return size - 1
+    return best

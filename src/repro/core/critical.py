@@ -1,0 +1,132 @@
+"""Critical simplices (Definition 7, Figure 5).
+
+A simplex ``sigma`` of ``Chr s`` is *critical* for an agreement function
+``alpha`` when
+
+1. all its vertices share the same carrier (they took the same first
+   snapshot — a concurrency class closing its view), and
+2. removing its members strictly drops the agreement power of the view:
+   ``alpha(chi(carrier) \\ chi(sigma)) < alpha(chi(carrier))``.
+
+Critical simplices are the "witnesses" of agreement-power increases:
+the algorithm lets them through the wait-phase first, and the affine
+task exempts simplices that can rely on them from contention limits.
+
+``CS_alpha(sigma)``: critical sub-simplices of ``sigma``;
+``CSM_alpha(sigma)``: their member vertices;
+``CSV_alpha(sigma)``: the processes they observed
+(``carrier(CSM, s)``).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, FrozenSet, Iterable, Tuple
+
+from ..adversaries.agreement import AgreementFunction
+from ..topology.chromatic import ChrVertex, ProcessId, chi
+
+Simplex = FrozenSet[ChrVertex]
+
+
+def is_critical(sigma: Iterable[ChrVertex], alpha: AgreementFunction) -> bool:
+    """Definition 7 for one simplex of ``Chr s``."""
+    vertices = list(sigma)
+    if not vertices:
+        return False
+    carrier = vertices[0].carrier
+    if any(v.carrier != carrier for v in vertices):
+        return False
+    members = chi(vertices)
+    return alpha(frozenset(carrier) - members) < alpha(carrier)
+
+
+def critical_simplices(
+    sigma: Iterable[ChrVertex], alpha: AgreementFunction
+) -> FrozenSet[Simplex]:
+    """``CS_alpha(sigma)``: all critical sub-simplices of ``sigma``.
+
+    Only subsets of a shared-carrier group can be critical, so we
+    enumerate subsets per carrier class rather than all ``2^|sigma|``
+    subsets.
+    """
+    groups: Dict[frozenset, list] = {}
+    for vertex in sigma:
+        groups.setdefault(vertex.carrier, []).append(vertex)
+    result = set()
+    for carrier, group in groups.items():
+        carrier_colors = frozenset(carrier)
+        power = alpha(carrier_colors)
+        for size in range(1, len(group) + 1):
+            for combo in combinations(group, size):
+                members = chi(combo)
+                if alpha(carrier_colors - members) < power:
+                    result.add(frozenset(combo))
+    return frozenset(result)
+
+
+def critical_members(
+    sigma: Iterable[ChrVertex], alpha: AgreementFunction
+) -> FrozenSet[ChrVertex]:
+    """``CSM_alpha(sigma)``: vertices lying in some critical simplex."""
+    members = set()
+    for simplex in critical_simplices(sigma, alpha):
+        members.update(simplex)
+    return frozenset(members)
+
+
+def critical_view(
+    sigma: Iterable[ChrVertex], alpha: AgreementFunction
+) -> FrozenSet[ProcessId]:
+    """``CSV_alpha(sigma) = carrier(CSM_alpha(sigma), s)``.
+
+    The union of first-round snapshots taken by critical-simplex
+    members — the processes "observed by" the critical simplices.
+    """
+    view: FrozenSet[ProcessId] = frozenset()
+    for vertex in critical_members(sigma, alpha):
+        view = view | vertex.carrier
+    return view
+
+
+class CriticalStructure:
+    """Memoized critical-simplex computations for one agreement function.
+
+    Building ``R_A`` queries ``CS``/``CSM``/``CSV``/``Conc`` for many
+    overlapping simplices of ``Chr s``; this cache keeps the whole
+    construction quadratic rather than exponential in practice.
+    """
+
+    def __init__(self, alpha: AgreementFunction):
+        self.alpha = alpha
+        self._cs: Dict[Simplex, FrozenSet[Simplex]] = {}
+        self._csm: Dict[Simplex, FrozenSet[ChrVertex]] = {}
+        self._csv: Dict[Simplex, FrozenSet[ProcessId]] = {}
+
+    def cs(self, sigma: Iterable[ChrVertex]) -> FrozenSet[Simplex]:
+        sigma = frozenset(sigma)
+        if sigma not in self._cs:
+            self._cs[sigma] = critical_simplices(sigma, self.alpha)
+        return self._cs[sigma]
+
+    def csm(self, sigma: Iterable[ChrVertex]) -> FrozenSet[ChrVertex]:
+        sigma = frozenset(sigma)
+        if sigma not in self._csm:
+            members = set()
+            for simplex in self.cs(sigma):
+                members.update(simplex)
+            self._csm[sigma] = frozenset(members)
+        return self._csm[sigma]
+
+    def csv(self, sigma: Iterable[ChrVertex]) -> FrozenSet[ProcessId]:
+        sigma = frozenset(sigma)
+        if sigma not in self._csv:
+            view: FrozenSet[ProcessId] = frozenset()
+            for vertex in self.csm(sigma):
+                view = view | vertex.carrier
+            self._csv[sigma] = view
+        return self._csv[sigma]
+
+    def csm_colors(self, sigma: Iterable[ChrVertex]) -> FrozenSet[ProcessId]:
+        """``chi(CSM_alpha(sigma))``."""
+        return chi(self.csm(sigma))

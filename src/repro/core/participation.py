@@ -1,0 +1,105 @@
+"""Participation structure of affine tasks.
+
+An affine task's carrier map ``Δ(P) = L ∩ Chr²(P)`` may be empty for
+small participations — the paper notes that processes must then wait
+for participation to grow.  For the tasks ``R_A`` this library observes
+(and tests, across the whole model zoo) a clean characterization:
+
+    ``Δ(P)`` is non-empty  ⇔  ``α(P) >= 1``,
+
+i.e. ``R_A`` offers outputs for exactly the participations in which the
+α-model has runs (Definition 3).  This module provides the profile
+computations and the executable invariant.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from ..adversaries.agreement import AgreementFunction
+from ..topology.chromatic import chi
+from .affine import AffineTask
+
+ProcessSet = FrozenSet[int]
+
+
+def all_participations(n: int) -> List[ProcessSet]:
+    """Non-empty process subsets, small to large."""
+    return [
+        frozenset(combo)
+        for size in range(1, n + 1)
+        for combo in combinations(range(n), size)
+    ]
+
+
+def participation_profile(
+    task: AffineTask,
+) -> Dict[ProcessSet, Tuple[int, int]]:
+    """Per participation ``P``: (#simplices of Δ(P), #full runs of P).
+
+    A *full run* of ``P`` is a facet of ``Δ(P)`` colored exactly ``P``
+    — an execution where everyone in ``P`` (and nobody else) outputs.
+    """
+    profile: Dict[ProcessSet, Tuple[int, int]] = {}
+    for participants in all_participations(task.n):
+        delta = task.delta(participants)
+        full_runs = sum(
+            1
+            for facet in delta.facets
+            if chi(facet) == participants
+        )
+        profile[participants] = (len(delta.simplices), full_runs)
+    return profile
+
+
+def delta_empty_participations(task: AffineTask) -> List[ProcessSet]:
+    """Participations with no outputs at all (processes must wait)."""
+    return [
+        participants
+        for participants in all_participations(task.n)
+        if task.delta(participants).complex.is_empty()
+    ]
+
+
+def check_delta_matches_alpha(
+    task: AffineTask, alpha: AgreementFunction
+) -> Optional[ProcessSet]:
+    """The invariant ``Δ(P) != ∅  ⇔  α(P) >= 1``.
+
+    Returns a violating participation, or ``None`` when the invariant
+    holds everywhere.
+    """
+    for participants in all_participations(task.n):
+        nonempty = not task.delta(participants).complex.is_empty()
+        if nonempty != (alpha(participants) >= 1):
+            return participants
+    return None
+
+
+def check_full_runs_where_defined(
+    task: AffineTask, alpha: AgreementFunction
+) -> Optional[ProcessSet]:
+    """Wherever ``α(P) >= 1``, ``Δ(P)`` contains a *full* run of ``P``
+    (not just faces) — every member of ``P`` can output.
+
+    Returns a violating participation, or ``None``.
+    """
+    for participants in all_participations(task.n):
+        if alpha(participants) < 1:
+            continue
+        delta = task.delta(participants)
+        if not any(
+            chi(facet) == participants for facet in delta.facets
+        ):
+            return participants
+    return None
+
+
+def solo_output_processes(task: AffineTask) -> ProcessSet:
+    """Processes that may output after witnessing only themselves."""
+    solos = set()
+    for pid in range(task.n):
+        if not task.delta(frozenset({pid})).complex.is_empty():
+            solos.add(pid)
+    return frozenset(solos)

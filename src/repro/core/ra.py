@@ -1,0 +1,142 @@
+"""``R_A``: the affine task of a fair adversary (Definition 9).
+
+A facet ``sigma`` of ``Chr² s`` belongs to ``R_A`` iff every face
+``theta ⊆ sigma`` satisfies the predicate ``P(theta, sigma)``: writing
+``tau = carrier(theta, Chr s)`` and ``rho = carrier(sigma, Chr s)``,
+
+    ``theta in Cont2`` and ``theta`` cannot rely on critical simplices
+    (the *guard*)  ==>  ``dim(theta) < Conc_alpha(tau)``.
+
+Intuitively: any mutually-contending set of processes that is neither
+made of critical members nor covered by a critical simplex's view must
+be small enough to solve set consensus on its own.
+
+**Guard variants.**  The paper states the guard as the triple
+intersection ``chi(theta) ∩ chi(CSM(rho)) ∩ chi(CSV(tau)) = ∅``
+(Definition 9) but manipulates it as
+``chi(theta) ∩ (chi(CSM(rho)) ∪ chi(CSV(tau))) = ∅`` in the safety
+proof (Lemma 6) and in Property 10's proof.  Both are implemented.
+
+Computational disambiguation (experiment E9, ``guard_variant_report``):
+under the *union* reading, ``R_A`` coincides exactly with
+``R_{t-res}`` for every ``t`` and with ``R_{k-OF}`` for ``k = 1`` and
+``k = n``; under the intersection reading most of those identities
+fail.  The union reading is therefore the library default.  One genuine
+finding survives either way: for ``k = 2, n = 3`` Definition 9 yields a
+*strict* sub-complex of Definition 6's ``R_{2-OF}`` (142 of 163
+facets) — the paper's "reduces to R_{k-OF}" claim holds at the level of
+task computability (both capture 2-concurrency; see experiment E11),
+not facet-for-facet.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Literal
+
+from ..adversaries.adversary import Adversary
+from ..adversaries.agreement import AgreementFunction, agreement_function_of
+from ..topology.chromatic import ChromaticComplex, ChrVertex, chi
+from ..topology.simplex import faces
+from ..topology.subdivision import carrier, chr_complex
+from .affine import AffineTask
+from .concurrency import concurrency_level
+from .contention import is_contention_simplex
+from .critical import CriticalStructure
+
+GuardVariant = Literal["intersection", "union"]
+
+#: The reading of Definition 9's guard adopted as library default after
+#: computational disambiguation (experiment E9): the *union* variant —
+#: the one the paper's own Lemma 6 and Property 10 proofs use —
+#: reproduces ``R_{t-res}`` for every ``t`` and ``R_{k-OF}`` for
+#: ``k = 1`` and ``k = n``.
+DEFAULT_VARIANT: GuardVariant = "union"
+
+
+class RABuilder:
+    """Builds ``R_A`` for one agreement function, with shared caches."""
+
+    def __init__(
+        self,
+        alpha: AgreementFunction,
+        variant: GuardVariant = DEFAULT_VARIANT,
+    ):
+        self.alpha = alpha
+        self.variant = variant
+        self.structure = CriticalStructure(alpha)
+        self._conc_cache: Dict[FrozenSet[ChrVertex], int] = {}
+
+    # -- pieces of the predicate ------------------------------------------
+    def concurrency(self, tau: FrozenSet[ChrVertex]) -> int:
+        if tau not in self._conc_cache:
+            self._conc_cache[tau] = concurrency_level(
+                tau, self.alpha, self.structure
+            )
+        return self._conc_cache[tau]
+
+    def guard_blocks_reliance(
+        self,
+        theta_colors: FrozenSet[int],
+        rho: FrozenSet[ChrVertex],
+        tau: FrozenSet[ChrVertex],
+    ) -> bool:
+        """True when ``theta`` cannot rely on critical simplices.
+
+        This is the condition under which the contention bound
+        ``dim(theta) < Conc_alpha(tau)`` must hold.
+        """
+        csm_colors = self.structure.csm_colors(rho)
+        csv_colors = self.structure.csv(tau)
+        if self.variant == "intersection":
+            return not (theta_colors & csm_colors & csv_colors)
+        return not (theta_colors & (csm_colors | csv_colors))
+
+    def predicate(
+        self, theta: FrozenSet[ChrVertex], rho: FrozenSet[ChrVertex]
+    ) -> bool:
+        """``P(theta, sigma)`` with ``rho = carrier(sigma, Chr s)``."""
+        if not is_contention_simplex(theta):
+            return True
+        tau = carrier(theta)
+        if not self.guard_blocks_reliance(chi(theta), rho, tau):
+            return True
+        return len(theta) - 1 < self.concurrency(tau)
+
+    def facet_allowed(self, facet: FrozenSet[ChrVertex]) -> bool:
+        rho = carrier(facet)
+        return all(self.predicate(theta, rho) for theta in faces(facet))
+
+    # -- the task -----------------------------------------------------------
+    def build(self, n: int) -> AffineTask:
+        chr2 = chr_complex(n, 2)
+        kept = [
+            facet for facet in chr2.facets if self.facet_allowed(facet)
+        ]
+        return AffineTask(
+            n,
+            2,
+            ChromaticComplex(kept),
+            name=f"R[{self.alpha.name}]",
+        )
+
+
+def r_affine(
+    alpha: AgreementFunction,
+    variant: GuardVariant = DEFAULT_VARIANT,
+) -> AffineTask:
+    """``R_A`` from an agreement function (Definition 9)."""
+    return RABuilder(alpha, variant).build(alpha.n)
+
+
+def r_affine_of_adversary(
+    adversary: Adversary,
+    variant: GuardVariant = DEFAULT_VARIANT,
+) -> AffineTask:
+    """``R_A`` from an adversary, via ``alpha(P) = setcon(A|P)``.
+
+    The construction is meaningful (captures task computability) for
+    *fair* adversaries; for unfair ones the resulting complex is still
+    well defined but Theorem 15's equivalence may fail — see the
+    fairness checker in :mod:`repro.adversaries.fairness`.
+    """
+    return r_affine(agreement_function_of(adversary), variant)

@@ -1,0 +1,49 @@
+"""``R_{k-OF}``: the affine task of k-obstruction-freedom (Definition 6).
+
+Gafni, He, Kuznetsov & Rieutord (OPODIS 2016) showed that the
+k-obstruction-free (equivalently k-concurrency / k-set-consensus)
+model is captured by prohibiting *large contention*:
+
+    ``R_{k-OF} = Pc({sigma in Cont2 : dim(sigma) >= k}, Chr² s)``
+
+— the pure complement of the contention simplices with ``k + 1`` or
+more mutually-contending vertices.  Figure 7a of the paper shows
+``R_{1-OF}`` for three processes.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable
+
+from ..topology.chromatic import ChromaticComplex, ChrVertex
+from ..topology.subdivision import chr_complex
+from .affine import AffineTask
+from .contention import is_contention_simplex
+
+
+def facet_allowed(facet: Iterable[ChrVertex], k: int) -> bool:
+    """No face of the facet is a contention simplex of dimension >= k.
+
+    ``Cont2`` is inclusion-closed, so it suffices to exclude contention
+    faces of dimension exactly ``k`` (size ``k + 1``).
+    """
+    vertices = list(facet)
+    return not any(
+        is_contention_simplex(combo)
+        for combo in combinations(vertices, k + 1)
+    )
+
+
+def r_k_obstruction_free(n: int, k: int) -> AffineTask:
+    """Build ``R_{k-OF}`` as an :class:`~repro.core.affine.AffineTask`."""
+    if not 1 <= k <= n:
+        raise ValueError("need 1 <= k <= n")
+    chr2 = chr_complex(n, 2)
+    kept = [facet for facet in chr2.facets if facet_allowed(facet, k)]
+    return AffineTask(
+        n,
+        2,
+        ChromaticComplex(kept),
+        name=f"R_{k}-OF",
+    )

@@ -1,0 +1,43 @@
+"""``R_{t-res}``: the affine task of t-resilience (Saraph et al., DISC'16).
+
+The baseline characterization the paper generalizes: the output complex
+consists of the 2-round IS runs in which every process sees at least
+``n - t - 1`` *other* processes — i.e. every vertex's carrier in ``s``
+(its witnessed participation) has size at least ``n - t``.  The
+excluded simplices are exactly those adjacent to the faces of ``s``
+with at most ``n - t - 1`` vertices, which is the paper's
+"(n-t-1)-skeleton" phrasing (skeleton indexed by vertex count).
+
+Figure 1b shows ``R_{1-res}`` for three processes: the facets touching
+the three corners of ``Chr² s`` are removed.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..topology.chromatic import ChromaticComplex, ChrVertex
+from ..topology.subdivision import chr_complex
+from .affine import AffineTask
+from .views import witnessed_participation
+
+
+def facet_allowed(facet: Iterable[ChrVertex], n: int, t: int) -> bool:
+    """Every vertex of the facet witnesses at least ``n - t`` processes."""
+    return all(
+        len(witnessed_participation(vertex)) >= n - t for vertex in facet
+    )
+
+
+def r_t_resilient(n: int, t: int) -> AffineTask:
+    """Build ``R_{t-res}`` as an :class:`~repro.core.affine.AffineTask`."""
+    if not 0 <= t < n:
+        raise ValueError("need 0 <= t < n")
+    chr2 = chr_complex(n, 2)
+    kept = [facet for facet in chr2.facets if facet_allowed(facet, n, t)]
+    return AffineTask(
+        n,
+        2,
+        ChromaticComplex(kept),
+        name=f"R_{t}-res",
+    )

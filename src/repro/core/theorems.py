@@ -1,0 +1,180 @@
+"""Executable forms of the paper's structural lemmas and identities.
+
+These functions turn the paper's claims into decision procedures used
+by tests and benchmarks:
+
+* :func:`ra_equals_rkof` / :func:`ra_equals_rtres` — Definition 9
+  specializes to the published affine tasks of the k-obstruction-free
+  and t-resilient models (and disambiguates the Definition-9 guard,
+  experiment E9);
+* :func:`check_critical_distribution` — Lemma 3, the hitting-set lower
+  bound on critical simplices;
+* :func:`check_corollary4` — Corollary 4, its partial-participation
+  generalization;
+* :func:`check_critical_view_uniqueness` — Lemma 11, one ``View1`` per
+  agreement level among critical simplices.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import FrozenSet, Iterable, List, Optional, Tuple
+
+from ..adversaries.agreement import (
+    AgreementFunction,
+    k_concurrency_alpha,
+    t_resilience_alpha,
+)
+from ..topology.chromatic import ChrVertex, chi
+from ..topology.subdivision import carrier, chr_complex
+from .critical import CriticalStructure
+from .ra import GuardVariant, r_affine
+from .rkof import r_k_obstruction_free
+from .rtres import r_t_resilient
+
+
+def ra_equals_rkof(
+    n: int, k: int, variant: GuardVariant = "intersection"
+) -> bool:
+    """Does Definition 9 reproduce ``R_{k-OF}`` (Definition 6)?"""
+    alpha = k_concurrency_alpha(n, k)
+    return r_affine(alpha, variant).complex == r_k_obstruction_free(n, k).complex
+
+
+def ra_equals_rtres(
+    n: int, t: int, variant: GuardVariant = "intersection"
+) -> bool:
+    """Does Definition 9 reproduce ``R_{t-res}`` (Saraph et al.)?"""
+    alpha = t_resilience_alpha(n, t)
+    return r_affine(alpha, variant).complex == r_t_resilient(n, t).complex
+
+
+def guard_variant_report(n: int) -> dict:
+    """Experiment E9: which Definition-9 reading matches the literature.
+
+    Returns per-variant agreement with every ``R_{k-OF}`` and
+    ``R_{t-res}`` instance at the given ``n``.
+    """
+    report: dict = {}
+    for variant in ("intersection", "union"):
+        entries = {}
+        for k in range(1, n + 1):
+            entries[f"k-OF k={k}"] = ra_equals_rkof(n, k, variant)
+        for t in range(0, n):
+            entries[f"t-res t={t}"] = ra_equals_rtres(n, t, variant)
+        report[variant] = entries
+    return report
+
+
+# ----------------------------------------------------------------------
+# Lemma 3 / Corollary 4: distribution of critical simplices
+# ----------------------------------------------------------------------
+def family_hitting_number(families: Iterable[FrozenSet[int]]) -> int:
+    """Minimal size of a set hitting every member of ``families``.
+
+    ``csize`` of Section 5.3, applied to the *color sets* of critical
+    simplices.  Empty family -> 0.
+    """
+    families = [frozenset(f) for f in families]
+    if not families:
+        return 0
+    universe = sorted(frozenset().union(*families))
+    for size in range(0, len(universe) + 1):
+        for combo in combinations(universe, size):
+            candidate = frozenset(combo)
+            if all(candidate & member for member in families):
+                return size
+    raise AssertionError("the universe hits everything")
+
+
+def critical_hitting_number(
+    sigma: Iterable[ChrVertex],
+    alpha: AgreementFunction,
+    level: int,
+    structure: Optional[CriticalStructure] = None,
+) -> int:
+    """``csize({theta in CS_alpha(sigma) : alpha(carrier(theta)) >= level})``."""
+    structure = structure or CriticalStructure(alpha)
+    selected = [
+        chi(theta)
+        for theta in structure.cs(sigma)
+        if alpha(next(iter(theta)).carrier) >= level
+    ]
+    return family_hitting_number(selected)
+
+
+def check_critical_distribution(
+    sigma: Iterable[ChrVertex],
+    alpha: AgreementFunction,
+    structure: Optional[CriticalStructure] = None,
+) -> bool:
+    """Lemma 3 on one simplex of ``Chr s`` with ``chi(sigma) = chi(carrier)``.
+
+    For every level ``l >= 1``:
+    ``alpha(chi(sigma)) - l + 1 <= csize({theta in CS : power >= l})``.
+    """
+    sigma = frozenset(sigma)
+    if chi(sigma) != carrier(sigma):
+        raise ValueError("Lemma 3 requires chi(sigma) = chi(carrier(sigma, s))")
+    structure = structure or CriticalStructure(alpha)
+    power = alpha(chi(sigma))
+    for level in range(1, power + 1):
+        bound = power - level + 1
+        if critical_hitting_number(sigma, alpha, level, structure) < bound:
+            return False
+    return True
+
+
+def check_corollary4(
+    sigma: Iterable[ChrVertex],
+    alpha: AgreementFunction,
+    structure: Optional[CriticalStructure] = None,
+) -> bool:
+    """Corollary 4 on an arbitrary simplex of ``Chr s``.
+
+    ``alpha(chi(carrier)) - l - |chi(carrier) \\ chi(sigma)| + 1
+      <= csize({theta in CS : power >= l})`` for every ``l >= 1``.
+    """
+    sigma = frozenset(sigma)
+    structure = structure or CriticalStructure(alpha)
+    participation = carrier(sigma)
+    missing = len(participation - chi(sigma))
+    power = alpha(participation)
+    for level in range(1, power + 1):
+        bound = power - level - missing + 1
+        if bound <= 0:
+            continue
+        if critical_hitting_number(sigma, alpha, level, structure) < bound:
+            return False
+    return True
+
+
+def check_critical_view_uniqueness(
+    sigma: Iterable[ChrVertex],
+    alpha: AgreementFunction,
+    structure: Optional[CriticalStructure] = None,
+) -> bool:
+    """Lemma 11: equal agreement powers force equal critical ``View1``s."""
+    structure = structure or CriticalStructure(alpha)
+    seen: dict = {}
+    for theta in structure.cs(frozenset(sigma)):
+        view = next(iter(theta)).carrier
+        power = alpha(view)
+        if power in seen and seen[power] != view:
+            return False
+        seen[power] = view
+    return True
+
+
+def full_participation_simplices(n: int) -> List[FrozenSet[ChrVertex]]:
+    """Simplices of ``Chr s`` with ``chi(sigma) = chi(carrier(sigma, s))``.
+
+    The hypothesis class of Lemma 3 — IS outputs where all witnessed
+    processes produced a view.
+    """
+    chr1 = chr_complex(n, 1)
+    return [
+        frozenset(sigma)
+        for sigma in chr1.simplices
+        if chi(sigma) == carrier(frozenset(sigma))
+    ]

@@ -1,0 +1,58 @@
+"""First- and second-round views of ``Chr² s`` vertices (Section 4).
+
+For a vertex ``v`` of ``Chr² s``:
+
+* ``View2(v) = carrier(v, Chr s)`` — the set of first-round vertices the
+  process saw in the second immediate snapshot;
+* ``View1(v) = carrier(v', s)`` where ``v'`` is the process's own vertex
+  inside ``View2(v)`` — the process's *first-round* snapshot, a set of
+  process ids.
+
+These two views drive the whole construction: contention compares their
+orders, critical simplices select distinguished ``View1`` values.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet
+
+from ..topology.chromatic import ChrVertex, ProcessId
+from ..topology.subdivision import carrier, own_vertex_in_carrier
+
+
+def view2(vertex: ChrVertex) -> FrozenSet[ChrVertex]:
+    """``View2(v)``: the carrier of ``v`` in ``Chr s`` (second IS output)."""
+    if not isinstance(vertex, ChrVertex):
+        raise TypeError("View2 is defined on Chr^2 vertices")
+    return vertex.carrier
+
+
+def view1(vertex: ChrVertex) -> FrozenSet[ProcessId]:
+    """``View1(v)``: the process's own first-round snapshot (a color set)."""
+    if not isinstance(vertex, ChrVertex) or not all(
+        isinstance(w, ChrVertex) for w in vertex.carrier
+    ):
+        raise TypeError("View1 is defined on Chr^2 vertices")
+    own = own_vertex_in_carrier(vertex)
+    return own.carrier
+
+
+def views(vertex: ChrVertex) -> tuple:
+    """``(View1(v), View2(v))`` as a pair."""
+    return view1(vertex), view2(vertex)
+
+
+def view2_colors(vertex: ChrVertex) -> FrozenSet[ProcessId]:
+    """The processes seen in the second round: ``chi(View2(v))``."""
+    return frozenset(v.color for v in view2(vertex))
+
+
+def witnessed_participation(vertex: ChrVertex) -> FrozenSet[ProcessId]:
+    """``carrier(v, s)``: all processes seen across both rounds.
+
+    Equal to the union of the ``View1`` of every process in
+    ``View2(v)`` — the participating set witnessed by the process.
+    """
+    return frozenset().union(
+        *(member.carrier for member in view2(vertex))
+    )

@@ -1,0 +1,61 @@
+"""Section-6 agreement machinery: ``µ_Q`` and adaptive set consensus."""
+
+from .mu_map import (
+    MuMap,
+    all_process_subsets,
+    check_agreement,
+    check_robustness,
+    check_validity,
+    verify_mu_properties,
+)
+from .adaptive_set_consensus import (
+    AdaptiveSetConsensus,
+    ConsensusOutcome,
+    ProcessState,
+    fuzz_adaptive_set_consensus,
+)
+from .alpha_set_consensus import (
+    AlphaSetConsensusOutcome,
+    alpha_set_consensus_protocol,
+    fuzz_alpha_set_consensus,
+    run_alpha_set_consensus,
+)
+from .commit_adopt import (
+    check_commit_adopt_outputs,
+    commit_adopt_protocol,
+    fuzz_commit_adopt,
+    run_commit_adopt,
+)
+from .safe_agreement import (
+    fuzz_safe_agreement,
+    propose_then_read,
+    run_safe_agreement,
+    safe_agreement_propose,
+    safe_agreement_read,
+)
+
+__all__ = [
+    "AlphaSetConsensusOutcome",
+    "alpha_set_consensus_protocol",
+    "fuzz_alpha_set_consensus",
+    "run_alpha_set_consensus",
+    "check_commit_adopt_outputs",
+    "commit_adopt_protocol",
+    "fuzz_commit_adopt",
+    "run_commit_adopt",
+    "fuzz_safe_agreement",
+    "propose_then_read",
+    "run_safe_agreement",
+    "safe_agreement_propose",
+    "safe_agreement_read",
+    "MuMap",
+    "all_process_subsets",
+    "check_agreement",
+    "check_robustness",
+    "check_validity",
+    "verify_mu_properties",
+    "AdaptiveSetConsensus",
+    "ConsensusOutcome",
+    "ProcessState",
+    "fuzz_adaptive_set_consensus",
+]

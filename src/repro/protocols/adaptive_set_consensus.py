@@ -1,0 +1,216 @@
+"""α-adaptive set consensus inside the affine model ``R*_A`` (Section 6).
+
+The protocol iterates the affine task.  Every iteration each process
+submits ``(proposal, estimate, decision)``; from the received views it
+
+1. adopts an estimate: a decided value if one is visible (decided
+   processes are terminated and their value is final), otherwise the
+   current estimate/proposal of the leader elected by ``µ_Q`` among the
+   active processes it can see (Property 12 makes local knowledge of
+   ``Q`` sufficient);
+2. commits when every process it witnessed already carried an estimate
+   in the received data — the paper's commit rule: all involved,
+   non-terminated, observed processes possess a decision estimate.
+
+Theorem-level guarantees exercised by the harness (experiment E13):
+
+* validity — decisions are proposals of participants;
+* α-agreement — distinct decisions never exceed ``alpha`` of the
+  witnessed participation;
+* termination — every process decides in finitely many iterations.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, List, Optional
+
+from ..adversaries.agreement import AgreementFunction
+from ..core.affine import AffineTask
+from ..runtime.affine_executor import (
+    AffineModelExecutor,
+    FacetChooser,
+    IterationView,
+)
+from .mu_map import MuMap
+
+
+@dataclass
+class ProcessState:
+    """Per-process protocol state across iterations."""
+
+    pid: int
+    proposal: Any
+    estimate: Optional[Any] = None
+    decision: Optional[Any] = None
+
+    def submitted(self) -> tuple:
+        return (self.proposal, self.estimate, self.decision)
+
+
+@dataclass
+class ConsensusOutcome:
+    """Result of one ``R*_A`` set-consensus execution."""
+
+    decisions: Dict[int, Any]
+    iterations: int
+    history_length: int
+
+    def distinct_decisions(self) -> int:
+        return len(set(self.decisions.values()))
+
+
+class AdaptiveSetConsensus:
+    """Runs the iterated protocol over an affine-model executor."""
+
+    def __init__(
+        self,
+        alpha: AgreementFunction,
+        task: AffineTask,
+        chooser: Optional[FacetChooser] = None,
+        seed: int = 0,
+    ):
+        self.alpha = alpha
+        self.task = task
+        self.mu = MuMap(alpha)
+        self.executor = AffineModelExecutor(task, chooser=chooser, seed=seed)
+
+    def run(
+        self,
+        proposals: Dict[int, Any],
+        max_iterations: int = 50,
+    ) -> ConsensusOutcome:
+        """Iterate until every process decides (or fail loudly)."""
+        n = self.task.n
+        if set(proposals) != set(range(n)):
+            raise ValueError("need one proposal per process")
+        states = {
+            pid: ProcessState(pid, proposals[pid]) for pid in range(n)
+        }
+        for iteration in range(1, max_iterations + 1):
+            submitted = {
+                pid: state.submitted() for pid, state in states.items()
+            }
+            views = self.executor.run_iteration(submitted)
+            for pid, view in views.items():
+                self._local_step(states[pid], view)
+            if all(state.decision is not None for state in states.values()):
+                return ConsensusOutcome(
+                    decisions={
+                        pid: state.decision for pid, state in states.items()
+                    },
+                    iterations=iteration,
+                    history_length=len(self.executor.history),
+                )
+        raise AssertionError(
+            f"no termination within {max_iterations} iterations"
+        )
+
+    # ------------------------------------------------------------------
+    def _local_step(self, state: ProcessState, view: IterationView) -> None:
+        if state.decision is not None:
+            return
+        witnessed_states: Dict[int, tuple] = {}
+        for block in view.view2_states.values():
+            witnessed_states.update(block)
+        witnessed_states.update(view.view1_states)
+
+        decided_values = {
+            data[2]
+            for data in witnessed_states.values()
+            if data[2] is not None
+        }
+        if decided_values:
+            # Adoption from terminated processes: their value is final.
+            state.estimate = min(decided_values, key=repr)
+        else:
+            active = frozenset(
+                pid
+                for pid, data in witnessed_states.items()
+                if data[2] is None
+            )
+            leader = self.mu(view.vertex, active)
+            proposal, estimate, _ = witnessed_states[leader]
+            state.estimate = estimate if estimate is not None else proposal
+
+        everyone_has_estimate = all(
+            data[1] is not None or data[2] is not None
+            for data in witnessed_states.values()
+        )
+        if everyone_has_estimate:
+            state.decision = state.estimate
+
+
+def exhaustive_adaptive_set_consensus(
+    alpha: AgreementFunction,
+    task: AffineTask,
+    proposals: Optional[Dict[int, Any]] = None,
+    max_iterations: int = 6,
+) -> Dict[int, int]:
+    """Exhaustive E13: run the protocol over *every* facet sequence.
+
+    The protocol decides within two iterations, so enumerating all
+    ordered facet pairs (with the sequence cycling afterwards) covers
+    every reachable 2-iteration behavior of ``R*_A``.  Returns the
+    histogram of distinct-decision counts; raises on any violation of
+    validity or the α bound.
+    """
+    from ..runtime.affine_executor import scripted_chooser
+
+    n = task.n
+    proposals = proposals or {pid: f"v{pid}" for pid in range(n)}
+    bound = alpha(frozenset(range(n)))
+    facets = sorted(task.complex.facets, key=repr)
+    histogram: Dict[int, int] = {}
+    for first in facets:
+        for second in facets:
+            protocol = AdaptiveSetConsensus(
+                alpha, task, chooser=scripted_chooser([first, second])
+            )
+            outcome = protocol.run(dict(proposals), max_iterations)
+            values = set(outcome.decisions.values())
+            if not values <= set(proposals.values()):
+                raise AssertionError(
+                    f"validity violated on facets ({first}, {second})"
+                )
+            if len(values) > bound:
+                raise AssertionError(
+                    f"alpha-agreement violated on facets "
+                    f"({first}, {second}): {len(values)} > {bound}"
+                )
+            distinct = outcome.distinct_decisions()
+            histogram[distinct] = histogram.get(distinct, 0) + 1
+    return histogram
+
+
+def fuzz_adaptive_set_consensus(
+    alpha: AgreementFunction,
+    task: AffineTask,
+    runs: int,
+    seed: int = 0,
+) -> List[ConsensusOutcome]:
+    """Experiment E13: random ``R*_A`` executions, all three properties.
+
+    Raises ``AssertionError`` on any violation.
+    """
+    rng = random.Random(seed)
+    n = task.n
+    outcomes = []
+    for index in range(runs):
+        proposals = {pid: f"v{rng.randrange(n * 2)}" for pid in range(n)}
+        protocol = AdaptiveSetConsensus(
+            alpha, task, seed=rng.randint(0, 2**31)
+        )
+        outcome = protocol.run(proposals)
+        values = set(outcome.decisions.values())
+        if not values <= set(proposals.values()):
+            raise AssertionError(f"validity violated in run {index}")
+        bound = alpha(frozenset(range(n)))
+        if len(values) > bound:
+            raise AssertionError(
+                f"alpha-agreement violated in run {index}: "
+                f"{len(values)} > {bound}"
+            )
+        outcomes.append(outcome)
+    return outcomes

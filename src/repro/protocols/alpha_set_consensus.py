@@ -1,0 +1,137 @@
+"""α-adaptive set consensus *in the α-model* (Definition 4, Theorem 2).
+
+The paper's equivalence chain runs A-model ⇔ α-model ⇔ α-set-consensus
+model.  This module operationalizes the constructive direction: an
+α-adaptive set-consensus object built inside the α-model by composing
+the paper's own tools —
+
+1. run **Algorithm 1** (which the α-model supports) to place every
+   process on a vertex of ``R_A``, with proposals carried through the
+   immediate snapshots;
+2. decide the proposal of the leader elected by **µ_Q** on that vertex
+   (with ``Q = Π``).
+
+Correctness is inherited from the two theorems: the decided vertices
+form a simplex of ``R_A`` (Theorem 7), on which µ elects at most
+``alpha(chi(carrier))  <= alpha(P)`` distinct leaders (Property 10),
+each a witnessed participant (Property 9) — so decisions are valid
+proposals and at most ``alpha(P)`` distinct.  The harness fuzzes
+exactly these properties.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, Generator, List
+
+from ..adversaries.agreement import AgreementFunction
+from ..runtime.algorithm1 import algorithm1_protocol, outputs_to_simplex
+from ..runtime.memory import SharedMemory
+from ..runtime.scheduler import (
+    ExecutionPlan,
+    RunResult,
+    random_alpha_model_plan,
+    run_plan,
+)
+from ..topology.chromatic import ChrVertex
+from .mu_map import MuMap
+
+
+def alpha_set_consensus_protocol(
+    pid: int,
+    n: int,
+    memory: SharedMemory,
+    alpha: AgreementFunction,
+    proposal: Any,
+    mu: MuMap,
+) -> Generator:
+    """Propose ``proposal``; decide the elected leader's proposal."""
+    proposals = memory.snapshot_array("Proposals")
+    yield ("update", proposals, proposal)
+
+    view1, view2 = yield from algorithm1_protocol(pid, n, memory, alpha)
+    vertex = ChrVertex(
+        pid,
+        frozenset(
+            ChrVertex(j, frozenset(view1_j)) for j, view1_j in view2.items()
+        ),
+    )
+    leader = mu(vertex, frozenset(range(n)))
+    known = yield ("read", proposals, leader)
+    return {"leader": leader, "decision": known, "vertex": vertex}
+
+
+@dataclass
+class AlphaSetConsensusOutcome:
+    """One validated α-model set-consensus execution."""
+
+    plan: ExecutionPlan
+    result: RunResult
+    decisions: Dict[int, Any]
+    leaders: Dict[int, int]
+
+    def distinct_decisions(self) -> int:
+        return len(set(self.decisions.values()))
+
+
+def run_alpha_set_consensus(
+    alpha: AgreementFunction,
+    plan: ExecutionPlan,
+    proposals: Dict[int, Any],
+    mu: MuMap | None = None,
+    max_steps: int = 200_000,
+) -> AlphaSetConsensusOutcome:
+    """Execute the object under one α-model plan."""
+    n = alpha.n
+    mu = mu or MuMap(alpha)
+
+    def factory(pid: int, memory: SharedMemory):
+        return alpha_set_consensus_protocol(
+            pid, n, memory, alpha, proposals[pid], mu
+        )
+
+    result = run_plan(factory, n, plan, max_steps=max_steps)
+    decisions = {
+        pid: output["decision"] for pid, output in result.outputs.items()
+    }
+    leaders = {
+        pid: output["leader"] for pid, output in result.outputs.items()
+    }
+    return AlphaSetConsensusOutcome(plan, result, decisions, leaders)
+
+
+def fuzz_alpha_set_consensus(
+    alpha: AgreementFunction,
+    runs: int,
+    seed: int = 0,
+) -> List[AlphaSetConsensusOutcome]:
+    """Theorem-2 harness: validity + α-agreement + termination.
+
+    Raises ``AssertionError`` on any violation.
+    """
+    rng = random.Random(seed)
+    mu = MuMap(alpha)
+    outcomes = []
+    for index in range(runs):
+        plan = random_alpha_model_plan(alpha, rng)
+        proposals = {
+            pid: f"p{pid}-r{index}" for pid in range(alpha.n)
+        }
+        outcome = run_alpha_set_consensus(alpha, plan, proposals, mu)
+        decided_values = set(outcome.decisions.values())
+        proposed = {
+            proposals[pid] for pid in plan.participants
+        }
+        if not decided_values <= proposed:
+            raise AssertionError(
+                f"validity violated in run {index}: {decided_values}"
+            )
+        bound = alpha(plan.participants)
+        if len(decided_values) > bound:
+            raise AssertionError(
+                f"alpha-agreement violated in run {index}: "
+                f"{len(decided_values)} > {bound}"
+            )
+        outcomes.append(outcome)
+    return outcomes

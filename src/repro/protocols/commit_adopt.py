@@ -1,0 +1,120 @@
+"""Commit–adopt: the classic wait-free graded-agreement substrate.
+
+Not a contribution of the paper, but the standard building block the
+surrounding literature (BG simulation, safe agreement, the paper's
+reference [13]) leans on — included so the runtime carries the full
+protocol toolbox of the area.
+
+Two rounds of write/scan on atomic-snapshot memory:
+
+1. write the proposal; scan; if all proposals seen agree, move to
+   round 2 with a *committable* flag, else keep the (deterministically
+   chosen) smallest seen proposal;
+2. write the round-1 result; scan; **commit** if everything seen in
+   round 2 is committable with the same value; otherwise **adopt** any
+   committable value seen (or the own candidate).
+
+Guarantees (validated by the fuzz tests):
+
+* *agreement-on-commit*: if someone commits ``v``, everyone commits or
+  adopts ``v``;
+* *convergence*: if all inputs equal ``v``, everyone commits ``v``;
+* *validity*: outputs are proposed values;
+* wait-freedom: two scans, no waiting.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, Generator, List, Tuple
+
+from ..runtime.memory import SharedMemory
+from ..runtime.scheduler import Scheduler
+
+Grade = str  # "commit" | "adopt"
+
+
+def commit_adopt_protocol(
+    pid: int, n: int, memory: SharedMemory, proposal: Any
+) -> Generator:
+    """Run one commit–adopt instance; returns ``(grade, value)``."""
+    round1 = memory.snapshot_array("CA1")
+    round2 = memory.snapshot_array("CA2")
+
+    yield ("update", round1, proposal)
+    seen1 = yield ("scan", round1)
+    values1 = {cell for cell in seen1 if cell is not None}
+    committable = len(values1) == 1
+    candidate = min(values1, key=repr)
+
+    yield ("update", round2, (committable, candidate))
+    seen2 = yield ("scan", round2)
+    pairs = [cell for cell in seen2 if cell is not None]
+    committable_values = {
+        value for flag, value in pairs if flag
+    }
+    if committable_values:
+        value = min(committable_values, key=repr)
+        if all(flag and v == value for flag, v in pairs):
+            return ("commit", value)
+        return ("adopt", value)
+    return ("adopt", candidate)
+
+
+def run_commit_adopt(
+    proposals: Dict[int, Any], seed: int = 0
+) -> Dict[int, Tuple[Grade, Any]]:
+    """Execute one instance under a seeded random interleaving."""
+    n = len(proposals)
+    rng = random.Random(seed)
+    memory = SharedMemory(n)
+    scheduler = Scheduler(
+        {
+            pid: commit_adopt_protocol(pid, n, memory, proposals[pid])
+            for pid in proposals
+        }
+    )
+    while len(scheduler.outputs) < n:
+        alive = [pid for pid in proposals if pid not in scheduler.outputs]
+        scheduler.step(rng.choice(alive))
+    return dict(scheduler.outputs)
+
+
+def check_commit_adopt_outputs(
+    proposals: Dict[int, Any], outputs: Dict[int, Tuple[Grade, Any]]
+) -> None:
+    """Assert the three commit–adopt guarantees on one execution."""
+    proposed = set(proposals.values())
+    for grade, value in outputs.values():
+        assert grade in ("commit", "adopt")
+        assert value in proposed, "validity violated"
+    committed = {
+        value for grade, value in outputs.values() if grade == "commit"
+    }
+    assert len(committed) <= 1, "two different values committed"
+    if committed:
+        (value,) = committed
+        assert all(
+            out_value == value for _, out_value in outputs.values()
+        ), "agreement-on-commit violated"
+    if len(proposed) == 1:
+        (value,) = proposed
+        assert all(
+            output == ("commit", value) for output in outputs.values()
+        ), "convergence violated"
+
+
+def fuzz_commit_adopt(
+    n: int, runs: int, seed: int = 0
+) -> List[Dict[int, Tuple[Grade, Any]]]:
+    """Randomized executions, all three guarantees asserted."""
+    rng = random.Random(seed)
+    results = []
+    for _ in range(runs):
+        distinct = rng.randint(1, n)
+        pool = [f"v{i}" for i in range(distinct)]
+        proposals = {pid: rng.choice(pool) for pid in range(n)}
+        outputs = run_commit_adopt(proposals, seed=rng.randint(0, 2**31))
+        check_commit_adopt_outputs(proposals, outputs)
+        results.append(outputs)
+    return results

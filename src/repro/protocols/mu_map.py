@@ -1,0 +1,166 @@
+"""α-adaptive leader election in ``R_A``: the ``µ_Q`` map (Section 6.2).
+
+Given an α-adaptive set-consensus instance, let ``Q`` be the processes
+that may participate in it and have not terminated.  Each vertex
+``v ∈ R_A`` (with ``chi(v) ∈ Q``) elects a leader in two stages:
+
+1. select a first-round view:
+
+   * ``delta_Q`` — if the process observed a critical simplex whose
+     view intersects ``Q``: the smallest such critical ``View1``;
+   * ``gamma_Q`` — otherwise: the smallest observed ``View1``
+     intersecting ``Q``;
+
+2. ``min_Q`` — the smallest process id in the selected view ∩ ``Q``.
+
+The three properties proved in the paper are implemented as exhaustive
+checkers (experiment E10):
+
+* Property 9 (validity): the leader is an observed member of ``Q``;
+* Property 10 (agreement): within any simplex ``theta`` of a facet of
+  ``R_A`` colored inside ``Q``, at most
+  ``alpha(chi(carrier(theta, s)))`` distinct leaders are elected;
+* Property 12 (robustness): only ``Q ∩ carrier(v, s)`` matters.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import FrozenSet, Iterable, List, Optional
+
+from ..adversaries.agreement import AgreementFunction
+from ..core.affine import AffineTask
+from ..core.critical import CriticalStructure
+from ..topology.chromatic import ChrVertex, ProcessId, chi
+from ..topology.subdivision import carrier_in_s
+
+ProcessSet = FrozenSet[ProcessId]
+
+
+class MuMap:
+    """``µ_Q`` for a fixed agreement function, with memoized structure."""
+
+    def __init__(self, alpha: AgreementFunction):
+        self.alpha = alpha
+        self.structure = CriticalStructure(alpha)
+
+    # -- stage 1 ------------------------------------------------------------
+    def critical_views(self, vertex: ChrVertex) -> List[ProcessSet]:
+        """``View1``s of critical simplices observed by ``vertex``."""
+        rho = vertex.carrier
+        return sorted(
+            {
+                frozenset(next(iter(theta)).carrier)
+                for theta in self.structure.cs(rho)
+            },
+            key=lambda view: (len(view), sorted(view)),
+        )
+
+    def observed_views(self, vertex: ChrVertex) -> List[ProcessSet]:
+        """All ``View1``s visible to ``vertex`` (carriers in its View2)."""
+        return sorted(
+            {frozenset(w.carrier) for w in vertex.carrier},
+            key=lambda view: (len(view), sorted(view)),
+        )
+
+    def delta_q(self, vertex: ChrVertex, q: ProcessSet) -> Optional[ProcessSet]:
+        """Smallest critical ``View1`` intersecting ``Q`` (or ``None``)."""
+        for view in self.critical_views(vertex):
+            if view & q:
+                return view
+        return None
+
+    def gamma_q(self, vertex: ChrVertex, q: ProcessSet) -> Optional[ProcessSet]:
+        """Smallest observed ``View1`` intersecting ``Q`` (or ``None``)."""
+        for view in self.observed_views(vertex):
+            if view & q:
+                return view
+        return None
+
+    # -- stage 2 ------------------------------------------------------------
+    def __call__(self, vertex: ChrVertex, q: Iterable[ProcessId]) -> ProcessId:
+        """``µ_Q(v)``: the elected leader.
+
+        Defined whenever some observed view intersects ``Q`` — in
+        particular whenever ``chi(v) ∈ Q`` (self-inclusion).
+        """
+        q = frozenset(q)
+        csv = self.structure.csv(vertex.carrier)
+        if csv & q:
+            view = self.delta_q(vertex, q)
+        else:
+            view = self.gamma_q(vertex, q)
+        if view is None:
+            raise ValueError(
+                f"µ_Q undefined: no observed view intersects Q={sorted(q)}"
+            )
+        return min(view & q)
+
+
+# ----------------------------------------------------------------------
+# Executable properties (experiment E10)
+# ----------------------------------------------------------------------
+def check_validity(
+    mu: MuMap, task: AffineTask, q: ProcessSet
+) -> bool:
+    """Property 9 over every vertex of ``R_A`` colored in ``Q``."""
+    for vertex in task.complex.vertices:
+        if vertex.color not in q:
+            continue
+        leader = mu(vertex, q)
+        witnessed = carrier_in_s([vertex])
+        if leader not in witnessed or leader not in q:
+            return False
+    return True
+
+
+def check_agreement(
+    mu: MuMap, task: AffineTask, q: ProcessSet
+) -> bool:
+    """Property 10 over every facet of ``R_A`` and every ``theta ⊆ Q``."""
+    for facet in task.complex.facets:
+        if len(facet) != task.n:
+            continue
+        eligible = [v for v in facet if v.color in q]
+        for size in range(1, len(eligible) + 1):
+            for theta in combinations(eligible, size):
+                leaders = {mu(v, q) for v in theta}
+                bound = mu.alpha(carrier_in_s(theta))
+                if len(leaders) > bound:
+                    return False
+    return True
+
+
+def check_robustness(
+    mu: MuMap, task: AffineTask, q: ProcessSet
+) -> bool:
+    """Property 12 over every vertex of ``R_A`` colored in ``Q``."""
+    for vertex in task.complex.vertices:
+        if vertex.color not in q:
+            continue
+        local = carrier_in_s([vertex]) & q
+        if mu(vertex, q) != mu(vertex, local):
+            return False
+    return True
+
+
+def all_process_subsets(n: int) -> List[ProcessSet]:
+    """Non-empty subsets of ``0..n-1`` — the candidate ``Q`` sets."""
+    return [
+        frozenset(combo)
+        for size in range(1, n + 1)
+        for combo in combinations(range(n), size)
+    ]
+
+
+def verify_mu_properties(
+    alpha: AgreementFunction, task: AffineTask
+) -> dict:
+    """Exhaustively check Properties 9/10/12 for every non-empty ``Q``."""
+    mu = MuMap(alpha)
+    report = {"validity": True, "agreement": True, "robustness": True}
+    for q in all_process_subsets(alpha.n):
+        report["validity"] &= check_validity(mu, task, q)
+        report["agreement"] &= check_agreement(mu, task, q)
+        report["robustness"] &= check_robustness(mu, task, q)
+    return report

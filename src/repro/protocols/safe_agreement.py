@@ -1,0 +1,128 @@
+"""Safe agreement: the BG-simulation building block.
+
+The classic two-level construction (Borowsky–Gafni): a proposer writes
+its value at level 1, snapshots, and raises itself to level 2 unless it
+saw somebody already there (then it withdraws to level 0).  A reader
+waits until no process is stuck at level 1 and returns the value of the
+smallest-id level-2 process it sees.
+
+Guarantees (fuzz-validated):
+
+* *validity* — decisions are proposed values;
+* *agreement* — all readers that return after every participant has
+  resolved its level return the same value;
+* *non-blocking progress* — if every participant resolves (no crash in
+  the level-1 window), readers terminate;
+* the known *blocking* behavior — a crash inside the level-1 window can
+  block readers forever — is detected and tested explicitly: it is the
+  reason BG simulation trades one simulator per blocked agreement.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, Generator, Optional, Tuple
+
+from ..runtime.memory import SharedMemory
+from ..runtime.scheduler import LivenessViolation, Scheduler
+
+
+def safe_agreement_propose(
+    pid: int, n: int, memory: SharedMemory, value: Any
+) -> Generator:
+    """The propose phase; returns the level reached (0 or 2)."""
+    cells = memory.snapshot_array("SA")  # cell: (level, value)
+    yield ("update", cells, (1, value))
+    content = yield ("scan", cells)
+    someone_at_two = any(
+        cell is not None and cell[0] == 2 for cell in content
+    )
+    level = 0 if someone_at_two else 2
+    yield ("update", cells, (level, value))
+    return level
+
+
+def safe_agreement_read(
+    pid: int, n: int, memory: SharedMemory
+) -> Generator:
+    """The read phase; waits out level 1 and returns the agreed value."""
+    cells = memory.snapshot_array("SA")
+    while True:
+        content = yield ("scan", cells)
+        if any(cell is not None and cell[0] == 1 for cell in content):
+            continue  # somebody is still in the unsafe window
+        candidates = {
+            index: cell[1]
+            for index, cell in enumerate(content)
+            if cell is not None and cell[0] == 2
+        }
+        if candidates:
+            return candidates[min(candidates)]
+        # No level-2 process yet: wait for one to appear.
+
+
+def propose_then_read(
+    pid: int, n: int, memory: SharedMemory, value: Any
+) -> Generator:
+    """The standard usage: propose, then read."""
+    yield from safe_agreement_propose(pid, n, memory, value)
+    decision = yield from safe_agreement_read(pid, n, memory)
+    return decision
+
+
+def run_safe_agreement(
+    proposals: Dict[int, Any],
+    seed: int = 0,
+    crash_in_window: Optional[int] = None,
+    max_steps: int = 10_000,
+) -> Dict[int, Any]:
+    """Run one instance under a random schedule.
+
+    ``crash_in_window`` crashes that process right after its level-1
+    write — the adversarial pattern that can block readers.  Raises
+    :class:`LivenessViolation` when undecided processes stop making
+    progress within the budget (expected exactly in the blocked case).
+    """
+    n = max(proposals) + 1
+    rng = random.Random(seed)
+    memory = SharedMemory(n)
+    scheduler = Scheduler(
+        {
+            pid: propose_then_read(pid, n, memory, proposals[pid])
+            for pid in proposals
+        }
+    )
+    steps_of = {pid: 0 for pid in proposals}
+    for _ in range(max_steps):
+        alive = [
+            pid
+            for pid in proposals
+            if pid not in scheduler.outputs
+            and not (pid == crash_in_window and steps_of[pid] >= 1)
+        ]
+        if not alive:
+            break
+        pid = rng.choice(alive)
+        scheduler.step(pid)
+        steps_of[pid] += 1
+    expected = set(proposals) - (
+        {crash_in_window} if crash_in_window is not None else set()
+    )
+    if expected - set(scheduler.outputs):
+        raise LivenessViolation(
+            f"undecided: {sorted(expected - set(scheduler.outputs))}"
+        )
+    return dict(scheduler.outputs)
+
+
+def fuzz_safe_agreement(n: int, runs: int, seed: int = 0) -> None:
+    """Crash-free executions: validity + agreement, asserted."""
+    rng = random.Random(seed)
+    for _ in range(runs):
+        proposals = {pid: f"v{rng.randrange(n)}" for pid in range(n)}
+        outputs = run_safe_agreement(
+            proposals, seed=rng.randint(0, 2**31)
+        )
+        values = set(outputs.values())
+        assert len(values) == 1, f"agreement violated: {outputs}"
+        assert values <= set(proposals.values()), "validity violated"

@@ -1,0 +1,92 @@
+"""Executable asynchronous shared-memory substrate.
+
+Cooperative scheduler over atomic-snapshot memory, the Borowsky–Gafni
+immediate snapshot, the IIS executor, the paper's Algorithm 1, the
+iterated affine-model executor and the Section-6 simulation.
+"""
+
+from .memory import Register, SharedMemory, SnapshotArray
+from .scheduler import (
+    ExecutionPlan,
+    LivenessViolation,
+    ProtocolError,
+    RunResult,
+    Scheduler,
+    execute_operation,
+    random_alpha_model_plan,
+    run_plan,
+)
+from .immediate_snapshot import (
+    immediate_snapshot_protocol,
+    standalone_is_protocol,
+    views_from_outputs,
+)
+from .iis import (
+    IISExecution,
+    all_two_round_runs,
+    random_iis_run,
+    random_partition,
+    run_iis,
+)
+from .explorer import (
+    ScheduleExplorer,
+    check_all_schedules,
+    explore_outputs,
+)
+from .adversary_runs import (
+    adversary_compliant_plans,
+    is_alpha_model_compliant,
+    split_plans_by_alpha_compliance,
+)
+from .bg_simulation import (
+    BGOutcome,
+    bg_simulator_protocol,
+    check_simulated_history,
+    full_information_code,
+    run_bg_simulation,
+)
+from .algorithm1 import (
+    Algorithm1Outcome,
+    algorithm1_protocol,
+    fuzz_algorithm1,
+    outputs_to_simplex,
+    run_algorithm1,
+)
+
+__all__ = [
+    "Register",
+    "SharedMemory",
+    "SnapshotArray",
+    "ExecutionPlan",
+    "LivenessViolation",
+    "ProtocolError",
+    "RunResult",
+    "Scheduler",
+    "execute_operation",
+    "random_alpha_model_plan",
+    "run_plan",
+    "immediate_snapshot_protocol",
+    "standalone_is_protocol",
+    "views_from_outputs",
+    "IISExecution",
+    "all_two_round_runs",
+    "random_iis_run",
+    "random_partition",
+    "run_iis",
+    "ScheduleExplorer",
+    "check_all_schedules",
+    "explore_outputs",
+    "adversary_compliant_plans",
+    "is_alpha_model_compliant",
+    "split_plans_by_alpha_compliance",
+    "BGOutcome",
+    "bg_simulator_protocol",
+    "check_simulated_history",
+    "full_information_code",
+    "run_bg_simulation",
+    "Algorithm1Outcome",
+    "algorithm1_protocol",
+    "fuzz_algorithm1",
+    "outputs_to_simplex",
+    "run_algorithm1",
+]

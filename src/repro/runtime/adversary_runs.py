@@ -1,0 +1,87 @@
+"""Raw adversarial (A-model) executions.
+
+The α-model plans of :mod:`repro.runtime.scheduler` bound the number of
+failures by ``alpha(P) - 1`` (Definition 3).  A raw ``A``-compliant run
+is different: the *correct set* must be a live set of the adversary,
+with no bound on how many participants crash.  The two models solve the
+same tasks (Theorem 1) but not by the same algorithm unchanged —
+Algorithm 1's wait-phase liveness is an α-model property.
+
+This module generates A-compliant plans so the distinction is testable:
+
+* Algorithm 1 stays **safe** under raw A-compliant runs (outputs are
+  always a simplex of ``R_A``) — safety never depended on the failure
+  bound;
+* its **liveness** can genuinely fail outside the α-model (e.g. under
+  the k-obstruction-free adversary, where arbitrarily many processes
+  may crash) — the reason the paper routes the equivalence through
+  Theorem 1's simulation rather than reusing Algorithm 1 directly.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import FrozenSet, Iterable, List
+
+from ..adversaries.adversary import Adversary
+from .scheduler import ExecutionPlan
+
+
+def adversary_compliant_plans(
+    adversary: Adversary, rng: random.Random, crash_step_range: int = 30
+) -> ExecutionPlan:
+    """Sample a plan whose correct set is a live set of the adversary.
+
+    Participation is the correct set plus any subset of the remaining
+    processes (which all crash at random points).
+    """
+    live = sorted(adversary.live_sets, key=sorted)
+    correct = rng.choice(live)
+    others = sorted(adversary.processes - correct)
+    extra = frozenset(
+        pid for pid in others if rng.random() < 0.5
+    )
+    participants = frozenset(correct) | extra
+    crash_after = {
+        pid: rng.randint(0, crash_step_range) for pid in extra
+    }
+    return ExecutionPlan(
+        participants=participants,
+        faulty=extra,
+        crash_after_steps=crash_after,
+        seed=rng.randint(0, 2**31),
+    )
+
+
+def is_alpha_model_compliant(
+    plan: ExecutionPlan, alpha
+) -> bool:
+    """Does an A-compliant plan also satisfy Definition 3?"""
+    if alpha(plan.participants) < 1:
+        return False
+    return len(plan.faulty) <= alpha(plan.participants) - 1
+
+
+def split_plans_by_alpha_compliance(
+    adversary: Adversary,
+    alpha,
+    count: int,
+    seed: int = 0,
+) -> tuple:
+    """Sample A-compliant plans; split into (α-compliant, beyond-α).
+
+    The second group is non-empty exactly for adversaries whose live
+    sets allow more failures than the agreement power covers — e.g.
+    k-obstruction-freedom — and is where Algorithm 1's liveness is not
+    guaranteed.
+    """
+    rng = random.Random(seed)
+    inside: List[ExecutionPlan] = []
+    beyond: List[ExecutionPlan] = []
+    for _ in range(count):
+        plan = adversary_compliant_plans(adversary, rng)
+        if is_alpha_model_compliant(plan, alpha):
+            inside.append(plan)
+        else:
+            beyond.append(plan)
+    return inside, beyond

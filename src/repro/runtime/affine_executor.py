@@ -1,0 +1,156 @@
+"""Executing the iterated affine model ``L*`` (Section 2 / Section 6).
+
+An execution of ``L*`` is an infinite sequence of ``L``-iterations: in
+each iteration every process submits its current state, the adversary
+picks a facet of ``L`` (the combinatorial shape of the two IS rounds),
+and each process receives its vertex together with the submitted states
+of the processes it saw.  The executor materializes finite prefixes and
+hands protocols exactly the information the model provides:
+
+* ``vertex`` — the process's vertex of ``L`` for this iteration
+  (relative to the iteration's own copy of ``Chr² s``);
+* ``view1_states`` / ``view2_states`` — the data seen through the two
+  rounds (first-round values are the iteration inputs; second-round
+  values are first-round views).
+
+Facet choice is adversarial: seeded-random by default, or any
+caller-provided strategy (exhaustive enumeration in tests).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, FrozenSet, List, Optional, Sequence
+
+from ..core.affine import AffineTask
+from ..topology.chromatic import ChrVertex
+from ..topology.subdivision import carrier_in_s
+from .iis import IISExecution
+from ..topology.enumeration import chr_facet_to_partition
+
+FacetChooser = Callable[[int, AffineTask], FrozenSet[ChrVertex]]
+
+
+@dataclass
+class IterationView:
+    """What one process learns from one affine-task iteration."""
+
+    pid: int
+    vertex: ChrVertex
+    view1_states: Dict[int, Any]
+    view2_states: Dict[int, Dict[int, Any]]
+
+    @property
+    def view1(self) -> FrozenSet[int]:
+        """Processes seen in the first round."""
+        return frozenset(self.view1_states)
+
+    @property
+    def witnessed(self) -> FrozenSet[int]:
+        """All processes seen across both rounds: ``carrier(v, s)``."""
+        return carrier_in_s([self.vertex])
+
+
+def random_facet_chooser(seed: int) -> FacetChooser:
+    """The default adversary: an arbitrary facet per iteration, seeded."""
+    rng = random.Random(seed)
+
+    def choose(iteration: int, task: AffineTask) -> FrozenSet[ChrVertex]:
+        facets = sorted(task.complex.facets, key=repr)
+        return facets[rng.randrange(len(facets))]
+
+    return choose
+
+
+def facet_to_round_partitions(facet: FrozenSet[ChrVertex]):
+    """Decompose a ``Chr² s`` facet into its two IS ordered partitions."""
+    second = chr_facet_to_partition(facet)
+    # Blocks of `second` contain Chr s vertices; the first round's
+    # partition is recovered from the union of those vertices.
+    first_vertices = frozenset().union(*second)
+    first = chr_facet_to_partition(first_vertices)
+    first_partition = tuple(
+        frozenset(v if isinstance(v, int) else v for v in block)
+        for block in first
+    )
+    second_partition = tuple(
+        frozenset(v.color for v in block) for block in second
+    )
+    return first_partition, second_partition
+
+
+class AffineModelExecutor:
+    """Runs protocols over iterations of a depth-2 affine task.
+
+    Each call to :meth:`run_iteration` takes the processes' submitted
+    states and returns per-process :class:`IterationView` objects.
+    """
+
+    def __init__(
+        self,
+        task: AffineTask,
+        chooser: Optional[FacetChooser] = None,
+        seed: int = 0,
+    ):
+        if task.depth != 2:
+            raise ValueError("the executor iterates depth-2 affine tasks")
+        self.task = task
+        self.chooser = chooser or random_facet_chooser(seed)
+        self.iteration = 0
+        self.history: List[FrozenSet[ChrVertex]] = []
+
+    def run_iteration(self, states: Dict[int, Any]) -> Dict[int, IterationView]:
+        """One iteration of the affine task on everyone's current state."""
+        if set(states) != set(range(self.task.n)):
+            raise ValueError("all processes participate in every iteration")
+        facet = self.chooser(self.iteration, self.task)
+        if facet not in self.task.complex:
+            raise ValueError("chooser returned a facet outside the task")
+        self.iteration += 1
+        self.history.append(facet)
+
+        vertex_of = {v.color: v for v in facet}
+        views: Dict[int, IterationView] = {}
+        first_round_view: Dict[int, FrozenSet[int]] = {}
+        for pid, vertex in vertex_of.items():
+            own_first = next(
+                w for w in vertex.carrier if w.color == pid
+            )
+            first_round_view[pid] = frozenset(own_first.carrier)
+        for pid, vertex in vertex_of.items():
+            view1_states = {
+                q: states[q] for q in first_round_view[pid]
+            }
+            view2_states = {
+                w.color: {q: states[q] for q in w.carrier}
+                for w in vertex.carrier
+            }
+            views[pid] = IterationView(
+                pid, vertex, view1_states, view2_states
+            )
+        return views
+
+
+def exhaustive_facet_sequences(
+    task: AffineTask, length: int
+) -> Sequence[Sequence[FrozenSet[ChrVertex]]]:
+    """All facet sequences of the given length (for exhaustive tests).
+
+    ``|facets|^length`` sequences — keep ``length`` tiny.
+    """
+    from itertools import product
+
+    facets = sorted(task.complex.facets, key=repr)
+    return list(product(facets, repeat=length))
+
+
+def scripted_chooser(
+    facets: Sequence[FrozenSet[ChrVertex]],
+) -> FacetChooser:
+    """A chooser replaying a fixed facet sequence (cycling past the end)."""
+
+    def choose(iteration: int, task: AffineTask) -> FrozenSet[ChrVertex]:
+        return facets[iteration % len(facets)]
+
+    return choose

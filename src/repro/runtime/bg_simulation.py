@@ -1,0 +1,286 @@
+"""BG simulation: resilient execution of n simulated processes.
+
+Borowsky–Gafni's classic reduction, built on this library's runtime:
+``s`` simulators jointly execute the codes of ``n`` simulated processes
+against a simulated atomic-snapshot memory.  Every simulated snapshot
+must return the same value to every simulator, so each simulated step
+``(j, step)`` is funneled through a dedicated safe-agreement instance;
+a simulator crash can leave at most one instance unresolved (a
+simulator is inside at most one unsafe window at a time), blocking at
+most one simulated process per crash.
+
+Simulated codes are deterministic generators over the mini-language
+``("write", value)`` / ``("snapshot",)``, finishing with a return
+value.  Simulators sweep round-robin over the simulated processes,
+skipping any whose current safe agreement is unresolved (non-blocking
+probe) — the mechanism behind the BG guarantee that with ``f`` crashed
+simulators at least ``n - f`` simulated processes complete.
+
+Validated properties (see the tests):
+
+* *agreement* — all simulators observe identical simulated histories;
+* *self-inclusion / monotonicity* — agreed snapshots contain the
+  process's own earlier writes and only grow along each history;
+* *progress* — at least ``n - f`` simulated processes complete.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
+
+from .memory import SharedMemory
+from .scheduler import Scheduler
+
+SimulatedCode = Callable[[int], Generator]
+
+#: Consecutive fruitless sweeps before a simulator gives up on its
+#: remaining (blocked) simulated processes and returns partial results.
+#: Only per-simulator completeness is affected — the harness checks
+#: progress on the *union* over surviving simulators.
+STALL_PATIENCE = 50
+
+
+@dataclass
+class _SimState:
+    """One simulator's bookkeeping for one simulated process."""
+
+    code: Generator
+    current_op: Optional[tuple] = None
+    step: int = 0
+    proposed_current: bool = False
+    finished: bool = False
+    output: Any = None
+    history: List[Tuple[str, Any]] = field(default_factory=list)
+
+    def advance(self, send_value: Any) -> None:
+        """Feed an op result into the code; load the next op."""
+        self.step += 1
+        self.proposed_current = False
+        try:
+            self.current_op = self.code.send(send_value)
+        except StopIteration as stop:
+            self.finished = True
+            self.output = stop.value
+
+    def prime(self) -> None:
+        try:
+            self.current_op = next(self.code)
+        except StopIteration as stop:
+            self.finished = True
+            self.output = stop.value
+
+
+def bg_simulator_protocol(
+    simulator: int,
+    n_simulators: int,
+    memory: SharedMemory,
+    codes: Dict[int, SimulatedCode],
+) -> Generator:
+    """One BG simulator; returns ``{j: (output, history)}``."""
+    n_sim = len(codes)
+    sim_memory = memory.snapshot_array("SimMem", size=n_sim)
+    states = {j: _SimState(code=codes[j](j)) for j in sorted(codes)}
+    for state in states.values():
+        state.prime()
+
+    stalled_sweeps = 0
+    while True:
+        unfinished = [j for j, s in states.items() if not s.finished]
+        if not unfinished or stalled_sweeps >= STALL_PATIENCE:
+            break
+        progressed = False
+        for j in unfinished:
+            state = states[j]
+            op = state.current_op
+            if op[0] == "write":
+                yield from _apply_simulated_write(
+                    sim_memory, j, state.step, op[1]
+                )
+                state.history.append(("write", op[1]))
+                state.advance(None)
+                progressed = True
+            elif op[0] == "snapshot":
+                array = memory.snapshot_array(
+                    f"SA[{j}][{state.step}]", initial=None
+                )
+                if not state.proposed_current:
+                    view = yield ("scan", sim_memory)
+                    proposal = _freeze_view(view, n_sim)
+                    yield from _sa_propose(array, proposal)
+                    state.proposed_current = True
+                agreed = yield from _sa_probe(array)
+                if agreed is None:
+                    continue  # blocked; try other processes
+                state.history.append(("snapshot", agreed[1]))
+                state.advance(agreed[1])
+                progressed = True
+            else:
+                raise ValueError(f"unknown simulated op {op!r}")
+        stalled_sweeps = 0 if progressed else stalled_sweeps + 1
+
+    return {
+        j: (state.output, list(state.history))
+        for j, state in states.items()
+        if state.finished
+    }
+
+
+def _sa_propose(array, value) -> Generator:
+    """Safe-agreement propose (level-1 window, then resolve)."""
+    yield ("update", array, (1, value))
+    content = yield ("scan", array)
+    someone_at_two = any(
+        cell is not None and cell[0] == 2 for cell in content
+    )
+    yield ("update", array, (0 if someone_at_two else 2, value))
+
+
+def _sa_probe(array) -> Generator:
+    """Non-blocking read: ``("agreed", v)`` or ``None`` if unresolved."""
+    content = yield ("scan", array)
+    if any(cell is not None and cell[0] == 1 for cell in content):
+        return None
+    candidates = {
+        index: cell[1]
+        for index, cell in enumerate(content)
+        if cell is not None and cell[0] == 2
+    }
+    if not candidates:
+        return None
+    return ("agreed", candidates[min(candidates)])
+
+
+def _apply_simulated_write(sim_memory, j, step, value) -> Generator:
+    """Record ``(step, value)`` in j's write log (idempotent).
+
+    Multiple simulators may apply the same write; the value for a given
+    step is deterministic, so duplicate applications agree and the log
+    is kept sorted by step.
+    """
+    view = yield ("scan", sim_memory)
+    log = list(view[j] or ())
+    if not any(entry[0] == step for entry in log):
+        log.append((step, value))
+        log.sort()
+        yield ("update_at", sim_memory, j, tuple(log))
+
+
+def _freeze_view(view, n_sim) -> tuple:
+    """Hashable snapshot value: the latest write per simulated process."""
+    frozen = []
+    for j in range(n_sim):
+        log = view[j] or ()
+        frozen.append(log[-1][1] if log else None)
+    return tuple(frozen)
+
+
+# ----------------------------------------------------------------------
+# Harness
+# ----------------------------------------------------------------------
+@dataclass
+class BGOutcome:
+    """One BG simulation run."""
+
+    per_simulator: Dict[int, Dict[int, Tuple[Any, list]]]
+    crashed_simulators: frozenset
+
+    def completed_simulated(self) -> frozenset:
+        """Simulated processes completed by some surviving simulator."""
+        done = set()
+        for results in self.per_simulator.values():
+            done.update(results)
+        return frozenset(done)
+
+    def histories_agree(self) -> bool:
+        """All simulators saw identical histories per simulated process."""
+        merged: Dict[int, list] = {}
+        for results in self.per_simulator.values():
+            for j, (_output, history) in results.items():
+                if j in merged and merged[j] != history:
+                    return False
+                merged[j] = history
+        return True
+
+    def merged_histories(self) -> Dict[int, list]:
+        merged: Dict[int, list] = {}
+        for results in self.per_simulator.values():
+            for j, (_output, history) in results.items():
+                merged.setdefault(j, history)
+        return merged
+
+
+def run_bg_simulation(
+    codes: Dict[int, SimulatedCode],
+    n_simulators: int,
+    crash_simulators: Optional[Dict[int, int]] = None,
+    seed: int = 0,
+    max_steps: int = 300_000,
+) -> BGOutcome:
+    """Run the simulators under a random schedule with optional crashes.
+
+    ``crash_simulators`` maps a simulator id to the step count after
+    which it stops forever.
+    """
+    crash_simulators = crash_simulators or {}
+    rng = random.Random(seed)
+    memory = SharedMemory(n_simulators)
+    scheduler = Scheduler(
+        {
+            s: bg_simulator_protocol(s, n_simulators, memory, codes)
+            for s in range(n_simulators)
+        }
+    )
+    steps_of = {s: 0 for s in range(n_simulators)}
+    for _ in range(max_steps):
+        alive = [
+            s
+            for s in range(n_simulators)
+            if s not in scheduler.outputs
+            and steps_of[s] < crash_simulators.get(s, max_steps + 1)
+        ]
+        if not alive:
+            break
+        s = rng.choice(alive)
+        scheduler.step(s)
+        steps_of[s] += 1
+    return BGOutcome(
+        per_simulator=dict(scheduler.outputs),
+        crashed_simulators=frozenset(crash_simulators),
+    )
+
+
+def full_information_code(rounds: int) -> SimulatedCode:
+    """A standard simulated protocol: ``rounds`` write/snapshot pairs."""
+
+    def code(j: int) -> Generator:
+        state: Any = j
+        for _ in range(rounds):
+            yield ("write", state)
+            state = yield ("snapshot",)
+        return state
+
+    return code
+
+
+def check_simulated_history(j: int, history: List[Tuple[str, Any]]) -> None:
+    """Assert self-inclusion and monotonicity of j's agreed snapshots."""
+    last_write: Any = None
+    previous_snapshot: Optional[tuple] = None
+    for kind, payload in history:
+        if kind == "write":
+            last_write = payload
+        else:
+            assert payload[j] == last_write, (
+                f"snapshot for p{j} missing its own write"
+            )
+            if previous_snapshot is not None:
+                for index, (old, new) in enumerate(
+                    zip(previous_snapshot, payload)
+                ):
+                    if old is not None:
+                        assert new is not None, (
+                            f"snapshot for p{j} forgot p{index}"
+                        )
+            previous_snapshot = payload

@@ -1,0 +1,113 @@
+"""Shared-memory objects for the asynchronous runtime.
+
+The runtime executes protocols cooperatively: one process performs one
+shared-memory operation per scheduler step, so each operation on the
+objects below is trivially atomic.  Two primitives model the paper's
+atomic-snapshot (AS) memory:
+
+* :class:`Register` — a single-writer multi-reader atomic register;
+* :class:`SnapshotArray` — a vector of per-process cells supporting
+  ``update(i, v)`` and an atomic ``scan()``.
+
+Every object records an operation trace, which the test-suite uses to
+assert protocol-level properties (e.g. that immediate-snapshot outputs
+were justified by the memory history).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple
+
+
+class Register:
+    """A single-writer multi-reader atomic register."""
+
+    def __init__(self, name: str, initial: Any = None):
+        self.name = name
+        self._value = initial
+        self.trace: List[Tuple[str, Any]] = []
+
+    def read(self) -> Any:
+        self.trace.append(("read", self._value))
+        return self._value
+
+    def write(self, value: Any) -> None:
+        self.trace.append(("write", value))
+        self._value = value
+
+    def peek(self) -> Any:
+        """Non-logged read for assertions and reporting."""
+        return self._value
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Register({self.name}={self._value!r})"
+
+
+class SnapshotArray:
+    """An ``n``-cell atomic-snapshot object (update / scan).
+
+    Cell ``i`` is written only by process ``i`` (single-writer); a scan
+    returns an immutable copy of the whole vector.  This is the paper's
+    AS memory (Section 2).
+    """
+
+    def __init__(self, name: str, n: int, initial: Any = None):
+        self.name = name
+        self.n = n
+        self._cells: List[Any] = [initial] * n
+        self.trace: List[Tuple[str, int, Any]] = []
+
+    def update(self, process: int, value: Any) -> None:
+        if not 0 <= process < self.n:
+            raise IndexError(f"process {process} outside 0..{self.n - 1}")
+        self.trace.append(("update", process, value))
+        self._cells[process] = value
+
+    def scan(self) -> Tuple[Any, ...]:
+        view = tuple(self._cells)
+        self.trace.append(("scan", -1, view))
+        return view
+
+    def read(self, index: int) -> Any:
+        """Read a single cell (one register of the vector)."""
+        value = self._cells[index]
+        self.trace.append(("read", index, value))
+        return value
+
+    def peek(self) -> Tuple[Any, ...]:
+        """Non-logged scan for assertions and reporting."""
+        return tuple(self._cells)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SnapshotArray({self.name}, n={self.n})"
+
+
+class SharedMemory:
+    """A namespace of shared objects allocated by a protocol run."""
+
+    def __init__(self, n: int):
+        self.n = n
+        self._objects: dict = {}
+
+    def register(self, name: str, initial: Any = None) -> Register:
+        return self._get_or_create(name, lambda: Register(name, initial))
+
+    def snapshot_array(
+        self, name: str, initial: Any = None, size: Any = None
+    ) -> SnapshotArray:
+        """Get or create an array; ``size`` overrides the default ``n``
+        (e.g. simulated memories indexed by simulated processes)."""
+        return self._get_or_create(
+            name, lambda: SnapshotArray(name, size or self.n, initial)
+        )
+
+    def _get_or_create(self, name: str, factory):
+        if name not in self._objects:
+            self._objects[name] = factory()
+        return self._objects[name]
+
+    def __getitem__(self, name: str):
+        return self._objects[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._objects

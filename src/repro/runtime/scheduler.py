@@ -1,0 +1,230 @@
+"""Cooperative scheduling of asynchronous protocols.
+
+Protocols are Python generators that *yield one shared-memory operation
+per step* and receive the operation's result at the next resumption.
+The scheduler interleaves processes according to a schedule — a
+sequence of process ids — so every interleaving of atomic steps is
+expressible, and the adversary (test, benchmark, fuzzer) fully controls
+asynchrony and crashes.
+
+Yielded operations (``obj`` is a runtime memory object):
+
+========================  =============================================
+``("update", a, v)``      ``a.update(pid, v)`` on a SnapshotArray
+``("update_at", a, i, v)``  multi-writer write to cell ``i``
+``("scan", a)``           atomic scan of a SnapshotArray
+``("read", a, i)``        read cell ``i`` of a SnapshotArray
+``("write", r, v)``       write a Register
+``("readreg", r)``        read a Register
+========================  =============================================
+
+A process finishes by returning; its return value is its protocol
+output.  Crashes are expressed by schedules that stop scheduling a
+process.
+
+The module also generates **α-model-compliant executions**: choose a
+participating set ``P`` with ``alpha(P) >= 1``, at most
+``alpha(P) - 1`` faulty processes inside ``P``, crash points, and a
+seeded fair interleaving of the survivors (Definition 3).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, FrozenSet, Generator, Iterable, List, Optional
+
+from ..adversaries.agreement import AgreementFunction
+from .memory import Register, SharedMemory, SnapshotArray
+
+Protocol = Generator  # yields op tuples, receives results, returns output
+
+
+class ProtocolError(Exception):
+    """A protocol yielded a malformed operation."""
+
+
+class LivenessViolation(Exception):
+    """Correct processes failed to decide within the step budget."""
+
+
+def execute_operation(op: tuple, pid: int) -> Any:
+    """Interpret one yielded operation atomically."""
+    if not isinstance(op, tuple) or not op:
+        raise ProtocolError(f"process {pid} yielded {op!r}")
+    kind = op[0]
+    if kind == "update":
+        _, array, value = op
+        array.update(pid, value)
+        return None
+    if kind == "update_at":
+        # Multi-writer cell write (used by simulations maintaining
+        # shared per-simulated-process state).
+        _, array, index, value = op
+        array.update(index, value)
+        return None
+    if kind == "scan":
+        _, array = op
+        return array.scan()
+    if kind == "read":
+        _, array, index = op
+        return array.read(index)
+    if kind == "write":
+        _, register, value = op
+        register.write(value)
+        return None
+    if kind == "readreg":
+        (_, register) = op
+        return register.read()
+    raise ProtocolError(f"process {pid} yielded unknown op {op!r}")
+
+
+@dataclass
+class RunResult:
+    """Outcome of a scheduled execution."""
+
+    outputs: Dict[int, Any]
+    steps_taken: int
+    participants: FrozenSet[int]
+    crashed: FrozenSet[int]
+
+    def decided(self) -> FrozenSet[int]:
+        return frozenset(self.outputs)
+
+
+class Scheduler:
+    """Drives a set of protocol generators through a schedule."""
+
+    def __init__(self, protocols: Dict[int, Protocol]):
+        self.protocols = dict(protocols)
+        self.outputs: Dict[int, Any] = {}
+        self.started: set = set()
+        self.pending_result: Dict[int, Any] = {}
+
+    def step(self, pid: int) -> bool:
+        """Advance process ``pid`` by one atomic step.
+
+        Returns False when the process has already finished (the step is
+        a no-op), True otherwise.
+        """
+        if pid in self.outputs or pid not in self.protocols:
+            return False
+        protocol = self.protocols[pid]
+        try:
+            if pid not in self.started:
+                self.started.add(pid)
+                op = next(protocol)
+            else:
+                op = protocol.send(self.pending_result.pop(pid, None))
+        except StopIteration as stop:
+            self.outputs[pid] = stop.value
+            return True
+        self.pending_result[pid] = execute_operation(op, pid)
+        return True
+
+    def decided_set(self) -> FrozenSet[int]:
+        """Processes that have returned an output."""
+        return frozenset(self.outputs)
+
+    def run(
+        self,
+        schedule: Iterable[int],
+        stop_when: Optional[Callable[["Scheduler"], bool]] = None,
+    ) -> Dict[int, Any]:
+        """Run the given schedule; return per-process outputs so far."""
+        for pid in schedule:
+            self.step(pid)
+            if stop_when is not None and stop_when(self):
+                break
+        return dict(self.outputs)
+
+
+# ----------------------------------------------------------------------
+# Schedule generation
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """An α-model-compliant execution: who runs, who crashes, and when."""
+
+    participants: FrozenSet[int]
+    faulty: FrozenSet[int]
+    crash_after_steps: Dict[int, int] = field(default_factory=dict)
+    seed: int = 0
+
+
+def random_alpha_model_plan(
+    alpha: AgreementFunction, rng: random.Random
+) -> ExecutionPlan:
+    """Sample a random execution plan satisfying Definition 3.
+
+    Participation ``P`` is drawn among sets with ``alpha(P) >= 1``; the
+    faulty set ``F ⊆ P`` has ``|F| <= alpha(P) - 1``; crash points are
+    random small step counts.
+    """
+    positive = alpha.positive_participations()
+    participants = rng.choice(positive)
+    budget = alpha(participants) - 1
+    n_faulty = rng.randint(0, min(budget, len(participants)))
+    faulty = frozenset(rng.sample(sorted(participants), n_faulty))
+    crash_after = {pid: rng.randint(0, 30) for pid in faulty}
+    return ExecutionPlan(
+        participants=frozenset(participants),
+        faulty=faulty,
+        crash_after_steps=crash_after,
+        seed=rng.randint(0, 2**31),
+    )
+
+
+def run_plan(
+    protocol_factory: Callable[[int, SharedMemory], Protocol],
+    n: int,
+    plan: ExecutionPlan,
+    max_steps: int = 100_000,
+) -> RunResult:
+    """Execute a plan with fair random scheduling of non-crashed processes.
+
+    Raises :class:`LivenessViolation` when some correct participant has
+    not decided after ``max_steps`` scheduler steps — the executable
+    form of a liveness failure.
+    """
+    rng = random.Random(plan.seed)
+    memory = SharedMemory(n)
+    protocols = {
+        pid: protocol_factory(pid, memory) for pid in plan.participants
+    }
+    scheduler = Scheduler(protocols)
+    correct = plan.participants - plan.faulty
+    steps_of: Dict[int, int] = {pid: 0 for pid in plan.participants}
+    total = 0
+    while total < max_steps:
+        if correct <= scheduler.decided_set():
+            break
+        alive = [
+            pid
+            for pid in plan.participants
+            if pid not in scheduler.outputs
+            and (
+                pid in correct
+                or steps_of[pid] < plan.crash_after_steps.get(pid, 0)
+            )
+        ]
+        if not alive:
+            break
+        # Fair among correct: every correct process is scheduled
+        # infinitely often under uniform random choice.
+        pid = rng.choice(alive)
+        scheduler.step(pid)
+        steps_of[pid] += 1
+        total += 1
+    if not correct <= scheduler.decided_set():
+        raise LivenessViolation(
+            f"undecided correct processes "
+            f"{sorted(correct - scheduler.decided_set())} after {total} steps "
+            f"(plan={plan})"
+        )
+    return RunResult(
+        outputs=dict(scheduler.outputs),
+        steps_taken=total,
+        participants=plan.participants,
+        crashed=plan.faulty,
+    )

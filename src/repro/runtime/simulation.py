@@ -1,0 +1,292 @@
+"""Simulating atomic-snapshot memory inside ``R*_A`` (Section 6.1).
+
+The paper simulates a run of the α-set-consensus model inside the
+iterated affine model: sequence-numbered writes plus a lock-free
+snapshot emulation in the style of Gafni–Rajsbaum's iterated-task
+simulation [16], with α-adaptive set consensus provided by ``µ_Q``
+(see :mod:`repro.protocols.adaptive_set_consensus`).
+
+This module implements the memory half.  Every iteration, each process
+submits its whole knowledge vector (per-process latest ``(seq, value)``
+plus termination flags); received views are merged entrywise by
+sequence number.  Operation completion is *knowledge-based*:
+
+* a *write* (seq ``s`` by ``p``) completes once every active process is
+  known to hold ``p``'s entry at seq >= ``s`` — known either directly
+  (their submitted state was seen, transitively) or structurally: in an
+  IS round, a process outside ``p``'s view necessarily saw ``p``'s
+  submission (containment + immediacy), so it is recorded as having
+  acknowledged everything ``p`` had submitted;
+* a *snapshot* returns the process's current merged vector once every
+  active process is known to dominate it, by the same two mechanisms.
+
+The paper's fast/slow asymmetry falls out: a process with small views
+completes via structural acknowledgments without ever reading the slow
+processes' data, while a process with large views must wait — unless
+the fast processes terminate, shrinking the active set.
+
+The test-suite validates, over fuzzed ``R*_A`` executions, the
+linearizability evidence: returned snapshots are totally ordered by
+entrywise dominance, contain every write completed before they were
+requested, and all processes terminate.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, List, Optional, Tuple
+
+from ..core.affine import AffineTask
+from .affine_executor import (
+    AffineModelExecutor,
+    FacetChooser,
+    IterationView,
+)
+
+Vector = Dict[int, Tuple[int, Any]]  # pid -> (seq, value)
+
+
+def dominates(left: Vector, right: Vector) -> bool:
+    """Entrywise: every entry of ``right`` is matched or beaten."""
+    return all(
+        pid in left and left[pid][0] >= seq
+        for pid, (seq, _value) in right.items()
+    )
+
+
+def merge(into: Vector, other: Vector) -> None:
+    """Entrywise max-by-seq merge of ``other`` into ``into``."""
+    for pid, (seq, value) in other.items():
+        if pid not in into or into[pid][0] < seq:
+            into[pid] = (seq, value)
+
+
+@dataclass
+class PendingOp:
+    """An in-flight simulated operation."""
+
+    kind: str  # "write" | "snapshot"
+    candidate: Any  # seq for writes, a Vector copy for snapshots
+    acked: set = field(default_factory=set)
+
+
+@dataclass
+class SimProcess:
+    """Simulation-layer state of one process."""
+
+    pid: int
+    vector: Vector = field(default_factory=dict)
+    known_states: Dict[int, Vector] = field(default_factory=dict)
+    terminated_seen: set = field(default_factory=set)
+    seq: int = 0
+    pending: Optional[PendingOp] = None
+    completed_ops: List[Tuple[str, Any]] = field(default_factory=list)
+    terminated: bool = False
+
+
+class SnapshotSimulation:
+    """Drives simulated write/snapshot scripts through ``R*_A``.
+
+    Each process executes a finite *script* of operations:
+    ``("write", value)`` or ``("snapshot",)``.  After its script
+    completes, the process terminates (and keeps participating with a
+    terminated flag, letting slower processes stop waiting for it —
+    the paper's ``⊥``-input convention).
+    """
+
+    def __init__(
+        self,
+        task: AffineTask,
+        scripts: Dict[int, List[tuple]],
+        chooser: Optional[FacetChooser] = None,
+        seed: int = 0,
+    ):
+        self.task = task
+        self.n = task.n
+        self.executor = AffineModelExecutor(task, chooser=chooser, seed=seed)
+        self.processes = {pid: SimProcess(pid) for pid in range(self.n)}
+        self.scripts = {pid: list(script) for pid, script in scripts.items()}
+        self.script_index = {pid: 0 for pid in range(self.n)}
+        self.iterations = 0
+
+    # ------------------------------------------------------------------
+    def _submitted(self, proc: SimProcess) -> dict:
+        return {
+            "vector": dict(proc.vector),
+            "terminated": proc.terminated,
+        }
+
+    def _start_next_op(self, proc: SimProcess) -> None:
+        if proc.pending is not None or proc.terminated:
+            return
+        index = self.script_index[proc.pid]
+        script = self.scripts.get(proc.pid, [])
+        if index >= len(script):
+            proc.terminated = True
+            return
+        op = script[index]
+        if op[0] == "write":
+            proc.seq += 1
+            proc.vector[proc.pid] = (proc.seq, op[1])
+            proc.pending = PendingOp("write", proc.seq)
+        elif op[0] == "snapshot":
+            proc.pending = PendingOp("snapshot", dict(proc.vector))
+        else:
+            raise ValueError(f"unknown simulated op {op!r}")
+
+    def _op_satisfied_by(self, proc: SimProcess, other_state: Vector) -> bool:
+        if proc.pending.kind == "write":
+            entry = other_state.get(proc.pid)
+            return entry is not None and entry[0] >= proc.pending.candidate
+        return dominates(other_state, proc.pending.candidate)
+
+    def _try_complete(self, proc: SimProcess) -> None:
+        if proc.pending is None:
+            return
+        active = {
+            pid
+            for pid in range(self.n)
+            if pid != proc.pid and pid not in proc.terminated_seen
+        }
+        if active <= proc.pending.acked:
+            op = proc.pending
+            if op.kind == "write":
+                proc.completed_ops.append(("write", op.candidate))
+            else:
+                # The returned snapshot is the *current* vector: it was
+                # dominated by everyone when last checked and only grew
+                # with information already disseminated.
+                proc.completed_ops.append(("snapshot", dict(op.candidate)))
+            proc.pending = None
+            self.script_index[proc.pid] += 1
+
+    # ------------------------------------------------------------------
+    def run_iteration(self) -> None:
+        for proc in self.processes.values():
+            self._start_next_op(proc)
+        states = {
+            pid: self._submitted(proc) for pid, proc in self.processes.items()
+        }
+        views = self.executor.run_iteration(states)
+        self.iterations += 1
+        for pid, view in views.items():
+            self._absorb(self.processes[pid], view, states)
+        for proc in self.processes.values():
+            self._try_complete(proc)
+
+    def _absorb(
+        self, proc: SimProcess, view: IterationView, states: dict
+    ) -> None:
+        # Merge every witnessed state (round-1 and round-2 data).
+        witnessed: Dict[int, dict] = {}
+        for block in view.view2_states.values():
+            witnessed.update(block)
+        witnessed.update(view.view1_states)
+        for pid, state in witnessed.items():
+            merge(proc.vector, state["vector"])
+            proc.known_states[pid] = dict(state["vector"])
+            if state["terminated"]:
+                proc.terminated_seen.add(pid)
+        if proc.pending is not None:
+            # Direct acknowledgments: witnessed states that dominate.
+            for pid, state in witnessed.items():
+                if pid != proc.pid and self._op_satisfied_by(
+                    proc, state["vector"]
+                ):
+                    proc.pending.acked.add(pid)
+            # Structural acknowledgments: processes outside the
+            # first-round view necessarily saw this iteration's
+            # submission, which carried the pending candidate.
+            outside = frozenset(range(self.n)) - view.view1
+            candidate_submitted = (
+                proc.pending.kind == "write"
+                and states[proc.pid]["vector"].get(proc.pid, (0,))[0]
+                >= proc.pending.candidate
+            ) or (
+                proc.pending.kind == "snapshot"
+                and dominates(
+                    states[proc.pid]["vector"], proc.pending.candidate
+                )
+            )
+            if candidate_submitted:
+                proc.pending.acked.update(outside)
+
+    # ------------------------------------------------------------------
+    def run(self, max_iterations: int = 200) -> Dict[int, List[tuple]]:
+        """Iterate until every script finishes; return completed ops."""
+        for _ in range(max_iterations):
+            if all(proc.terminated for proc in self.processes.values()):
+                break
+            self.run_iteration()
+        if not all(proc.terminated for proc in self.processes.values()):
+            raise AssertionError(
+                f"simulation did not terminate in {max_iterations} iterations"
+            )
+        return {
+            pid: list(proc.completed_ops)
+            for pid, proc in self.processes.items()
+        }
+
+
+# ----------------------------------------------------------------------
+# Linearizability evidence
+# ----------------------------------------------------------------------
+def snapshots_totally_ordered(results: Dict[int, List[tuple]]) -> bool:
+    """Are all returned snapshots pairwise dominance-comparable?"""
+    snapshots = [
+        op[1]
+        for ops in results.values()
+        for op in ops
+        if op[0] == "snapshot"
+    ]
+    for i, a in enumerate(snapshots):
+        for b in snapshots[i + 1 :]:
+            if not (dominates(a, b) or dominates(b, a)):
+                return False
+    return True
+
+
+def snapshots_contain_own_writes(results: Dict[int, List[tuple]]) -> bool:
+    """Every snapshot reflects the writes its process completed before it."""
+    for pid, ops in results.items():
+        last_seq = 0
+        for op in ops:
+            if op[0] == "write":
+                last_seq = op[1]
+            else:
+                entry = op[1].get(pid)
+                if last_seq and (entry is None or entry[0] < last_seq):
+                    return False
+    return True
+
+
+def fuzz_snapshot_simulation(
+    task: AffineTask,
+    runs: int,
+    seed: int = 0,
+    script_length: int = 4,
+) -> List[Dict[int, List[tuple]]]:
+    """Experiment E13 (memory half): fuzz the simulation in ``R*_A``."""
+    rng = random.Random(seed)
+    all_results = []
+    for index in range(runs):
+        scripts = {}
+        for pid in range(task.n):
+            script: List[tuple] = []
+            for step in range(rng.randint(1, script_length)):
+                if rng.random() < 0.5:
+                    script.append(("write", f"p{pid}s{step}"))
+                else:
+                    script.append(("snapshot",))
+            scripts[pid] = script
+        sim = SnapshotSimulation(
+            task, scripts, seed=rng.randint(0, 2**31)
+        )
+        results = sim.run()
+        if not snapshots_totally_ordered(results):
+            raise AssertionError(f"snapshot comparability violated, run {index}")
+        if not snapshots_contain_own_writes(results):
+            raise AssertionError(f"self-inclusion violated, run {index}")
+        all_results.append(results)
+    return all_results

@@ -1,0 +1,97 @@
+"""Tasks and the FACT decision procedure.
+
+Task triples ``(I, O, Delta)``, the k-set consensus family, simplex
+agreement / affine-tasks-as-tasks, and the backtracking search for a
+chromatic simplicial map carried by ``Delta`` — the executable form of
+the paper's Theorem 16.
+"""
+
+from .task import OutputVertex, Task, output_complex_from_delta
+from .set_consensus import (
+    consensus_task,
+    distinct_decisions,
+    set_consensus_outputs,
+    set_consensus_task,
+)
+from .approximate_agreement import (
+    approximate_agreement_outputs,
+    approximate_agreement_task,
+    grid_points,
+    realization_map,
+    realized_coordinate,
+    solvable_at_depth,
+)
+from .general_task import (
+    GeneralMapSearch,
+    GeneralTask,
+    InputVertex,
+    base_inputs,
+    binary_consensus_task,
+    binary_input_complex,
+    binary_k_set_consensus_task,
+    general_task_solvable,
+    input_complex_from_assignments,
+    subdivide_input_complex,
+)
+from .simplex_agreement import (
+    affine_task_as_task,
+    chromatic_simplex_agreement,
+    is_valid_agreement,
+)
+from .test_and_set import (
+    LOSE,
+    WIN,
+    k_test_and_set_outputs,
+    k_test_and_set_task,
+    leader_election_task,
+    winners,
+)
+from .solvability import (
+    MapSearch,
+    SearchBudgetExceeded,
+    find_carried_map,
+    minimal_set_consensus,
+    solves_set_consensus,
+    verify_carried_map,
+)
+
+__all__ = [
+    "approximate_agreement_outputs",
+    "approximate_agreement_task",
+    "grid_points",
+    "realization_map",
+    "realized_coordinate",
+    "solvable_at_depth",
+    "GeneralMapSearch",
+    "GeneralTask",
+    "InputVertex",
+    "base_inputs",
+    "binary_consensus_task",
+    "binary_input_complex",
+    "binary_k_set_consensus_task",
+    "general_task_solvable",
+    "input_complex_from_assignments",
+    "subdivide_input_complex",
+    "OutputVertex",
+    "Task",
+    "output_complex_from_delta",
+    "consensus_task",
+    "distinct_decisions",
+    "set_consensus_outputs",
+    "set_consensus_task",
+    "affine_task_as_task",
+    "chromatic_simplex_agreement",
+    "is_valid_agreement",
+    "LOSE",
+    "WIN",
+    "k_test_and_set_outputs",
+    "k_test_and_set_task",
+    "leader_election_task",
+    "winners",
+    "MapSearch",
+    "SearchBudgetExceeded",
+    "find_carried_map",
+    "minimal_set_consensus",
+    "solves_set_consensus",
+    "verify_carried_map",
+]

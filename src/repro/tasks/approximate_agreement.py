@@ -1,0 +1,159 @@
+"""ε-approximate agreement: the iteration dimension of FACT.
+
+The FACT statement quantifies over the number of iterations ``ℓ``:
+a task may need *many* rounds of the affine task.  k-set consensus is
+decided at ``ℓ = 1``; approximate agreement is the canonical task whose
+required ``ℓ`` grows with the precision ε, making the crossover
+observable.
+
+Two processes start at 0 and 1 and must output values within ε of each
+other, inside the interval spanned by the participating inputs (a solo
+participant must output its own input).  Outputs are restricted to the
+grid of the geometric realization of ``Chr^m`` of the edge — exact
+rational coordinates with denominators ``3^m`` — which is exactly what
+an ``ℓ``-round IIS protocol can compute.  One chromatic subdivision of
+an edge contracts diameters by 1/3, so the task with ``ε = 3^{-m}`` is
+solvable from ``Chr^ℓ s`` iff ``ℓ >= m`` — verified by the map search
+in the benchmarks (experiment E14).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from itertools import combinations
+from typing import FrozenSet, List
+
+from ..topology.chromatic import ProcessId, standard_simplex
+from ..topology.simplex import Simplex
+from .task import OutputVertex, Task, output_complex_from_delta
+
+
+def grid_points(precision: int) -> List[Fraction]:
+    """The output grid: multiples of ``3^-precision`` in ``[0, 1]``."""
+    denominator = 3**precision
+    return [Fraction(k, denominator) for k in range(denominator + 1)]
+
+
+def approximate_agreement_outputs(
+    participants: FrozenSet[ProcessId],
+    epsilon: Fraction,
+    precision: int,
+) -> FrozenSet[Simplex]:
+    """``Delta(P)`` for 2-process ε-agreement with inputs 0 and 1.
+
+    * solo participant ``i``: must output its own input ``i``;
+    * both participants: any grid pair within ε, anywhere in [0, 1]
+      (the hull of the inputs).
+
+    Monotonicity requires solo-allowed outputs to remain allowed with
+    larger participation, which holds since ``0`` and ``1`` are grid
+    points.
+    """
+    participants = frozenset(participants)
+    result = set()
+    grid = grid_points(precision)
+    if len(participants) == 1:
+        (process,) = participants
+        result.add(frozenset({OutputVertex(process, Fraction(process))}))
+        return frozenset(result)
+
+    for process in participants:
+        for value in grid:
+            # Faces: a single decided process may output anything a full
+            # output simplex could give it.
+            result.add(frozenset({OutputVertex(process, value)}))
+    for a, b in combinations(sorted(participants), 2):
+        for value_a in grid:
+            for value_b in grid:
+                if abs(value_a - value_b) <= epsilon:
+                    result.add(
+                        frozenset(
+                            {
+                                OutputVertex(a, value_a),
+                                OutputVertex(b, value_b),
+                            }
+                        )
+                    )
+    return frozenset(result)
+
+
+def approximate_agreement_task(
+    precision_epsilon: int, precision_grid: int | None = None
+) -> Task:
+    """The 2-process ``3^-precision_epsilon``-agreement task.
+
+    ``precision_grid`` (default: same as the ε precision) controls the
+    output grid resolution — the protocol-computable points.
+    """
+    if precision_epsilon < 0:
+        raise ValueError("precision must be non-negative")
+    grid = (
+        precision_epsilon if precision_grid is None else precision_grid
+    )
+    epsilon = Fraction(1, 3**precision_epsilon)
+
+    def delta(participants: FrozenSet[ProcessId]) -> FrozenSet[Simplex]:
+        return approximate_agreement_outputs(participants, epsilon, grid)
+
+    return Task(
+        2,
+        standard_simplex(2),
+        output_complex_from_delta(2, delta),
+        delta,
+        name=f"3^-{precision_epsilon}-agreement",
+    )
+
+
+def realized_coordinate(vertex) -> Fraction:
+    """Exact position of a ``Chr^m`` edge vertex along ``[0, 1]``.
+
+    Process 0 sits at 0, process 1 at 1; a subdivision vertex
+    ``(c, t)`` realizes via the paper's formula
+    ``(1/(2k-1))·own + (2/(2k-1))·Σ others`` with ``k = |t|``.
+    """
+    if isinstance(vertex, int):
+        return Fraction(vertex)
+    carrier_points = {w: realized_coordinate(w) for w in vertex.carrier}
+    own = next(w for w in vertex.carrier if _color(w) == vertex.color)
+    k = len(vertex.carrier)
+    point = Fraction(1, 2 * k - 1) * carrier_points[own]
+    for w, coordinate in carrier_points.items():
+        if w != own:
+            point += Fraction(2, 2 * k - 1) * coordinate
+    return point
+
+
+def _color(vertex) -> int:
+    return vertex if isinstance(vertex, int) else vertex.color
+
+
+def realization_map(depth: int):
+    """The canonical solution at the diagonal ``depth == precision``:
+    every vertex of ``Chr^depth`` of the edge outputs its realized
+    coordinate.  Facets of the subdivision have diameter exactly
+    ``3^-depth``, so the map is carried by Δ."""
+    from ..core.affine import full_affine_task
+
+    affine = full_affine_task(2, depth)
+    return {
+        v: OutputVertex(_color(v), realized_coordinate(v))
+        for v in affine.complex.vertices
+    }
+
+
+def solvable_at_depth(precision: int, depth: int) -> bool:
+    """Is ``3^-precision``-agreement solvable from ``Chr^depth s``?
+
+    The executable form of the crossover: True iff
+    ``depth >= precision``.  The diagonal case is decided by verifying
+    the constructive realization map (plain backtracking is slow
+    there); off-diagonal cases by exhaustive search.
+    """
+    from ..core.affine import full_affine_task
+    from .solvability import MapSearch, verify_carried_map
+
+    task = approximate_agreement_task(precision)
+    affine = full_affine_task(2, depth)
+    if depth == precision:
+        return verify_carried_map(affine, task, realization_map(depth))
+    return MapSearch(affine, task).search() is not None

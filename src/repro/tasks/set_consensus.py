@@ -1,0 +1,71 @@
+"""The k-set consensus task (Chaudhuri 1990; Section 2 of the paper).
+
+We use the canonical *identity-input* instance: process ``i`` proposes
+value ``i``.  This loses no generality for solvability-from-a-model
+questions — any instance with at least ``k + 1`` distinct proposals
+reduces to it — and makes the input complex the standard simplex ``s``.
+
+Outputs: each participating process decides a proposed value of a
+participant; at most ``k`` distinct values are decided overall.
+``k = 1`` is consensus.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations, product
+from typing import FrozenSet, Iterable
+
+from ..topology.chromatic import ChromaticComplex, ProcessId, standard_simplex
+from ..topology.simplex import Simplex
+from .task import OutputVertex, Task, output_complex_from_delta
+
+
+def set_consensus_outputs(
+    participants: FrozenSet[ProcessId], k: int
+) -> FrozenSet[Simplex]:
+    """``Delta(P)`` of k-set consensus with identity inputs.
+
+    All rainbow output simplices on (a subset of) ``P`` whose decided
+    values are participants' ids, at most ``k`` distinct.
+    """
+    participants = frozenset(participants)
+    result = set()
+    members = sorted(participants)
+    for size in range(1, len(members) + 1):
+        for deciders in combinations(members, size):
+            for values in product(members, repeat=size):
+                if len(set(values)) <= k:
+                    result.add(
+                        frozenset(
+                            OutputVertex(p, v)
+                            for p, v in zip(deciders, values)
+                        )
+                    )
+    return frozenset(result)
+
+
+def set_consensus_task(n: int, k: int) -> Task:
+    """The k-set consensus task over ``n`` processes."""
+    if not 1 <= k <= n:
+        raise ValueError("need 1 <= k <= n")
+
+    def delta(participants: FrozenSet[ProcessId]) -> FrozenSet[Simplex]:
+        return set_consensus_outputs(participants, k)
+
+    return Task(
+        n,
+        standard_simplex(n),
+        output_complex_from_delta(n, delta),
+        delta,
+        name=f"{k}-set-consensus",
+    )
+
+
+def consensus_task(n: int) -> Task:
+    """The consensus task (1-set consensus)."""
+    return set_consensus_task(n, 1)
+
+
+def distinct_decisions(outputs: Iterable[OutputVertex]) -> int:
+    """Number of distinct decided values in an output simplex."""
+    return len({vertex.value for vertex in outputs})

@@ -1,0 +1,78 @@
+"""(Generalized) simplex agreement, and affine tasks viewed as tasks.
+
+In simplex agreement processes start on the vertices of ``s`` and must
+converge on a simplex of a target subdivision/sub-complex, respecting
+carrier inclusion: outputs of a run with participation ``P`` must be
+carried by the face ``P`` of ``s``.  An affine task *is* exactly the
+instance where the target is a pure sub-complex ``L ⊆ Chr^l s`` — this
+module provides the adapter from :class:`repro.core.affine.AffineTask`
+to :class:`repro.tasks.task.Task`, letting the solvability machinery
+treat affine tasks uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet
+
+from ..core.affine import AffineTask
+from ..topology.chromatic import (
+    ChromaticComplex,
+    ChrVertex,
+    ProcessId,
+    chi,
+    standard_simplex,
+)
+from ..topology.simplex import Simplex
+from ..topology.subdivision import chr_complex
+from .task import OutputVertex, Task
+
+
+def affine_task_as_task(affine: AffineTask) -> Task:
+    """The task ``(s, L, Delta)`` with ``Delta(P) = L ∩ Chr^l(P)``.
+
+    Output vertices are wrapped as ``OutputVertex(process, chr_vertex)``
+    so the output complex follows the library's task conventions.
+    """
+
+    def delta(participants: FrozenSet[ProcessId]) -> FrozenSet[Simplex]:
+        restricted = affine.delta(participants)
+        return frozenset(
+            frozenset(OutputVertex(v.color, v) for v in sigma)
+            for sigma in restricted.simplices
+        )
+
+    output = ChromaticComplex(
+        frozenset(OutputVertex(v.color, v) for v in sigma)
+        for sigma in affine.complex.simplices
+    )
+    return Task(
+        affine.n,
+        standard_simplex(affine.n),
+        output,
+        delta,
+        name=f"simplex-agreement[{affine.name}]",
+    )
+
+
+def chromatic_simplex_agreement(n: int, depth: int) -> Task:
+    """Simplex agreement on the full ``Chr^depth s`` (the ``IS^depth`` task)."""
+    from ..core.affine import full_affine_task
+
+    return affine_task_as_task(full_affine_task(n, depth))
+
+
+def is_valid_agreement(
+    affine: AffineTask,
+    participants: FrozenSet[ProcessId],
+    outputs: FrozenSet[ChrVertex],
+) -> bool:
+    """Direct checker: outputs form a simplex of ``L`` carried by ``P``."""
+    from ..topology.subdivision import carrier_in_s
+
+    if not outputs:
+        return False
+    if chi(outputs) - frozenset(participants):
+        return False
+    if outputs not in affine.complex:
+        return False
+    return carrier_in_s(outputs) <= frozenset(participants)

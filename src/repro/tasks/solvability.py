@@ -1,0 +1,224 @@
+"""The FACT decision procedure: search for a carried chromatic map.
+
+Theorem 16 reduces solvability of ``T = (I, O, Delta)`` in a fair
+``A``-model to the existence of a chromatic simplicial map
+``phi : R_A^l(I) -> O`` carried by ``Delta``.  For the small systems the
+paper's figures live in (n = 3, 4; l = 1, 2) existence is decidable by
+backtracking over vertex assignments:
+
+* variables — vertices of the affine complex ``L``;
+* domains — output vertices of matching color whose singleton is
+  allowed by ``Delta`` of the vertex's witnessed participation;
+* constraints — for every simplex ``sigma`` of ``L``, the image must
+  belong to ``Delta(carrier(sigma, s))``.
+
+Because task specifications here are downward closed, constraints are
+checked exactly once, when a simplex's last vertex is assigned, and
+failures surface at the smallest violating face.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from ..core.affine import AffineTask
+from ..topology.chromatic import ChrVertex, ProcessId, chi, color_of
+from ..topology.simplex import Simplex
+from ..topology.subdivision import carrier_in_s
+from .task import OutputVertex, Task
+
+
+class SearchBudgetExceeded(Exception):
+    """The backtracking search hit its node budget before deciding."""
+
+
+class MapSearch:
+    """Backtracking search for a carried chromatic simplicial map."""
+
+    def __init__(self, affine: AffineTask, task: Task):
+        if affine.n != task.n:
+            raise ValueError("affine task and task disagree on n")
+        self.affine = affine
+        self.task = task
+        self.nodes_explored = 0
+
+        complex_ = affine.complex
+        self.simplices: List[Simplex] = sorted(
+            complex_.simplices, key=lambda s: (len(s), repr(s))
+        )
+        self.participation: Dict[Simplex, FrozenSet[ProcessId]] = {
+            sigma: carrier_in_s(sigma) for sigma in self.simplices
+        }
+        self.vertices = self._order_vertices(complex_.vertices)
+        self.rank = {v: i for i, v in enumerate(self.vertices)}
+        # Simplices indexed by their latest vertex in assignment order:
+        # each constraint fires exactly once.
+        self.firing: Dict[ChrVertex, List[Simplex]] = {
+            v: [] for v in self.vertices
+        }
+        for sigma in self.simplices:
+            last = max(sigma, key=lambda v: self.rank[v])
+            self.firing[last].append(sigma)
+        self.domains: Dict[ChrVertex, List[OutputVertex]] = {
+            v: self._domain(v) for v in self.vertices
+        }
+
+    # ------------------------------------------------------------------
+    def _order_vertices(self, vertices: Iterable[ChrVertex]) -> List[ChrVertex]:
+        """Constrained-first ordering: small witnessed participation,
+        then maximal adjacency to already-ordered vertices."""
+        remaining = set(vertices)
+        adjacency: Dict[ChrVertex, set] = {v: set() for v in remaining}
+        for sigma in self.simplices:
+            if len(sigma) == 2:
+                a, b = tuple(sigma)
+                adjacency[a].add(b)
+                adjacency[b].add(a)
+        ordered: List[ChrVertex] = []
+        placed: set = set()
+        while remaining:
+            best = min(
+                remaining,
+                key=lambda v: (
+                    -len(adjacency[v] & placed),
+                    len(self.participation[frozenset([v])]),
+                    repr(v),
+                ),
+            )
+            ordered.append(best)
+            placed.add(best)
+            remaining.remove(best)
+        return ordered
+
+    def _domain(self, vertex: ChrVertex) -> List[OutputVertex]:
+        participation = self.participation[frozenset([vertex])]
+        allowed = self.task.allowed_outputs(participation)
+        color = color_of(vertex)
+        candidates = sorted(
+            {
+                out
+                for sigma in allowed
+                for out in sigma
+                if out.process == color
+            },
+            key=repr,
+        )
+        return [
+            out for out in candidates if frozenset([out]) in allowed
+        ]
+
+    # ------------------------------------------------------------------
+    def search(
+        self, node_budget: Optional[int] = None
+    ) -> Optional[Dict[ChrVertex, OutputVertex]]:
+        """Find a carried map, or return ``None`` when none exists.
+
+        Raises :class:`SearchBudgetExceeded` if ``node_budget``
+        assignments are exhausted before the search concludes.
+        """
+        assignment: Dict[ChrVertex, OutputVertex] = {}
+        self.nodes_explored = 0
+
+        def consistent(vertex: ChrVertex) -> bool:
+            for sigma in self.firing[vertex]:
+                image = frozenset(assignment[v] for v in sigma)
+                if image not in self.task.allowed_outputs(
+                    self.participation[sigma]
+                ):
+                    return False
+            return True
+
+        # Iterative depth-first search (the domain can exceed Python's
+        # recursion limit at n = 4): choice_index[d] is the next
+        # candidate to try for the vertex at depth d.
+        total = len(self.vertices)
+        if total == 0:
+            return {}
+        choice_index = [0] * total
+        depth = 0
+        while True:
+            vertex = self.vertices[depth]
+            domain = self.domains[vertex]
+            advanced = False
+            while choice_index[depth] < len(domain):
+                candidate = domain[choice_index[depth]]
+                choice_index[depth] += 1
+                self.nodes_explored += 1
+                if (
+                    node_budget is not None
+                    and self.nodes_explored > node_budget
+                ):
+                    raise SearchBudgetExceeded(
+                        f"exceeded {node_budget} nodes"
+                    )
+                assignment[vertex] = candidate
+                if consistent(vertex):
+                    advanced = True
+                    break
+                del assignment[vertex]
+            if advanced:
+                if depth + 1 == total:
+                    return dict(assignment)
+                depth += 1
+                choice_index[depth] = 0
+            else:
+                if vertex in assignment:
+                    del assignment[vertex]
+                depth -= 1
+                if depth < 0:
+                    return None
+                assignment.pop(self.vertices[depth], None)
+
+
+def find_carried_map(
+    affine: AffineTask,
+    task: Task,
+    node_budget: Optional[int] = None,
+) -> Optional[Dict[ChrVertex, OutputVertex]]:
+    """Convenience wrapper around :class:`MapSearch`."""
+    return MapSearch(affine, task).search(node_budget)
+
+
+def verify_carried_map(
+    affine: AffineTask,
+    task: Task,
+    mapping: Dict[ChrVertex, OutputVertex],
+) -> bool:
+    """Independently re-check a candidate solution.
+
+    Confirms chromaticity and that every simplex's image is allowed by
+    ``Delta`` of its witnessed participation.
+    """
+    for vertex, out in mapping.items():
+        if color_of(vertex) != out.process:
+            return False
+    for sigma in affine.complex.simplices:
+        image = frozenset(mapping[v] for v in sigma)
+        if image not in task.allowed_outputs(carrier_in_s(sigma)):
+            return False
+    return True
+
+
+def solves_set_consensus(
+    affine: AffineTask, k: int, node_budget: Optional[int] = None
+) -> bool:
+    """Is k-set consensus solvable by one shot of the affine task?"""
+    from .set_consensus import set_consensus_task
+
+    task = set_consensus_task(affine.n, k)
+    return MapSearch(affine, task).search(node_budget) is not None
+
+
+def minimal_set_consensus(
+    affine: AffineTask, node_budget: Optional[int] = None
+) -> int:
+    """The smallest ``k`` such that one shot of ``L`` solves k-set consensus.
+
+    By Theorem 16 (plus the BG impossibility results the paper builds
+    on) this equals ``setcon(A)`` when ``L = R_A`` for a fair adversary
+    ``A`` with ``alpha(Pi) = setcon(A)``.
+    """
+    for k in range(1, affine.n + 1):
+        if solves_set_consensus(affine, k, node_budget):
+            return k
+    raise AssertionError("n-set consensus is always solvable")

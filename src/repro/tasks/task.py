@@ -1,0 +1,131 @@
+"""Distributed tasks as triples ``(I, O, Delta)`` (Section 2).
+
+A task's inputs and outputs are chromatic complexes; the specification
+``Delta`` is a carrier map assigning to each input simplex the
+sub-complex of allowed output simplices, monotone under inclusion
+(``rho ⊆ sigma => Delta(rho) ⊆ Delta(sigma)``).
+
+Output vertices are conventionally pairs ``(process, value)`` colored
+by their process; :class:`OutputVertex` fixes that representation so
+output complexes compose across modules.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, Hashable, Iterable, NamedTuple, Optional
+
+from ..topology.chromatic import ChromaticComplex, ProcessId, chi, color_of
+from ..topology.simplex import Simplex
+
+
+class OutputVertex(NamedTuple):
+    """A decision ``(process, value)``; colored by ``process``."""
+
+    process: ProcessId
+    value: Hashable
+
+    @property
+    def color(self) -> ProcessId:
+        return self.process
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Out(p{self.process}={self.value!r})"
+
+
+class Task:
+    """A task ``(I, O, Delta)`` over ``n`` processes.
+
+    ``delta`` maps a *color set* (the participating processes of an
+    input simplex — sufficient for the fixed-input tasks studied here)
+    to the set of allowed output simplices.  Full input-sensitive tasks
+    can encode inputs in the color-set domain by specializing
+    :meth:`allowed_outputs`.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        input_complex: ChromaticComplex,
+        output_complex: ChromaticComplex,
+        delta: Callable[[FrozenSet[ProcessId]], FrozenSet[Simplex]],
+        name: str = "task",
+    ):
+        self.n = n
+        self.input_complex = input_complex
+        self.output_complex = output_complex
+        self._delta = delta
+        self.name = name
+        self._cache: Dict[FrozenSet[ProcessId], FrozenSet[Simplex]] = {}
+
+    def __repr__(self) -> str:
+        return f"Task({self.name}, n={self.n})"
+
+    def allowed_outputs(
+        self, participants: Iterable[ProcessId]
+    ) -> FrozenSet[Simplex]:
+        """``Delta`` of the input simplex with the given participants."""
+        participants = frozenset(participants)
+        if participants not in self._cache:
+            self._cache[participants] = frozenset(self._delta(participants))
+        return self._cache[participants]
+
+    def permits(
+        self, participants: Iterable[ProcessId], outputs: Iterable[OutputVertex]
+    ) -> bool:
+        """Is the output simplex allowed when ``participants`` took part?"""
+        return frozenset(outputs) in self.allowed_outputs(participants)
+
+    # -- validation ---------------------------------------------------------
+    def validate(self) -> None:
+        """Check the carrier-map laws; raise ``ValueError`` on failure.
+
+        * monotone: larger participation allows at least as much;
+        * chromatic: allowed outputs are colored within the participants;
+        * total: full participation allows at least one full output.
+        """
+        from itertools import combinations
+
+        subsets = [
+            frozenset(combo)
+            for size in range(1, self.n + 1)
+            for combo in combinations(range(self.n), size)
+        ]
+        for small in subsets:
+            for big in subsets:
+                if small < big and not (
+                    self.allowed_outputs(small) <= self.allowed_outputs(big)
+                ):
+                    raise ValueError(
+                        f"{self.name}: Delta not monotone at "
+                        f"{sorted(small)} ⊆ {sorted(big)}"
+                    )
+        for participants in subsets:
+            for sigma in self.allowed_outputs(participants):
+                if not chi(sigma) <= participants:
+                    raise ValueError(
+                        f"{self.name}: output {sigma} colored outside "
+                        f"participants {sorted(participants)}"
+                    )
+                if sigma not in self.output_complex:
+                    raise ValueError(
+                        f"{self.name}: Delta emits {sigma} outside O"
+                    )
+        full = frozenset(range(self.n))
+        if not any(
+            len(sigma) == self.n for sigma in self.allowed_outputs(full)
+        ):
+            raise ValueError(f"{self.name}: no full output for full input")
+
+
+def output_complex_from_delta(
+    n: int,
+    delta: Callable[[FrozenSet[ProcessId]], FrozenSet[Simplex]],
+) -> ChromaticComplex:
+    """Build ``O`` as the union of ``Delta(P)`` over all participations."""
+    from itertools import combinations
+
+    simplices = set()
+    for size in range(1, n + 1):
+        for combo in combinations(range(n), size):
+            simplices.update(delta(frozenset(combo)))
+    return ChromaticComplex(simplices)

@@ -1,0 +1,83 @@
+"""k-test-and-set / leader election tasks.
+
+The paper's concluding section points to k-test-and-set (reference
+[25], by the same authors) as the next frontier beyond fair
+adversaries.  The task itself is readily expressible in this library's
+framework: every participant outputs ``win`` or ``lose``, and among the
+participants that output, completed executions have between 1 and ``k``
+winners.  ``k = 1`` is classic test-and-set / one-shot leader election.
+
+Formally (monotone carrier map): ``Δ(P)`` is the closure of the output
+simplices on ``P`` with exactly ``w`` winners for ``1 <= w <= k`` —
+faces with fewer (even zero) winners are allowed as partial outputs,
+since unseen participants may still win.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import FrozenSet
+
+from ..topology.chromatic import ProcessId, standard_simplex
+from ..topology.simplex import Simplex
+from .task import OutputVertex, Task, output_complex_from_delta
+
+WIN = "win"
+LOSE = "lose"
+
+
+def k_test_and_set_outputs(
+    participants: FrozenSet[ProcessId], k: int
+) -> FrozenSet[Simplex]:
+    """``Δ(P)``: closures of outputs on ``P`` with 1..k winners."""
+    members = sorted(participants)
+    result = set()
+    for winner_count in range(1, min(k, len(members)) + 1):
+        for winners in combinations(members, winner_count):
+            winner_set = frozenset(winners)
+            full = frozenset(
+                OutputVertex(p, WIN if p in winner_set else LOSE)
+                for p in members
+            )
+            # Closure: all faces of the completed output.
+            for size in range(1, len(members) + 1):
+                for who in combinations(members, size):
+                    result.add(
+                        frozenset(
+                            OutputVertex(
+                                p, WIN if p in winner_set else LOSE
+                            )
+                            for p in who
+                        )
+                    )
+            del full
+    return frozenset(result)
+
+
+def k_test_and_set_task(n: int, k: int) -> Task:
+    """The k-test-and-set task over ``n`` processes."""
+    if not 1 <= k <= n:
+        raise ValueError("need 1 <= k <= n")
+
+    def delta(participants: FrozenSet[ProcessId]) -> FrozenSet[Simplex]:
+        return k_test_and_set_outputs(participants, k)
+
+    return Task(
+        n,
+        standard_simplex(n),
+        output_complex_from_delta(n, delta),
+        delta,
+        name=f"{k}-test-and-set",
+    )
+
+
+def leader_election_task(n: int) -> Task:
+    """One-shot leader election: exactly one winner (1-TAS)."""
+    return k_test_and_set_task(n, 1)
+
+
+def winners(outputs) -> FrozenSet[ProcessId]:
+    """The processes that output ``win`` in an output simplex."""
+    return frozenset(
+        vertex.process for vertex in outputs if vertex.value == WIN
+    )

@@ -1,0 +1,170 @@
+"""Chromatic simplicial complexes.
+
+A chromatic complex is a simplicial complex together with a
+non-collapsing simplicial coloring map ``chi`` onto the standard simplex
+``s`` — in distributed-computing terms, every vertex is owned by a
+process, and no simplex contains two vertices of the same process.
+
+The module also fixes the library-wide representation of subdivision
+vertices, :class:`ChrVertex`: a vertex of ``Chr K`` is the pair
+``(color, carrier)`` of the paper, where ``carrier`` is (the vertex set
+of) a simplex of ``K`` containing a vertex of that color.  Iterating the
+construction nests carriers: a ``Chr² s`` vertex carries a frozenset of
+``ChrVertex`` objects, each of which carries a frozenset of process
+ids.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, NamedTuple, Optional
+
+from .complex import SimplicialComplex
+from .simplex import Simplex, Vertex
+
+ProcessId = int
+ColorSet = FrozenSet[ProcessId]
+
+
+class ChrVertex(NamedTuple):
+    """A vertex ``(color, carrier)`` of a standard chromatic subdivision.
+
+    ``color`` is the owning process id; ``carrier`` is the simplex of
+    the subdivided complex that carries the vertex — for a first
+    subdivision of ``s`` this is a set of process ids (the immediate
+    snapshot view), for deeper subdivisions a set of :class:`ChrVertex`.
+    """
+
+    color: ProcessId
+    carrier: frozenset
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ChrVertex({self.color}, {sorted(map(repr, self.carrier))})"
+
+
+def color_of(vertex: Vertex) -> ProcessId:
+    """The process color of a vertex.
+
+    Process ids themselves (``int``) are their own color — this makes
+    the standard simplex ``s`` chromatic with ``chi`` the identity, as
+    in the paper.  Subdivision vertices carry their color explicitly.
+    """
+    if isinstance(vertex, ChrVertex):
+        return vertex.color
+    if isinstance(vertex, int):
+        return vertex
+    color = getattr(vertex, "color", None)
+    if isinstance(color, int):
+        return color
+    raise TypeError(f"vertex {vertex!r} has no color")
+
+
+def chi(sigma: Iterable[Vertex]) -> ColorSet:
+    """``chi(sigma)``: the set of colors of the vertices of ``sigma``."""
+    return frozenset(color_of(v) for v in sigma)
+
+
+def is_rainbow(sigma: Iterable[Vertex]) -> bool:
+    """True when all vertices of ``sigma`` have pairwise distinct colors."""
+    sigma = list(sigma)
+    return len({color_of(v) for v in sigma}) == len(sigma)
+
+
+class ChromaticComplex:
+    """A simplicial complex whose vertices are properly colored.
+
+    The coloring is implicit (via :func:`color_of`); construction
+    validates that every simplex is rainbow (``chi`` is non-collapsing).
+    """
+
+    def __init__(self, simplices: Iterable[Iterable[Vertex]]):
+        self._complex = SimplicialComplex(simplices)
+        for facet in self._complex.facets:
+            if not is_rainbow(facet):
+                raise ValueError(
+                    f"simplex {set(facet)!r} repeats a color; "
+                    "chromatic complexes must be properly colored"
+                )
+
+    # -- delegation -----------------------------------------------------
+    @property
+    def complex(self) -> SimplicialComplex:
+        """The underlying uncolored simplicial complex."""
+        return self._complex
+
+    @property
+    def facets(self):
+        return self._complex.facets
+
+    @property
+    def simplices(self):
+        return self._complex.simplices
+
+    @property
+    def vertices(self):
+        return self._complex.vertices
+
+    @property
+    def dimension(self) -> int:
+        return self._complex.dimension
+
+    def __contains__(self, sigma) -> bool:
+        return sigma in self._complex
+
+    def __len__(self) -> int:
+        return len(self._complex)
+
+    def __iter__(self):
+        return iter(self._complex)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, ChromaticComplex):
+            return self._complex == other._complex
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._complex)
+
+    def __repr__(self) -> str:
+        return (
+            f"ChromaticComplex(dim={self.dimension}, "
+            f"colors={sorted(self.colors())}, facets={len(self.facets)})"
+        )
+
+    # -- chromatic structure --------------------------------------------
+    def colors(self) -> ColorSet:
+        """All colors appearing in the complex."""
+        return chi(self.vertices)
+
+    def vertices_of_color(self, color: ProcessId) -> FrozenSet[Vertex]:
+        """All vertices owned by process ``color``."""
+        return frozenset(v for v in self.vertices if color_of(v) == color)
+
+    def is_pure(self, dimension: Optional[int] = None) -> bool:
+        return self._complex.is_pure(dimension)
+
+    def f_vector(self):
+        return self._complex.f_vector()
+
+    def skeleton(self, k: int) -> "ChromaticComplex":
+        return ChromaticComplex(self._complex.skeleton(k).facets)
+
+    def sub_complex(self, predicate) -> "ChromaticComplex":
+        return ChromaticComplex(self._complex.sub_complex(predicate).facets)
+
+    def restrict_colors(self, colors: Iterable[ProcessId]) -> "ChromaticComplex":
+        """The sub-complex of simplices colored within ``colors``."""
+        allowed = frozenset(colors)
+        return ChromaticComplex(
+            sigma for sigma in self.simplices if chi(sigma) <= allowed
+        )
+
+
+def standard_simplex(n: int) -> ChromaticComplex:
+    """The standard chromatic ``(n-1)``-simplex ``s`` on processes ``0..n-1``.
+
+    Vertices are the process ids themselves and ``chi`` is the identity,
+    exactly as in Appendix A of the paper.
+    """
+    if n <= 0:
+        raise ValueError("need at least one process")
+    return ChromaticComplex([frozenset(range(n))])

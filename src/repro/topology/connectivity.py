@@ -1,0 +1,142 @@
+"""Connectivity and homology of simplicial complexes.
+
+The paper's concluding remarks contrast adversaries whose affine tasks
+are *link-connected* (such as ``t``-resilience) with those that are not
+(such as 1-obstruction-freedom, Figure 7a).  This module provides the
+machinery to make those remarks executable:
+
+* graph (0-)connectivity of a complex's 1-skeleton,
+* link-connectivity (every vertex/simplex link is connected),
+* Euler characteristic,
+* homology ranks over GF(2) from boundary matrices (numpy),
+
+which together distinguish the examples computed in the benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import networkx as nx
+import numpy as np
+
+from .complex import SimplicialComplex
+from .simplex import dim
+
+
+def one_skeleton_graph(K: SimplicialComplex) -> nx.Graph:
+    """The 1-skeleton of ``K`` as an undirected graph."""
+    graph = nx.Graph()
+    graph.add_nodes_from(K.vertices)
+    for edge in K.simplices_of_dim(1):
+        a, b = tuple(edge)
+        graph.add_edge(a, b)
+    return graph
+
+
+def is_connected(K: SimplicialComplex) -> bool:
+    """Is the complex (0-)connected?  Empty complexes count as connected."""
+    if K.is_empty():
+        return True
+    graph = one_skeleton_graph(K)
+    return nx.is_connected(graph)
+
+
+def connected_components(K: SimplicialComplex) -> int:
+    """Number of connected components of the 1-skeleton."""
+    if K.is_empty():
+        return 0
+    return nx.number_connected_components(one_skeleton_graph(K))
+
+
+def is_link_connected(K: SimplicialComplex) -> bool:
+    """Is the link of every simplex of codimension >= 2 connected?
+
+    This is the notion the paper invokes when discussing why the
+    ``t``-resilient characterization of Saraph et al. can rely on
+    continuous maps while general fair adversaries cannot.
+    """
+    top = K.dimension
+    for sigma in K.simplices:
+        if dim(sigma) <= top - 2:
+            link = K.link(sigma)
+            if not link.is_empty() and not is_connected(link):
+                return False
+    return True
+
+
+def euler_characteristic(K: SimplicialComplex) -> int:
+    """``sum_d (-1)^d f_d`` over the f-vector."""
+    return sum((-1) ** d * count for d, count in enumerate(K.f_vector()))
+
+
+def boundary_matrix(K: SimplicialComplex, d: int) -> np.ndarray:
+    """GF(2) boundary matrix from ``d``-simplices to ``(d-1)``-simplices."""
+    rows = sorted(K.simplices_of_dim(d - 1), key=repr)
+    cols = sorted(K.simplices_of_dim(d), key=repr)
+    row_index = {sigma: i for i, sigma in enumerate(rows)}
+    matrix = np.zeros((len(rows), len(cols)), dtype=np.uint8)
+    for j, sigma in enumerate(cols):
+        for vertex in sigma:
+            face = sigma - {vertex}
+            if face in row_index:
+                matrix[row_index[face], j] ^= 1
+    return matrix
+
+
+def _gf2_rank(matrix: np.ndarray) -> int:
+    """Rank of a 0/1 matrix over GF(2) by Gaussian elimination."""
+    work = matrix.copy() % 2
+    rank = 0
+    rows, cols = work.shape
+    pivot_row = 0
+    for col in range(cols):
+        pivot = None
+        for row in range(pivot_row, rows):
+            if work[row, col]:
+                pivot = row
+                break
+        if pivot is None:
+            continue
+        work[[pivot_row, pivot]] = work[[pivot, pivot_row]]
+        for row in range(rows):
+            if row != pivot_row and work[row, col]:
+                work[row] ^= work[pivot_row]
+        pivot_row += 1
+        rank += 1
+        if pivot_row == rows:
+            break
+    return rank
+
+
+def betti_numbers(K: SimplicialComplex) -> List[int]:
+    """GF(2) Betti numbers ``b_0, ..., b_dim`` of the complex.
+
+    ``b_d = dim ker ∂_d - dim im ∂_{d+1}`` with ``∂_0 = 0``.
+    """
+    if K.is_empty():
+        return []
+    top = K.dimension
+    ranks: Dict[int, int] = {}
+    for d in range(1, top + 1):
+        ranks[d] = _gf2_rank(boundary_matrix(K, d))
+    ranks[0] = 0
+    ranks[top + 1] = 0
+    betti = []
+    for d in range(top + 1):
+        n_d = len(K.simplices_of_dim(d))
+        kernel = n_d - ranks[d]
+        betti.append(kernel - ranks[d + 1])
+    return betti
+
+
+def homology_summary(K: SimplicialComplex) -> Dict[str, object]:
+    """A compact homological profile used by benchmarks and reports."""
+    betti = betti_numbers(K)
+    return {
+        "f_vector": K.f_vector(),
+        "euler_characteristic": euler_characteristic(K),
+        "betti_gf2": betti,
+        "connected": is_connected(K),
+        "link_connected": is_link_connected(K),
+    }

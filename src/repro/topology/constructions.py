@@ -1,0 +1,74 @@
+"""Standard constructions: join, cone, suspension, spheres.
+
+The combinatorial toolbox surrounding the paper's arguments —
+Herlihy–Rajsbaum's superset-closed characterization goes through
+(c-2)-connectedness and Nerve-lemma gluing, whose basic vocabulary is
+joins and cones.  These constructions (with their homology signatures
+validated in the tests) round out the topology substrate.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Hashable, Iterable
+
+from .complex import SimplicialComplex
+
+
+def join(K: SimplicialComplex, L: SimplicialComplex) -> SimplicialComplex:
+    """The join ``K * L``: simplices ``sigma ∪ tau``.
+
+    Vertex sets must be disjoint.
+    """
+    if K.vertices & L.vertices:
+        raise ValueError("join requires disjoint vertex sets")
+    if K.is_empty():
+        return L
+    if L.is_empty():
+        return K
+    return SimplicialComplex(
+        [facet_k | facet_l for facet_k in K.facets for facet_l in L.facets]
+    )
+
+
+def cone(K: SimplicialComplex, apex: Hashable) -> SimplicialComplex:
+    """The cone over ``K`` with a fresh apex (always contractible)."""
+    if apex in K.vertices:
+        raise ValueError("apex must be a fresh vertex")
+    if K.is_empty():
+        return SimplicialComplex([{apex}])
+    return SimplicialComplex(
+        [facet | {apex} for facet in K.facets]
+    )
+
+
+def suspension(
+    K: SimplicialComplex, north: Hashable = "N", south: Hashable = "S"
+) -> SimplicialComplex:
+    """The suspension ``S^0 * K`` (two cones glued along ``K``)."""
+    if {north, south} & K.vertices or north == south:
+        raise ValueError("poles must be fresh and distinct")
+    return cone(K, north).union(cone(K, south))
+
+
+def sphere(dimension: int, tag: str = "v") -> SimplicialComplex:
+    """The boundary of a ``(dimension + 1)``-simplex: a combinatorial
+    ``dimension``-sphere."""
+    if dimension < 0:
+        raise ValueError("dimension must be non-negative")
+    vertices = [f"{tag}{i}" for i in range(dimension + 2)]
+    return SimplicialComplex(
+        [
+            frozenset(combo)
+            for combo in combinations(vertices, dimension + 1)
+        ]
+    )
+
+
+def disjoint_union(
+    K: SimplicialComplex, L: SimplicialComplex
+) -> SimplicialComplex:
+    """The disjoint union (vertex sets must already be disjoint)."""
+    if K.vertices & L.vertices:
+        raise ValueError("disjoint union requires disjoint vertex sets")
+    return K.union(L)

@@ -1,0 +1,148 @@
+"""Enumeration of immediate-snapshot runs and ordered set partitions.
+
+A one-shot immediate snapshot (IS) execution on a set of processes is,
+combinatorially, an *ordered set partition* of that set: the processes
+arrive in concurrency classes ``B1, B2, ..., Bk`` and each process in
+``Bi`` returns the view ``B1 ∪ ... ∪ Bi``.  Facets of the standard
+chromatic subdivision ``Chr s`` are in bijection with these ordered
+partitions (Figure 3 of the paper shows the two 3-process extremes),
+and their number is the Fubini (ordered Bell) number.
+
+This module provides the enumeration, the bijection, and the Fubini
+numbers used by tests and benchmarks as ground truth.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import FrozenSet, Iterable, Iterator, List, Sequence, Tuple
+
+from .chromatic import ChrVertex, ProcessId, color_of
+
+OrderedPartition = Tuple[FrozenSet, ...]
+
+
+def ordered_set_partitions(items: Iterable) -> Iterator[OrderedPartition]:
+    """Yield every ordered set partition of ``items``.
+
+    Each partition is a tuple of non-empty, pairwise-disjoint frozensets
+    whose union is ``items``.  The empty collection has exactly one
+    (empty) ordered partition.
+    """
+    pool = sorted(set(items), key=repr)
+
+    def generate(remaining: Tuple) -> Iterator[OrderedPartition]:
+        if not remaining:
+            yield ()
+            return
+        for block in _non_empty_subsets(remaining):
+            block_set = frozenset(block)
+            tail = tuple(x for x in remaining if x not in block_set)
+            for suffix in generate(tail):
+                yield (block_set,) + suffix
+
+    yield from generate(tuple(pool))
+
+
+def _non_empty_subsets(items: Sequence) -> Iterator[Tuple]:
+    from itertools import combinations
+
+    for size in range(1, len(items) + 1):
+        yield from combinations(items, size)
+
+
+@lru_cache(maxsize=None)
+def fubini_number(n: int) -> int:
+    """The number of ordered set partitions of an ``n``-set.
+
+    ``a(n) = sum_{k=1..n} C(n, k) * a(n-k)`` with ``a(0) = 1``;
+    the sequence starts 1, 1, 3, 13, 75, 541, 4683.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    if n == 0:
+        return 1
+    from math import comb
+
+    return sum(comb(n, k) * fubini_number(n - k) for k in range(1, n + 1))
+
+
+def views_of_partition(partition: OrderedPartition) -> dict:
+    """Map each item to its IS view under the ordered partition.
+
+    A process in block ``Bi`` sees ``B1 ∪ ... ∪ Bi``.
+    """
+    views = {}
+    seen: set = set()
+    for block in partition:
+        seen |= set(block)
+        snapshot = frozenset(seen)
+        for item in block:
+            views[item] = snapshot
+    return views
+
+
+def partition_to_chr_facet(partition: OrderedPartition) -> FrozenSet[ChrVertex]:
+    """The facet of ``Chr`` corresponding to an ordered IS run.
+
+    The carrier of the vertex of each process is its IS view.  The
+    partition blocks must consist of *colored* vertices (process ids or
+    :class:`ChrVertex`); the resulting facet colors each vertex by its
+    process.
+    """
+    views = views_of_partition(partition)
+    return frozenset(
+        ChrVertex(color_of(item), view) for item, view in views.items()
+    )
+
+
+def chr_facet_to_partition(facet: Iterable[ChrVertex]) -> OrderedPartition:
+    """Invert :func:`partition_to_chr_facet`.
+
+    Vertices of a ``Chr`` facet are grouped by carrier; ordering the
+    distinct carriers by inclusion (they form a chain, by the IS
+    containment property) recovers the blocks: the block of carrier
+    ``V`` holds the members of ``V`` not in any smaller carrier.
+
+    The items of the returned partition are the *underlying vertices*
+    of the subdivided simplex: for each vertex ``(c, V)`` of the facet,
+    the member of ``V`` colored ``c``.
+    """
+    facet = list(facet)
+    carriers = sorted({v.carrier for v in facet}, key=len)
+    for smaller, larger in zip(carriers, carriers[1:]):
+        if not smaller < larger:
+            raise ValueError("carriers do not form a chain; not an IS facet")
+    blocks: List[FrozenSet] = []
+    previous: FrozenSet = frozenset()
+    for carrier in carriers:
+        blocks.append(frozenset(carrier - previous))
+        previous = carrier
+    return tuple(blocks)
+
+
+def all_is_views(items: Iterable) -> Iterator[dict]:
+    """Yield the view map of every one-shot IS execution on ``items``."""
+    for partition in ordered_set_partitions(items):
+        yield views_of_partition(partition)
+
+
+def is_valid_is_views(views: dict) -> bool:
+    """Check the three IS properties for a map ``item -> view``.
+
+    * self-inclusion: ``item in views[item]``;
+    * containment: views are pairwise ordered by inclusion;
+    * immediacy: ``item in views[other] => views[item] <= views[other]``.
+    """
+    items = list(views)
+    for item in items:
+        if item not in views[item]:
+            return False
+    for a in items:
+        for b in items:
+            va, vb = views[a], views[b]
+            if not (va <= vb or vb <= va):
+                return False
+            if a in vb and not va <= vb:
+                return False
+    return True

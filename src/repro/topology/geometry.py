@@ -1,0 +1,124 @@
+"""Geometric realization of chromatic subdivisions.
+
+Appendix A of the paper fixes coordinates: the standard simplex ``s`` on
+``n`` processes is realized as
+``{ x in [0,1]^n : sum x_i = 1 }`` with process ``i`` at the unit vector
+``e_i``, and a subdivision vertex ``(i, t)`` of ``Chr s`` at
+
+    ``(1 / (2k - 1)) * e_i + (2 / (2k - 1)) * sum_{j in t, j != i} e_j``
+
+where ``k = |t|``.  Iterating the formula embeds ``Chr^m s``.  These
+coordinates let us *verify numerically* that ``Chr`` is a subdivision:
+every subdivision vertex lies in the realization of its carrier, facet
+realizations have positive volume, and volumes add up to the volume of
+the subdivided simplex.
+"""
+
+from __future__ import annotations
+
+from math import factorial
+from typing import Dict, FrozenSet, Iterable
+
+import numpy as np
+
+from .chromatic import ChromaticComplex, ChrVertex, ProcessId
+from .simplex import Simplex, Vertex
+
+
+def base_coordinates(n: int) -> Dict[ProcessId, np.ndarray]:
+    """Unit-vector coordinates of the standard simplex's vertices."""
+    return {i: np.eye(n)[i] for i in range(n)}
+
+
+def realize_vertex(vertex: Vertex, n: int) -> np.ndarray:
+    """Coordinates of a vertex of ``Chr^m s`` in ``R^n``.
+
+    Process ids realize as unit vectors; a :class:`ChrVertex`
+    ``(i, t)`` realizes via the paper's barycentric formula applied to
+    the (recursively realized) carrier.
+    """
+    if isinstance(vertex, int):
+        coords = np.zeros(n)
+        coords[vertex] = 1.0
+        return coords
+    if not isinstance(vertex, ChrVertex):
+        raise TypeError(f"cannot realize {vertex!r}")
+    carrier_points = {v: realize_vertex(v, n) for v in vertex.carrier}
+    own = next(v for v in vertex.carrier if _color(v) == vertex.color)
+    k = len(vertex.carrier)
+    weight_own = 1.0 / (2 * k - 1)
+    weight_other = 2.0 / (2 * k - 1)
+    point = weight_own * carrier_points[own]
+    for v, coords in carrier_points.items():
+        if v != own:
+            point = point + weight_other * coords
+    return point
+
+
+def _color(vertex: Vertex) -> ProcessId:
+    return vertex.color if isinstance(vertex, ChrVertex) else vertex
+
+
+def realize_complex(K: ChromaticComplex, n: int) -> Dict[Vertex, np.ndarray]:
+    """Coordinates for every vertex of a subdivision complex."""
+    return {v: realize_vertex(v, n) for v in K.vertices}
+
+
+def barycentric_in_carrier(vertex: ChrVertex, n: int, atol: float = 1e-9) -> bool:
+    """Does the realized vertex lie inside the realization of its carrier?
+
+    A point lies in ``|t|`` iff its coordinates are a convex combination
+    of ``t``'s realized vertices; with affine independence this reduces
+    to support inclusion plus the simplex constraint.
+    """
+    point = realize_vertex(vertex, n)
+    carrier_points = np.array([realize_vertex(v, n) for v in vertex.carrier])
+    # Solve for convex-combination weights (least squares).
+    weights, residuals, _, _ = np.linalg.lstsq(carrier_points.T, point, rcond=None)
+    reconstructed = carrier_points.T @ weights
+    if not np.allclose(reconstructed, point, atol=atol):
+        return False
+    return bool(
+        np.all(weights >= -atol) and abs(float(weights.sum()) - 1.0) <= 1e-6
+    )
+
+
+def simplex_volume(points: np.ndarray) -> float:
+    """(d!)-normalized volume of a d-simplex given as a (d+1, n) array.
+
+    The volume is computed intrinsically via the Gram determinant, so it
+    is meaningful for simplices embedded in the hyperplane
+    ``sum x_i = 1``.
+    """
+    if len(points) <= 1:
+        return 0.0
+    edges = points[1:] - points[0]
+    gram = edges @ edges.T
+    det = float(np.linalg.det(gram))
+    d = len(points) - 1
+    return float(np.sqrt(max(det, 0.0)) / factorial(d))
+
+
+def facet_volumes(K: ChromaticComplex, n: int) -> Dict[Simplex, float]:
+    """Intrinsic volume of every facet's geometric realization."""
+    coords = realize_complex(K, n)
+    volumes: Dict[Simplex, float] = {}
+    for facet in K.facets:
+        points = np.array([coords[v] for v in sorted(facet, key=repr)])
+        volumes[facet] = simplex_volume(points)
+    return volumes
+
+
+def subdivision_volume_check(
+    K: ChromaticComplex, n: int, rtol: float = 1e-6
+) -> bool:
+    """Do the facet volumes of a subdivision of ``s`` sum to ``vol |s|``?
+
+    A necessary geometric condition for ``K`` to be a subdivision of the
+    standard simplex (together with non-overlap, which positivity of all
+    volumes plus the count strongly suggests at these sizes).
+    """
+    base = np.eye(n)
+    total = simplex_volume(base)
+    pieces = sum(facet_volumes(K, n).values())
+    return bool(np.isclose(pieces, total, rtol=rtol))

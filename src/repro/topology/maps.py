@@ -1,0 +1,153 @@
+"""Simplicial maps, chromatic maps, and carrier maps.
+
+These are the morphisms of the asynchronous computability theorems: the
+FACT statement asks for a *chromatic simplicial map*
+``phi : R_A^l(I) -> O`` *carried by* the task's carrier map ``Delta``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, Iterable, Mapping, Optional
+
+from .chromatic import ChromaticComplex, color_of
+from .complex import SimplicialComplex
+from .simplex import Simplex, Vertex
+
+
+class SimplicialMap:
+    """A vertex map inducing a simplicial map between complexes.
+
+    Parameters
+    ----------
+    vertex_map:
+        Mapping from every vertex of ``domain`` to a vertex of
+        ``codomain``.
+    domain, codomain:
+        The complexes between which the map acts.  Construction
+        validates simpliciality: the image of every simplex of the
+        domain must be a simplex of the codomain.
+    """
+
+    def __init__(
+        self,
+        vertex_map: Mapping[Vertex, Vertex],
+        domain: SimplicialComplex,
+        codomain: SimplicialComplex,
+    ):
+        missing = domain.vertices - set(vertex_map)
+        if missing:
+            raise ValueError(f"vertex map misses {len(missing)} domain vertices")
+        self.vertex_map: Dict[Vertex, Vertex] = dict(vertex_map)
+        self.domain = domain
+        self.codomain = codomain
+        for facet in domain.facets:
+            image = self.image(facet)
+            if image not in codomain:
+                raise ValueError(
+                    f"image {set(image)!r} of facet {set(facet)!r} "
+                    "is not a simplex of the codomain"
+                )
+
+    def __call__(self, vertex: Vertex) -> Vertex:
+        return self.vertex_map[vertex]
+
+    def image(self, sigma: Iterable[Vertex]) -> Simplex:
+        """``f(sigma)``: the image simplex (vertex images, collapsed)."""
+        return frozenset(self.vertex_map[v] for v in sigma)
+
+    def is_non_collapsing(self) -> bool:
+        """True when ``dim f(sigma) = dim sigma`` for every simplex."""
+        return all(
+            len(self.image(sigma)) == len(sigma) for sigma in self.domain.simplices
+        )
+
+    def is_chromatic(self) -> bool:
+        """True when every vertex maps to a vertex of the same color."""
+        return all(
+            color_of(v) == color_of(image) for v, image in self.vertex_map.items()
+        )
+
+    def compose(self, earlier: "SimplicialMap") -> "SimplicialMap":
+        """``self ∘ earlier`` (apply ``earlier`` first)."""
+        return SimplicialMap(
+            {v: self.vertex_map[w] for v, w in earlier.vertex_map.items()},
+            earlier.domain,
+            self.codomain,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SimplicialMap({len(self.vertex_map)} vertices, "
+            f"{self.domain!r} -> {self.codomain!r})"
+        )
+
+
+class CarrierMap:
+    """A carrier map ``Phi : A -> 2^B`` given by a per-simplex rule.
+
+    ``rule(sigma)`` must return the sub-complex (as a
+    :class:`SimplicialComplex` or iterable of simplices) assigned to
+    ``sigma``.  :meth:`is_monotone` checks the carrier-map law
+    ``Phi(tau ∩ sigma) ⊆ Phi(tau) ∩ Phi(sigma)``; for the monotone
+    (task, Definition-of-Delta) case it reduces to
+    ``tau ⊆ sigma => Phi(tau) ⊆ Phi(sigma)``.
+    """
+
+    def __init__(
+        self,
+        rule: Callable[[Simplex], Iterable[Simplex]],
+        domain: SimplicialComplex,
+    ):
+        self._rule = rule
+        self.domain = domain
+        self._cache: Dict[Simplex, FrozenSet[Simplex]] = {}
+
+    def __call__(self, sigma: Iterable[Vertex]) -> FrozenSet[Simplex]:
+        sigma = frozenset(sigma)
+        if sigma not in self._cache:
+            value = self._rule(sigma)
+            if isinstance(value, SimplicialComplex):
+                simplices = value.simplices
+            elif isinstance(value, ChromaticComplex):
+                simplices = value.simplices
+            else:
+                simplices = SimplicialComplex(value).simplices
+            self._cache[sigma] = frozenset(simplices)
+        return self._cache[sigma]
+
+    def is_monotone(self) -> bool:
+        """``tau ⊆ sigma => Phi(tau) ⊆ Phi(sigma)`` over the domain."""
+        simplices = sorted(self.domain.simplices, key=len)
+        for tau in simplices:
+            for sigma in simplices:
+                if tau < sigma and not self(tau) <= self(sigma):
+                    return False
+        return True
+
+    def carries(self, phi: SimplicialMap) -> bool:
+        """Is the simplicial map ``phi`` carried by this carrier map?
+
+        Requires ``phi(sigma) ∈ Phi(sigma)`` for every simplex of the
+        domain of ``phi`` (whose simplices must be meaningful inputs to
+        the rule).
+        """
+        return all(
+            phi.image(sigma) in self(sigma) for sigma in phi.domain.simplices
+        )
+
+
+def identity_map(K: SimplicialComplex) -> SimplicialMap:
+    """The identity simplicial map on ``K``."""
+    return SimplicialMap({v: v for v in K.vertices}, K, K)
+
+
+def carrier_projection(
+    subdivided: ChromaticComplex,
+    carrier_fn: Callable[[Simplex], FrozenSet],
+) -> CarrierMap:
+    """The carrier map ``sigma -> Cl(carrier(sigma))`` of a subdivision."""
+
+    def rule(sigma: Simplex):
+        return SimplicialComplex([carrier_fn(sigma)])
+
+    return CarrierMap(rule, subdivided.complex)

@@ -1,0 +1,49 @@
+"""The chromatic carrier projection ``Chr K -> K``.
+
+Sending a subdivision vertex ``(c, sigma)`` to the vertex of ``sigma``
+colored ``c`` is a chromatic simplicial map — the canonical retraction
+used throughout ACT-style arguments ("forget the round").  Iterating it
+collapses ``Chr^m K`` onto ``K`` one level at a time.
+
+The map is carried by the carrier map (each simplex lands inside its
+own carrier), which the tests verify alongside simpliciality.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .chromatic import ChromaticComplex, ChrVertex, color_of
+from .maps import SimplicialMap
+from .simplex import Vertex
+
+
+def project_vertex(vertex: ChrVertex) -> Vertex:
+    """``(c, sigma) -> the member of sigma colored c``."""
+    if not isinstance(vertex, ChrVertex):
+        raise TypeError(f"{vertex!r} is not a subdivision vertex")
+    for member in vertex.carrier:
+        if color_of(member) == vertex.color:
+            return member
+    raise ValueError(
+        f"carrier of {vertex!r} has no member of its color; "
+        "self-inclusion violated"
+    )
+
+
+def carrier_projection_map(
+    subdivided: ChromaticComplex, base: ChromaticComplex
+) -> SimplicialMap:
+    """The projection ``Chr K -> K`` as a validated simplicial map."""
+    vertex_map: Dict[Vertex, Vertex] = {
+        v: project_vertex(v) for v in subdivided.vertices
+    }
+    return SimplicialMap(vertex_map, subdivided.complex, base.complex)
+
+
+def project_to_base(vertex: Vertex) -> Vertex:
+    """Collapse a ``Chr^m s`` vertex all the way to its process id."""
+    current = vertex
+    while isinstance(current, ChrVertex):
+        current = project_vertex(current)
+    return current

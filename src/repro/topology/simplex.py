@@ -1,0 +1,99 @@
+"""Simplices as hashable vertex sets.
+
+Throughout the library a *simplex* is represented by a ``frozenset`` of
+hashable vertices.  This module collects the small vocabulary of
+operations on simplices used everywhere else: faces, dimension,
+boundary, canonical construction.
+
+The representation choice follows the paper's combinatorial language
+(Appendix A): a simplex *is* its vertex set, a face *is* a subset, and
+all structure (colors, carriers) lives on the vertices themselves or in
+the enclosing :class:`~repro.topology.complex.SimplicialComplex`.
+"""
+
+from __future__ import annotations
+
+from itertools import chain, combinations
+from typing import FrozenSet, Hashable, Iterable, Iterator
+
+Vertex = Hashable
+Simplex = FrozenSet[Vertex]
+
+
+def simplex(vertices: Iterable[Vertex]) -> Simplex:
+    """Build a simplex (a ``frozenset``) from an iterable of vertices."""
+    return frozenset(vertices)
+
+
+EMPTY_SIMPLEX: Simplex = frozenset()
+
+
+def dim(sigma: Simplex) -> int:
+    """Dimension of a simplex: ``|sigma| - 1``.
+
+    The empty simplex has dimension ``-1`` by the usual convention.
+    """
+    return len(sigma) - 1
+
+
+def faces(sigma: Simplex, *, include_empty: bool = False) -> Iterator[Simplex]:
+    """Yield every face (subset) of ``sigma``.
+
+    Faces are yielded in increasing size.  By default the empty face is
+    omitted, matching the paper's convention that simplices are
+    non-empty vertex sets.
+    """
+    start = 0 if include_empty else 1
+    vertices = sorted(sigma, key=repr)
+    for size in range(start, len(vertices) + 1):
+        for combo in combinations(vertices, size):
+            yield frozenset(combo)
+
+
+def proper_faces(sigma: Simplex) -> Iterator[Simplex]:
+    """Yield the non-empty faces of ``sigma`` other than ``sigma`` itself."""
+    for face in faces(sigma):
+        if len(face) < len(sigma):
+            yield face
+
+
+def boundary(sigma: Simplex) -> Iterator[Simplex]:
+    """Yield the codimension-1 faces of ``sigma``.
+
+    For a ``d``-simplex this yields its ``d + 1`` facets of dimension
+    ``d - 1``; for a vertex it yields nothing.
+    """
+    if len(sigma) <= 1:
+        return
+    for vertex in sigma:
+        yield sigma - {vertex}
+
+
+def is_face(tau: Simplex, sigma: Simplex) -> bool:
+    """True when ``tau`` is a face of ``sigma`` (i.e. a subset)."""
+    return tau <= sigma
+
+
+def is_proper_face(tau: Simplex, sigma: Simplex) -> bool:
+    """True when ``tau`` is a face of ``sigma`` distinct from ``sigma``."""
+    return tau < sigma
+
+
+def vertices_of(simplices: Iterable[Simplex]) -> Simplex:
+    """Union of the vertex sets of the given simplices."""
+    return frozenset(chain.from_iterable(simplices))
+
+
+def closure_of(simplices: Iterable[Simplex]) -> frozenset:
+    """The set of all non-empty faces of the given simplices.
+
+    This is the combinatorial closure operator ``Cl`` of the paper,
+    returned as a plain ``frozenset`` of simplices (wrap it in a
+    :class:`~repro.topology.complex.SimplicialComplex` when complex
+    structure is needed).
+    """
+    closed = set()
+    for sigma in simplices:
+        for face in faces(sigma):
+            closed.add(face)
+    return frozenset(closed)

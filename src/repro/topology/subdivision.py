@@ -1,0 +1,131 @@
+"""The standard chromatic subdivision ``Chr`` and its iterations.
+
+The facets of ``Chr(sigma)`` for a (rainbow) simplex ``sigma`` are in
+bijection with the ordered set partitions of ``sigma``'s vertices: the
+run with concurrency classes ``B1, ..., Bk`` induces the facet
+``{ (chi(v), B1 ∪ ... ∪ Bi) : v in Bi }``.  Subdividing every facet of a
+chromatic complex — boundary faces agree because ordered partitions of
+a face name the same :class:`~repro.topology.chromatic.ChrVertex`
+objects — yields ``Chr K``; iterating gives ``Chr^m K``.
+
+Carriers are the second central notion: the carrier of a subdivision
+vertex ``(c, sigma)`` is ``sigma``, and the carrier of a simplex is the
+union (equivalently the inclusion-maximum) of its vertices' carriers.
+``carrier_in_s`` lowers carriers all the way down to faces of the
+standard simplex (sets of process ids), matching
+``carrier(sigma, s) = carrier(carrier(sigma, Chr s), s)`` from the
+paper.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import FrozenSet, Iterable
+
+from .chromatic import ChromaticComplex, ChrVertex, ProcessId, color_of, standard_simplex
+from .enumeration import ordered_set_partitions, partition_to_chr_facet
+from .simplex import Simplex
+
+
+def subdivide_simplex(sigma: Iterable) -> FrozenSet[Simplex]:
+    """The facets of ``Chr(sigma)`` for one rainbow simplex ``sigma``."""
+    vertices = frozenset(sigma)
+    return frozenset(
+        partition_to_chr_facet(partition)
+        for partition in ordered_set_partitions(vertices)
+    )
+
+
+def chromatic_subdivision(K: ChromaticComplex) -> ChromaticComplex:
+    """``Chr K``: subdivide every facet of a chromatic complex."""
+    facets = []
+    for facet in K.facets:
+        facets.extend(subdivide_simplex(facet))
+    return ChromaticComplex(facets)
+
+
+def iterated_subdivision(K: ChromaticComplex, m: int) -> ChromaticComplex:
+    """``Chr^m K``: the ``m``-th iterated standard chromatic subdivision."""
+    if m < 0:
+        raise ValueError("subdivision depth must be non-negative")
+    result = K
+    for _ in range(m):
+        result = chromatic_subdivision(result)
+    return result
+
+
+@lru_cache(maxsize=None)
+def chr_complex(n: int, m: int = 1) -> ChromaticComplex:
+    """``Chr^m s`` for the standard simplex on ``n`` processes (cached)."""
+    return iterated_subdivision(standard_simplex(n), m)
+
+
+# ----------------------------------------------------------------------
+# Carriers
+# ----------------------------------------------------------------------
+def carrier_of_vertex(vertex: ChrVertex) -> frozenset:
+    """The carrier of a subdivision vertex ``(c, sigma)``: the simplex ``sigma``."""
+    return vertex.carrier
+
+
+def carrier(sigma: Iterable) -> frozenset:
+    """Carrier of a simplex of ``Chr K`` in ``K``: union of vertex carriers.
+
+    By the IS containment property the carriers of a simplex's vertices
+    form a chain, so the union equals the inclusion-maximum.
+    """
+    result: frozenset = frozenset()
+    for vertex in sigma:
+        if not isinstance(vertex, ChrVertex):
+            raise TypeError(f"{vertex!r} is not a subdivision vertex")
+        result = result | vertex.carrier
+    return result
+
+
+def carrier_in_s(sigma: Iterable) -> FrozenSet[ProcessId]:
+    """Lower the carrier of a ``Chr^m s`` simplex all the way to ``s``.
+
+    For a simplex of ``Chr² s`` this is
+    ``carrier(carrier(sigma, Chr s), s)``: the union of all snapshots
+    seen by its processes across both IS rounds — i.e. the witnessed
+    participating set.  Vertices of ``s`` itself (process ids) lower to
+    themselves.
+    """
+    current = frozenset(sigma)
+    while current and all(isinstance(v, ChrVertex) for v in current):
+        current = carrier(current)
+    if not all(isinstance(v, int) for v in current):
+        raise TypeError("mixed-depth simplex cannot be lowered to s")
+    return current
+
+
+def carrier_colors(sigma: Iterable) -> FrozenSet[ProcessId]:
+    """``chi(carrier(sigma, s))``, the colors of the base carrier."""
+    return carrier_in_s(sigma)
+
+
+def own_vertex_in_carrier(vertex: ChrVertex) -> ChrVertex:
+    """The vertex ``v'`` of ``carrier(v, Chr K)`` with ``chi(v') = chi(v)``.
+
+    For ``v`` a vertex of ``Chr² s`` this is the process's own
+    first-round IS vertex (self-inclusion guarantees existence).
+    """
+    for candidate in vertex.carrier:
+        if isinstance(candidate, ChrVertex) and candidate.color == vertex.color:
+            return candidate
+    raise ValueError(
+        f"carrier of {vertex!r} has no vertex of color {vertex.color}; "
+        "self-inclusion violated"
+    )
+
+
+def subdivision_restricted_to(
+    subdivided: ChromaticComplex, base_face: Iterable[ProcessId]
+) -> ChromaticComplex:
+    """``Chr^m(t)`` inside ``Chr^m s``: simplices carried by the face ``t``.
+
+    Used to evaluate the affine-task carrier map
+    ``Delta(t) = L ∩ Chr^l(t)``.
+    """
+    allowed = frozenset(base_face)
+    return subdivided.sub_complex(lambda sigma: carrier_in_s(sigma) <= allowed)

@@ -1,0 +1,125 @@
+"""Unit tests for repro.adversaries.adversary."""
+
+import pytest
+
+from repro.adversaries.adversary import (
+    Adversary,
+    from_live_sets,
+    k_obstruction_free,
+    symmetric_from_sizes,
+    t_resilient,
+    wait_free,
+)
+
+
+def test_rejects_empty_live_set():
+    with pytest.raises(ValueError):
+        Adversary(3, [set()])
+
+
+def test_rejects_out_of_range_processes():
+    with pytest.raises(ValueError):
+        Adversary(3, [{3}])
+
+
+def test_rejects_zero_processes():
+    with pytest.raises(ValueError):
+        Adversary(0, [])
+
+
+def test_membership_and_len():
+    a = Adversary(3, [{0, 1}, {2}])
+    assert {0, 1} in a
+    assert {1} not in a
+    assert len(a) == 2
+
+
+def test_equality_hash():
+    assert Adversary(3, [{0}, {1}]) == Adversary(3, [{1}, {0}])
+    assert hash(Adversary(3, [{0}])) == hash(Adversary(3, [{0}]))
+
+
+def test_wait_free_counts():
+    assert len(wait_free(3)) == 7
+    assert len(wait_free(4)) == 15
+
+
+def test_t_resilient_live_sets():
+    a = t_resilient(4, 1)
+    assert all(len(live) >= 3 for live in a)
+    assert len(a) == 4 + 1
+
+
+def test_t_resilient_bounds():
+    with pytest.raises(ValueError):
+        t_resilient(3, 3)
+    with pytest.raises(ValueError):
+        t_resilient(3, -1)
+
+
+def test_k_obstruction_free_live_sets():
+    a = k_obstruction_free(4, 2)
+    assert all(1 <= len(live) <= 2 for live in a)
+    assert len(a) == 4 + 6
+
+
+def test_k_obstruction_free_bounds():
+    with pytest.raises(ValueError):
+        k_obstruction_free(3, 0)
+    with pytest.raises(ValueError):
+        k_obstruction_free(3, 4)
+
+
+def test_restrict():
+    a = t_resilient(3, 1)
+    restricted = a.restrict({0, 1})
+    assert restricted.live_sets == frozenset({frozenset({0, 1})})
+
+
+def test_restrict_intersecting():
+    a = from_live_sets(3, [{0, 1}, {2}])
+    restricted = a.restrict_intersecting({0, 1, 2}, {2})
+    assert restricted.live_sets == frozenset({frozenset({2})})
+    empty = a.restrict_intersecting({0, 2}, {0})
+    assert empty.is_empty()
+
+
+def test_is_superset_closed():
+    assert t_resilient(3, 1).is_superset_closed()
+    assert not k_obstruction_free(3, 1).is_superset_closed()
+    assert wait_free(3).is_superset_closed()
+
+
+def test_is_symmetric():
+    assert t_resilient(3, 1).is_symmetric()
+    assert k_obstruction_free(3, 2).is_symmetric()
+    assert not from_live_sets(3, [{0}]).is_symmetric()
+
+
+def test_superset_closure():
+    a = from_live_sets(3, [{1}]).superset_closure()
+    assert a.is_superset_closed()
+    assert {1} in a and {0, 1} in a and {1, 2} in a and {0, 1, 2} in a
+    assert {0} not in a
+
+
+def test_symmetric_closure():
+    a = from_live_sets(3, [{1}]).symmetric_closure()
+    assert a.is_symmetric()
+    assert len(a) == 3
+
+
+def test_symmetric_from_sizes():
+    a = symmetric_from_sizes(3, [1, 3])
+    assert a.live_sizes() == frozenset({1, 3})
+    assert len(a) == 4
+    with pytest.raises(ValueError):
+        symmetric_from_sizes(3, [0])
+
+
+def test_live_sizes():
+    assert t_resilient(3, 1).live_sizes() == frozenset({2, 3})
+
+
+def test_processes_property():
+    assert wait_free(3).processes == frozenset({0, 1, 2})

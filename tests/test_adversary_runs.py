@@ -1,0 +1,93 @@
+"""Raw A-model runs: Algorithm 1's safety beyond the α-model."""
+
+import random
+
+import pytest
+
+from repro.adversaries import (
+    agreement_function_of,
+    k_obstruction_free,
+    t_resilient,
+)
+from repro.core import r_affine
+from repro.runtime.adversary_runs import (
+    adversary_compliant_plans,
+    is_alpha_model_compliant,
+    split_plans_by_alpha_compliance,
+)
+from repro.runtime.algorithm1 import outputs_to_simplex, run_algorithm1
+from repro.runtime.scheduler import LivenessViolation
+
+
+def test_plans_have_live_correct_sets():
+    adversary = t_resilient(3, 1)
+    rng = random.Random(0)
+    for _ in range(50):
+        plan = adversary_compliant_plans(adversary, rng)
+        correct = plan.participants - plan.faulty
+        assert correct in adversary
+
+
+def test_t_resilient_plans_are_alpha_compliant():
+    """For t-resilience the two models' run sets coincide on plans: at
+    most t failures means at most alpha(P) - 1 among participants."""
+    adversary = t_resilient(3, 1)
+    alpha = agreement_function_of(adversary)
+    inside, beyond = split_plans_by_alpha_compliance(
+        adversary, alpha, count=80, seed=1
+    )
+    assert not beyond
+    assert len(inside) == 80
+
+
+def test_k_obstruction_free_exceeds_alpha_model():
+    """k-OF adversaries allow more failures than Definition 3 does —
+    the split must find genuinely beyond-α plans."""
+    adversary = k_obstruction_free(3, 1)
+    alpha = agreement_function_of(adversary)
+    inside, beyond = split_plans_by_alpha_compliance(
+        adversary, alpha, count=80, seed=2
+    )
+    assert beyond  # e.g. correct = one process, two crashed
+    assert inside  # and solo-participation runs are fine
+
+
+def test_algorithm1_safety_beyond_alpha_model():
+    """Algorithm 1's outputs stay in R_A even on raw A-compliant runs
+    that exceed the α-model's failure budget; only liveness may fail
+    there (which run_algorithm1 reports as LivenessViolation)."""
+    adversary = k_obstruction_free(3, 1)
+    alpha = agreement_function_of(adversary)
+    task = r_affine(alpha)
+    _inside, beyond = split_plans_by_alpha_compliance(
+        adversary, alpha, count=60, seed=3
+    )
+    assert beyond
+    lively, blocked = 0, 0
+    for plan in beyond[:20]:
+        try:
+            outcome = run_algorithm1(
+                alpha, plan, task, max_steps=20_000
+            )
+        except LivenessViolation:
+            blocked += 1
+            continue
+        lively += 1
+        assert outcome.in_affine_task
+    # No safety violation either way; both behaviors may occur.
+    assert lively + blocked == len(beyond[:20])
+
+
+def test_is_alpha_model_compliant_logic():
+    from repro.runtime.scheduler import ExecutionPlan
+
+    adversary = t_resilient(3, 1)
+    alpha = agreement_function_of(adversary)
+    plan = ExecutionPlan(
+        participants=frozenset({0, 1, 2}), faulty=frozenset({0, 1})
+    )
+    assert not is_alpha_model_compliant(plan, alpha)
+    plan2 = ExecutionPlan(
+        participants=frozenset({0, 1, 2}), faulty=frozenset({0})
+    )
+    assert is_alpha_model_compliant(plan2, alpha)

@@ -1,0 +1,152 @@
+"""Unit tests for AffineTask (Section 2) and task iteration."""
+
+import pytest
+
+from repro.core.affine import (
+    AffineTask,
+    affine_model_prefixes,
+    full_affine_task,
+    lift_vertex,
+)
+from repro.topology.chromatic import ChromaticComplex, ChrVertex, chi
+from repro.topology.subdivision import carrier_in_s, chr_complex
+
+
+def test_full_affine_task_is_chr(chr1):
+    task = full_affine_task(3, 1)
+    assert task.complex == chr1
+    assert task.depth == 1
+
+
+def test_validation_rejects_empty():
+    with pytest.raises(ValueError):
+        AffineTask(3, 1, ChromaticComplex([]))
+
+
+def test_validation_rejects_impure(chr1):
+    facet = next(iter(chr1.facets))
+    vertex = next(iter(facet))
+    impure = ChromaticComplex([facet, frozenset([ChrVertex(9, frozenset({9}))])])
+    with pytest.raises(ValueError):
+        AffineTask(3, 1, impure)
+
+
+def test_validation_rejects_foreign_complex():
+    foreign = ChromaticComplex(
+        [
+            frozenset(
+                {
+                    ChrVertex(0, frozenset({5})),
+                    ChrVertex(1, frozenset({5, 6})),
+                    ChrVertex(2, frozenset({5, 6, 7})),
+                }
+            )
+        ]
+    )
+    with pytest.raises(ValueError):
+        AffineTask(3, 1, foreign)
+
+
+def test_delta_full_face(rtres_1):
+    delta = rtres_1.delta({0, 1, 2})
+    assert delta == rtres_1.complex
+
+
+def test_delta_restricts_carrier(rkof_1):
+    delta = rkof_1.delta({0, 1})
+    for sigma in delta.simplices:
+        assert carrier_in_s(sigma) <= frozenset({0, 1})
+
+
+def test_delta_can_be_empty(rtres_1):
+    """R_{1-res} has no output carried by a single process — exactly
+    the paper's remark that participation must grow first."""
+    assert rtres_1.delta({0}).complex.is_empty()
+
+
+def test_delta_nonempty_for_singleton_when_alpha_positive(rkof_1):
+    assert not rkof_1.delta({0}).complex.is_empty()
+
+
+def test_facets_for_participation(rkof_1):
+    facets = rkof_1.facets_for_participation({0, 1})
+    assert facets
+    for facet in facets:
+        assert chi(facet) == frozenset({0, 1})
+
+
+def test_contains_run(rkof_1, chr2):
+    inside = next(iter(rkof_1.complex.facets))
+    assert rkof_1.contains_run(inside)
+    outside = next(iter(chr2.facets - rkof_1.complex.facets))
+    assert not rkof_1.contains_run(outside)
+
+
+def test_lift_vertex_structure():
+    # Lift a Chr s vertex through the synchronous facet of Chr s.
+    sync_facet = {
+        pid: ChrVertex(pid, frozenset({0, 1, 2})) for pid in range(3)
+    }
+    v = ChrVertex(0, frozenset({0, 1}))
+    lifted = lift_vertex(v, sync_facet)
+    assert lifted.color == 0
+    assert lifted.carrier == frozenset(
+        {sync_facet[0], sync_facet[1]}
+    )
+
+
+def test_iterate_identity():
+    task = full_affine_task(2, 1)
+    assert task.iterate(1) is task
+
+
+def test_iterate_rejects_zero():
+    with pytest.raises(ValueError):
+        full_affine_task(2, 1).iterate(0)
+
+
+def test_iterate_full_task_gives_chr_power():
+    """Chr iterated as an affine task == Chr² (n = 2 keeps it small)."""
+    task = full_affine_task(2, 1)
+    squared = task.iterate(2)
+    assert squared.depth == 2
+    assert squared.complex == chr_complex(2, 2)
+
+
+def test_compose_matches_facet_product_counts():
+    task = full_affine_task(2, 1)
+    squared = task.compose_with(task)
+    assert len(squared.complex.facets) == 3 * 3
+
+
+def test_compose_requires_same_n():
+    with pytest.raises(ValueError):
+        full_affine_task(2, 1).compose_with(full_affine_task(3, 1))
+
+
+def test_affine_model_prefixes(rkof_1):
+    prefixes = affine_model_prefixes(rkof_1, 1)
+    assert prefixes == rkof_1.complex.facets
+
+
+@pytest.mark.slow
+def test_ra_squared_structure(rkof_1):
+    """(R_{1-OF})² at n=3: 73² facets of Chr⁴ s, pure, full carriers."""
+    squared = rkof_1.iterate(2)
+    assert squared.depth == 4
+    assert len(squared.complex.facets) == 73 * 73
+    assert squared.complex.is_pure(2)
+    for facet in list(squared.complex.facets)[:50]:
+        assert carrier_in_s(facet) == frozenset({0, 1, 2})
+
+
+def test_iterated_facets_stay_inside_ambient_subdivision():
+    """(R_{1-OF})² facets live in Chr⁴ s — check carrier structure only
+    for a sample (full ambient materialization is out of reach)."""
+    from repro.core.rkof import r_k_obstruction_free
+
+    task = r_k_obstruction_free(2, 1)
+    squared = task.iterate(2)
+    assert squared.depth == 4
+    for facet in list(squared.complex.facets)[:10]:
+        assert carrier_in_s(facet) == frozenset({0, 1})

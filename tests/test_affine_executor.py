@@ -1,0 +1,101 @@
+"""Unit tests for the iterated affine-model executor."""
+
+import pytest
+
+from repro.core import full_affine_task
+from repro.runtime.affine_executor import (
+    AffineModelExecutor,
+    facet_to_round_partitions,
+    random_facet_chooser,
+    scripted_chooser,
+)
+from repro.topology.subdivision import carrier_in_s
+
+
+def states(n):
+    return {pid: f"state-{pid}" for pid in range(n)}
+
+
+def test_executor_requires_depth2():
+    with pytest.raises(ValueError):
+        AffineModelExecutor(full_affine_task(3, 1))
+
+
+def test_iteration_views_have_consistent_structure(ra_1res):
+    executor = AffineModelExecutor(ra_1res, seed=4)
+    views = executor.run_iteration(states(3))
+    assert set(views) == {0, 1, 2}
+    for pid, view in views.items():
+        assert view.pid == pid
+        assert view.vertex.color == pid
+        assert pid in view.view1
+        assert view.view1 <= view.witnessed
+
+
+def test_view1_states_match_partition(ra_1res):
+    executor = AffineModelExecutor(ra_1res, seed=8)
+    views = executor.run_iteration(states(3))
+    for pid, view in views.items():
+        assert view.view1_states == {
+            q: f"state-{q}" for q in view.view1
+        }
+
+
+def test_view2_carries_first_round_views(ra_1res):
+    executor = AffineModelExecutor(ra_1res, seed=15)
+    views = executor.run_iteration(states(3))
+    for pid, view in views.items():
+        for q, block in view.view2_states.items():
+            assert q in {w.color for w in view.vertex.carrier}
+            assert set(block) <= {0, 1, 2}
+
+
+def test_chosen_facets_stay_in_task(ra_fig5b):
+    executor = AffineModelExecutor(ra_fig5b, seed=23)
+    for _ in range(20):
+        executor.run_iteration(states(3))
+    for facet in executor.history:
+        assert facet in ra_fig5b.complex
+
+
+def test_all_processes_must_participate(ra_1res):
+    executor = AffineModelExecutor(ra_1res)
+    with pytest.raises(ValueError):
+        executor.run_iteration({0: "a"})
+
+
+def test_chooser_outside_task_rejected(ra_1of, chr2):
+    outside = next(iter(chr2.facets - ra_1of.complex.facets))
+    executor = AffineModelExecutor(
+        ra_1of, chooser=scripted_chooser([outside])
+    )
+    with pytest.raises(ValueError):
+        executor.run_iteration(states(3))
+
+
+def test_scripted_chooser_cycles(ra_1res):
+    facets = sorted(ra_1res.complex.facets, key=repr)[:2]
+    executor = AffineModelExecutor(
+        ra_1res, chooser=scripted_chooser(facets)
+    )
+    for _ in range(4):
+        executor.run_iteration(states(3))
+    assert executor.history == [facets[0], facets[1], facets[0], facets[1]]
+
+
+def test_random_chooser_deterministic_by_seed(ra_1res):
+    a = AffineModelExecutor(ra_1res, seed=99)
+    b = AffineModelExecutor(ra_1res, seed=99)
+    for _ in range(5):
+        a.run_iteration(states(3))
+        b.run_iteration(states(3))
+    assert a.history == b.history
+
+
+def test_facet_to_round_partitions_roundtrip(chr2):
+    from repro.runtime.iis import run_iis
+
+    for facet in list(chr2.facets)[:40]:
+        first, second = facet_to_round_partitions(facet)
+        rebuilt = run_iis(3, [first, second]).facet()
+        assert rebuilt == facet

@@ -1,0 +1,124 @@
+"""Unit tests for agreement functions (Section 3)."""
+
+import pytest
+
+from repro.adversaries.adversary import t_resilient, wait_free
+from repro.adversaries.agreement import (
+    AgreementFunction,
+    agreement_function_of,
+    from_callable,
+    k_concurrency_alpha,
+    t_resilience_alpha,
+    wait_free_alpha,
+)
+
+
+def test_alpha_of_empty_set_is_zero(alpha_wf):
+    assert alpha_wf(frozenset()) == 0
+
+
+def test_wait_free_alpha_values():
+    alpha = wait_free_alpha(3)
+    assert alpha({0}) == 1
+    assert alpha({0, 1}) == 2
+    assert alpha({0, 1, 2}) == 3
+
+
+def test_k_concurrency_alpha_values():
+    alpha = k_concurrency_alpha(3, 2)
+    assert alpha({0}) == 1
+    assert alpha({0, 1}) == 2
+    assert alpha({0, 1, 2}) == 2
+
+
+def test_t_resilience_alpha_values():
+    alpha = t_resilience_alpha(3, 1)
+    assert alpha({0}) == 0
+    assert alpha({0, 1}) == 1
+    assert alpha({0, 1, 2}) == 2
+
+
+def test_agreement_function_of_adversary_matches_formula():
+    adversary = t_resilient(3, 1)
+    alpha = agreement_function_of(adversary)
+    expected = t_resilience_alpha(3, 1)
+    assert alpha.table() == expected.table()
+
+
+def test_agreement_function_of_wait_free():
+    assert (
+        agreement_function_of(wait_free(3)).table()
+        == wait_free_alpha(3).table()
+    )
+
+
+def test_missing_entry_rejected():
+    with pytest.raises(ValueError):
+        AgreementFunction(2, {frozenset({0}): 1})
+
+
+def test_monotonicity_enforced():
+    table = {
+        frozenset({0}): 1,
+        frozenset({1}): 1,
+        frozenset({0, 1}): 0,  # decreasing
+    }
+    with pytest.raises(ValueError):
+        AgreementFunction(2, table)
+
+
+def test_bounded_growth_enforced():
+    table = {
+        frozenset({0}): 0,
+        frozenset({1}): 0,
+        frozenset({0, 1}): 2,  # grows by 2 from a singleton
+    }
+    with pytest.raises(ValueError):
+        AgreementFunction(2, table)
+
+
+def test_range_enforced():
+    table = {
+        frozenset({0}): 2,  # above |P|
+        frozenset({1}): 1,
+        frozenset({0, 1}): 2,
+    }
+    with pytest.raises(ValueError):
+        AgreementFunction(2, table)
+
+
+def test_violation_reports_reason():
+    table = {
+        frozenset({0}): 1,
+        frozenset({1}): 1,
+        frozenset({0, 1}): 0,
+    }
+    alpha = AgreementFunction(2, table, validate=False)
+    assert "monotonicity" in alpha.violation()
+
+
+def test_is_regular(alpha_1res, alpha_2of, alpha_wf):
+    assert alpha_1res.is_regular()
+    assert alpha_2of.is_regular()
+    assert alpha_wf.is_regular()
+
+
+def test_positive_participations(alpha_1res):
+    positive = alpha_1res.positive_participations()
+    assert frozenset({0}) not in positive
+    assert frozenset({0, 1}) in positive
+    assert frozenset({0, 1, 2}) in positive
+
+
+def test_from_callable_name():
+    alpha = from_callable(3, len, name="identity")
+    assert alpha.name == "identity"
+    assert repr(alpha) == "AgreementFunction(n=3, name='identity')"
+
+
+def test_equality_and_hash():
+    a = k_concurrency_alpha(3, 2)
+    b = k_concurrency_alpha(3, 2)
+    assert a == b
+    assert hash(a) == hash(b)
+    assert a != t_resilience_alpha(3, 1)

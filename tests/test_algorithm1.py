@@ -1,0 +1,150 @@
+"""Experiment E8: Algorithm 1 solves R_A in the α-model (Theorem 7)."""
+
+import random
+
+import pytest
+
+from repro.runtime.algorithm1 import (
+    fuzz_algorithm1,
+    outputs_to_simplex,
+    run_algorithm1,
+)
+from repro.runtime.scheduler import ExecutionPlan, random_alpha_model_plan
+from repro.topology.chromatic import ChrVertex
+
+
+FULL = frozenset({0, 1, 2})
+
+
+def full_run_plan(seed=0):
+    return ExecutionPlan(participants=FULL, faulty=frozenset(), seed=seed)
+
+
+def test_failure_free_run_lands_in_ra(alpha_1res, ra_1res):
+    outcome = run_algorithm1(alpha_1res, full_run_plan(), ra_1res)
+    assert outcome.in_affine_task
+    assert outcome.result.decided() == FULL
+
+
+def test_outputs_form_chr2_simplex(alpha_1res, chr2):
+    outcome = run_algorithm1(alpha_1res, full_run_plan(3))
+    assert outcome.simplex in chr2
+    assert len(outcome.simplex) == 3
+
+
+def test_outputs_to_simplex_structure(alpha_wf):
+    outcome = run_algorithm1(alpha_wf, full_run_plan(1))
+    for vertex in outcome.simplex:
+        assert isinstance(vertex, ChrVertex)
+        assert all(isinstance(w, ChrVertex) for w in vertex.carrier)
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_fuzz_wait_free(alpha_wf, seed):
+    from repro.core import full_affine_task
+
+    fuzz_algorithm1(alpha_wf, full_affine_task(3, 2), runs=20, seed=seed)
+
+
+@pytest.mark.parametrize(
+    "alpha_fixture,ra_fixture",
+    [
+        ("alpha_1of", "ra_1of"),
+        ("alpha_2of", "ra_2of"),
+        ("alpha_1res", "ra_1res"),
+        ("alpha_fig5b", "ra_fig5b"),
+    ],
+)
+def test_fuzz_zoo_models(request, alpha_fixture, ra_fixture):
+    alpha = request.getfixturevalue(alpha_fixture)
+    task = request.getfixturevalue(ra_fixture)
+    outcomes = fuzz_algorithm1(alpha, task, runs=80, seed=42)
+    assert len(outcomes) == 80
+    assert all(outcome.in_affine_task for outcome in outcomes)
+
+
+def test_crash_heavy_runs(alpha_1res, ra_1res):
+    """Maximal faults allowed by the α-model at full participation."""
+    plan = ExecutionPlan(
+        participants=FULL,
+        faulty=frozenset({2}),
+        crash_after_steps={2: 0},  # crash before any step
+        seed=13,
+    )
+    outcome = run_algorithm1(alpha_1res, plan, ra_1res)
+    assert outcome.in_affine_task
+    assert frozenset({0, 1}) <= outcome.result.decided()
+
+
+def test_crash_mid_wait_phase(alpha_1res, ra_1res):
+    plan = ExecutionPlan(
+        participants=FULL,
+        faulty=frozenset({0}),
+        crash_after_steps={0: 12},
+        seed=29,
+    )
+    outcome = run_algorithm1(alpha_1res, plan, ra_1res)
+    assert outcome.in_affine_task
+
+
+def test_small_participation(alpha_2of, ra_2of):
+    plan = ExecutionPlan(
+        participants=frozenset({1}), faulty=frozenset(), seed=5
+    )
+    outcome = run_algorithm1(alpha_2of, plan, ra_2of)
+    assert outcome.in_affine_task
+    assert outcome.result.decided() == frozenset({1})
+
+
+def test_partial_outputs_are_faces(alpha_1res, ra_1res):
+    """Outputs of only the decided processes form a face of some facet
+    of R_A — crashes may truncate the simplex but never leave the
+    complex."""
+    rng = random.Random(77)
+    for _ in range(30):
+        plan = random_alpha_model_plan(alpha_1res, rng)
+        outcome = run_algorithm1(alpha_1res, plan, ra_1res)
+        assert outcome.in_affine_task
+
+
+def test_decisions_within_participants(alpha_fig5b, ra_fig5b):
+    rng = random.Random(123)
+    for _ in range(20):
+        plan = random_alpha_model_plan(alpha_fig5b, rng)
+        outcome = run_algorithm1(alpha_fig5b, plan, ra_fig5b)
+        assert outcome.result.decided() <= plan.participants
+
+
+@pytest.mark.parametrize("victim", [0, 1, 2])
+def test_exhaustive_crash_point_sweep(alpha_1res, ra_1res, victim):
+    """Deterministic failure injection: crash one process after every
+    possible step count 0..24 — Theorem 7 must hold at every point."""
+    for crash_step in range(25):
+        plan = ExecutionPlan(
+            participants=FULL,
+            faulty=frozenset({victim}),
+            crash_after_steps={victim: crash_step},
+            seed=1000 + crash_step,
+        )
+        outcome = run_algorithm1(alpha_1res, plan, ra_1res)
+        assert outcome.in_affine_task, (victim, crash_step)
+        assert FULL - {victim} <= outcome.result.decided()
+
+
+def test_two_crashes_in_weak_model():
+    """The 2-OF agreement function tolerates one failure at full
+    participation (alpha = 2); sweep its crash points too."""
+    from repro.adversaries import k_concurrency_alpha
+    from repro.core import r_affine
+
+    alpha = k_concurrency_alpha(3, 2)
+    task = r_affine(alpha)
+    for crash_step in range(0, 20, 2):
+        plan = ExecutionPlan(
+            participants=FULL,
+            faulty=frozenset({2}),
+            crash_after_steps={2: crash_step},
+            seed=2000 + crash_step,
+        )
+        outcome = run_algorithm1(alpha, plan, task)
+        assert outcome.in_affine_task

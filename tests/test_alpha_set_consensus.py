@@ -1,0 +1,72 @@
+"""Theorem 2 operationalized: α-adaptive set consensus in the α-model."""
+
+import random
+
+import pytest
+
+from repro.protocols.alpha_set_consensus import (
+    fuzz_alpha_set_consensus,
+    run_alpha_set_consensus,
+)
+from repro.runtime.scheduler import ExecutionPlan, random_alpha_model_plan
+
+FULL = frozenset({0, 1, 2})
+
+
+@pytest.mark.parametrize(
+    "alpha_fixture",
+    ["alpha_1of", "alpha_2of", "alpha_1res", "alpha_fig5b", "alpha_wf"],
+)
+def test_fuzzed_runs_satisfy_spec(request, alpha_fixture):
+    alpha = request.getfixturevalue(alpha_fixture)
+    outcomes = fuzz_alpha_set_consensus(alpha, runs=40, seed=9)
+    assert len(outcomes) == 40
+
+
+def test_consensus_under_1of(alpha_1of):
+    """alpha(P) = 1 everywhere: the object is consensus."""
+    outcomes = fuzz_alpha_set_consensus(alpha_1of, runs=40, seed=11)
+    assert all(o.distinct_decisions() == 1 for o in outcomes)
+
+
+def test_leaders_are_participants(alpha_1res):
+    rng = random.Random(3)
+    for _ in range(20):
+        plan = random_alpha_model_plan(alpha_1res, rng)
+        proposals = {pid: pid * 10 for pid in range(3)}
+        outcome = run_alpha_set_consensus(alpha_1res, plan, proposals)
+        for pid, leader in outcome.leaders.items():
+            assert leader in plan.participants
+            assert outcome.decisions[pid] == proposals[leader]
+
+
+def test_full_run_decides_everywhere(alpha_fig5b):
+    plan = ExecutionPlan(participants=FULL, faulty=frozenset(), seed=4)
+    proposals = {0: "a", 1: "b", 2: "c"}
+    outcome = run_alpha_set_consensus(alpha_fig5b, plan, proposals)
+    assert set(outcome.decisions) == set(FULL)
+    assert outcome.distinct_decisions() <= 2
+
+
+def test_bound_reachable(alpha_fig5b):
+    """Some execution realizes 2 distinct decisions (the bound)."""
+    rng = random.Random(17)
+    maxima = 0
+    for _ in range(60):
+        plan = random_alpha_model_plan(alpha_fig5b, rng)
+        proposals = {pid: f"v{pid}" for pid in range(3)}
+        outcome = run_alpha_set_consensus(alpha_fig5b, plan, proposals)
+        maxima = max(maxima, outcome.distinct_decisions())
+    assert maxima == 2
+
+
+def test_crash_tolerant(alpha_1res):
+    plan = ExecutionPlan(
+        participants=FULL,
+        faulty=frozenset({1}),
+        crash_after_steps={1: 5},
+        seed=23,
+    )
+    proposals = {0: "x", 1: "y", 2: "z"}
+    outcome = run_alpha_set_consensus(alpha_1res, plan, proposals)
+    assert frozenset({0, 2}) <= frozenset(outcome.decisions)

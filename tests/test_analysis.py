@@ -1,0 +1,155 @@
+"""Tests for repro.analysis: stats, compactness, Sperner, reporting."""
+
+import random
+
+import pytest
+
+from repro.analysis.compactness import (
+    affine_model_is_prefix_closed,
+    bounded_round_solvability,
+    obstruction_free_witness,
+    solo_run_prefixes_comply_one_resilient,
+)
+from repro.analysis.reporting import (
+    banner,
+    render_check,
+    render_mapping,
+    render_table,
+)
+from repro.analysis.sperner import (
+    admissible_labelings_domain,
+    fuzz_sperner,
+    is_admissible,
+    panchromatic_facets,
+    random_admissible_labeling,
+    sperner_parity_holds,
+)
+from repro.analysis.stats import (
+    compare_affine_tasks,
+    complex_census,
+    facet_share,
+    facets_by_color_census,
+    inclusion_matrix,
+    vertices_by_witnessed_size,
+)
+from repro.tasks.set_consensus import set_consensus_task
+
+
+# ----------------------------------------------------------------- stats
+def test_complex_census(chr1):
+    census = complex_census(chr1)
+    assert census["vertices"] == 12
+    assert census["facets"] == 13
+    assert census["pure"]
+
+
+def test_facet_share(rkof_1, chr2):
+    assert facet_share(rkof_1, chr2) == pytest.approx(73 / 169)
+
+
+def test_vertices_by_witnessed_size(rtres_1):
+    census = vertices_by_witnessed_size(rtres_1.complex)
+    assert 1 not in census  # corners excluded in R_{1-res}
+    assert set(census) == {2, 3}
+
+
+def test_facets_by_color_census(rkof_1):
+    assert facets_by_color_census(rkof_1.complex) == {3: 73}
+
+
+def test_compare_affine_tasks(ra_1of, ra_1res):
+    rows = compare_affine_tasks([ra_1of, ra_1res])
+    assert rows[0]["facets"] == 73
+    assert rows[1]["facets"] == 142
+
+
+def test_inclusion_matrix(ra_1of, ra_2of):
+    matrix = inclusion_matrix([ra_1of, ra_2of])
+    assert matrix[0][1] is True  # R_A(1-OF) ⊆ R_A(2-OF)
+    assert matrix[1][0] is False
+
+
+# ------------------------------------------------------------ compactness
+def test_one_resilient_not_compact():
+    report = solo_run_prefixes_comply_one_resilient()
+    assert report["every_prefix_complies"]
+    assert not report["limit_run_in_model"]
+    assert not report["compact"]
+
+
+def test_one_obstruction_free_not_compact():
+    report = obstruction_free_witness()
+    assert not report["compact"]
+
+
+def test_affine_models_prefix_closed(ra_1of, ra_1res):
+    assert affine_model_is_prefix_closed(ra_1of)
+    assert affine_model_is_prefix_closed(ra_1res)
+
+
+def test_bounded_round_solvability_positive(ra_1res):
+    depth = bounded_round_solvability(ra_1res, set_consensus_task(3, 2))
+    assert depth == 1
+
+
+def test_bounded_round_solvability_negative(ra_1res):
+    assert (
+        bounded_round_solvability(
+            ra_1res, set_consensus_task(3, 1), max_depth=1
+        )
+        is None
+    )
+
+
+# ---------------------------------------------------------------- sperner
+def test_admissible_domain_is_witness_sets(chr1):
+    domain = admissible_labelings_domain(chr1)
+    for vertex, options in domain.items():
+        assert options
+        assert vertex.color in options or options
+
+
+def test_random_labelings_admissible(chr1):
+    rng = random.Random(0)
+    for _ in range(10):
+        labeling = random_admissible_labeling(chr1, rng)
+        assert is_admissible(chr1, labeling)
+
+
+def test_sperner_parity_chr1(chr1):
+    assert fuzz_sperner(chr1, trials=100, seed=1)
+
+
+def test_sperner_parity_chr2(chr2):
+    assert fuzz_sperner(chr2, trials=50, seed=2)
+
+
+def test_panchromatic_counter(chr1):
+    # The identity-like labeling (label = own color) is admissible and
+    # panchromatic on every facet: 13 facets, odd.
+    labeling = {v: v.color for v in chr1.vertices}
+    assert is_admissible(chr1, labeling)
+    assert panchromatic_facets(chr1, labeling) == 13
+    assert sperner_parity_holds(chr1, labeling)
+
+
+# -------------------------------------------------------------- reporting
+def test_render_table_aligns():
+    table = render_table(["a", "bb"], [[1, 2], [33, 4]])
+    lines = table.splitlines()
+    assert len(lines) == 4
+    assert lines[0].startswith("a")
+
+
+def test_render_mapping():
+    text = render_mapping("title", {"k": 1})
+    assert "title" in text and "k: 1" in text
+
+
+def test_render_check():
+    assert render_check("x", True).startswith("[PASS]")
+    assert render_check("x", False).startswith("[FAIL]")
+
+
+def test_banner():
+    assert "hello" in banner("hello")

@@ -1,0 +1,96 @@
+"""Tests for ε-approximate agreement and the depth crossover (E14)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import full_affine_task
+from repro.tasks.approximate_agreement import (
+    approximate_agreement_outputs,
+    approximate_agreement_task,
+    grid_points,
+    realization_map,
+    realized_coordinate,
+    solvable_at_depth,
+)
+from repro.tasks.solvability import verify_carried_map
+from repro.tasks.task import OutputVertex
+from repro.topology.chromatic import ChrVertex
+
+
+def test_grid_points():
+    grid = grid_points(1)
+    assert grid == [Fraction(0), Fraction(1, 3), Fraction(2, 3), Fraction(1)]
+
+
+def test_solo_participant_outputs_own_input():
+    outputs = approximate_agreement_outputs(
+        frozenset({1}), Fraction(1, 3), 1
+    )
+    assert outputs == frozenset(
+        {frozenset({OutputVertex(1, Fraction(1))})}
+    )
+
+
+def test_pairs_respect_epsilon():
+    outputs = approximate_agreement_outputs(
+        frozenset({0, 1}), Fraction(1, 3), 1
+    )
+    for sigma in outputs:
+        if len(sigma) == 2:
+            a, b = sorted(vertex.value for vertex in sigma)
+            assert b - a <= Fraction(1, 3)
+
+
+def test_task_validates():
+    approximate_agreement_task(1).validate()
+    approximate_agreement_task(2).validate()
+
+
+def test_rejects_negative_precision():
+    with pytest.raises(ValueError):
+        approximate_agreement_task(-1)
+
+
+def test_realized_coordinates_of_chr_edge():
+    v0 = ChrVertex(0, frozenset({0, 1}))
+    v1 = ChrVertex(1, frozenset({0, 1}))
+    assert realized_coordinate(v0) == Fraction(2, 3)
+    assert realized_coordinate(v1) == Fraction(1, 3)
+    assert realized_coordinate(ChrVertex(0, frozenset({0}))) == 0
+    assert realized_coordinate(1) == 1
+
+
+def test_realization_map_is_carried():
+    for depth in (1, 2):
+        task = approximate_agreement_task(depth)
+        affine = full_affine_task(2, depth)
+        assert verify_carried_map(affine, task, realization_map(depth))
+
+
+def test_facet_diameter_is_exactly_grid_step():
+    affine = full_affine_task(2, 2)
+    for facet in affine.complex.facets:
+        coords = sorted(realized_coordinate(v) for v in facet)
+        assert coords[1] - coords[0] == Fraction(1, 9)
+
+
+@pytest.mark.parametrize("precision", [1, 2, 3])
+def test_crossover_at_diagonal(precision):
+    assert solvable_at_depth(precision, precision)
+
+
+@pytest.mark.parametrize("precision,depth", [(2, 1), (3, 1), (3, 2)])
+def test_unsolvable_below_diagonal(precision, depth):
+    assert not solvable_at_depth(precision, depth)
+
+
+@pytest.mark.parametrize("precision,depth", [(1, 2), (1, 3), (2, 3)])
+def test_solvable_above_diagonal(precision, depth):
+    assert solvable_at_depth(precision, depth)
+
+
+def test_monotone_in_epsilon_at_fixed_depth():
+    """Coarser agreement is never harder."""
+    assert solvable_at_depth(1, 1)
+    assert not solvable_at_depth(2, 1)

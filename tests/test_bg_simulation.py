@@ -1,0 +1,106 @@
+"""Tests for the BG simulation (E19)."""
+
+import random
+
+import pytest
+
+from repro.runtime.bg_simulation import (
+    BGOutcome,
+    check_simulated_history,
+    full_information_code,
+    run_bg_simulation,
+)
+
+
+def codes(n_sim=3, rounds=2):
+    return {j: full_information_code(rounds) for j in range(n_sim)}
+
+
+def test_crash_free_all_simulated_complete():
+    outcome = run_bg_simulation(codes(), n_simulators=2, seed=1)
+    assert outcome.completed_simulated() == frozenset({0, 1, 2})
+    assert outcome.histories_agree()
+
+
+def test_histories_satisfy_memory_semantics():
+    outcome = run_bg_simulation(codes(), n_simulators=2, seed=3)
+    for j, history in outcome.merged_histories().items():
+        check_simulated_history(j, history)
+
+
+def test_single_simulator_runs_everything():
+    outcome = run_bg_simulation(codes(), n_simulators=1, seed=4)
+    assert outcome.completed_simulated() == frozenset({0, 1, 2})
+
+
+def test_three_simulators():
+    outcome = run_bg_simulation(codes(), n_simulators=3, seed=5)
+    assert outcome.completed_simulated() == frozenset({0, 1, 2})
+    assert outcome.histories_agree()
+
+
+def test_crashed_simulator_blocks_at_most_one_process():
+    """The BG bound: f crashed simulators block at most f simulated
+    processes, so >= n - f complete."""
+    for seed in range(15):
+        outcome = run_bg_simulation(
+            codes(),
+            n_simulators=2,
+            crash_simulators={1: random.Random(seed).randint(0, 60)},
+            seed=seed,
+        )
+        assert len(outcome.completed_simulated()) >= 2, seed
+        assert outcome.histories_agree()
+        for j, history in outcome.merged_histories().items():
+            check_simulated_history(j, history)
+
+
+def test_immediate_crash_still_makes_progress():
+    outcome = run_bg_simulation(
+        codes(), n_simulators=2, crash_simulators={0: 0}, seed=9
+    )
+    assert len(outcome.completed_simulated()) >= 2
+
+
+def test_outputs_are_final_snapshots():
+    outcome = run_bg_simulation(codes(rounds=1), n_simulators=2, seed=11)
+    for results in outcome.per_simulator.values():
+        for j, (output, history) in results.items():
+            # The code returns its last snapshot.
+            assert output == history[-1][1]
+
+
+def test_longer_protocols():
+    outcome = run_bg_simulation(
+        codes(n_sim=3, rounds=4), n_simulators=2, seed=13
+    )
+    assert outcome.completed_simulated() == frozenset({0, 1, 2})
+    for j, history in outcome.merged_histories().items():
+        check_simulated_history(j, history)
+        assert sum(1 for kind, _ in history if kind == "write") == 4
+
+
+def test_more_simulated_than_simulators():
+    outcome = run_bg_simulation(
+        {j: full_information_code(2) for j in range(5)},
+        n_simulators=2,
+        seed=17,
+    )
+    assert outcome.completed_simulated() == frozenset(range(5))
+
+
+def test_history_checker_catches_violations():
+    with pytest.raises(AssertionError):
+        check_simulated_history(
+            0, [("write", "x"), ("snapshot", (None, None, None))]
+        )
+    with pytest.raises(AssertionError):
+        check_simulated_history(
+            0,
+            [
+                ("write", "x"),
+                ("snapshot", ("x", "y", None)),
+                ("write", "z"),
+                ("snapshot", ("z", None, None)),  # forgot p1
+            ],
+        )

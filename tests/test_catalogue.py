@@ -1,0 +1,90 @@
+"""Tests for the adversary catalogue (Figure 2 regions)."""
+
+import pytest
+
+from repro.adversaries.catalogue import (
+    build_catalogue,
+    catalogue_by_name,
+    figure5b_adversary,
+    unfair_example,
+)
+from repro.adversaries.fairness import is_fair
+from repro.adversaries.setcon import csize, setcon
+
+
+def test_catalogue_names_unique():
+    entries = build_catalogue(3)
+    names = [entry.name for entry in entries]
+    assert len(names) == len(set(names))
+
+
+def test_catalogue_by_name_roundtrip():
+    entries = build_catalogue(3)
+    mapping = catalogue_by_name(3)
+    assert len(mapping) == len(entries)
+
+
+def test_figure5b_structure():
+    adversary = figure5b_adversary()
+    assert adversary.is_superset_closed()
+    assert not adversary.is_symmetric()
+    assert is_fair(adversary)
+    assert setcon(adversary) == 2
+    assert csize(adversary) == 2
+
+
+def test_figure5b_generators_live():
+    adversary = figure5b_adversary()
+    assert {1} in adversary
+    assert {0, 2} in adversary
+    assert {0} not in adversary
+    assert {2} not in adversary
+
+
+def test_unfair_example_region():
+    adversary = unfair_example()
+    assert not is_fair(adversary)
+    assert not adversary.is_superset_closed()
+    assert not adversary.is_symmetric()
+
+
+def test_catalogue_covers_every_figure2_region():
+    """Figure 2's regions are all inhabited by the n=3 catalogue."""
+    entries = build_catalogue(3)
+    regions = set()
+    for entry in entries:
+        a = entry.adversary
+        regions.add(
+            (
+                a.is_superset_closed(),
+                a.is_symmetric(),
+                is_fair(a),
+            )
+        )
+    # superset-closed & symmetric (t-resilient / wait-free)
+    assert (True, True, True) in regions
+    # superset-closed only (figure-5b)
+    assert (True, False, True) in regions
+    # symmetric only (k-obstruction-free)
+    assert (False, True, True) in regions
+    # outside fairness entirely
+    assert any(not fair for (_, _, fair) in regions)
+
+
+def test_wait_free_equals_maximal_resilience():
+    mapping = catalogue_by_name(3)
+    assert (
+        mapping["wait-free"].live_sets
+        == mapping["2-resilient(=wait-free)"].live_sets
+    )
+
+
+def test_catalogue_n4_builds():
+    entries = build_catalogue(4)
+    assert {entry.name for entry in entries} >= {
+        "wait-free",
+        "1-resilient",
+        "1-obstruction-free",
+    }
+    for entry in entries:
+        assert entry.adversary.n == 4

@@ -1,0 +1,93 @@
+"""Unit tests for repro.topology.chromatic."""
+
+import pytest
+
+from repro.topology.chromatic import (
+    ChromaticComplex,
+    ChrVertex,
+    chi,
+    color_of,
+    is_rainbow,
+    standard_simplex,
+)
+
+
+def test_ints_are_their_own_color():
+    assert color_of(2) == 2
+
+
+def test_chr_vertex_color():
+    v = ChrVertex(1, frozenset({0, 1}))
+    assert color_of(v) == 1
+
+
+def test_color_of_rejects_uncolored():
+    with pytest.raises(TypeError):
+        color_of("process")
+
+
+def test_chi_collects_colors():
+    sigma = {ChrVertex(0, frozenset({0})), ChrVertex(2, frozenset({0, 2}))}
+    assert chi(sigma) == frozenset({0, 2})
+
+
+def test_is_rainbow():
+    assert is_rainbow({0, 1, 2})
+    assert is_rainbow(
+        {ChrVertex(0, frozenset({0})), ChrVertex(1, frozenset({0, 1}))}
+    )
+    assert not is_rainbow(
+        {ChrVertex(0, frozenset({0})), ChrVertex(0, frozenset({0, 1}))}
+    )
+
+
+def test_chromatic_complex_rejects_color_collisions():
+    with pytest.raises(ValueError):
+        ChromaticComplex(
+            [{ChrVertex(0, frozenset({0})), ChrVertex(0, frozenset({0, 1}))}]
+        )
+
+
+def test_standard_simplex():
+    s = standard_simplex(3)
+    assert s.dimension == 2
+    assert s.colors() == frozenset({0, 1, 2})
+    assert s.vertices == frozenset({0, 1, 2})
+
+
+def test_standard_simplex_requires_processes():
+    with pytest.raises(ValueError):
+        standard_simplex(0)
+
+
+def test_vertices_of_color(chr1):
+    for color in range(3):
+        owned = chr1.vertices_of_color(color)
+        assert owned
+        assert all(color_of(v) == color for v in owned)
+
+
+def test_chr1_vertex_count_by_color(chr1):
+    # Chr s for n=3: each process owns 4 vertices (one per face
+    # containing it: itself, two edges, the triangle).
+    for color in range(3):
+        assert len(chr1.vertices_of_color(color)) == 4
+
+
+def test_restrict_colors(chr1):
+    sub = chr1.restrict_colors({0, 1})
+    assert sub.colors() <= frozenset({0, 1})
+    assert all(len(sigma) <= 2 for sigma in sub.simplices)
+
+
+def test_skeleton_preserves_coloring(chr1):
+    skel = chr1.skeleton(1)
+    assert skel.dimension == 1
+    assert skel.colors() == frozenset({0, 1, 2})
+
+
+def test_equality_and_hash():
+    a = standard_simplex(3)
+    b = standard_simplex(3)
+    assert a == b
+    assert hash(a) == hash(b)

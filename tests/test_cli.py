@@ -1,0 +1,64 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_figures_command(capsys):
+    assert main(["figures"]) == 0
+    out = capsys.readouterr().out
+    assert "Chr^1 s" in out
+    assert "R_A(1-OF)" in out
+    assert "73" in out
+
+
+def test_classify_command(capsys):
+    assert main(["classify"]) == 0
+    out = capsys.readouterr().out
+    assert "wait-free" in out
+    assert "NO" in out  # the unfair example
+
+
+def test_landscape_command(capsys):
+    assert main(["landscape"]) == 0
+    out = capsys.readouterr().out
+    assert "127" in out
+    assert "43" in out
+
+
+def test_fact_command(capsys):
+    assert main(["fact"]) == 0
+    out = capsys.readouterr().out
+    assert "min k-set consensus" in out
+
+
+def test_algorithm1_command(capsys):
+    assert main(["algorithm1", "--runs", "5", "--seed", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "safety violations: 0" in out
+
+
+def test_crossover_command(capsys):
+    assert main(["crossover"]) == 0
+    out = capsys.readouterr().out
+    assert "eps=3^-2" in out
+
+
+def test_inspect_fair_adversary(capsys):
+    assert main(["inspect", "[[0,1],[1,2],[0,2],[0,1,2]]"]) == 0
+    out = capsys.readouterr().out
+    assert "fair: True" in out
+    assert "affine task R_A" in out
+
+
+def test_inspect_unfair_adversary(capsys):
+    assert main(["inspect", "[[0,1],[2]]"]) == 0
+    out = capsys.readouterr().out
+    assert "fair: False" in out
+    assert "counterexample" in out

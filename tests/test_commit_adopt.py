@@ -1,0 +1,71 @@
+"""Tests for the commit–adopt substrate."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.protocols.commit_adopt import (
+    check_commit_adopt_outputs,
+    fuzz_commit_adopt,
+    run_commit_adopt,
+)
+
+
+def test_unanimous_inputs_commit():
+    outputs = run_commit_adopt({0: "v", 1: "v", 2: "v"}, seed=1)
+    assert all(output == ("commit", "v") for output in outputs.values())
+
+
+def test_sequential_execution_commits_first_value():
+    """A fully sequential schedule: the first process commits; everyone
+    else must then agree with it."""
+    outputs = run_commit_adopt({0: "a", 1: "b"}, seed=0)
+    committed = {v for g, v in outputs.values() if g == "commit"}
+    assert len(committed) <= 1
+
+
+def test_outputs_are_proposals():
+    outputs = run_commit_adopt({0: "x", 1: "y", 2: "x"}, seed=5)
+    for _, value in outputs.values():
+        assert value in {"x", "y"}
+
+
+def test_checker_rejects_double_commit():
+    with pytest.raises(AssertionError):
+        check_commit_adopt_outputs(
+            {0: "a", 1: "b"},
+            {0: ("commit", "a"), 1: ("commit", "b")},
+        )
+
+
+def test_checker_rejects_invalid_value():
+    with pytest.raises(AssertionError):
+        check_commit_adopt_outputs(
+            {0: "a", 1: "a"}, {0: ("commit", "z"), 1: ("commit", "z")}
+        )
+
+
+def test_checker_rejects_missed_convergence():
+    with pytest.raises(AssertionError):
+        check_commit_adopt_outputs(
+            {0: "a", 1: "a"}, {0: ("adopt", "a"), 1: ("commit", "a")}
+        )
+
+
+@pytest.mark.parametrize("n", [2, 3, 4, 5])
+def test_fuzz_many_sizes(n):
+    fuzz_commit_adopt(n, runs=40, seed=n)
+
+
+@given(
+    st.integers(min_value=2, max_value=4),
+    st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=60, deadline=None)
+def test_guarantees_hold_under_random_schedules(n, seed):
+    import random
+
+    rng = random.Random(seed)
+    proposals = {pid: rng.choice(["a", "b", "c"]) for pid in range(n)}
+    outputs = run_commit_adopt(proposals, seed=seed)
+    check_commit_adopt_outputs(proposals, outputs)

@@ -1,0 +1,80 @@
+"""Unit tests for the concurrency map (Definition 8, Figure 6)."""
+
+import pytest
+
+from repro.core.concurrency import (
+    concurrency_census,
+    concurrency_level,
+    concurrency_map,
+)
+from repro.core.critical import CriticalStructure
+from repro.topology.chromatic import ChrVertex
+
+
+def test_figure6a_census(chr1, alpha_1of):
+    """Figure 6a: 1-obstruction-freedom has levels 0 and 1 only."""
+    census = concurrency_census(chr1, alpha_1of)
+    assert set(census) == {0, 1}
+    assert census == {0: 18, 1: 31}
+
+
+def test_figure6b_census(chr1, alpha_fig5b):
+    """Figure 6b: the running example reaches level 2."""
+    census = concurrency_census(chr1, alpha_fig5b)
+    assert set(census) == {0, 1, 2}
+    assert census == {0: 4, 1: 14, 2: 31}
+
+
+def test_level_zero_without_critical_simplices(alpha_1res):
+    sigma = frozenset({ChrVertex(0, frozenset({0}))})
+    # alpha({0}) = 0: the solo vertex witnesses nothing.
+    assert concurrency_level(sigma, alpha_1res) == 0
+
+
+def test_level_tracks_critical_carrier_power(alpha_1res):
+    pair = frozenset(
+        {
+            ChrVertex(0, frozenset({0, 1})),
+            ChrVertex(1, frozenset({0, 1})),
+        }
+    )
+    assert concurrency_level(pair, alpha_1res) == 1
+
+
+def test_level_monotone_under_inclusion(chr1, alpha_fig5b):
+    """More of the run seen => at least the same concurrency level."""
+    mapping = concurrency_map(chr1, alpha_fig5b)
+    simplices = sorted(mapping, key=len)
+    for small in simplices:
+        for big in simplices:
+            if small < big:
+                assert mapping[small] <= mapping[big]
+
+
+def test_level_bounded_by_alpha_of_carrier(chr1, alpha_fig5b):
+    from repro.topology.subdivision import carrier
+
+    mapping = concurrency_map(chr1, alpha_fig5b)
+    for sigma, level in mapping.items():
+        assert level <= alpha_fig5b(carrier(sigma))
+
+
+def test_census_counts_all_simplices(chr1, alpha_1of):
+    census = concurrency_census(chr1, alpha_1of)
+    assert sum(census.values()) == len(chr1.simplices)
+
+
+def test_shared_structure_consistency(chr1, alpha_1of):
+    structure = CriticalStructure(alpha_1of)
+    for sigma in list(chr1.simplices)[:20]:
+        assert concurrency_level(
+            sigma, alpha_1of, structure
+        ) == concurrency_level(sigma, alpha_1of)
+
+
+def test_wait_free_levels_equal_view_power(chr1, alpha_wf):
+    """With everything critical, Conc equals alpha of the largest
+    shared-carrier group's carrier."""
+    census = concurrency_census(chr1, alpha_wf)
+    assert 0 not in census
+    assert max(census) == 3

@@ -1,0 +1,113 @@
+"""Unit tests for repro.topology.connectivity."""
+
+import pytest
+
+from repro.topology.complex import SimplicialComplex
+from repro.topology.connectivity import (
+    betti_numbers,
+    boundary_matrix,
+    connected_components,
+    euler_characteristic,
+    homology_summary,
+    is_connected,
+    is_link_connected,
+    one_skeleton_graph,
+)
+
+
+@pytest.fixture
+def hollow_triangle():
+    return SimplicialComplex([{0, 1}, {1, 2}, {0, 2}])
+
+
+@pytest.fixture
+def two_components():
+    return SimplicialComplex([{0, 1}, {2, 3}])
+
+
+def test_one_skeleton(hollow_triangle):
+    graph = one_skeleton_graph(hollow_triangle)
+    assert graph.number_of_nodes() == 3
+    assert graph.number_of_edges() == 3
+
+
+def test_is_connected(hollow_triangle, two_components):
+    assert is_connected(hollow_triangle)
+    assert not is_connected(two_components)
+    assert is_connected(SimplicialComplex([]))
+
+
+def test_connected_components(two_components):
+    assert connected_components(two_components) == 2
+    assert connected_components(SimplicialComplex([])) == 0
+
+
+def test_euler_characteristic():
+    disk = SimplicialComplex([{0, 1, 2}])
+    assert euler_characteristic(disk) == 1
+    circle = SimplicialComplex([{0, 1}, {1, 2}, {0, 2}])
+    assert euler_characteristic(circle) == 0
+
+
+def test_boundary_matrix_shape(hollow_triangle):
+    d1 = boundary_matrix(hollow_triangle, 1)
+    assert d1.shape == (3, 3)
+    # Every edge has two endpoints.
+    assert (d1.sum(axis=0) == 2).all()
+
+
+def test_betti_disk():
+    disk = SimplicialComplex([{0, 1, 2}])
+    assert betti_numbers(disk) == [1, 0, 0]
+
+
+def test_betti_circle(hollow_triangle):
+    assert betti_numbers(hollow_triangle) == [1, 1]
+
+
+def test_betti_two_components(two_components):
+    assert betti_numbers(two_components) == [2, 0]
+
+
+def test_betti_sphere():
+    # Boundary of a tetrahedron: S^2 has b = [1, 0, 1].
+    from itertools import combinations
+
+    sphere = SimplicialComplex(
+        [frozenset(c) for c in combinations(range(4), 3)]
+    )
+    assert betti_numbers(sphere) == [1, 0, 1]
+
+
+def test_chr_subdivisions_contractible(chr1, chr2):
+    assert betti_numbers(chr1.complex) == [1, 0, 0]
+    assert betti_numbers(chr2.complex) == [1, 0, 0]
+    assert euler_characteristic(chr2.complex) == 1
+
+
+def test_link_connectivity_flags_pinch_point():
+    # Two triangles sharing exactly one vertex: the link of that vertex
+    # is disconnected.
+    pinched = SimplicialComplex([{0, 1, 2}, {0, 3, 4}])
+    assert not is_link_connected(pinched)
+
+
+def test_link_connectivity_of_subdivision(chr1):
+    assert is_link_connected(chr1.complex)
+
+
+def test_r1of_not_link_connected(rkof_1):
+    """The paper's Section 8 remark: R_{1-OF} is not link-connected."""
+    assert not is_link_connected(rkof_1.complex.complex)
+
+
+def test_rtres_link_connected(rtres_1):
+    """While R_{1-res} is (Saraph et al. rely on this)."""
+    assert is_link_connected(rtres_1.complex.complex)
+
+
+def test_homology_summary_keys(hollow_triangle):
+    summary = homology_summary(hollow_triangle)
+    assert summary["euler_characteristic"] == 0
+    assert summary["betti_gf2"] == [1, 1]
+    assert summary["connected"]

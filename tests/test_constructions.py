@@ -1,0 +1,101 @@
+"""Tests for joins, cones, suspensions and spheres."""
+
+import pytest
+
+from repro.topology.complex import SimplicialComplex
+from repro.topology.connectivity import betti_numbers, euler_characteristic
+from repro.topology.constructions import (
+    cone,
+    disjoint_union,
+    join,
+    sphere,
+    suspension,
+)
+
+
+def test_sphere_homology():
+    assert betti_numbers(sphere(0)) == [2]
+    assert betti_numbers(sphere(1)) == [1, 1]
+    assert betti_numbers(sphere(2)) == [1, 0, 1]
+
+
+def test_sphere_rejects_negative():
+    with pytest.raises(ValueError):
+        sphere(-1)
+
+
+def test_join_of_spheres_is_sphere():
+    """S^0 * S^0 is a circle (S^1)."""
+    s0a = sphere(0, tag="a")
+    s0b = sphere(0, tag="b")
+    circle = join(s0a, s0b)
+    assert betti_numbers(circle) == [1, 1]
+    assert euler_characteristic(circle) == 0
+
+
+def test_join_with_point_is_cone():
+    point = SimplicialComplex([{"p"}])
+    base = sphere(1, tag="x")
+    joined = join(base, point)
+    coned = cone(base, "p")
+    assert joined == coned
+    assert betti_numbers(coned) == [1, 0, 0]  # contractible
+
+
+def test_join_requires_disjoint_vertices():
+    K = SimplicialComplex([{"a"}])
+    with pytest.raises(ValueError):
+        join(K, K)
+
+
+def test_join_with_empty_is_identity():
+    K = sphere(1)
+    assert join(K, SimplicialComplex([])) == K
+    assert join(SimplicialComplex([]), K) == K
+
+
+def test_cone_is_contractible():
+    for base in (sphere(0), sphere(1), SimplicialComplex([{1, 2}, {2, 3}])):
+        coned = cone(base, apex="apex")
+        assert betti_numbers(coned)[0] == 1
+        assert all(b == 0 for b in betti_numbers(coned)[1:])
+
+
+def test_cone_over_empty_is_point():
+    assert cone(SimplicialComplex([]), "a").f_vector() == [1]
+
+
+def test_cone_rejects_used_apex():
+    with pytest.raises(ValueError):
+        cone(SimplicialComplex([{"a"}]), "a")
+
+
+def test_suspension_of_sphere_is_sphere():
+    """Susp(S^1) = S^2."""
+    circle = sphere(1, tag="c")
+    susp = suspension(circle)
+    assert betti_numbers(susp) == [1, 0, 1]
+
+
+def test_suspension_of_two_points():
+    """Susp(S^0) = S^1."""
+    susp = suspension(sphere(0, tag="p"))
+    assert betti_numbers(susp) == [1, 1]
+
+
+def test_suspension_pole_validation():
+    with pytest.raises(ValueError):
+        suspension(sphere(0), north="X", south="X")
+
+
+def test_disjoint_union_betti_adds():
+    a = sphere(1, tag="a")
+    b = sphere(1, tag="b")
+    both = disjoint_union(a, b)
+    assert betti_numbers(both) == [2, 2]
+
+
+def test_disjoint_union_requires_disjoint():
+    K = sphere(0, tag="z")
+    with pytest.raises(ValueError):
+        disjoint_union(K, K)

@@ -1,0 +1,106 @@
+"""Unit tests for Cont2 (Definition 5, Figure 4)."""
+
+import pytest
+
+from repro.core.contention import (
+    are_contending,
+    contention_complex,
+    contention_simplices,
+    is_contention_simplex,
+    max_contention_dim,
+)
+from repro.runtime.iis import run_iis
+
+
+def fully_reversed_run():
+    """Figure 4a: orders {p2},{p1},{p3} then {p3},{p1},{p2}."""
+    return run_iis(
+        3,
+        [
+            (frozenset({1}), frozenset({0}), frozenset({2})),
+            (frozenset({2}), frozenset({0}), frozenset({1})),
+        ],
+    )
+
+
+def mixed_run():
+    """Figure 4b: ordered {p1},{p2},{p3} then {p2},{p3,p1}."""
+    return run_iis(
+        3,
+        [
+            (frozenset({0}), frozenset({1}), frozenset({2})),
+            (frozenset({1}), frozenset({0, 2})),
+        ],
+    )
+
+
+def test_figure4a_all_pairs_contend():
+    execution = fully_reversed_run()
+    vs = {pid: execution.vertex_of(pid) for pid in range(3)}
+    for a in range(3):
+        for b in range(a + 1, 3):
+            assert are_contending(vs[a], vs[b])
+    assert is_contention_simplex(vs.values())
+
+
+def test_figure4b_only_p1_p2_contend():
+    execution = mixed_run()
+    vs = {pid: execution.vertex_of(pid) for pid in range(3)}
+    # Paper labels p1, p2 -> our 0, 1.
+    assert are_contending(vs[0], vs[1])
+    assert not are_contending(vs[0], vs[2])
+    assert not are_contending(vs[1], vs[2])
+    assert not is_contention_simplex(vs.values())
+
+
+def test_synchronous_run_has_no_contention():
+    execution = run_iis(
+        3, [(frozenset({0, 1, 2}),), (frozenset({0, 1, 2}),)]
+    )
+    vs = [execution.vertex_of(pid) for pid in range(3)]
+    for a in range(3):
+        for b in range(a + 1, 3):
+            assert not are_contending(vs[a], vs[b])
+
+
+def test_singletons_vacuously_contend(chr2):
+    v = next(iter(chr2.vertices))
+    assert is_contention_simplex([v])
+
+
+def test_contention_census_figure4c(chr2):
+    """Figure 4c numbers: 78 contending edges and 6 triangles at n=3."""
+    complex_ = contention_complex(3)
+    assert complex_.f_vector() == [99, 78, 6]
+
+
+def test_contention_simplices_min_dim(chr2):
+    triangles = contention_simplices(chr2, min_dim=2)
+    assert len(triangles) == 6
+    edges_and_up = contention_simplices(chr2, min_dim=1)
+    assert len(edges_and_up) == 78 + 6
+
+
+def test_contention_is_inclusion_closed(chr2):
+    triangles = contention_simplices(chr2, min_dim=2)
+    for triangle in triangles:
+        for v in triangle:
+            assert is_contention_simplex(triangle - {v})
+
+
+def test_max_contention_dim():
+    execution = fully_reversed_run()
+    facet = execution.facet()
+    assert max_contention_dim(facet) == 2
+    mixed = mixed_run().facet()
+    assert max_contention_dim(mixed) == 1
+
+
+def test_contention_symmetric(chr2):
+    for facet in list(chr2.facets)[:30]:
+        vs = sorted(facet, key=repr)
+        for i in range(len(vs)):
+            for j in range(i + 1, len(vs)):
+                assert are_contending(vs[i], vs[j]) == are_contending(
+                    vs[j], vs[i]
+                )

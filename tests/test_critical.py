@@ -1,0 +1,132 @@
+"""Unit tests for critical simplices (Definition 7, Figure 5)."""
+
+import pytest
+
+from repro.core.critical import (
+    CriticalStructure,
+    critical_members,
+    critical_simplices,
+    critical_view,
+    is_critical,
+)
+from repro.topology.chromatic import ChrVertex, chi
+
+
+def solo_vertex(pid):
+    return ChrVertex(pid, frozenset({pid}))
+
+
+def test_empty_is_not_critical(alpha_wf):
+    assert not is_critical([], alpha_wf)
+
+
+def test_solo_vertex_critical_wait_free(alpha_wf):
+    assert is_critical([solo_vertex(0)], alpha_wf)
+
+
+def test_solo_vertex_not_critical_one_resilient(alpha_1res):
+    # alpha({0}) = 0 = alpha({}) — no power is witnessed.
+    assert not is_critical([solo_vertex(0)], alpha_1res)
+
+
+def test_mixed_carriers_never_critical(alpha_wf):
+    sigma = [
+        ChrVertex(0, frozenset({0})),
+        ChrVertex(1, frozenset({0, 1})),
+    ]
+    assert not is_critical(sigma, alpha_wf)
+
+
+def test_shared_carrier_pair_critical_1res(alpha_1res):
+    sigma = [
+        ChrVertex(0, frozenset({0, 1})),
+        ChrVertex(1, frozenset({0, 1})),
+    ]
+    # alpha({0,1}) = 1 > alpha({}) = 0.
+    assert is_critical(sigma, alpha_1res)
+
+
+def test_single_member_of_pair_view_critical_1res(alpha_1res):
+    sigma = [ChrVertex(0, frozenset({0, 1}))]
+    # alpha({1}) = 0 < alpha({0,1}) = 1.
+    assert is_critical(sigma, alpha_1res)
+
+
+def test_1of_criticality_only_at_small_views(alpha_1of):
+    # For alpha = min(|P|, 1): critical iff the members are the whole view.
+    assert is_critical([solo_vertex(2)], alpha_1of)
+    pair = [
+        ChrVertex(0, frozenset({0, 1})),
+        ChrVertex(1, frozenset({0, 1})),
+    ]
+    assert is_critical(pair, alpha_1of)
+    half = [ChrVertex(0, frozenset({0, 1}))]
+    assert not is_critical(half, alpha_1of)
+
+
+def test_figure5a_critical_count(chr1, alpha_1of):
+    """Figure 5a: the 1-obstruction-free model has 7 critical simplices
+    in Chr s: the three corner vertices, the three edge-midpoint pairs
+    sharing a 2-view... counted mechanically."""
+    crit = [
+        sigma for sigma in chr1.simplices if is_critical(sigma, alpha_1of)
+    ]
+    assert len(crit) == 7
+
+
+def test_figure5b_critical_count(chr1, alpha_fig5b):
+    crit = [
+        sigma
+        for sigma in chr1.simplices
+        if is_critical(sigma, alpha_fig5b)
+    ]
+    assert len(crit) == 15
+
+
+def test_critical_simplices_of_facets(chr1, alpha_1of):
+    structure = CriticalStructure(alpha_1of)
+    for facet in chr1.facets:
+        direct = critical_simplices(facet, alpha_1of)
+        assert structure.cs(facet) == direct
+        for theta in direct:
+            assert is_critical(theta, alpha_1of)
+            assert theta <= facet
+
+
+def test_critical_members_union(chr1, alpha_fig5b):
+    for facet in chr1.facets:
+        members = critical_members(facet, alpha_fig5b)
+        expected = set()
+        for theta in critical_simplices(facet, alpha_fig5b):
+            expected |= theta
+        assert members == frozenset(expected)
+
+
+def test_critical_view_is_union_of_carriers(chr1, alpha_fig5b):
+    for facet in chr1.facets:
+        view = critical_view(facet, alpha_fig5b)
+        members = critical_members(facet, alpha_fig5b)
+        expected = frozenset().union(
+            *(v.carrier for v in members)
+        ) if members else frozenset()
+        assert view == expected
+
+
+def test_structure_caches(alpha_1of, chr1):
+    structure = CriticalStructure(alpha_1of)
+    facet = next(iter(chr1.facets))
+    first = structure.cs(facet)
+    assert structure.cs(facet) is first  # cached object identity
+
+
+def test_csm_colors(chr1, alpha_1of):
+    structure = CriticalStructure(alpha_1of)
+    for facet in chr1.facets:
+        assert structure.csm_colors(facet) == chi(structure.csm(facet))
+
+
+def test_wait_free_everything_with_shared_carrier_critical(chr1, alpha_wf):
+    for sigma in chr1.simplices:
+        carriers = {v.carrier for v in sigma}
+        if len(carriers) == 1:
+            assert is_critical(sigma, alpha_wf)

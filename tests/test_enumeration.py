@@ -1,0 +1,105 @@
+"""Unit and property tests for repro.topology.enumeration."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology.enumeration import (
+    chr_facet_to_partition,
+    fubini_number,
+    is_valid_is_views,
+    ordered_set_partitions,
+    partition_to_chr_facet,
+    views_of_partition,
+)
+
+
+def test_fubini_sequence():
+    assert [fubini_number(k) for k in range(7)] == [
+        1, 1, 3, 13, 75, 541, 4683,
+    ]
+
+
+def test_fubini_rejects_negative():
+    with pytest.raises(ValueError):
+        fubini_number(-1)
+
+
+@pytest.mark.parametrize("n", [0, 1, 2, 3, 4])
+def test_partition_count_matches_fubini(n):
+    partitions = list(ordered_set_partitions(range(n)))
+    assert len(partitions) == fubini_number(n)
+
+
+def test_partitions_are_partitions():
+    for partition in ordered_set_partitions(range(3)):
+        flattened = [x for block in partition for x in block]
+        assert sorted(flattened) == [0, 1, 2]
+        assert all(block for block in partition)
+
+
+def test_views_of_ordered_run():
+    # The run {1}, {0}, {2} of Figure 3a (renamed p1->0, p2->1, p3->2).
+    partition = (frozenset({1}), frozenset({0}), frozenset({2}))
+    views = views_of_partition(partition)
+    assert views[1] == frozenset({1})
+    assert views[0] == frozenset({0, 1})
+    assert views[2] == frozenset({0, 1, 2})
+
+
+def test_views_of_synchronous_run():
+    partition = (frozenset({0, 1, 2}),)
+    views = views_of_partition(partition)
+    assert all(view == frozenset({0, 1, 2}) for view in views.values())
+
+
+@given(st.integers(min_value=1, max_value=5))
+@settings(max_examples=20, deadline=None)
+def test_all_partition_views_satisfy_is_properties(n):
+    for partition in ordered_set_partitions(range(n)):
+        assert is_valid_is_views(views_of_partition(partition))
+
+
+def test_is_valid_views_rejects_violations():
+    # Containment violated.
+    assert not is_valid_is_views(
+        {0: frozenset({0}), 1: frozenset({1})}
+    )
+    # Self-inclusion violated.
+    assert not is_valid_is_views({0: frozenset({1}), 1: frozenset({0, 1})})
+    # Immediacy violated: 0 in view(1) but view(0) not within view(1).
+    assert not is_valid_is_views(
+        {
+            0: frozenset({0, 1, 2}),
+            1: frozenset({0, 1}),
+            2: frozenset({0, 1, 2}),
+        }
+    )
+
+
+def test_partition_facet_roundtrip():
+    for partition in ordered_set_partitions(range(3)):
+        facet = partition_to_chr_facet(partition)
+        assert chr_facet_to_partition(facet) == partition
+
+
+def test_facet_vertices_carry_views():
+    partition = (frozenset({1}), frozenset({0, 2}))
+    facet = partition_to_chr_facet(partition)
+    by_color = {v.color: v for v in facet}
+    assert by_color[1].carrier == frozenset({1})
+    assert by_color[0].carrier == frozenset({0, 1, 2})
+    assert by_color[2].carrier == frozenset({0, 1, 2})
+
+
+def test_facet_to_partition_rejects_non_chains():
+    from repro.topology.chromatic import ChrVertex
+
+    bad = frozenset(
+        {
+            ChrVertex(0, frozenset({0})),
+            ChrVertex(1, frozenset({1})),
+        }
+    )
+    with pytest.raises(ValueError):
+        chr_facet_to_partition(bad)

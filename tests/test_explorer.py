@@ -1,0 +1,138 @@
+"""Model-checking tests: exhaustive schedule exploration."""
+
+import pytest
+
+from repro.protocols.commit_adopt import (
+    check_commit_adopt_outputs,
+    commit_adopt_protocol,
+)
+from repro.runtime.explorer import (
+    ScheduleExplorer,
+    check_all_schedules,
+    explore_outputs,
+)
+from repro.runtime.immediate_snapshot import standalone_is_protocol
+from repro.topology.enumeration import (
+    is_valid_is_views,
+    ordered_set_partitions,
+    views_of_partition,
+)
+
+
+def test_explorer_counts_trivial_protocol():
+    def factory(pid, memory):
+        array = memory.snapshot_array("A")
+
+        def proto():
+            yield ("update", array, pid)
+            return pid
+
+        return proto()
+
+    # One op + the returning resumption = 2 scheduler steps per
+    # process: C(4, 2) = 6 interleavings.
+    results = explore_outputs(factory, 2)
+    assert len(results) == 6
+    for _schedule, crashed, outputs in results:
+        assert outputs == {0: 0, 1: 1}
+        assert crashed == frozenset()
+
+
+def test_is_protocol_all_schedules_n2():
+    """Every interleaving of the BG IS protocol at n=2 satisfies the IS
+    specification — exhaustively, not by sampling."""
+
+    def factory(pid, memory):
+        return standalone_is_protocol(pid, 2, memory, pid)
+
+    def validate(outputs, crashed):
+        views = {pid: frozenset(view) for pid, view in outputs.items()}
+        assert is_valid_is_views(views)
+
+    checked = check_all_schedules(factory, 2, validate)
+    assert checked > 10
+
+
+def test_is_protocol_reaches_every_is_run_n2():
+    """The protocol is complete: every combinatorial IS run occurs in
+    some schedule."""
+
+    def factory(pid, memory):
+        return standalone_is_protocol(pid, 2, memory, pid)
+
+    reached = set()
+    for _schedule, _crashed, outputs in explore_outputs(factory, 2):
+        views = frozenset(
+            (pid, frozenset(view)) for pid, view in outputs.items()
+        )
+        reached.add(views)
+    expected = {
+        frozenset(views_of_partition(p).items())
+        for p in ordered_set_partitions(range(2))
+    }
+    assert reached == expected
+
+
+def test_commit_adopt_all_schedules_n2():
+    for proposals in ({0: "a", 1: "a"}, {0: "a", 1: "b"}):
+
+        def factory(pid, memory, proposals=proposals):
+            return commit_adopt_protocol(pid, 2, memory, proposals[pid])
+
+        def validate(outputs, crashed, proposals=proposals):
+            check_commit_adopt_outputs(proposals, outputs)
+
+        checked = check_all_schedules(factory, 2, validate)
+        assert checked > 10
+
+
+def test_commit_adopt_with_crashes_n2():
+    """Crash branches included: surviving outputs still legal."""
+    proposals = {0: "a", 1: "b"}
+
+    def factory(pid, memory):
+        return commit_adopt_protocol(pid, 2, memory, proposals[pid])
+
+    def validate(outputs, crashed):
+        # Validate only the deciders' guarantees.
+        if outputs:
+            committed = {
+                v for g, v in outputs.values() if g == "commit"
+            }
+            assert len(committed) <= 1
+            for _, value in outputs.values():
+                assert value in {"a", "b"}
+
+    checked = check_all_schedules(
+        factory, 2, validate, crash_budget=1
+    )
+    assert checked > 20
+
+
+@pytest.mark.slow
+def test_commit_adopt_all_schedules_n3():
+    proposals = {0: "a", 1: "b", 2: "a"}
+
+    def factory(pid, memory):
+        return commit_adopt_protocol(pid, 3, memory, proposals[pid])
+
+    def validate(outputs, crashed):
+        check_commit_adopt_outputs(proposals, outputs)
+
+    # 5 scheduler steps per process (4 ops + return): 15!/(5!)^3.
+    checked = check_all_schedules(factory, 3, validate)
+    assert checked == 756756
+
+
+def test_non_wait_free_protocol_detected():
+    def factory(pid, memory):
+        array = memory.snapshot_array("A")
+
+        def proto():
+            while True:
+                yield ("scan", array)
+
+        return proto()
+
+    with pytest.raises(AssertionError, match="wait-free"):
+        explore_outputs(factory, 1, max_steps=10)

@@ -1,0 +1,105 @@
+"""Unit and property tests for fairness (Definition 2)."""
+
+from itertools import combinations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adversaries.adversary import (
+    Adversary,
+    from_live_sets,
+    k_obstruction_free,
+    symmetric_from_sizes,
+    t_resilient,
+    wait_free,
+)
+from repro.adversaries.catalogue import figure5b_adversary, unfair_example
+from repro.adversaries.fairness import (
+    check_superset_closed_implies_fair,
+    check_symmetric_implies_fair,
+    fairness_counterexample,
+    fairness_violations,
+    is_fair,
+)
+
+
+def test_wait_free_is_fair():
+    assert is_fair(wait_free(3))
+
+
+def test_t_resilient_is_fair():
+    assert is_fair(t_resilient(3, 1))
+    assert is_fair(t_resilient(4, 2))
+
+
+def test_k_obstruction_free_is_fair():
+    assert is_fair(k_obstruction_free(3, 1))
+    assert is_fair(k_obstruction_free(3, 2))
+
+
+def test_figure5b_is_fair():
+    assert is_fair(figure5b_adversary())
+
+
+def test_symmetric_sizes_is_fair():
+    assert is_fair(symmetric_from_sizes(3, [1, 3]))
+
+
+def test_unfair_example_is_unfair():
+    adversary = unfair_example()
+    violation = fairness_counterexample(adversary)
+    assert violation is not None
+    # The documented witness: P = {0, 2}, Q = {0}.
+    assert violation.participants == frozenset({0, 2})
+    assert violation.targets == frozenset({0})
+    assert violation.lhs == 0 and violation.rhs == 1
+
+
+def test_violation_string_mentions_sets():
+    violation = fairness_counterexample(unfair_example())
+    assert "P=" in str(violation) and "Q=" in str(violation)
+
+
+def test_all_violations_enumerable():
+    violations = list(fairness_violations(unfair_example()))
+    assert len(violations) >= 1
+    for violation in violations:
+        assert violation.lhs != violation.rhs
+
+
+def test_fair_adversary_has_no_counterexample():
+    assert fairness_counterexample(t_resilient(3, 1)) is None
+
+
+@st.composite
+def random_adversaries(draw, n=3):
+    subsets = [
+        frozenset(c)
+        for size in range(1, n + 1)
+        for c in combinations(range(n), size)
+    ]
+    live = draw(st.lists(st.sampled_from(subsets), min_size=1, max_size=4))
+    return Adversary(n, live)
+
+
+@given(random_adversaries())
+@settings(max_examples=40, deadline=None)
+def test_superset_closed_implies_fair(adversary):
+    """The paper's claim, checked on the superset closure."""
+    assert check_superset_closed_implies_fair(adversary.superset_closure())
+
+
+@given(random_adversaries())
+@settings(max_examples=40, deadline=None)
+def test_symmetric_implies_fair(adversary):
+    assert check_symmetric_implies_fair(adversary.symmetric_closure())
+
+
+@given(random_adversaries())
+@settings(max_examples=30, deadline=None)
+def test_fairness_definition_direction(adversary):
+    """setcon(A|P,Q) never exceeds min(|Q|, setcon(A|P)) on fair ones;
+    on any adversary the two sides agree exactly when fair."""
+    fair = is_fair(adversary)
+    has_violation = fairness_counterexample(adversary) is not None
+    assert fair == (not has_violation)

@@ -1,0 +1,84 @@
+"""Tests for the JSON figure-data export."""
+
+import json
+
+import pytest
+
+from repro.analysis.figure_data import (
+    all_figure_data,
+    export_json,
+    fact_table_data,
+    figure1_data,
+    figure2_data,
+    figure6_data,
+    figure7_data,
+    landscape_data,
+)
+
+
+@pytest.fixture(scope="module")
+def data():
+    return all_figure_data()
+
+
+def test_round_trips_through_json(data):
+    payload = json.dumps(data)
+    assert json.loads(payload) == json.loads(payload)
+
+
+def test_figure1_values():
+    data = figure1_data()
+    assert data["chr_s"]["facets"] == 13
+    assert data["chr2_s"]["facets"] == 169
+    assert data["r_1_res"]["facets"] == 142
+    assert data["fubini"][:4] == [1, 1, 3, 13]
+
+
+def test_figure2_contains_catalogue():
+    rows = figure2_data()["catalogue"]
+    names = {row["name"] for row in rows}
+    assert "wait-free" in names and "figure-5b" in names
+    for row in rows:
+        if row["superset_closed"] or row["symmetric"]:
+            assert row["fair"]
+
+
+def test_figure6_levels():
+    data = figure6_data()
+    assert data["one_obstruction_free"] == {"0": 18, "1": 31}
+    assert data["figure5b"] == {"0": 4, "1": 14, "2": 31}
+
+
+def test_figure7_facets():
+    data = figure7_data()
+    assert data["R_A(1-OF)"]["facets"] == 73
+    assert data["R_A(fig5b)"]["facets"] == 145
+    assert data["R_A(1-res)"]["facets"] == data["R_1-res"]["facets"] == 142
+
+
+def test_fact_table():
+    table = fact_table_data()
+    assert table["R_A(1-OF)"] == 1
+    assert table["wait-free(depth1)"] == 3
+
+
+def test_landscape_summary():
+    data = landscape_data()
+    assert data["total"] == 127
+    assert data["distinct_affine_tasks"] == 37
+
+
+def test_export_writes_file(tmp_path):
+    target = tmp_path / "figures.json"
+    export_json(str(target))
+    loaded = json.loads(target.read_text())
+    assert loaded["figure1"]["chr_s"]["vertices"] == 12
+
+
+def test_cli_export(capsys):
+    from repro.cli import main
+
+    assert main(["export"]) == 0
+    out = capsys.readouterr().out
+    parsed = json.loads(out)
+    assert parsed["fact_table"]["R_A(fig5b)"] == 2

@@ -1,0 +1,78 @@
+"""Tests for the figure-drawing geometry export."""
+
+import json
+from math import isclose, sqrt
+
+import pytest
+
+from repro.adversaries import k_concurrency_alpha
+from repro.analysis.figure_geometry import (
+    TRIANGLE,
+    all_drawings,
+    complex_drawing,
+    figure1a_drawing,
+    figure4c_drawing,
+    figure5_drawing,
+    figure6_drawing,
+    figure7_drawing,
+    planar_position,
+)
+from repro.topology.chromatic import ChrVertex
+
+
+def test_corners_at_triangle_vertices():
+    for pid in range(3):
+        assert planar_position(pid) == TRIANGLE[pid]
+
+
+def test_solo_vertex_at_corner():
+    solo = ChrVertex(2, frozenset({2}))
+    assert planar_position(solo) == TRIANGLE[2]
+
+
+def test_central_vertex_inside_triangle():
+    center = ChrVertex(0, frozenset({0, 1, 2}))
+    x, y = planar_position(center)
+    assert 0 < x < 1 and 0 < y < sqrt(3) / 2
+
+
+def test_positions_distinct(chr2):
+    drawing = complex_drawing(chr2)
+    positions = {
+        tuple(round(c, 9) for c in data["position"])
+        for data in drawing["vertices"].values()
+    }
+    assert len(positions) == len(chr2.vertices)
+
+
+def test_figure1a_counts():
+    drawing = figure1a_drawing()
+    assert len(drawing["vertices"]) == 12
+    assert len(drawing["facets"]) == 13
+
+
+def test_figure4c_contending_count():
+    drawing = figure4c_drawing()
+    assert len(drawing["contending"]) == 78 + 6
+
+
+def test_figure5a_critical_count():
+    drawing = figure5_drawing(k_concurrency_alpha(3, 1))
+    assert len(drawing["critical"]) == 7
+
+
+def test_figure6_levels_cover_complex():
+    drawing = figure6_drawing(k_concurrency_alpha(3, 1))
+    assert len(drawing["levels"]) == 49  # simplices of Chr s
+    assert {entry["level"] for entry in drawing["levels"]} == {0, 1}
+
+
+def test_figure7_partition():
+    drawing = figure7_drawing(k_concurrency_alpha(3, 1))
+    assert len(drawing["kept_facets"]) == 73
+    assert len(drawing["dropped_facets"]) == 169 - 73
+
+
+def test_all_drawings_serializable():
+    payload = json.dumps(all_drawings())
+    assert "figure7b" in payload

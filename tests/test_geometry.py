@@ -1,0 +1,86 @@
+"""Unit tests for repro.topology.geometry (realizations, volumes)."""
+
+import numpy as np
+import pytest
+
+from repro.topology.chromatic import ChrVertex
+from repro.topology.geometry import (
+    barycentric_in_carrier,
+    base_coordinates,
+    facet_volumes,
+    realize_complex,
+    realize_vertex,
+    simplex_volume,
+    subdivision_volume_check,
+)
+from repro.topology.subdivision import chr_complex
+
+
+def test_base_coordinates_unit_vectors():
+    coords = base_coordinates(3)
+    assert np.allclose(coords[0], [1, 0, 0])
+    assert np.allclose(coords[2], [0, 0, 1])
+
+
+def test_realize_base_vertex():
+    assert np.allclose(realize_vertex(1, 3), [0, 1, 0])
+
+
+def test_realize_central_vertex_is_barycenter():
+    center = ChrVertex(0, frozenset({0, 1, 2}))
+    point = realize_vertex(center, 3)
+    # (1/5) e0 + (2/5) e1 + (2/5) e2
+    assert np.allclose(point, [0.2, 0.4, 0.4])
+
+
+def test_realize_solo_vertex_at_corner():
+    solo = ChrVertex(1, frozenset({1}))
+    assert np.allclose(realize_vertex(solo, 3), [0, 1, 0])
+
+
+def test_realized_points_on_simplex_plane(chr2):
+    coords = realize_complex(chr2, 3)
+    for point in coords.values():
+        assert np.isclose(point.sum(), 1.0)
+        assert np.all(point >= -1e-12)
+
+
+def test_vertices_lie_in_their_carriers(chr1):
+    for v in chr1.vertices:
+        assert barycentric_in_carrier(v, 3)
+
+
+def test_distinct_vertices_realize_distinctly(chr1):
+    coords = realize_complex(chr1, 3)
+    points = [tuple(np.round(p, 9)) for p in coords.values()]
+    assert len(set(points)) == len(points)
+
+
+def test_simplex_volume_degenerate():
+    assert simplex_volume(np.array([[1.0, 0.0, 0.0]])) == 0.0
+
+
+def test_simplex_volume_unit_triangle():
+    points = np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 1.0]])
+    assert np.isclose(simplex_volume(points), 0.5)
+
+
+def test_facet_volumes_positive(chr1):
+    volumes = facet_volumes(chr1, 3)
+    assert all(v > 0 for v in volumes.values())
+
+
+@pytest.mark.parametrize("depth", [1, 2])
+def test_subdivision_volumes_add_up(depth):
+    K = chr_complex(3, depth)
+    assert subdivision_volume_check(K, 3)
+
+
+@pytest.mark.slow
+def test_subdivision_volumes_add_up_n4():
+    assert subdivision_volume_check(chr_complex(4, 1), 4)
+
+
+def test_realize_rejects_unknown():
+    with pytest.raises(TypeError):
+        realize_vertex("zigzag", 3)

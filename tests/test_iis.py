@@ -1,0 +1,88 @@
+"""Unit tests for the IIS executor and its Chr^m correspondence."""
+
+import pytest
+
+from repro.runtime.iis import (
+    IISExecution,
+    all_two_round_runs,
+    random_iis_run,
+    random_partition,
+    run_iis,
+)
+from repro.topology.enumeration import fubini_number
+from repro.topology.subdivision import chr_complex
+
+
+def test_requires_full_round():
+    execution = IISExecution(3)
+    with pytest.raises(ValueError):
+        execution.step_round((frozenset({0, 1}),))
+
+
+def test_requires_value_per_process():
+    with pytest.raises(ValueError):
+        IISExecution(2, initial_values={0: "a"})
+
+
+def test_one_round_facet_in_chr1(chr1):
+    execution = run_iis(3, [(frozenset({1}), frozenset({0, 2}))])
+    assert execution.facet() in chr1
+
+
+def test_facet_requires_a_round():
+    with pytest.raises(ValueError):
+        IISExecution(3).facet()
+
+
+def test_two_round_runs_cover_chr2_facets(chr2):
+    facets = {facet for _, _, facet in all_two_round_runs(3)}
+    assert facets == chr2.facets
+    assert len(facets) == fubini_number(3) ** 2
+
+
+def test_full_information_values_flow():
+    execution = IISExecution(3, initial_values={0: "a", 1: "b", 2: "c"})
+    execution.step_round((frozenset({1}), frozenset({0, 2})))
+    assert execution.value_view_of(1) == {1: "b"}
+    assert execution.value_view_of(0) == {0: "a", 1: "b", 2: "c"}
+    execution.step_round((frozenset({0, 1, 2}),))
+    # Round 2: everyone sees everyone's round-1 views.
+    view = execution.value_view_of(1)
+    assert set(view) == {0, 1, 2}
+    assert view[1] == {1: "b"}
+
+
+def test_vertex_of_before_rounds_is_id():
+    execution = IISExecution(3)
+    assert execution.vertex_of(2) == 2
+
+
+def test_random_partition_is_partition():
+    import random
+
+    rng = random.Random(0)
+    for _ in range(50):
+        partition = random_partition(4, rng)
+        flattened = sorted(x for block in partition for x in block)
+        assert flattened == [0, 1, 2, 3]
+
+
+def test_random_iis_run_deterministic_by_seed():
+    a = random_iis_run(3, 3, seed=9)
+    b = random_iis_run(3, 3, seed=9)
+    assert a.rounds == b.rounds
+    assert a.facet() == b.facet()
+
+
+def test_three_round_facets_in_chr3():
+    """Spot-check: 3-round runs land inside Chr³ s (n = 2 to keep the
+    ambient complex materializable)."""
+    ambient = chr_complex(2, 3)
+    for seed in range(10):
+        execution = random_iis_run(2, 3, seed=seed)
+        assert execution.facet() in ambient
+
+
+def test_round_count(chr1):
+    execution = random_iis_run(3, 4, seed=1)
+    assert execution.round_count == 4

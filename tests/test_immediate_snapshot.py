@@ -1,0 +1,97 @@
+"""Property tests: the Borowsky–Gafni IS protocol satisfies the IS spec."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.immediate_snapshot import (
+    standalone_is_protocol,
+    views_from_outputs,
+)
+from repro.runtime.memory import SharedMemory
+from repro.runtime.scheduler import Scheduler
+from repro.topology.enumeration import is_valid_is_views
+
+
+def run_is(n, schedule_seed):
+    rng = random.Random(schedule_seed)
+    memory = SharedMemory(n)
+    scheduler = Scheduler(
+        {i: standalone_is_protocol(i, n, memory, i) for i in range(n)}
+    )
+    while len(scheduler.outputs) < n:
+        alive = [i for i in range(n) if i not in scheduler.outputs]
+        scheduler.step(rng.choice(alive))
+    return scheduler.outputs
+
+
+@given(st.integers(min_value=1, max_value=6), st.integers(min_value=0))
+@settings(max_examples=150, deadline=None)
+def test_is_outputs_satisfy_spec(n, seed):
+    outputs = run_is(n, seed)
+    views = views_from_outputs(outputs)
+    assert is_valid_is_views(views)
+
+
+def test_solo_process_sees_itself():
+    outputs = run_is(1, 0)
+    assert outputs[0] == {0: 0}
+
+
+def test_sequential_schedule_gives_ordered_views():
+    n = 3
+    memory = SharedMemory(n)
+    scheduler = Scheduler(
+        {i: standalone_is_protocol(i, n, memory, i) for i in range(n)}
+    )
+    # Run each process to completion in order 0, 1, 2.
+    for pid in range(n):
+        while pid not in scheduler.outputs:
+            scheduler.step(pid)
+    assert set(scheduler.outputs[0]) == {0}
+    assert set(scheduler.outputs[1]) == {0, 1}
+    assert set(scheduler.outputs[2]) == {0, 1, 2}
+
+
+def test_lockstep_schedule_gives_symmetric_views():
+    """Perfect round-robin: all processes descend together and return
+    the full view."""
+    n = 3
+    memory = SharedMemory(n)
+    scheduler = Scheduler(
+        {i: standalone_is_protocol(i, n, memory, i) for i in range(n)}
+    )
+    while len(scheduler.outputs) < n:
+        for pid in range(n):
+            scheduler.step(pid)
+    for pid in range(n):
+        assert set(scheduler.outputs[pid]) == {0, 1, 2}
+
+
+def test_values_are_returned_not_ids():
+    n = 2
+    memory = SharedMemory(n)
+    scheduler = Scheduler(
+        {
+            i: standalone_is_protocol(i, n, memory, f"value-{i}")
+            for i in range(n)
+        }
+    )
+    while len(scheduler.outputs) < n:
+        for pid in range(n):
+            scheduler.step(pid)
+    assert scheduler.outputs[0][0] == "value-0"
+    assert scheduler.outputs[0][1] == "value-1"
+
+
+def test_view_sizes_match_levels():
+    """The BG invariant: a process returning at level k has |view| >= k
+    and every returned view size equals some level reached."""
+    for seed in range(20):
+        outputs = run_is(4, seed)
+        sizes = sorted(len(view) for view in outputs.values())
+        # Containment implies sizes are achievable levels.
+        assert max(sizes) <= 4
+        assert min(sizes) >= 1

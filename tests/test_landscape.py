@@ -1,0 +1,108 @@
+"""Tests for the exhaustive adversary landscape (n = 3)."""
+
+import pytest
+
+from repro.adversaries import (
+    is_fair,
+    k_obstruction_free,
+    setcon,
+    t_resilient,
+    wait_free,
+)
+from repro.analysis.landscape import (
+    all_adversaries,
+    alpha_signature,
+    classify_all,
+    fair_task_classes,
+    summarize,
+)
+
+
+@pytest.fixture(scope="module")
+def entries():
+    return classify_all(3)
+
+
+@pytest.fixture(scope="module")
+def summary(entries):
+    return summarize(entries)
+
+
+def test_total_adversary_count(entries):
+    # 2^7 - 1 non-empty collections of the 7 non-empty subsets.
+    assert len(entries) == 127
+
+
+def test_all_adversaries_distinct():
+    adversaries = list(all_adversaries(3))
+    assert len({a.live_sets for a in adversaries}) == len(adversaries)
+
+
+def test_fair_count(entries, summary):
+    assert summary.fair == 43
+    assert summary.fair == sum(1 for e in entries if e.fair)
+
+
+def test_structural_counts(summary):
+    # 2^n - 1 antichains-as-upsets: superset-closed adversaries are in
+    # bijection with non-empty downward... counted mechanically:
+    assert summary.superset_closed == 18
+    # symmetric adversaries = non-empty subsets of {1, 2, 3} sizes.
+    assert summary.symmetric == 7
+
+
+def test_power_histogram(summary):
+    assert summary.power_histogram == {1: 63, 2: 63, 3: 1}
+    # Only the wait-free adversary reaches power 3.
+    assert sum(summary.power_histogram.values()) == 127
+
+
+def test_only_wait_free_has_power_n(entries):
+    top = [e for e in entries if e.power == 3]
+    assert len(top) == 1
+    assert top[0].adversary == wait_free(3)
+
+
+def test_structural_implications(entries):
+    for entry in entries:
+        if entry.superset_closed or entry.symmetric:
+            assert entry.fair
+
+
+def test_known_members_present(entries):
+    by_live_sets = {e.adversary.live_sets: e for e in entries}
+    assert by_live_sets[t_resilient(3, 1).live_sets].fair
+    assert by_live_sets[k_obstruction_free(3, 1).live_sets].fair
+
+
+def test_distinct_alpha_count(summary):
+    assert summary.distinct_alphas_fair == 37
+
+
+def test_alpha_determines_affine_task_injectively(summary):
+    """Observed: on the full fair landscape at n=3, distinct agreement
+    functions yield distinct affine tasks."""
+    assert summary.distinct_affine_tasks == summary.distinct_alphas_fair
+
+
+def test_alpha_signature_stable():
+    from repro.adversaries import agreement_function_of
+
+    a = agreement_function_of(t_resilient(3, 1))
+    b = agreement_function_of(t_resilient(3, 1))
+    assert alpha_signature(a) == alpha_signature(b)
+
+
+def test_fair_task_classes_partition():
+    classes = fair_task_classes(3)
+    members = [a for group in classes.values() for a in group]
+    assert len(members) == 43
+    assert all(is_fair(a) for a in members)
+
+
+def test_task_class_members_share_power():
+    """Adversaries in one R_A class have equal setcon — a consequence
+    of Theorem 15."""
+    for task, members in fair_task_classes(3).items():
+        powers = {setcon(a) for a in members}
+        assert len(powers) == 1

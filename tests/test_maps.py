@@ -1,0 +1,110 @@
+"""Unit tests for repro.topology.maps."""
+
+import pytest
+
+from repro.topology.complex import SimplicialComplex
+from repro.topology.maps import (
+    CarrierMap,
+    SimplicialMap,
+    identity_map,
+)
+
+
+@pytest.fixture
+def square_path():
+    """A path 0-1-2 and its collapse target, an edge a-b."""
+    domain = SimplicialComplex([{0, 1}, {1, 2}])
+    codomain = SimplicialComplex([{"a", "b"}])
+    return domain, codomain
+
+
+def test_simplicial_map_valid(square_path):
+    domain, codomain = square_path
+    f = SimplicialMap({0: "a", 1: "b", 2: "a"}, domain, codomain)
+    assert f.image({0, 1}) == frozenset({"a", "b"})
+
+
+def test_simplicial_map_rejects_non_simplicial():
+    domain = SimplicialComplex([{0, 1}])
+    codomain = SimplicialComplex([{"a"}, {"b"}])  # no edge a-b
+    with pytest.raises(ValueError):
+        SimplicialMap({0: "a", 1: "b"}, domain, codomain)
+
+
+def test_simplicial_map_rejects_missing_vertices(square_path):
+    domain, codomain = square_path
+    with pytest.raises(ValueError):
+        SimplicialMap({0: "a"}, domain, codomain)
+
+
+def test_collapsing_detected(square_path):
+    domain, codomain = square_path
+    f = SimplicialMap(
+        {0: "a", 1: "a", 2: "a"}, domain, codomain
+    )
+    assert not f.is_non_collapsing()
+    g = SimplicialMap({0: "a", 1: "b", 2: "a"}, domain, codomain)
+    assert g.is_non_collapsing()
+
+
+def test_chromatic_map_on_subdivision(chr1, s3):
+    # Color-preserving collapse Chr s -> s: send (c, t) to c.
+    f = SimplicialMap(
+        {v: v.color for v in chr1.vertices}, chr1.complex, s3.complex
+    )
+    assert f.is_chromatic()
+
+
+def test_compose(square_path):
+    domain, codomain = square_path
+    f = SimplicialMap({0: "a", 1: "b", 2: "a"}, domain, codomain)
+    g = SimplicialMap({"a": "a", "b": "b"}, codomain, codomain)
+    composed = g.compose(f)
+    assert composed(0) == "a"
+    assert composed(2) == "a"
+
+
+def test_identity_map(chr1):
+    ident = identity_map(chr1.complex)
+    assert ident.is_non_collapsing()
+    for v in chr1.vertices:
+        assert ident(v) == v
+
+
+def test_carrier_map_monotone():
+    domain = SimplicialComplex([{0, 1, 2}])
+    target = SimplicialComplex([{0, 1, 2}])
+
+    def rule(sigma):
+        return SimplicialComplex([sigma])
+
+    cm = CarrierMap(rule, domain)
+    assert cm.is_monotone()
+
+
+def test_carrier_map_non_monotone_detected():
+    domain = SimplicialComplex([{0, 1}])
+    flip = {
+        frozenset({0}): SimplicialComplex([{0, 1}]),
+        frozenset({1}): SimplicialComplex([{1}]),
+        frozenset({0, 1}): SimplicialComplex([{1}]),
+    }
+    cm = CarrierMap(lambda sigma: flip[sigma], domain)
+    assert not cm.is_monotone()
+
+
+def test_carrier_map_carries():
+    domain = SimplicialComplex([{0, 1}])
+    codomain = SimplicialComplex([{"a", "b"}])
+    cm = CarrierMap(lambda sigma: codomain, domain)
+    f = SimplicialMap({0: "a", 1: "b"}, domain, codomain)
+    assert cm.carries(f)
+
+
+def test_carrier_map_rejects_uncarried():
+    domain = SimplicialComplex([{0, 1}])
+    codomain = SimplicialComplex([{"a", "b"}])
+    only_a = SimplicialComplex([{"a"}])
+    cm = CarrierMap(lambda sigma: only_a, domain)
+    f = SimplicialMap({0: "a", 1: "b"}, domain, codomain)
+    assert not cm.carries(f)

@@ -1,0 +1,69 @@
+"""Unit tests for the shared-memory objects."""
+
+import pytest
+
+from repro.runtime.memory import Register, SharedMemory, SnapshotArray
+
+
+def test_register_read_write():
+    reg = Register("r", initial=0)
+    assert reg.read() == 0
+    reg.write(5)
+    assert reg.read() == 5
+    assert reg.peek() == 5
+
+
+def test_register_trace():
+    reg = Register("r")
+    reg.write(1)
+    reg.read()
+    assert reg.trace == [("write", 1), ("read", 1)]
+
+
+def test_snapshot_array_update_scan():
+    array = SnapshotArray("a", 3, initial=None)
+    array.update(1, "x")
+    assert array.scan() == (None, "x", None)
+
+
+def test_snapshot_array_bounds():
+    array = SnapshotArray("a", 2)
+    with pytest.raises(IndexError):
+        array.update(2, "x")
+
+
+def test_snapshot_array_read_cell():
+    array = SnapshotArray("a", 2)
+    array.update(0, 7)
+    assert array.read(0) == 7
+    assert array.read(1) is None
+
+
+def test_snapshot_returns_immutable_copy():
+    array = SnapshotArray("a", 2)
+    view = array.scan()
+    array.update(0, "new")
+    assert view == (None, None)
+
+
+def test_snapshot_trace_records_ops():
+    array = SnapshotArray("a", 2)
+    array.update(0, 1)
+    array.scan()
+    kinds = [entry[0] for entry in array.trace]
+    assert kinds == ["update", "scan"]
+
+
+def test_shared_memory_namespacing():
+    memory = SharedMemory(3)
+    a = memory.snapshot_array("A")
+    assert memory.snapshot_array("A") is a
+    r = memory.register("R", initial=9)
+    assert memory.register("R") is r
+    assert "A" in memory
+    assert memory["A"] is a
+
+
+def test_shared_memory_sizes_arrays():
+    memory = SharedMemory(4)
+    assert memory.snapshot_array("A").n == 4

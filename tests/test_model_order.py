@@ -1,0 +1,92 @@
+"""Tests for the fair-model inclusion order (landscape lattice)."""
+
+import networkx as nx
+import pytest
+
+from repro.analysis.model_order import (
+    check_inclusion_respects_power,
+    hasse_diagram,
+    inclusion_order,
+    longest_chain,
+    maximal_antichain_size,
+    model_classes,
+    summarize_order,
+)
+
+
+@pytest.fixture(scope="module")
+def classes():
+    return model_classes(3)
+
+
+@pytest.fixture(scope="module")
+def order(classes):
+    return inclusion_order(classes)
+
+
+def test_class_count(classes):
+    assert len(classes) == 37
+
+
+def test_members_partition_fair_adversaries(classes):
+    total = sum(len(c.members) for c in classes)
+    assert total == 43
+
+
+def test_facet_extremes(classes):
+    facets = [c.facets for c in classes]
+    assert min(facets) == 73  # R_A(1-OF) is the smallest
+    assert max(facets) == 169  # wait-free is the largest
+
+
+def test_order_is_a_dag(order):
+    assert nx.is_directed_acyclic_graph(order)
+
+
+def test_wait_free_is_top(classes, order):
+    top = max(range(len(classes)), key=lambda i: classes[i].facets)
+    closure = nx.transitive_closure(order)
+    for i in range(len(classes)):
+        if i != top:
+            assert closure.has_edge(i, top) or not classes[
+                i
+            ].task.complex.complex.is_sub_complex_of(
+                classes[top].task.complex.complex
+            )
+    # Everything is a sub-complex of Chr² s:
+    assert all(
+        classes[i].task.complex.complex.is_sub_complex_of(
+            classes[top].task.complex.complex
+        )
+        for i in range(len(classes))
+    )
+
+
+def test_inclusion_respects_power(classes, order):
+    closure = nx.transitive_closure(order)
+    assert check_inclusion_respects_power(classes, closure) is None
+
+
+def test_hasse_is_reduction(order):
+    hasse = hasse_diagram(order)
+    assert hasse.number_of_edges() <= order.number_of_edges()
+    assert nx.transitive_closure(hasse).edges == nx.transitive_closure(
+        order
+    ).edges
+
+
+def test_longest_chain(order):
+    chain = longest_chain(order)
+    assert len(chain) == 3
+
+
+def test_antichain(order):
+    assert maximal_antichain_size(order) == 18
+
+
+def test_summary_values():
+    summary = summarize_order(3)
+    assert summary.classes == 37
+    assert summary.power_respected
+    assert summary.comparable_pairs == 102
+    assert summary.hasse_edges == 84

@@ -1,0 +1,108 @@
+"""Experiment E10: µ_Q and Properties 9/10/12 (Section 6.2)."""
+
+import pytest
+
+from repro.protocols.mu_map import (
+    MuMap,
+    all_process_subsets,
+    check_agreement,
+    check_robustness,
+    check_validity,
+    verify_mu_properties,
+)
+from repro.topology.subdivision import carrier_in_s
+
+FULL = frozenset({0, 1, 2})
+
+
+@pytest.mark.parametrize(
+    "alpha_fixture,ra_fixture",
+    [
+        ("alpha_1of", "ra_1of"),
+        ("alpha_2of", "ra_2of"),
+        ("alpha_1res", "ra_1res"),
+        ("alpha_fig5b", "ra_fig5b"),
+    ],
+)
+def test_mu_properties_exhaustive(request, alpha_fixture, ra_fixture):
+    alpha = request.getfixturevalue(alpha_fixture)
+    task = request.getfixturevalue(ra_fixture)
+    report = verify_mu_properties(alpha, task)
+    assert report == {
+        "validity": True,
+        "agreement": True,
+        "robustness": True,
+    }
+
+
+def test_mu_leader_is_self_when_alone(alpha_1of, ra_1of):
+    mu = MuMap(alpha_1of)
+    for vertex in ra_1of.complex.vertices:
+        q = frozenset({vertex.color})
+        assert mu(vertex, q) == vertex.color
+
+
+def test_mu_undefined_for_unseen_q(alpha_1of, ra_1of):
+    mu = MuMap(alpha_1of)
+    # Pick a vertex that witnessed only itself; Q = others.
+    solo = next(
+        v
+        for v in ra_1of.complex.vertices
+        if carrier_in_s([v]) == frozenset({v.color})
+    )
+    others = FULL - {solo.color}
+    with pytest.raises(ValueError):
+        mu(solo, others)
+
+
+def test_delta_prefers_critical_views(alpha_1res, ra_1res):
+    mu = MuMap(alpha_1res)
+    for vertex in list(ra_1res.complex.vertices)[:30]:
+        csv = mu.structure.csv(vertex.carrier)
+        if csv & FULL:
+            view = mu.delta_q(vertex, FULL)
+            assert view is not None
+            critical_views = mu.critical_views(vertex)
+            assert view in critical_views
+
+
+def test_gamma_returns_smallest_view(alpha_1of, ra_1of):
+    mu = MuMap(alpha_1of)
+    for vertex in list(ra_1of.complex.vertices)[:30]:
+        view = mu.gamma_q(vertex, FULL)
+        observed = mu.observed_views(vertex)
+        assert view == observed[0]
+
+
+def test_consensus_through_mu_on_r1of(alpha_1of, ra_1of):
+    """With alpha(Pi) = 1, µ elects a single leader per facet: the map
+    v -> µ(v) is constant on facets — consensus at one shot."""
+    mu = MuMap(alpha_1of)
+    for facet in ra_1of.complex.facets:
+        leaders = {mu(v, FULL) for v in facet}
+        assert len(leaders) == 1
+
+
+def test_agreement_bound_tight_somewhere(alpha_fig5b, ra_fig5b):
+    """The bound of Property 10 is achieved: some facet elects
+    alpha(Pi) = 2 distinct leaders."""
+    mu = MuMap(alpha_fig5b)
+    counts = {
+        len({mu(v, FULL) for v in facet})
+        for facet in ra_fig5b.complex.facets
+    }
+    assert max(counts) == 2
+
+
+def test_all_process_subsets():
+    subsets = all_process_subsets(3)
+    assert len(subsets) == 7
+    assert frozenset({0, 1, 2}) in subsets
+
+
+def test_individual_checkers_agree_with_report(alpha_1of, ra_1of):
+    mu = MuMap(alpha_1of)
+    for q in all_process_subsets(3):
+        assert check_validity(mu, ra_1of, q)
+        assert check_agreement(mu, ra_1of, q)
+        assert check_robustness(mu, ra_1of, q)

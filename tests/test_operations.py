@@ -1,0 +1,130 @@
+"""Tests for the adversary algebra (union/intersection/renaming)."""
+
+from itertools import combinations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adversaries import (
+    Adversary,
+    is_fair,
+    k_obstruction_free,
+    setcon,
+    t_resilient,
+    wait_free,
+)
+from repro.adversaries.operations import (
+    check_setcon_monotone,
+    includes,
+    intersection,
+    is_permutation_equivalent,
+    renamed,
+    union,
+    union_fairness_counterexample,
+)
+
+
+def test_union_collects_live_sets():
+    a = Adversary(3, [{0}])
+    b = Adversary(3, [{1, 2}])
+    assert union(a, b).live_sets == frozenset(
+        {frozenset({0}), frozenset({1, 2})}
+    )
+
+
+def test_intersection():
+    a = t_resilient(3, 1)
+    b = k_obstruction_free(3, 2)
+    both = intersection(a, b)
+    # Live sets of size exactly 2 (>= n-t and <= k).
+    assert all(len(live) == 2 for live in both)
+    assert len(both) == 3
+
+
+def test_includes():
+    assert includes(wait_free(3), t_resilient(3, 1))
+    assert not includes(t_resilient(3, 1), wait_free(3))
+
+
+def test_mismatched_universes_rejected():
+    with pytest.raises(ValueError):
+        union(wait_free(2), wait_free(3))
+
+
+def test_renamed():
+    a = Adversary(3, [{0, 1}])
+    rotated = renamed(a, {0: 1, 1: 2, 2: 0})
+    assert rotated.live_sets == frozenset({frozenset({1, 2})})
+
+
+def test_renamed_requires_permutation():
+    with pytest.raises(ValueError):
+        renamed(Adversary(3, [{0}]), {0: 0, 1: 0, 2: 2})
+
+
+def test_permutation_equivalence():
+    a = Adversary(3, [{0}, {1, 2}])
+    b = Adversary(3, [{2}, {0, 1}])
+    assert is_permutation_equivalent(a, b)
+    c = Adversary(3, [{0}, {0, 1}])
+    assert not is_permutation_equivalent(a, c)
+
+
+def test_setcon_monotone_on_standard_chain():
+    chain = [
+        t_resilient(3, 0),
+        t_resilient(3, 1),
+        t_resilient(3, 2),
+    ]
+    for smaller, larger in zip(chain, chain[1:]):
+        assert includes(larger, smaller)
+        assert setcon(smaller) <= setcon(larger)
+
+
+@st.composite
+def adversary_pairs(draw, n=3):
+    subsets = [
+        frozenset(c)
+        for size in range(1, n + 1)
+        for c in combinations(range(n), size)
+    ]
+    a = Adversary(
+        n, draw(st.lists(st.sampled_from(subsets), min_size=1, max_size=4))
+    )
+    b = Adversary(
+        n, draw(st.lists(st.sampled_from(subsets), min_size=1, max_size=4))
+    )
+    return a, b
+
+
+@given(adversary_pairs())
+@settings(max_examples=50, deadline=None)
+def test_setcon_monotone_under_inclusion(pair):
+    a, b = pair
+    assert check_setcon_monotone(a, union(a, b))
+    assert check_setcon_monotone(intersection(a, b) if intersection(a, b).live_sets else a, a)
+
+
+@given(adversary_pairs())
+@settings(max_examples=50, deadline=None)
+def test_union_is_join(pair):
+    a, b = pair
+    combined = union(a, b)
+    assert includes(combined, a)
+    assert includes(combined, b)
+
+
+def test_fairness_not_closed_under_union():
+    """Reproduction finding: the fair class is not a union-closed
+    family — 45 fair pairs at n=3 have unfair unions."""
+    pair = union_fairness_counterexample(3)
+    assert pair is not None
+    a, b = pair
+    assert is_fair(a) and is_fair(b)
+    assert not is_fair(union(a, b))
+
+
+def test_fairness_closed_under_permutation():
+    a = t_resilient(3, 1)
+    assert is_fair(renamed(a, {0: 2, 1: 0, 2: 1}))

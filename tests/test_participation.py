@@ -1,0 +1,81 @@
+"""Tests for the participation structure of affine tasks."""
+
+import pytest
+
+from repro.core.participation import (
+    all_participations,
+    check_delta_matches_alpha,
+    check_full_runs_where_defined,
+    delta_empty_participations,
+    participation_profile,
+    solo_output_processes,
+)
+
+ZOO = [
+    ("alpha_1of", "ra_1of"),
+    ("alpha_2of", "ra_2of"),
+    ("alpha_1res", "ra_1res"),
+    ("alpha_fig5b", "ra_fig5b"),
+]
+
+
+def test_all_participations_count():
+    assert len(all_participations(3)) == 7
+
+
+@pytest.mark.parametrize("alpha_fixture,ra_fixture", ZOO)
+def test_delta_nonempty_iff_alpha_positive(request, alpha_fixture, ra_fixture):
+    alpha = request.getfixturevalue(alpha_fixture)
+    task = request.getfixturevalue(ra_fixture)
+    assert check_delta_matches_alpha(task, alpha) is None
+
+
+@pytest.mark.parametrize("alpha_fixture,ra_fixture", ZOO)
+def test_full_runs_where_alpha_positive(request, alpha_fixture, ra_fixture):
+    alpha = request.getfixturevalue(alpha_fixture)
+    task = request.getfixturevalue(ra_fixture)
+    assert check_full_runs_where_defined(task, alpha) is None
+
+
+def test_rtres_empty_participations(rtres_1, alpha_1res):
+    """R_{1-res}: singletons have no outputs (alpha = 0 there)."""
+    empty = delta_empty_participations(rtres_1)
+    assert set(empty) == {
+        frozenset({0}),
+        frozenset({1}),
+        frozenset({2}),
+    }
+
+
+def test_rkof_no_empty_participations(rkof_1):
+    """k-obstruction-freedom: alpha >= 1 everywhere, outputs everywhere."""
+    assert delta_empty_participations(rkof_1) == []
+
+
+def test_solo_outputs_match_alpha(ra_fig5b, alpha_fig5b):
+    solos = solo_output_processes(ra_fig5b)
+    expected = frozenset(
+        pid for pid in range(3) if alpha_fig5b(frozenset({pid})) >= 1
+    )
+    assert solos == expected
+    # The figure-5b adversary: only p2 (our 1) is a solo live set.
+    assert solos == frozenset({1})
+
+
+def test_participation_profile_shape(ra_1res):
+    profile = participation_profile(ra_1res)
+    assert len(profile) == 7
+    full = frozenset(range(3))
+    simplices, full_runs = profile[full]
+    assert full_runs == 142
+    for participants, (count, runs) in profile.items():
+        assert runs <= count
+
+
+def test_profile_monotone_under_participation(ra_fig5b):
+    profile = participation_profile(ra_fig5b)
+    pairs = sorted(profile, key=len)
+    for small in pairs:
+        for big in pairs:
+            if small < big:
+                assert profile[small][0] <= profile[big][0]

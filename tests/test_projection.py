@@ -1,0 +1,63 @@
+"""Tests for the chromatic carrier projection Chr K -> K."""
+
+import pytest
+
+from repro.topology.chromatic import ChrVertex, color_of, standard_simplex
+from repro.topology.projection import (
+    carrier_projection_map,
+    project_to_base,
+    project_vertex,
+)
+from repro.topology.subdivision import carrier_in_s, chr_complex
+
+
+def test_project_vertex_depth1():
+    v = ChrVertex(1, frozenset({0, 1, 2}))
+    assert project_vertex(v) == 1
+
+
+def test_project_vertex_depth2(chr2):
+    for v in list(chr2.vertices)[:30]:
+        projected = project_vertex(v)
+        assert isinstance(projected, ChrVertex)
+        assert projected.color == v.color
+        assert projected in v.carrier
+
+
+def test_project_rejects_base_vertices():
+    with pytest.raises(TypeError):
+        project_vertex(0)
+
+
+def test_projection_is_simplicial_and_chromatic(chr1, s3):
+    projection = carrier_projection_map(chr1, s3)
+    assert projection.is_chromatic()
+
+
+def test_projection_chr2_to_chr1(chr1, chr2):
+    projection = carrier_projection_map(chr2, chr1)
+    assert projection.is_chromatic()
+    # Images land inside carriers (carried by the carrier map).
+    for v in chr2.vertices:
+        assert projection(v) in v.carrier
+
+
+def test_projection_composes_to_base(chr2):
+    for v in list(chr2.vertices)[:30]:
+        pid = project_to_base(v)
+        assert isinstance(pid, int)
+        assert pid == color_of(v)
+
+
+def test_projection_image_within_witnessed(chr2):
+    """The projected vertex's own witnessed set is contained in the
+    original's (collapsing loses information monotonically)."""
+    for v in list(chr2.vertices)[:30]:
+        projected = project_vertex(v)
+        assert frozenset(projected.carrier) <= carrier_in_s([v])
+
+
+def test_broken_self_inclusion_detected():
+    orphan = ChrVertex(7, frozenset({ChrVertex(0, frozenset({0}))}))
+    with pytest.raises(ValueError):
+        project_vertex(orphan)

@@ -1,0 +1,169 @@
+"""Hypothesis property tests on the core data structures."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology.chromatic import ChromaticComplex, chi, is_rainbow
+from repro.topology.complex import SimplicialComplex
+from repro.topology.enumeration import fubini_number
+from repro.topology.simplex import dim, faces
+from repro.topology.subdivision import (
+    carrier,
+    carrier_in_s,
+    chromatic_subdivision,
+    subdivide_simplex,
+)
+
+
+@st.composite
+def random_complexes(draw):
+    """A random simplicial complex over vertices 0..5."""
+    n_facets = draw(st.integers(min_value=1, max_value=6))
+    facets = [
+        frozenset(
+            draw(
+                st.sets(
+                    st.integers(min_value=0, max_value=5),
+                    min_size=1,
+                    max_size=4,
+                )
+            )
+        )
+        for _ in range(n_facets)
+    ]
+    return SimplicialComplex(facets)
+
+
+@st.composite
+def random_chromatic_complexes(draw):
+    """A random chromatic complex: rainbow facets over processes 0..3."""
+    n_facets = draw(st.integers(min_value=1, max_value=5))
+    facets = []
+    for _ in range(n_facets):
+        colors = draw(
+            st.sets(
+                st.integers(min_value=0, max_value=3),
+                min_size=1,
+                max_size=3,
+            )
+        )
+        facets.append(frozenset(colors))
+    return ChromaticComplex(facets)
+
+
+@given(random_complexes())
+@settings(max_examples=80, deadline=None)
+def test_simplices_downward_closed(K):
+    for sigma in K.simplices:
+        for face in faces(sigma):
+            assert face in K.simplices
+
+
+@given(random_complexes())
+@settings(max_examples=80, deadline=None)
+def test_facets_are_maximal(K):
+    for facet in K.facets:
+        for other in K.facets:
+            assert not facet < other
+
+
+@given(random_complexes())
+@settings(max_examples=80, deadline=None)
+def test_f_vector_sums_to_simplex_count(K):
+    assert sum(K.f_vector()) == len(K.simplices)
+
+
+@given(random_complexes(), st.integers(min_value=-1, max_value=4))
+@settings(max_examples=60, deadline=None)
+def test_skeleton_is_sub_complex(K, k):
+    skeleton = K.skeleton(k)
+    assert skeleton.is_sub_complex_of(K)
+    assert skeleton.dimension <= max(k, -1)
+
+
+@given(random_complexes())
+@settings(max_examples=60, deadline=None)
+def test_pure_complement_avoids_targets(K):
+    targets = [next(iter(K.facets))]
+    targets = [frozenset(list(targets[0])[:1])]  # a vertex of a facet
+    pc = K.pure_complement(targets)
+    for sigma in pc.simplices:
+        assert not any(frozenset(t) <= sigma for t in targets)
+    assert pc.is_pure()
+
+
+@given(random_complexes())
+@settings(max_examples=60, deadline=None)
+def test_star_contains_closure_members(K):
+    vertex = next(iter(K.vertices))
+    star = K.star([{vertex}])
+    assert frozenset({vertex}) in star
+    for sigma in star:
+        assert any(frozenset({vertex}) <= face for face in faces(sigma))
+
+
+@given(random_complexes())
+@settings(max_examples=60, deadline=None)
+def test_link_joins_back_into_complex(K):
+    vertex = next(iter(K.vertices))
+    link = K.link({vertex})
+    for sigma in link.simplices:
+        assert sigma | {vertex} in K
+
+
+@given(random_complexes())
+@settings(max_examples=40, deadline=None)
+def test_union_is_upper_bound(K):
+    other = SimplicialComplex([{9, 10}])
+    union = K.union(other)
+    assert K.is_sub_complex_of(union)
+    assert other.is_sub_complex_of(union)
+
+
+@given(random_chromatic_complexes())
+@settings(max_examples=40, deadline=None)
+def test_subdivision_facet_counts_follow_fubini(K):
+    sub = chromatic_subdivision(K)
+    # Facets of Chr K: one per (facet of K, ordered partition) pair;
+    # distinct pairs give distinct facets.
+    expected = sum(fubini_number(len(facet)) for facet in K.facets)
+    assert len(sub.facets) == expected
+
+
+@given(random_chromatic_complexes())
+@settings(max_examples=40, deadline=None)
+def test_subdivision_preserves_colors(K):
+    sub = chromatic_subdivision(K)
+    assert sub.colors() == K.colors()
+    for facet in sub.facets:
+        assert is_rainbow(facet)
+
+
+@given(random_chromatic_complexes())
+@settings(max_examples=40, deadline=None)
+def test_subdivision_carriers_are_simplices_of_base(K):
+    sub = chromatic_subdivision(K)
+    for facet in sub.facets:
+        assert carrier(facet) in K
+
+
+@given(st.sets(st.integers(min_value=0, max_value=4), min_size=1, max_size=4))
+@settings(max_examples=40, deadline=None)
+def test_subdivide_simplex_carrier_is_whole_simplex(colors):
+    sigma = frozenset(colors)
+    for facet in subdivide_simplex(sigma):
+        assert carrier(facet) == sigma
+        assert chi(facet) == sigma
+
+
+@given(st.integers(min_value=2, max_value=3), st.integers(min_value=0, max_value=168))
+@settings(max_examples=60, deadline=None)
+def test_carrier_in_s_monotone_on_faces(n, index):
+    from repro.topology.subdivision import chr_complex
+
+    chr2 = chr_complex(n, 2)
+    facets = sorted(chr2.facets, key=repr)
+    facet = facets[index % len(facets)]
+    whole = carrier_in_s(facet)
+    for vertex in facet:
+        assert carrier_in_s([vertex]) <= whole

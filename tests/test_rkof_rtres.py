@@ -1,0 +1,110 @@
+"""Unit tests for R_{k-OF} (Definition 6) and R_{t-res} (Saraph et al.)."""
+
+import pytest
+
+from repro.core.contention import is_contention_simplex
+from repro.core.rkof import r_k_obstruction_free
+from repro.core.rtres import r_t_resilient
+from repro.core.views import witnessed_participation
+from repro.topology.simplex import faces
+from repro.topology.subdivision import chr_complex
+
+
+# ----------------------------------------------------------------- R_{k-OF}
+def test_r1of_facet_count(rkof_1):
+    """Figure 7a's complex: 73 of the 169 facets survive at n=3."""
+    assert len(rkof_1.complex.facets) == 73
+
+
+def test_rkof_counts_increase_with_k():
+    counts = [
+        len(r_k_obstruction_free(3, k).complex.facets) for k in (1, 2, 3)
+    ]
+    assert counts == [73, 163, 169]
+    assert counts == sorted(counts)
+
+
+def test_rnof_is_everything(chr2):
+    assert r_k_obstruction_free(3, 3).complex == chr2
+
+
+def test_rkof_no_large_contention(rkof_1):
+    for facet in rkof_1.complex.facets:
+        for theta in faces(facet):
+            if len(theta) >= 2:
+                assert not is_contention_simplex(theta)
+
+
+def test_r2of_excludes_exactly_the_contention_triangles(chr2):
+    r2 = r_k_obstruction_free(3, 2)
+    excluded = chr2.facets - r2.complex.facets
+    assert len(excluded) == 6
+    for facet in excluded:
+        assert is_contention_simplex(facet)
+
+
+def test_rkof_rejects_bad_k():
+    with pytest.raises(ValueError):
+        r_k_obstruction_free(3, 0)
+    with pytest.raises(ValueError):
+        r_k_obstruction_free(3, 4)
+
+
+def test_rkof_is_pure(rkof_1):
+    assert rkof_1.complex.is_pure(2)
+
+
+# ----------------------------------------------------------------- R_{t-res}
+def test_r1res_facet_count(rtres_1):
+    """Figure 1b's complex: 142 of 169 facets at n=3, t=1."""
+    assert len(rtres_1.complex.facets) == 142
+
+
+def test_rtres_counts_increase_with_t():
+    counts = [len(r_t_resilient(3, t).complex.facets) for t in (0, 1, 2)]
+    assert counts == [97, 142, 169]
+
+
+def test_wait_free_resilience_is_everything(chr2):
+    assert r_t_resilient(3, 2).complex == chr2
+
+
+def test_rtres_view_bound(rtres_1):
+    for facet in rtres_1.complex.facets:
+        for vertex in facet:
+            assert len(witnessed_participation(vertex)) >= 2
+
+
+def test_r0res_every_process_sees_everyone():
+    r0 = r_t_resilient(3, 0)
+    for facet in r0.complex.facets:
+        for vertex in facet:
+            assert witnessed_participation(vertex) == frozenset({0, 1, 2})
+
+
+def test_rtres_rejects_bad_t():
+    with pytest.raises(ValueError):
+        r_t_resilient(3, 3)
+    with pytest.raises(ValueError):
+        r_t_resilient(3, -1)
+
+
+def test_rtres_corner_exclusion(rtres_1, chr2):
+    """Exactly the facets touching a corner (a solo-witness vertex) are
+    removed — the '(n-t-1)-skeleton adjacency' of the paper."""
+    excluded = chr2.facets - rtres_1.complex.facets
+    for facet in excluded:
+        assert any(
+            len(witnessed_participation(v)) == 1 for v in facet
+        )
+    for facet in rtres_1.complex.facets:
+        assert all(
+            len(witnessed_participation(v)) >= 2 for v in facet
+        )
+
+
+@pytest.mark.slow
+def test_rtres_n4_counts():
+    r1 = r_t_resilient(4, 1)
+    assert r1.complex.is_pure(3)
+    assert len(r1.complex.facets) < 75 * 75

@@ -1,0 +1,142 @@
+"""Unit tests for the cooperative scheduler and α-model plans."""
+
+import random
+
+import pytest
+
+from repro.adversaries import t_resilience_alpha, wait_free_alpha
+from repro.runtime.memory import SharedMemory
+from repro.runtime.scheduler import (
+    ExecutionPlan,
+    LivenessViolation,
+    ProtocolError,
+    Scheduler,
+    execute_operation,
+    random_alpha_model_plan,
+    run_plan,
+)
+
+
+def writer_protocol(pid, memory):
+    array = memory.snapshot_array("A")
+    yield ("update", array, pid)
+    view = yield ("scan", array)
+    return view
+
+
+def test_scheduler_runs_protocols_to_completion():
+    memory = SharedMemory(2)
+    scheduler = Scheduler(
+        {pid: writer_protocol(pid, memory) for pid in range(2)}
+    )
+    outputs = scheduler.run([0, 1, 0, 1, 0, 1])
+    assert set(outputs) == {0, 1}
+
+
+def test_interleaving_controls_visibility():
+    memory = SharedMemory(2)
+    scheduler = Scheduler(
+        {pid: writer_protocol(pid, memory) for pid in range(2)}
+    )
+    # Process 0 runs completely before 1 starts.
+    outputs = scheduler.run([0, 0, 0, 1, 1, 1])
+    assert outputs[0] == (0, None)
+    assert outputs[1] == (0, 1)
+
+
+def test_step_on_finished_process_is_noop():
+    memory = SharedMemory(1)
+    scheduler = Scheduler({0: writer_protocol(0, memory)})
+    scheduler.run([0] * 10)
+    assert not scheduler.step(0)
+
+
+def test_decided_set():
+    memory = SharedMemory(2)
+    scheduler = Scheduler(
+        {pid: writer_protocol(pid, memory) for pid in range(2)}
+    )
+    scheduler.run([0, 0, 0])
+    assert scheduler.decided_set() == frozenset({0})
+
+
+def test_malformed_op_raises():
+    def bad(pid, memory):
+        yield "not a tuple"
+
+    memory = SharedMemory(1)
+    scheduler = Scheduler({0: bad(0, memory)})
+    with pytest.raises(ProtocolError):
+        scheduler.run([0, 0])
+
+
+def test_unknown_op_raises():
+    with pytest.raises(ProtocolError):
+        execute_operation(("explode",), 0)
+
+
+def test_register_ops():
+    memory = SharedMemory(1)
+    reg = memory.register("R")
+
+    def proto(pid, mem):
+        yield ("write", reg, 42)
+        value = yield ("readreg", reg)
+        return value
+
+    scheduler = Scheduler({0: proto(0, memory)})
+    outputs = scheduler.run([0, 0, 0])
+    assert outputs[0] == 42
+
+
+def test_random_alpha_model_plans_comply():
+    alpha = t_resilience_alpha(3, 1)
+    rng = random.Random(5)
+    for _ in range(100):
+        plan = random_alpha_model_plan(alpha, rng)
+        assert alpha(plan.participants) >= 1
+        assert plan.faulty <= plan.participants
+        assert len(plan.faulty) <= alpha(plan.participants) - 1
+
+
+def test_run_plan_executes_correct_processes():
+    plan = ExecutionPlan(
+        participants=frozenset({0, 1}),
+        faulty=frozenset(),
+        seed=1,
+    )
+    result = run_plan(writer_protocol, 2, plan)
+    assert result.decided() == frozenset({0, 1})
+    assert result.steps_taken > 0
+
+
+def test_run_plan_detects_liveness_violation():
+    def stuck(pid, memory):
+        array = memory.snapshot_array("A")
+        while True:
+            yield ("scan", array)
+
+    plan = ExecutionPlan(
+        participants=frozenset({0}), faulty=frozenset(), seed=2
+    )
+    with pytest.raises(LivenessViolation):
+        run_plan(stuck, 1, plan, max_steps=50)
+
+
+def test_crashed_process_stops_stepping():
+    def counter(pid, memory):
+        array = memory.snapshot_array("A")
+        for i in range(1000):
+            yield ("update", array, i)
+        return "done"
+
+    plan = ExecutionPlan(
+        participants=frozenset({0, 1}),
+        faulty=frozenset({1}),
+        crash_after_steps={1: 3},
+        seed=3,
+    )
+    alpha = wait_free_alpha(2)
+    result = run_plan(counter, 2, plan, max_steps=5000)
+    assert 0 in result.outputs
+    assert 1 not in result.outputs

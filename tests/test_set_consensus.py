@@ -1,0 +1,81 @@
+"""Unit tests for the k-set consensus task family."""
+
+import pytest
+
+from repro.tasks.set_consensus import (
+    consensus_task,
+    distinct_decisions,
+    set_consensus_outputs,
+    set_consensus_task,
+)
+from repro.tasks.task import OutputVertex
+
+
+def test_bounds():
+    with pytest.raises(ValueError):
+        set_consensus_task(3, 0)
+    with pytest.raises(ValueError):
+        set_consensus_task(3, 4)
+
+
+def test_consensus_is_one_set_consensus():
+    assert consensus_task(3).name == "1-set-consensus"
+
+
+def test_outputs_respect_k():
+    outputs = set_consensus_outputs(frozenset({0, 1, 2}), 2)
+    for sigma in outputs:
+        assert distinct_decisions(sigma) <= 2
+
+
+def test_outputs_values_are_participants():
+    outputs = set_consensus_outputs(frozenset({0, 2}), 1)
+    for sigma in outputs:
+        for vertex in sigma:
+            assert vertex.value in {0, 2}
+            assert vertex.process in {0, 2}
+
+
+def test_full_agreement_simplex_allowed():
+    outputs = set_consensus_outputs(frozenset({0, 1, 2}), 1)
+    unanimous = frozenset({OutputVertex(p, 0) for p in range(3)})
+    assert unanimous in outputs
+
+
+def test_disagreement_rejected_for_consensus():
+    outputs = set_consensus_outputs(frozenset({0, 1, 2}), 1)
+    split = frozenset(
+        {OutputVertex(0, 0), OutputVertex(1, 1), OutputVertex(2, 0)}
+    )
+    assert split not in outputs
+
+
+def test_n_set_consensus_allows_identity():
+    outputs = set_consensus_outputs(frozenset({0, 1, 2}), 3)
+    identity = frozenset({OutputVertex(p, p) for p in range(3)})
+    assert identity in outputs
+
+
+def test_outputs_downward_closed():
+    outputs = set_consensus_outputs(frozenset({0, 1, 2}), 2)
+    for sigma in outputs:
+        if len(sigma) > 1:
+            for vertex in sigma:
+                assert (sigma - {vertex}) in outputs
+
+
+def test_monotone_in_k():
+    small = set_consensus_outputs(frozenset({0, 1, 2}), 1)
+    large = set_consensus_outputs(frozenset({0, 1, 2}), 2)
+    assert small <= large
+
+
+def test_monotone_in_participation():
+    small = set_consensus_outputs(frozenset({0, 1}), 2)
+    large = set_consensus_outputs(frozenset({0, 1, 2}), 2)
+    assert small <= large
+
+
+def test_distinct_decisions_counts_values():
+    sigma = {OutputVertex(0, "a"), OutputVertex(1, "a"), OutputVertex(2, "b")}
+    assert distinct_decisions(sigma) == 2

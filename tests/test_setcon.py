@@ -1,0 +1,147 @@
+"""Unit and property tests for setcon / csize (Definition 1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adversaries.adversary import (
+    Adversary,
+    from_live_sets,
+    k_obstruction_free,
+    t_resilient,
+    wait_free,
+)
+from repro.adversaries.setcon import (
+    csize,
+    hitting_set_census,
+    hitting_sets,
+    minimal_hitting_set,
+    setcon,
+    setcon_restricted,
+    setcon_superset_closed,
+    setcon_symmetric,
+)
+
+
+def test_setcon_empty_adversary():
+    assert setcon(Adversary(3, [])) == 0
+
+
+def test_setcon_wait_free_is_n():
+    for n in (2, 3, 4):
+        assert setcon(wait_free(n)) == n
+
+
+def test_setcon_t_resilient():
+    # setcon(A_{t-res}) = t + 1.
+    assert setcon(t_resilient(3, 1)) == 2
+    assert setcon(t_resilient(4, 1)) == 2
+    assert setcon(t_resilient(4, 2)) == 3
+    assert setcon(t_resilient(3, 0)) == 1
+
+
+def test_setcon_k_obstruction_free():
+    for n, k in [(3, 1), (3, 2), (4, 2), (4, 3)]:
+        assert setcon(k_obstruction_free(n, k)) == k
+
+
+def test_setcon_single_live_set():
+    assert setcon(from_live_sets(3, [{0, 1, 2}])) == 1
+    assert setcon(from_live_sets(3, [{2}])) == 1
+
+
+def test_setcon_restricted():
+    a = t_resilient(3, 1)
+    assert setcon_restricted(a, {0, 1}) == 1
+    assert setcon_restricted(a, {0}) == 0
+    assert setcon_restricted(a, {0, 1, 2}) == 2
+
+
+def test_csize_examples():
+    assert csize(t_resilient(3, 1)) == 2
+    assert csize(wait_free(3)) == 3
+    assert csize(Adversary(3, [])) == 0
+    assert csize(from_live_sets(3, [{0, 1, 2}])) == 1
+
+
+def test_hitting_sets():
+    a = from_live_sets(3, [{1}, {0, 2}])
+    hits = set(hitting_sets(a, 2))
+    assert frozenset({1, 0}) in hits
+    assert frozenset({1, 2}) in hits
+    assert frozenset({0, 2}) not in hits
+
+
+def test_minimal_hitting_set():
+    a = from_live_sets(3, [{1}, {0, 2}])
+    hit = minimal_hitting_set(a)
+    assert len(hit) == 2 and 1 in hit
+
+
+def test_hitting_set_census():
+    size, sets = hitting_set_census(from_live_sets(3, [{1}, {0, 2}]))
+    assert size == 2
+    assert len(sets) == 2
+
+
+def test_superset_closed_shortcut_agrees():
+    for adversary in (t_resilient(3, 1), wait_free(3), t_resilient(4, 2)):
+        assert setcon_superset_closed(adversary) == setcon(adversary)
+
+
+def test_superset_closed_shortcut_rejects_others():
+    with pytest.raises(ValueError):
+        setcon_superset_closed(k_obstruction_free(3, 1))
+
+
+def test_symmetric_shortcut_agrees():
+    for adversary in (
+        t_resilient(3, 1),
+        k_obstruction_free(3, 2),
+        k_obstruction_free(4, 3),
+        wait_free(4),
+    ):
+        assert setcon_symmetric(adversary) == setcon(adversary)
+
+
+def test_symmetric_shortcut_rejects_others():
+    with pytest.raises(ValueError):
+        setcon_symmetric(from_live_sets(3, [{0}]))
+
+
+@st.composite
+def random_adversaries(draw, n=3):
+    from itertools import combinations
+
+    subsets = [
+        frozenset(c)
+        for size in range(1, n + 1)
+        for c in combinations(range(n), size)
+    ]
+    live = draw(
+        st.lists(st.sampled_from(subsets), min_size=1, max_size=5)
+    )
+    return Adversary(n, live)
+
+
+@given(random_adversaries())
+@settings(max_examples=60, deadline=None)
+def test_setcon_bounded_by_max_live_size(adversary):
+    assert 0 <= setcon(adversary) <= max(
+        (len(live) for live in adversary), default=0
+    )
+
+
+@given(random_adversaries())
+@settings(max_examples=60, deadline=None)
+def test_setcon_monotone_under_restriction(adversary):
+    full = setcon(adversary)
+    for participants in [{0, 1}, {0, 2}, {1, 2}]:
+        assert setcon_restricted(adversary, participants) <= full
+
+
+@given(random_adversaries())
+@settings(max_examples=40, deadline=None)
+def test_csize_equals_setcon_when_superset_closed(adversary):
+    closed = adversary.superset_closure()
+    assert csize(closed) == setcon(closed)

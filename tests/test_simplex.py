@@ -1,0 +1,92 @@
+"""Unit tests for repro.topology.simplex."""
+
+import pytest
+
+from repro.topology.simplex import (
+    EMPTY_SIMPLEX,
+    boundary,
+    closure_of,
+    dim,
+    faces,
+    is_face,
+    is_proper_face,
+    proper_faces,
+    simplex,
+    vertices_of,
+)
+
+
+def test_simplex_builds_frozenset():
+    assert simplex([1, 2, 2, 3]) == frozenset({1, 2, 3})
+
+
+def test_dim_counts_vertices_minus_one():
+    assert dim(simplex([1, 2, 3])) == 2
+    assert dim(simplex([7])) == 0
+
+
+def test_empty_simplex_has_dim_minus_one():
+    assert dim(EMPTY_SIMPLEX) == -1
+
+
+def test_faces_excludes_empty_by_default():
+    fs = list(faces(simplex([1, 2])))
+    assert frozenset() not in fs
+    assert set(fs) == {frozenset({1}), frozenset({2}), frozenset({1, 2})}
+
+
+def test_faces_can_include_empty():
+    fs = list(faces(simplex([1]), include_empty=True))
+    assert frozenset() in fs
+
+
+def test_faces_count_is_two_power():
+    sigma = simplex(range(4))
+    assert len(list(faces(sigma))) == 2**4 - 1
+
+
+def test_proper_faces_excludes_self():
+    sigma = simplex([1, 2, 3])
+    assert sigma not in set(proper_faces(sigma))
+    assert len(list(proper_faces(sigma))) == 2**3 - 2
+
+
+def test_boundary_of_triangle_is_three_edges():
+    sigma = simplex([1, 2, 3])
+    edges = set(boundary(sigma))
+    assert edges == {frozenset({1, 2}), frozenset({1, 3}), frozenset({2, 3})}
+
+
+def test_boundary_of_vertex_is_empty():
+    assert list(boundary(simplex([1]))) == []
+
+
+def test_is_face_subset_semantics():
+    assert is_face(simplex([1]), simplex([1, 2]))
+    assert is_face(simplex([1, 2]), simplex([1, 2]))
+    assert not is_face(simplex([3]), simplex([1, 2]))
+
+
+def test_is_proper_face_strict():
+    assert is_proper_face(simplex([1]), simplex([1, 2]))
+    assert not is_proper_face(simplex([1, 2]), simplex([1, 2]))
+
+
+def test_vertices_of_union():
+    assert vertices_of([simplex([1, 2]), simplex([2, 3])]) == frozenset(
+        {1, 2, 3}
+    )
+
+
+def test_closure_is_inclusion_closed():
+    closed = closure_of([simplex([1, 2, 3])])
+    for sigma in closed:
+        for face in faces(sigma):
+            assert face in closed
+
+
+def test_closure_of_two_simplices():
+    closed = closure_of([simplex([1, 2]), simplex([3])])
+    assert simplex([1]) in closed
+    assert simplex([3]) in closed
+    assert simplex([1, 3]) not in closed

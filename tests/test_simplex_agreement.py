@@ -1,0 +1,73 @@
+"""Tests for simplex agreement and affine-task-as-task adapters."""
+
+import pytest
+
+from repro.core import full_affine_task, r_t_resilient
+from repro.tasks.simplex_agreement import (
+    affine_task_as_task,
+    chromatic_simplex_agreement,
+    is_valid_agreement,
+)
+from repro.tasks.task import OutputVertex
+from repro.topology.chromatic import chi
+
+
+def test_affine_task_as_task_validates(rkof_1):
+    task = affine_task_as_task(rkof_1)
+    task.validate()
+
+
+def test_task_outputs_wrap_vertices(rkof_1):
+    task = affine_task_as_task(rkof_1)
+    full = frozenset(range(3))
+    for sigma in list(task.allowed_outputs(full))[:20]:
+        for out in sigma:
+            assert out.process == out.value.color
+
+
+def test_chromatic_simplex_agreement_is_is_task(chr1):
+    task = chromatic_simplex_agreement(3, 1)
+    full = frozenset(range(3))
+    # Every facet of Chr s appears as a full allowed output.
+    full_outputs = {
+        frozenset(out.value for out in sigma)
+        for sigma in task.allowed_outputs(full)
+        if len(sigma) == 3
+    }
+    assert full_outputs == chr1.facets
+
+
+def test_is_valid_agreement_accepts_facets(rtres_1):
+    for facet in list(rtres_1.complex.facets)[:10]:
+        assert is_valid_agreement(rtres_1, frozenset(range(3)), facet)
+
+
+def test_is_valid_agreement_rejects_carrier_violation(rtres_1):
+    # A facet carried by all three processes is not allowed when only
+    # two participate.
+    facet = next(iter(rtres_1.complex.facets))
+    assert not is_valid_agreement(rtres_1, frozenset({0, 1}), facet)
+
+
+def test_is_valid_agreement_rejects_foreign_simplices(rtres_1, chr2):
+    outside = next(
+        iter(chr2.facets - rtres_1.complex.facets)
+    )
+    assert not is_valid_agreement(rtres_1, frozenset(range(3)), outside)
+
+
+def test_is_valid_agreement_rejects_empty(rtres_1):
+    assert not is_valid_agreement(
+        rtres_1, frozenset(range(3)), frozenset()
+    )
+
+
+def test_delta_of_affine_task_matches_restriction(rkof_1):
+    task = affine_task_as_task(rkof_1)
+    for participants in [frozenset({0}), frozenset({0, 2})]:
+        allowed = task.allowed_outputs(participants)
+        expected = {
+            frozenset(OutputVertex(v.color, v) for v in sigma)
+            for sigma in rkof_1.delta(participants).simplices
+        }
+        assert allowed == expected

@@ -1,0 +1,103 @@
+"""Experiment E13 (memory half): the Section-6 snapshot simulation."""
+
+import pytest
+
+from repro.core import full_affine_task
+from repro.runtime.affine_executor import scripted_chooser
+from repro.runtime.simulation import (
+    SnapshotSimulation,
+    dominates,
+    fuzz_snapshot_simulation,
+    merge,
+    snapshots_contain_own_writes,
+    snapshots_totally_ordered,
+)
+
+
+def test_dominates_basics():
+    assert dominates({0: (2, "a")}, {0: (1, "b")})
+    assert not dominates({0: (1, "b")}, {0: (2, "a")})
+    assert dominates({0: (1, "a"), 1: (1, "b")}, {})
+    assert not dominates({}, {0: (1, "a")})
+
+
+def test_merge_keeps_latest():
+    target = {0: (1, "old")}
+    merge(target, {0: (2, "new"), 1: (1, "x")})
+    assert target == {0: (2, "new"), 1: (1, "x")}
+    merge(target, {0: (1, "stale")})
+    assert target[0] == (2, "new")
+
+
+def test_single_write_completes(ra_1res):
+    sim = SnapshotSimulation(ra_1res, {0: [("write", "v")], 1: [], 2: []})
+    results = sim.run()
+    assert results[0] == [("write", 1)]
+
+
+def test_write_then_snapshot_sees_own_write(ra_1res):
+    sim = SnapshotSimulation(
+        ra_1res,
+        {0: [("write", "v"), ("snapshot",)], 1: [], 2: []},
+        seed=3,
+    )
+    results = sim.run()
+    kinds = [op[0] for op in results[0]]
+    assert kinds == ["write", "snapshot"]
+    snapshot = results[0][1][1]
+    assert snapshot[0] == (1, "v")
+
+
+def test_unknown_op_rejected(ra_1res):
+    sim = SnapshotSimulation(ra_1res, {0: [("cas", 1)], 1: [], 2: []})
+    with pytest.raises(ValueError):
+        sim.run()
+
+
+def test_snapshots_see_completed_writes(ra_1res):
+    """A write completed before another process's later snapshot request
+    must appear in that snapshot."""
+    results = fuzz_snapshot_simulation(ra_1res, runs=25, seed=21)
+    for run in results:
+        assert snapshots_totally_ordered(run)
+        assert snapshots_contain_own_writes(run)
+
+
+@pytest.mark.parametrize(
+    "ra_fixture", ["ra_1of", "ra_2of", "ra_1res", "ra_fig5b"]
+)
+def test_fuzz_over_zoo_models(request, ra_fixture):
+    task = request.getfixturevalue(ra_fixture)
+    fuzz_snapshot_simulation(task, runs=20, seed=5)
+
+
+def test_fuzz_wait_free_chr2():
+    fuzz_snapshot_simulation(full_affine_task(3, 2), runs=20, seed=9)
+
+
+def test_adversarial_constant_schedule(ra_1res):
+    """A fixed asymmetric facet replayed forever: the structurally-acked
+    completion still terminates (the fast process never waits on the
+    slow ones)."""
+    facet = sorted(ra_1res.complex.facets, key=repr)[0]
+    sim = SnapshotSimulation(
+        ra_1res,
+        {
+            0: [("write", "a"), ("snapshot",)],
+            1: [("write", "b"), ("snapshot",)],
+            2: [("write", "c"), ("snapshot",)],
+        },
+        chooser=scripted_chooser([facet]),
+    )
+    results = sim.run(max_iterations=400)
+    assert snapshots_totally_ordered(results)
+
+
+def test_checker_rejects_bad_histories():
+    bad = {
+        0: [("snapshot", {0: (1, "a")})],
+        1: [("snapshot", {1: (1, "b")})],
+    }
+    assert not snapshots_totally_ordered(bad)
+    bad_own = {0: [("write", 2), ("snapshot", {0: (1, "stale")})]}
+    assert not snapshots_contain_own_writes(bad_own)

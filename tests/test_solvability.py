@@ -1,0 +1,119 @@
+"""Tests for the FACT decision procedure (repro.tasks.solvability)."""
+
+import pytest
+
+from repro.adversaries import k_concurrency_alpha
+from repro.core import full_affine_task, r_affine
+from repro.tasks.set_consensus import set_consensus_task
+from repro.tasks.simplex_agreement import affine_task_as_task
+from repro.tasks.solvability import (
+    MapSearch,
+    SearchBudgetExceeded,
+    find_carried_map,
+    minimal_set_consensus,
+    solves_set_consensus,
+    verify_carried_map,
+)
+
+
+def test_n_set_consensus_always_solvable(chr1):
+    task = full_affine_task(3, 1)
+    assert solves_set_consensus(task, 3)
+
+
+def test_wait_free_consensus_unsolvable():
+    task = full_affine_task(3, 1)
+    assert not solves_set_consensus(task, 1)
+
+
+def test_wait_free_two_set_consensus_unsolvable_depth1():
+    """Sperner at depth 1: no 2-set-consensus map out of Chr s."""
+    task = full_affine_task(3, 1)
+    assert not solves_set_consensus(task, 2)
+
+
+def test_two_processes_consensus_unsolvable_even_at_depth2():
+    task = full_affine_task(2, 2)
+    assert not solves_set_consensus(task, 1)
+
+
+def test_r1of_solves_consensus(ra_1of):
+    assert solves_set_consensus(ra_1of, 1)
+
+
+def test_minimal_set_consensus_matches_alpha(ra_1of, ra_2of, ra_1res, ra_fig5b):
+    assert minimal_set_consensus(ra_1of) == 1
+    assert minimal_set_consensus(ra_2of) == 2
+    assert minimal_set_consensus(ra_1res) == 2
+    assert minimal_set_consensus(ra_fig5b) == 2
+
+
+def test_found_map_verifies(ra_1res):
+    task = set_consensus_task(3, 2)
+    mapping = find_carried_map(ra_1res, task)
+    assert mapping is not None
+    assert verify_carried_map(ra_1res, task, mapping)
+
+
+def test_found_map_is_chromatic(ra_1of):
+    task = set_consensus_task(3, 1)
+    mapping = find_carried_map(ra_1of, task)
+    for vertex, out in mapping.items():
+        assert vertex.color == out.process
+
+
+def test_verify_rejects_corrupted_map(ra_1res):
+    from repro.tasks.task import OutputVertex
+
+    task = set_consensus_task(3, 2)
+    mapping = find_carried_map(ra_1res, task)
+    vertex = next(iter(mapping))
+    corrupted = dict(mapping)
+    corrupted[vertex] = OutputVertex(
+        (vertex.color + 1) % 3, corrupted[vertex].value
+    )
+    assert not verify_carried_map(ra_1res, task, corrupted)
+
+
+def test_budget_exceeded_raises():
+    task = full_affine_task(3, 1)
+    search = MapSearch(task, set_consensus_task(3, 2))
+    with pytest.raises(SearchBudgetExceeded):
+        search.search(node_budget=3)
+
+
+def test_nodes_explored_counted(ra_1of):
+    search = MapSearch(ra_1of, set_consensus_task(3, 1))
+    assert search.search() is not None
+    assert search.nodes_explored > 0
+
+
+def test_mismatched_n_rejected(ra_1of):
+    with pytest.raises(ValueError):
+        MapSearch(ra_1of, set_consensus_task(4, 1))
+
+
+def test_affine_task_solves_itself(ra_1of):
+    """Simplex agreement on L is solvable from L — in particular the
+    identity assignment is a carried map."""
+    from repro.tasks.task import OutputVertex
+
+    task = affine_task_as_task(ra_1of)
+    mapping = find_carried_map(ra_1of, task)
+    assert mapping is not None
+    assert verify_carried_map(ra_1of, task, mapping)
+    identity = {
+        v: OutputVertex(v.color, v) for v in ra_1of.complex.vertices
+    }
+    assert verify_carried_map(ra_1of, task, identity)
+
+
+def test_solvability_monotone_in_subcomplex(ra_2of):
+    """A sub-complex of R_{2-OF} solving 2-set consensus implies the
+    bigger complex cannot get *harder*... checked via the instance:
+    both R_A(2-OF) and R_{2-OF} solve exactly k=2."""
+    from repro.core.rkof import r_k_obstruction_free
+
+    rk = r_k_obstruction_free(3, 2)
+    assert minimal_set_consensus(rk) == 2
+    assert minimal_set_consensus(ra_2of) == 2

@@ -1,0 +1,144 @@
+"""Unit tests for repro.topology.subdivision (Chr and carriers)."""
+
+import pytest
+
+from repro.topology.chromatic import ChrVertex, chi, standard_simplex
+from repro.topology.enumeration import fubini_number
+from repro.topology.subdivision import (
+    carrier,
+    carrier_in_s,
+    chr_complex,
+    chromatic_subdivision,
+    iterated_subdivision,
+    own_vertex_in_carrier,
+    subdivide_simplex,
+    subdivision_restricted_to,
+)
+
+
+def test_chr_s3_census(chr1):
+    # Figure 1a: 12 vertices, 13 facets for three processes.
+    assert len(chr1.vertices) == 12
+    assert len(chr1.facets) == 13
+    assert chr1.f_vector() == [12, 24, 13]
+
+
+def test_chr2_s3_census(chr2):
+    assert len(chr2.facets) == 13 * 13
+    assert chr2.is_pure(2)
+
+
+@pytest.mark.parametrize("n", [1, 2, 3, 4])
+def test_chr_facet_count_is_fubini(n):
+    K = chr_complex(n, 1)
+    assert len(K.facets) == fubini_number(n)
+
+
+def test_chr_is_chromatic(chr1):
+    assert chr1.colors() == frozenset({0, 1, 2})
+    for facet in chr1.facets:
+        assert len(chi(facet)) == 3
+
+
+def test_subdivide_single_simplex():
+    facets = subdivide_simplex(frozenset({0, 1}))
+    assert len(facets) == 3  # Fubini(2)
+
+
+def test_boundary_agreement():
+    """Chr of a complex glues consistently: subdividing two triangles
+    sharing an edge yields a complex whose shared-edge subdivision has
+    exactly the vertices of Chr(edge)."""
+    from repro.topology.chromatic import ChromaticComplex
+
+    K = ChromaticComplex([{0, 1, 2}, {1, 2, 3}])
+    sub = chromatic_subdivision(K)
+    edge_vertices = {
+        v for v in sub.vertices if v.carrier <= frozenset({1, 2})
+    }
+    # Chr of an edge: 2 endpoints + 2 interior vertices.
+    assert len(edge_vertices) == 4
+
+
+def test_iterated_subdivision_zero_is_identity(s3):
+    assert iterated_subdivision(s3, 0) == s3
+
+
+def test_iterated_subdivision_rejects_negative(s3):
+    with pytest.raises(ValueError):
+        iterated_subdivision(s3, -1)
+
+
+def test_chr_complex_cached():
+    assert chr_complex(3, 1) is chr_complex(3, 1)
+
+
+def test_carrier_of_chr1_facet(chr1):
+    for facet in chr1.facets:
+        assert carrier(facet) == frozenset({0, 1, 2})
+
+
+def test_carrier_in_s_of_chr2(chr2):
+    for facet in chr2.facets:
+        assert carrier_in_s(facet) == frozenset({0, 1, 2})
+
+
+def test_carrier_in_s_of_boundary_vertices(chr2):
+    sizes = {len(carrier_in_s([v])) for v in chr2.vertices}
+    assert sizes == {1, 2, 3}
+
+
+def test_carrier_rejects_base_vertices():
+    with pytest.raises(TypeError):
+        carrier([0, 1])
+
+
+def test_own_vertex_in_carrier(chr2):
+    for v in chr2.vertices:
+        own = own_vertex_in_carrier(v)
+        assert own.color == v.color
+        assert own in v.carrier
+
+
+def test_own_vertex_missing_raises():
+    orphan = ChrVertex(5, frozenset({ChrVertex(0, frozenset({0}))}))
+    with pytest.raises(ValueError):
+        own_vertex_in_carrier(orphan)
+
+
+def test_subdivision_restricted_to_face(chr1):
+    edge = subdivision_restricted_to(chr1, {0, 1})
+    # Chr of an edge: 3 facets (Fubini(2)).
+    assert len(edge.facets) == 3
+    assert all(carrier_in_s(f) <= frozenset({0, 1}) for f in edge.facets)
+
+
+def test_subdivision_restricted_to_vertex(chr1):
+    corner = subdivision_restricted_to(chr1, {2})
+    assert len(corner.facets) == 1
+    (facet,) = corner.facets
+    (vertex,) = facet
+    assert vertex == ChrVertex(2, frozenset({2}))
+
+
+def test_chr2_vertices_nest(chr2):
+    for v in chr2.vertices:
+        assert all(isinstance(w, ChrVertex) for w in v.carrier)
+        for w in v.carrier:
+            assert all(isinstance(x, int) for x in w.carrier)
+
+
+@pytest.mark.slow
+def test_chr3_structure():
+    """Third subdivision at n=3: 13³ facets, still pure, contractible,
+    volumes still tile the simplex."""
+    from repro.topology.connectivity import betti_numbers
+    from repro.topology.geometry import subdivision_volume_check
+    from repro.topology.subdivision import iterated_subdivision
+    from repro.topology.chromatic import standard_simplex
+
+    chr3 = iterated_subdivision(standard_simplex(3), 3)
+    assert len(chr3.facets) == 13**3
+    assert chr3.is_pure(2)
+    assert subdivision_volume_check(chr3, 3)
+    assert betti_numbers(chr3.complex) == [1, 0, 0]

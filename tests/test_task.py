@@ -1,0 +1,82 @@
+"""Unit tests for the task framework (repro.tasks.task)."""
+
+import pytest
+
+from repro.tasks.set_consensus import set_consensus_task
+from repro.tasks.task import OutputVertex, Task, output_complex_from_delta
+from repro.topology.chromatic import color_of, standard_simplex
+
+
+def test_output_vertex_color():
+    out = OutputVertex(2, "value")
+    assert out.color == 2
+    assert color_of(out) == 2
+
+
+def test_task_allowed_outputs_cached():
+    task = set_consensus_task(3, 1)
+    first = task.allowed_outputs({0, 1})
+    assert task.allowed_outputs({0, 1}) is first
+
+
+def test_task_permits():
+    task = set_consensus_task(3, 1)
+    good = frozenset({OutputVertex(0, 1), OutputVertex(1, 1)})
+    bad = frozenset({OutputVertex(0, 0), OutputVertex(1, 1)})
+    assert task.permits({0, 1}, good)
+    assert not task.permits({0, 1}, bad)
+
+
+def test_validate_passes_for_set_consensus():
+    for k in (1, 2, 3):
+        set_consensus_task(3, k).validate()
+
+
+def test_validate_rejects_non_monotone():
+    def delta(participants):
+        if len(participants) == 1:
+            return frozenset(
+                {frozenset({OutputVertex(p, p) for p in participants})}
+            )
+        return frozenset()
+
+    task = Task(
+        2,
+        standard_simplex(2),
+        output_complex_from_delta(2, delta),
+        delta,
+        name="broken",
+    )
+    with pytest.raises(ValueError, match="monotone|full output"):
+        task.validate()
+
+
+def test_validate_rejects_miscolored_outputs():
+    def delta(participants):
+        # Emits outputs for a process outside the participants.
+        return frozenset({frozenset({OutputVertex(1, 0)})})
+
+    task = Task(
+        2,
+        standard_simplex(2),
+        output_complex_from_delta(2, delta),
+        delta,
+        name="miscolored",
+    )
+    with pytest.raises(ValueError, match="colored outside"):
+        task.validate()
+
+
+def test_output_complex_from_delta_collects_union():
+    def delta(participants):
+        return frozenset(
+            {frozenset({OutputVertex(p, "x") for p in participants})}
+        )
+
+    complex_ = output_complex_from_delta(2, delta)
+    assert OutputVertex(0, "x") in complex_.vertices
+    assert OutputVertex(1, "x") in complex_.vertices
+
+
+def test_repr():
+    assert "1-set-consensus" in repr(set_consensus_task(3, 1))

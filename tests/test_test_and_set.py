@@ -1,0 +1,108 @@
+"""Tests for k-test-and-set / leader election (E21)."""
+
+import pytest
+
+from repro.adversaries import k_concurrency_alpha, t_resilience_alpha
+from repro.core import full_affine_task, r_affine
+from repro.tasks.solvability import MapSearch, find_carried_map
+from repro.tasks.test_and_set import (
+    LOSE,
+    WIN,
+    k_test_and_set_outputs,
+    k_test_and_set_task,
+    leader_election_task,
+    winners,
+)
+from repro.tasks.task import OutputVertex
+
+
+def test_bounds():
+    with pytest.raises(ValueError):
+        k_test_and_set_task(3, 0)
+    with pytest.raises(ValueError):
+        k_test_and_set_task(3, 4)
+
+
+def test_tasks_validate():
+    for k in (1, 2, 3):
+        k_test_and_set_task(3, k).validate()
+
+
+def test_full_outputs_have_bounded_winners():
+    outputs = k_test_and_set_outputs(frozenset({0, 1, 2}), 2)
+    for sigma in outputs:
+        if len(sigma) == 3:
+            count = len(winners(sigma))
+            assert 1 <= count <= 2
+
+
+def test_leader_election_full_outputs_have_one_winner():
+    outputs = k_test_and_set_outputs(frozenset({0, 1, 2}), 1)
+    for sigma in outputs:
+        if len(sigma) == 3:
+            assert len(winners(sigma)) == 1
+
+
+def test_all_lose_faces_allowed():
+    outputs = k_test_and_set_outputs(frozenset({0, 1, 2}), 1)
+    all_lose_pair = frozenset(
+        {OutputVertex(0, LOSE), OutputVertex(1, LOSE)}
+    )
+    assert all_lose_pair in outputs
+
+
+def test_all_lose_full_output_forbidden():
+    outputs = k_test_and_set_outputs(frozenset({0, 1, 2}), 3)
+    all_lose = frozenset(OutputVertex(p, LOSE) for p in range(3))
+    assert all_lose not in outputs
+
+
+def test_solo_participant_must_win():
+    outputs = k_test_and_set_outputs(frozenset({1}), 1)
+    assert frozenset({OutputVertex(1, WIN)}) in outputs
+    assert frozenset({OutputVertex(1, LOSE)}) not in outputs
+
+
+def test_leader_election_solvable_only_with_consensus_power():
+    assert (
+        find_carried_map(
+            r_affine(k_concurrency_alpha(3, 1)), leader_election_task(3)
+        )
+        is not None
+    )
+    assert (
+        find_carried_map(
+            r_affine(k_concurrency_alpha(3, 2)), leader_election_task(3)
+        )
+        is None
+    )
+    assert (
+        find_carried_map(full_affine_task(3, 1), leader_election_task(3))
+        is None
+    )
+
+
+def test_ktas_threshold_matches_setcon():
+    """k-TAS solvable from R_A at one shot iff k >= setcon(A)."""
+    cases = [
+        (r_affine(k_concurrency_alpha(3, 1)), 1),
+        (r_affine(k_concurrency_alpha(3, 2)), 2),
+        (r_affine(t_resilience_alpha(3, 1)), 2),
+    ]
+    for affine, power in cases:
+        for k in (1, 2, 3):
+            solvable = (
+                MapSearch(affine, k_test_and_set_task(3, k)).search()
+                is not None
+            )
+            assert solvable == (k >= power), (affine.name, k)
+
+
+def test_found_map_winner_structure():
+    """In a found 1-TAS map on R_{1-OF}, every facet has exactly one
+    winner."""
+    affine = r_affine(k_concurrency_alpha(3, 1))
+    mapping = find_carried_map(affine, leader_election_task(3))
+    for facet in affine.complex.facets:
+        image = frozenset(mapping[v] for v in facet)
+        assert len(winners(image)) == 1

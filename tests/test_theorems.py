@@ -1,0 +1,154 @@
+"""Tests for the executable lemmas/identities (Section 5, E9)."""
+
+import pytest
+
+from repro.adversaries import (
+    agreement_function_of,
+    figure5b_adversary,
+    k_concurrency_alpha,
+    t_resilience_alpha,
+    wait_free_alpha,
+)
+from repro.core.critical import CriticalStructure
+from repro.core.theorems import (
+    check_corollary4,
+    check_critical_distribution,
+    check_critical_view_uniqueness,
+    critical_hitting_number,
+    family_hitting_number,
+    full_participation_simplices,
+    guard_variant_report,
+    ra_equals_rkof,
+    ra_equals_rtres,
+)
+from repro.topology.subdivision import chr_complex
+
+ALPHAS = [
+    ("1-OF", k_concurrency_alpha(3, 1)),
+    ("2-OF", k_concurrency_alpha(3, 2)),
+    ("1-res", t_resilience_alpha(3, 1)),
+    ("wait-free", wait_free_alpha(3)),
+]
+
+
+def test_family_hitting_number():
+    assert family_hitting_number([]) == 0
+    assert family_hitting_number([{0, 1}, {1, 2}]) == 1
+    assert family_hitting_number([{0}, {1}]) == 2
+
+
+def test_critical_hitting_number_levels(alpha_1res, chr1):
+    facet = next(
+        f
+        for f in chr1.facets
+        if all(v.carrier == frozenset({0, 1, 2}) for v in f)
+    )
+    # Synchronous facet under 1-resilience: power 2 at level 1.
+    assert critical_hitting_number(facet, alpha_1res, 1) >= 2
+
+
+@pytest.mark.parametrize("name,alpha", ALPHAS)
+def test_lemma3_distribution(name, alpha):
+    for sigma in full_participation_simplices(3):
+        assert check_critical_distribution(sigma, alpha), (name, sigma)
+
+
+def test_lemma3_rejects_wrong_hypothesis(alpha_wf, chr1):
+    from repro.topology.chromatic import chi
+    from repro.topology.subdivision import carrier
+
+    partial = next(
+        frozenset(s)
+        for s in chr1.simplices
+        if chi(frozenset(s)) != carrier(frozenset(s))
+    )
+    with pytest.raises(ValueError):
+        check_critical_distribution(partial, alpha_wf)
+
+
+@pytest.mark.parametrize("name,alpha", ALPHAS)
+def test_corollary4_all_simplices(name, alpha, chr1):
+    structure = CriticalStructure(alpha)
+    for sigma in chr1.simplices:
+        assert check_corollary4(frozenset(sigma), alpha, structure), name
+
+
+@pytest.mark.parametrize("name,alpha", ALPHAS)
+def test_lemma11_view_uniqueness(name, alpha, chr1):
+    structure = CriticalStructure(alpha)
+    for sigma in chr1.simplices:
+        assert check_critical_view_uniqueness(
+            frozenset(sigma), alpha, structure
+        ), name
+
+
+def test_fig5b_lemmas():
+    alpha = agreement_function_of(figure5b_adversary())
+    for sigma in full_participation_simplices(3):
+        assert check_critical_distribution(sigma, alpha)
+
+
+# ------------------------------------------------------------------ E9
+def test_union_variant_matches_rtres_all_t():
+    for t in range(0, 3):
+        assert ra_equals_rtres(3, t, "union")
+
+
+def test_union_variant_matches_rkof_extremes():
+    assert ra_equals_rkof(3, 1, "union")
+    assert ra_equals_rkof(3, 3, "union")
+
+
+def test_known_finding_k2_strict_subcomplex():
+    """Documented finding: Definition 9 is strictly finer than
+    Definition 6 at k=2, n=3 (142 vs 163 facets)."""
+    assert not ra_equals_rkof(3, 2, "union")
+    from repro.core.ra import r_affine
+    from repro.core.rkof import r_k_obstruction_free
+
+    ra = r_affine(k_concurrency_alpha(3, 2), "union")
+    rk = r_k_obstruction_free(3, 2)
+    assert ra.complex.complex.is_sub_complex_of(rk.complex.complex)
+    assert len(ra.complex.facets) == 142
+    assert len(rk.complex.facets) == 163
+
+
+def test_intersection_variant_fails_literature():
+    assert not ra_equals_rkof(3, 1, "intersection")
+    assert not ra_equals_rtres(3, 0, "intersection")
+
+
+def test_guard_variant_report_shape():
+    report = guard_variant_report(3)
+    assert set(report) == {"intersection", "union"}
+    union_wins = sum(report["union"].values())
+    inter_wins = sum(report["intersection"].values())
+    assert union_wins > inter_wins
+
+
+@pytest.mark.slow
+def test_union_variant_matches_rtres_n4():
+    """n=4 confirmation of the E9 verdict: R_A = R_{1-res} exactly."""
+    assert ra_equals_rtres(4, 1, "union")
+
+
+@pytest.mark.slow
+def test_rkof_relationship_n4():
+    """n=4 refinement of the k=2 finding: the two definitions become
+    incomparable (neither contains the other) at k=2, and Definition 9
+    is a strict sub-complex at k=3."""
+    from repro.core.ra import r_affine
+    from repro.core.rkof import r_k_obstruction_free
+
+    ra2 = r_affine(k_concurrency_alpha(4, 2), "union")
+    rk2 = r_k_obstruction_free(4, 2)
+    assert not ra2.complex.complex.is_sub_complex_of(rk2.complex.complex)
+    assert not rk2.complex.complex.is_sub_complex_of(ra2.complex.complex)
+
+    ra3 = r_affine(k_concurrency_alpha(4, 3), "union")
+    rk3 = r_k_obstruction_free(4, 3)
+    assert ra3.complex.complex.is_sub_complex_of(rk3.complex.complex)
+    assert ra3.complex != rk3.complex
+
+    assert ra_equals_rkof(4, 1, "union")
+    assert ra_equals_rkof(4, 4, "union")

@@ -1,0 +1,101 @@
+"""The complete 2-process world, end to end.
+
+At n = 2 everything is small enough to sweep every adversary (7 of
+them) through the entire pipeline — classification, affine task,
+solvability, Algorithm 1 — with exact expectations computed by hand:
+
+* live sets: subsets of {{0}, {1}, {0,1}};
+* `Chr s` is a path of 3 edges, `Chr² s` a path of 9;
+* consensus is solvable exactly when setcon = 1.
+"""
+
+from itertools import combinations
+
+import pytest
+
+from repro.adversaries import (
+    Adversary,
+    agreement_function_of,
+    is_fair,
+    setcon,
+)
+from repro.core import r_affine
+from repro.runtime.algorithm1 import fuzz_algorithm1
+from repro.tasks import minimal_set_consensus
+from repro.topology import chr_complex, fubini_number
+
+
+def all_two_process_adversaries():
+    subsets = [frozenset({0}), frozenset({1}), frozenset({0, 1})]
+    for count in range(1, 4):
+        for collection in combinations(subsets, count):
+            yield Adversary(2, collection)
+
+
+ADVERSARIES = list(all_two_process_adversaries())
+
+
+def test_seven_adversaries():
+    assert len(ADVERSARIES) == 7
+
+
+def test_chr_sizes():
+    assert len(chr_complex(2, 1).facets) == fubini_number(2) == 3
+    assert len(chr_complex(2, 2).facets) == 9
+
+
+def test_fairness_census():
+    fair = [a for a in ADVERSARIES if is_fair(a)]
+    # Unfair at n=2: exactly the two single-solo-live-set adversaries
+    # {{0}} and {{1}} (the other process's coalition beats alpha).
+    unfair = [a for a in ADVERSARIES if not is_fair(a)]
+    assert len(unfair) == 2
+    for adversary in unfair:
+        assert len(adversary) == 1
+        (live,) = adversary.live_sets
+        assert len(live) == 1
+
+
+@pytest.mark.parametrize(
+    "adversary", ADVERSARIES, ids=[repr(sorted(map(sorted, a.live_sets))) for a in ADVERSARIES]
+)
+def test_pipeline_every_fair_adversary(adversary):
+    if not is_fair(adversary):
+        return
+    power = setcon(adversary)
+    alpha = agreement_function_of(adversary)
+    task = r_affine(alpha)
+    assert task.complex.is_pure(1)
+    # FACT: minimal set consensus from one shot equals setcon.
+    assert minimal_set_consensus(task) == power
+    # Algorithm 1 under fuzzing.
+    outcomes = fuzz_algorithm1(alpha, task, runs=30, seed=5)
+    assert all(outcome.in_affine_task for outcome in outcomes)
+
+
+def test_consensus_solvable_exactly_at_power_one():
+    for adversary in ADVERSARIES:
+        if not is_fair(adversary):
+            continue
+        from repro.tasks import solves_set_consensus
+
+        task = r_affine(agreement_function_of(adversary))
+        assert solves_set_consensus(task, 1) == (setcon(adversary) == 1)
+
+
+def test_wait_free_two_process_task_is_whole_chr2():
+    from repro.adversaries import wait_free
+
+    task = r_affine(agreement_function_of(wait_free(2)))
+    assert task.complex == chr_complex(2, 2)
+
+
+def test_one_obstruction_free_two_processes():
+    """2-process 1-OF: consensus solvable; the affine task drops the
+    contending middle runs."""
+    from repro.adversaries import k_obstruction_free
+
+    adversary = k_obstruction_free(2, 1)
+    task = r_affine(agreement_function_of(adversary))
+    assert len(task.complex.facets) < 9
+    assert minimal_set_consensus(task) == 1

@@ -1,0 +1,85 @@
+"""Unit tests for View1 / View2 (Section 4)."""
+
+import pytest
+
+from repro.core.views import (
+    view1,
+    view2,
+    view2_colors,
+    views,
+    witnessed_participation,
+)
+from repro.runtime.iis import run_iis
+from repro.topology.chromatic import ChrVertex
+
+
+def make_vertex(first, second):
+    """Vertex of Chr² s for the 3-process run (first, second)."""
+    execution = run_iis(3, [first, second])
+    return execution
+
+
+def test_views_of_reversed_run():
+    # Round 1: {1}, {0}, {2}; round 2: {2}, {0}, {1} (fully reversed).
+    execution = run_iis(
+        3,
+        [
+            (frozenset({1}), frozenset({0}), frozenset({2})),
+            (frozenset({2}), frozenset({0}), frozenset({1})),
+        ],
+    )
+    v1 = execution.vertex_of(1)
+    assert view1(v1) == frozenset({1})
+    assert view2_colors(v1) == frozenset({0, 1, 2})
+
+    v2 = execution.vertex_of(2)
+    assert view1(v2) == frozenset({0, 1, 2})
+    assert view2_colors(v2) == frozenset({2})
+
+
+def test_view2_is_carrier():
+    execution = run_iis(
+        3,
+        [
+            (frozenset({0, 1, 2}),),
+            (frozenset({0}), frozenset({1, 2})),
+        ],
+    )
+    v0 = execution.vertex_of(0)
+    assert view2(v0) == v0.carrier
+    assert view2_colors(v0) == frozenset({0})
+
+
+def test_views_pair_helper(chr2):
+    for v in list(chr2.vertices)[:20]:
+        first, second = views(v)
+        assert first == view1(v)
+        assert second == view2(v)
+
+
+def test_view1_within_witnessed(chr2):
+    for v in chr2.vertices:
+        assert view1(v) <= witnessed_participation(v)
+
+
+def test_witnessed_participation_synchronous():
+    execution = run_iis(
+        3, [(frozenset({0, 1, 2}),), (frozenset({0, 1, 2}),)]
+    )
+    for pid in range(3):
+        assert witnessed_participation(execution.vertex_of(pid)) == frozenset(
+            {0, 1, 2}
+        )
+
+
+def test_view_accessors_reject_base_vertices():
+    with pytest.raises(TypeError):
+        view2(0)
+    shallow = ChrVertex(0, frozenset({0, 1}))  # depth-1 vertex
+    with pytest.raises(TypeError):
+        view1(shallow)
+
+
+def test_view1_sizes_span_range(chr2):
+    sizes = {len(view1(v)) for v in chr2.vertices}
+    assert sizes == {1, 2, 3}
