@@ -1,0 +1,144 @@
+"""Engine economics: cold vs warm cache, one vs many workers.
+
+The workload is the expensive half of the reproduction — the complete
+n=3 landscape classification (127 adversaries) plus the E11 FACT grid
+(5 affine tasks x k in 1..3 solvability searches) — run four ways:
+
+* legacy in-process calls (the baseline the engine must not distort),
+* engine, cold persistent cache, ``jobs`` = 1 and 2,
+* engine, warm persistent cache, ``jobs`` = 1 and 2.
+
+In-process ``lru_cache`` state is cleared before every cold stage so a
+"cold" measurement is genuinely cold.  The numbers land in
+``BENCH_engine.json`` at the repo root; multi-worker scaling is
+recorded honestly together with ``cpu_count`` — on a single-CPU box a
+process pool cannot beat sequential execution for CPU-bound work, so
+the >1x assertion only applies when more than one CPU is available.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.adversaries import (
+    agreement_function_of,
+    figure5b_adversary,
+    k_concurrency_alpha,
+    t_resilience_alpha,
+)
+from repro.adversaries.setcon import _setcon_of_live_sets
+from repro.analysis import render_mapping
+from repro.analysis.landscape import classify_all
+from repro.core import full_affine_task, r_affine
+from repro.engine import ArtifactCache, Engine
+from repro.tasks.set_consensus import set_consensus_task
+from repro.tasks.solvability import MapSearch
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_engine.json"
+
+
+def _solve_queries():
+    affines = [
+        full_affine_task(3, 1),
+        r_affine(k_concurrency_alpha(3, 1)),
+        r_affine(k_concurrency_alpha(3, 2)),
+        r_affine(t_resilience_alpha(3, 1)),
+        r_affine(agreement_function_of(figure5b_adversary())),
+    ]
+    return [
+        (affine, set_consensus_task(3, k), None)
+        for affine in affines
+        for k in range(1, 4)
+    ]
+
+
+def _go_cold():
+    """Reset in-process memoization so cold stages measure real work."""
+    _setcon_of_live_sets.cache_clear()
+
+
+def _run_legacy(queries):
+    entries = classify_all(3)
+    solved = [
+        (MapSearch(affine, task).search(), None)
+        for affine, task, _ in queries
+    ]
+    return entries, solved
+
+
+def _run_engine(engine, queries):
+    entries = classify_all(3, engine=engine)
+    solved = engine.solve_many(queries)
+    return entries, solved
+
+
+def _timed(stage):
+    started = time.perf_counter()
+    value = stage()
+    return value, time.perf_counter() - started
+
+
+def bench_engine_cache(tmp_path):
+    queries = _solve_queries()
+
+    _go_cold()
+    (legacy_entries, legacy_solved), t_direct = _timed(
+        lambda: _run_legacy(queries)
+    )
+
+    timings = {}
+    entries_by_stage = {}
+    for jobs in (1, 2):
+        cache_dir = tmp_path / f"cache-jobs{jobs}"
+        _go_cold()
+        (entries, solved), t_cold = _timed(
+            lambda: _run_engine(
+                Engine(jobs=jobs, cache=ArtifactCache(cache_dir)), queries
+            )
+        )
+        _go_cold()
+        (warm_entries, warm_solved), t_warm = _timed(
+            lambda: _run_engine(
+                Engine(jobs=jobs, cache=ArtifactCache(cache_dir)), queries
+            )
+        )
+        assert entries == legacy_entries == warm_entries
+        assert [m for m, _ in solved] == [m for m, _ in legacy_solved]
+        assert warm_solved == solved
+        timings[jobs] = (t_cold, t_warm)
+        entries_by_stage[jobs] = len(ArtifactCache(cache_dir))
+
+    t_cold_1, t_warm_1 = timings[1]
+    t_cold_2, t_warm_2 = timings[2]
+    cpu_count = os.cpu_count() or 1
+    report = {
+        "workload": {
+            "adversaries_classified": len(legacy_entries),
+            "solvability_queries": len(queries),
+        },
+        "cpu_count": cpu_count,
+        "t_direct_s": round(t_direct, 4),
+        "t_cold_jobs1_s": round(t_cold_1, 4),
+        "t_warm_jobs1_s": round(t_warm_1, 4),
+        "t_cold_jobs2_s": round(t_cold_2, 4),
+        "t_warm_jobs2_s": round(t_warm_2, 4),
+        "speedup_warm_cache": round(t_cold_1 / t_warm_1, 2),
+        "speedup_multiworker_cold": round(t_cold_1 / t_cold_2, 2),
+        "artifacts_cached": entries_by_stage[1],
+    }
+    OUTPUT.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+
+    print()
+    print(render_mapping("engine economics:", report))
+    print(f"wrote {OUTPUT}")
+
+    # A warm cache replays pure reads; anything under 5x means the
+    # cache (or the codec) regressed badly.
+    assert report["speedup_warm_cache"] >= 5.0
+    # Honest scaling claim: only meaningful with real parallel hardware.
+    if cpu_count >= 2:
+        assert report["speedup_multiworker_cold"] > 1.0

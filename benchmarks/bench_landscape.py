@@ -44,6 +44,23 @@ def bench_landscape_summary(benchmark):
     assert summary.distinct_affine_tasks == 37
 
 
+def bench_classify_all_engine_warm(benchmark, tmp_path):
+    """The same census through the engine against a warm artifact cache."""
+    from repro.engine import ArtifactCache, Engine
+
+    cache_dir = tmp_path / "landscape-cache"
+    legacy = classify_all(3)
+    Engine(cache=ArtifactCache(cache_dir)).classify_many(
+        [entry.adversary for entry in legacy]
+    )
+
+    def classify_warm():
+        return classify_all(3, engine=Engine(cache=ArtifactCache(cache_dir)))
+
+    entries = benchmark(classify_warm)
+    assert entries == legacy
+
+
 def bench_model_order(benchmark):
     """The inclusion partial order on the 37 fair model classes."""
     from repro.analysis.model_order import summarize_order

@@ -71,8 +71,15 @@ def alpha_signature(alpha: AgreementFunction) -> Tuple:
     )
 
 
-def classify_all(n: int = 3) -> List[LandscapeEntry]:
-    """Classify every adversary over ``n`` processes."""
+def classify_all(n: int = 3, engine=None) -> List[LandscapeEntry]:
+    """Classify every adversary over ``n`` processes.
+
+    With an :class:`repro.engine.Engine`, classification runs as one
+    batch (cached, optionally parallel) and produces entries equal to
+    the sequential ones; without, the legacy in-process loop runs.
+    """
+    if engine is not None:
+        return engine.classify_many(all_adversaries(n))
     entries = []
     for adversary in all_adversaries(n):
         alpha = agreement_function_of(adversary)
@@ -106,6 +113,7 @@ class LandscapeSummary:
 def summarize(
     entries: List[LandscapeEntry],
     build_affine: bool = True,
+    engine=None,
 ) -> LandscapeSummary:
     """Aggregate the landscape; optionally build every distinct ``R_A``.
 
@@ -126,14 +134,20 @@ def summarize(
 
     distinct_tasks = 0
     if build_affine and entries:
-        n = entries[0].adversary.n
         seen_complexes = set()
         representatives: Dict[Tuple, Adversary] = {}
         for entry in entries:
             if entry.fair and entry.alpha_key not in representatives:
                 representatives[entry.alpha_key] = entry.adversary
-        for adversary in representatives.values():
-            task = r_affine(agreement_function_of(adversary))
+        alphas = [
+            agreement_function_of(adversary)
+            for adversary in representatives.values()
+        ]
+        if engine is not None:
+            tasks = engine.r_affine_many(alphas)
+        else:
+            tasks = [r_affine(alpha) for alpha in alphas]
+        for task in tasks:
             seen_complexes.add(task.complex)
         distinct_tasks = len(seen_complexes)
 
@@ -149,13 +163,37 @@ def summarize(
     )
 
 
-def fair_task_classes(n: int = 3) -> Dict[AffineTask, List[Adversary]]:
+def fair_task_classes(
+    n: int = 3, engine=None
+) -> Dict[AffineTask, List[Adversary]]:
     """Group fair adversaries by their affine task ``R_A``.
 
     Theorem 15 says members of one class solve exactly the same tasks.
+    With an engine, fairness comes from the batched classification and
+    the per-α ``R_A`` constructions run as one batch.
     """
     classes: Dict[AffineTask, List[Adversary]] = {}
     alpha_to_task: Dict[Tuple, AffineTask] = {}
+    if engine is not None:
+        entries = classify_all(n, engine=engine)
+        fair_adversaries = [e.adversary for e in entries if e.fair]
+        pairs = [
+            (agreement_function_of(adversary), adversary)
+            for adversary in fair_adversaries
+        ]
+        fresh = {}
+        for alpha, _ in pairs:
+            key = alpha_signature(alpha)
+            if key not in alpha_to_task and key not in fresh:
+                fresh[key] = alpha
+        for key, task in zip(
+            fresh, engine.r_affine_many(fresh.values())
+        ):
+            alpha_to_task[key] = task
+        for alpha, adversary in pairs:
+            task = alpha_to_task[alpha_signature(alpha)]
+            classes.setdefault(task, []).append(adversary)
+        return classes
     for adversary in all_adversaries(n):
         if not is_fair(adversary):
             continue

@@ -8,7 +8,13 @@ Commands regenerate the paper's artifacts from the terminal:
 * ``fact``       — the FACT set-consensus table (E11);
 * ``algorithm1`` — fuzz Algorithm 1 under α-model schedules (E8);
 * ``crossover``  — the ε-agreement depth crossover (E14);
-* ``inspect``    — classify one adversary given as live sets.
+* ``inspect``    — classify one adversary given as live sets;
+* ``batch``      — zoo classification + E11 through the compute engine.
+
+``classify``, ``landscape``, ``fact`` and ``algorithm1`` accept
+``--jobs N`` / ``--cache-dir PATH`` / ``--no-cache``; with the defaults
+(``--jobs 1``, no cache) they bypass the engine entirely and run the
+legacy in-process code, so default invocations stay byte-identical.
 """
 
 from __future__ import annotations
@@ -46,6 +52,25 @@ from .core import (
     r_t_resilient,
 )
 from .topology import chr_complex, fubini_number
+
+
+def _build_engine(args: argparse.Namespace, default_cache: bool = False):
+    """An :class:`repro.engine.Engine` configured from CLI options."""
+    from .engine import ArtifactCache, Engine, NullCache
+
+    cache_dir = getattr(args, "cache_dir", None)
+    want_cache = (
+        cache_dir is not None or default_cache
+    ) and not getattr(args, "no_cache", False)
+    cache = ArtifactCache(cache_dir) if want_cache else NullCache()
+    return Engine(jobs=getattr(args, "jobs", 1), cache=cache)
+
+
+def _engine_from_args(args: argparse.Namespace):
+    """An engine when the user opted in, else ``None`` (legacy path)."""
+    if getattr(args, "jobs", 1) == 1 and getattr(args, "cache_dir", None) is None:
+        return None
+    return _build_engine(args)
 
 
 def _cmd_figures(args: argparse.Namespace) -> int:
@@ -87,19 +112,37 @@ def _cmd_figures(args: argparse.Namespace) -> int:
 
 def _cmd_classify(args: argparse.Namespace) -> int:
     print(banner(f"Figure 2 — classification (n = {args.n})"))
+    catalogue = build_catalogue(args.n)
+    engine = _engine_from_args(args)
     rows = []
-    for entry in build_catalogue(args.n):
-        adversary = entry.adversary
-        rows.append(
-            [
-                entry.name,
-                "yes" if adversary.is_superset_closed() else "no",
-                "yes" if adversary.is_symmetric() else "no",
-                "yes" if is_fair(adversary) else "NO",
-                setcon(adversary),
-                csize(adversary),
-            ]
+    if engine is not None:
+        classified = engine.classify_many(
+            [entry.adversary for entry in catalogue]
         )
+        for entry, record in zip(catalogue, classified):
+            rows.append(
+                [
+                    entry.name,
+                    "yes" if record.superset_closed else "no",
+                    "yes" if record.symmetric else "no",
+                    "yes" if record.fair else "NO",
+                    record.power,
+                    csize(entry.adversary),
+                ]
+            )
+    else:
+        for entry in catalogue:
+            adversary = entry.adversary
+            rows.append(
+                [
+                    entry.name,
+                    "yes" if adversary.is_superset_closed() else "no",
+                    "yes" if adversary.is_symmetric() else "no",
+                    "yes" if is_fair(adversary) else "NO",
+                    setcon(adversary),
+                    csize(adversary),
+                ]
+            )
     print(render_table(["adversary", "ssc", "sym", "fair", "setcon", "csize"], rows))
     return 0
 
@@ -108,7 +151,8 @@ def _cmd_landscape(args: argparse.Namespace) -> int:
     from .analysis.landscape import classify_all, summarize
 
     print(banner("E15 — the complete n=3 adversary landscape"))
-    summary = summarize(classify_all(3))
+    engine = _engine_from_args(args)
+    summary = summarize(classify_all(3, engine=engine), engine=engine)
     print(
         render_mapping(
             "summary:",
@@ -137,7 +181,14 @@ def _cmd_fact(args: argparse.Namespace) -> int:
         ("R_A(1-res)", r_affine(t_resilience_alpha(3, 1))),
         ("R_A(fig5b)", r_affine(agreement_function_of(figure5b_adversary()))),
     ]
-    rows = [(name, minimal_set_consensus(task)) for name, task in cases]
+    engine = _engine_from_args(args)
+    if engine is not None:
+        answers = engine.minimal_set_consensus_many(
+            [task for _, task in cases]
+        )
+        rows = [(name, k) for (name, _), k in zip(cases, answers)]
+    else:
+        rows = [(name, minimal_set_consensus(task)) for name, task in cases]
     print(render_table(["affine task", "min k-set consensus"], rows))
     return 0
 
@@ -148,14 +199,29 @@ def _cmd_algorithm1(args: argparse.Namespace) -> int:
     print(banner(f"E8 — Algorithm 1, {args.runs} fuzzed α-model runs"))
     alpha = t_resilience_alpha(3, 1)
     task = r_affine(alpha)
-    outcomes = fuzz_algorithm1(alpha, task, runs=args.runs, seed=args.seed)
-    steps = [outcome.result.steps_taken for outcome in outcomes]
+    engine = _engine_from_args(args)
+    if engine is not None:
+        # Per-case seeds: reproducible, worker-count independent — but a
+        # different schedule stream than the legacy single-RNG fuzzer.
+        cases = engine.fuzz_many(
+            alpha, task, runs=args.runs, seed=args.seed
+        )
+        steps = [steps_taken for _, steps_taken in cases]
+        violations = sum(1 for ok, _ in cases if not ok)
+        run_count = len(cases)
+    else:
+        outcomes = fuzz_algorithm1(
+            alpha, task, runs=args.runs, seed=args.seed
+        )
+        steps = [outcome.result.steps_taken for outcome in outcomes]
+        violations = 0
+        run_count = len(outcomes)
     print(
         render_mapping(
             "1-resilient model:",
             {
-                "runs": len(outcomes),
-                "safety violations": 0,
+                "runs": run_count,
+                "safety violations": violations,
                 "min/median/max steps": (
                     min(steps),
                     sorted(steps)[len(steps) // 2],
@@ -206,6 +272,110 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_batch(args: argparse.Namespace) -> int:
+    """Zoo classification + the E11 FACT table as one engine session.
+
+    Unlike the other commands, ``batch`` always runs through the engine
+    and caches by default (to ``--cache-dir``, ``$REPRO_CACHE_DIR`` or
+    ``~/.cache/repro-engine``); a warm second invocation does no
+    expensive computation at all.
+    """
+    from .tasks.set_consensus import set_consensus_task
+
+    engine = _build_engine(args, default_cache=True)
+    cache_note = (
+        str(engine.cache.root) if engine.cache.persistent else "disabled"
+    )
+    print(
+        banner(
+            f"engine batch — jobs={engine.jobs}, cache={cache_note}"
+        )
+    )
+
+    catalogue = build_catalogue(3)
+    classified = engine.classify_many(
+        [entry.adversary for entry in catalogue]
+    )
+    rows = [
+        [
+            entry.name,
+            "yes" if record.superset_closed else "no",
+            "yes" if record.symmetric else "no",
+            "yes" if record.fair else "NO",
+            record.power,
+        ]
+        for entry, record in zip(catalogue, classified)
+    ]
+    print(render_table(["adversary", "ssc", "sym", "fair", "setcon"], rows))
+
+    cases = [
+        ("wait-free (Chr s)", full_affine_task(3, 1)),
+        ("R_A(1-OF)", r_affine(k_concurrency_alpha(3, 1))),
+        ("R_A(2-OF)", r_affine(k_concurrency_alpha(3, 2))),
+        ("R_A(1-res)", r_affine(t_resilience_alpha(3, 1))),
+        ("R_A(fig5b)", r_affine(agreement_function_of(figure5b_adversary()))),
+    ]
+    queries = [
+        (task, set_consensus_task(task.n, k), None)
+        for _, task in cases
+        for k in range(1, 4)
+    ]
+    solved = engine.solve_many(queries)
+    fact_rows = []
+    for row, (name, _) in enumerate(cases):
+        answers = solved[row * 3 : row * 3 + 3]
+        min_k = next(
+            k for k, (mapping, _) in enumerate(answers, start=1)
+            if mapping is not None
+        )
+        nodes = sum(nodes for _, nodes in answers)
+        fact_rows.append((name, min_k, nodes))
+    print(
+        render_table(
+            ["affine task", "min k-set consensus", "search nodes"], fact_rows
+        )
+    )
+
+    stats = engine.stats()
+    print(
+        render_mapping(
+            "engine:",
+            {
+                "jobs": engine.jobs,
+                "cache hits": stats["hits"],
+                "cache misses": stats["misses"],
+            },
+        )
+    )
+    return 0
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError("must be a positive integer")
+    return value
+
+
+def _add_engine_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=1,
+        help="worker processes (1 = legacy in-process path)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="persistent artifact cache directory",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the artifact cache",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -217,15 +387,28 @@ def build_parser() -> argparse.ArgumentParser:
 
     classify = sub.add_parser("classify", help="Figure-2 classification")
     classify.add_argument("--n", type=int, default=3)
+    _add_engine_options(classify)
 
-    sub.add_parser("landscape", help="the exhaustive n=3 landscape (E15)")
-    sub.add_parser("fact", help="the FACT set-consensus table (E11)")
+    landscape = sub.add_parser(
+        "landscape", help="the exhaustive n=3 landscape (E15)"
+    )
+    _add_engine_options(landscape)
+
+    fact = sub.add_parser("fact", help="the FACT set-consensus table (E11)")
+    _add_engine_options(fact)
 
     algorithm1 = sub.add_parser(
         "algorithm1", help="fuzz Algorithm 1 in the α-model (E8)"
     )
     algorithm1.add_argument("--runs", type=int, default=30)
     algorithm1.add_argument("--seed", type=int, default=0)
+    _add_engine_options(algorithm1)
+
+    batch = sub.add_parser(
+        "batch",
+        help="zoo classification + E11 through the compute engine",
+    )
+    _add_engine_options(batch)
 
     sub.add_parser("crossover", help="ε-agreement depth crossover (E14)")
 
@@ -255,6 +438,7 @@ def _cmd_export(args: argparse.Namespace) -> int:
 
 
 _HANDLERS = {
+    "batch": _cmd_batch,
     "export": _cmd_export,
     "figures": _cmd_figures,
     "classify": _cmd_classify,

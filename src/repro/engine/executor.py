@@ -1,0 +1,218 @@
+"""Batch execution: in-process sequential, or a process-pool fan-out.
+
+``execute_batch`` is the engine's only execution primitive.  With
+``jobs=1`` it runs every spec in the calling process in submission
+order — the bit-identical default path.  With ``jobs>1`` it partitions
+the batch into contiguous chunks and dispatches them to a
+``ProcessPoolExecutor``; payloads and results cross the process
+boundary as canonical serialized text (never pickled closures), each
+chunk gets a wall-clock deadline derived from the per-job ``timeout``,
+and results are always returned in submission order regardless of
+completion order.
+
+``SearchBudgetExceeded`` is not an error here: workers catch it and
+return a structured ``budget`` outcome carrying the node count, which
+the engine turns into a domain-split retry (see
+:meth:`repro.engine.jobs.Engine._split_retry`).
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from typing import Any, List, Optional, Sequence, Tuple
+
+from ..tasks.solvability import SearchBudgetExceeded
+from .serialize import deserialize, serialize
+
+# Outcome tuples crossing the process boundary:
+#   ("ok",     serialized_value, wall_time)
+#   ("budget", nodes_explored,   wall_time)
+#   ("error",  message,          wall_time)
+_ChunkItem = Tuple[str, str]  # (kind, serialized payload)
+
+
+def _run_chunk(chunk: Sequence[_ChunkItem]) -> List[Tuple[str, Any, float]]:
+    """Worker entry point: execute one chunk of serialized jobs."""
+    from .jobs import JOB_KINDS
+
+    outcomes: List[Tuple[str, Any, float]] = []
+    for kind, payload_text in chunk:
+        started = time.perf_counter()
+        try:
+            payload = deserialize(payload_text)
+            value = JOB_KINDS[kind](payload)
+            outcomes.append(
+                ("ok", serialize(value), time.perf_counter() - started)
+            )
+        except SearchBudgetExceeded as exc:
+            outcomes.append(
+                (
+                    "budget",
+                    exc.nodes_explored,
+                    time.perf_counter() - started,
+                )
+            )
+        except Exception:
+            outcomes.append(
+                (
+                    "error",
+                    traceback.format_exc(limit=8),
+                    time.perf_counter() - started,
+                )
+            )
+    return outcomes
+
+
+def _chunked(items: List, chunk_count: int) -> List[List]:
+    """Split into at most ``chunk_count`` contiguous, near-equal chunks."""
+    chunk_count = max(1, min(chunk_count, len(items)))
+    base, extra = divmod(len(items), chunk_count)
+    chunks, start = [], 0
+    for index in range(chunk_count):
+        size = base + (1 if index < extra else 0)
+        chunks.append(items[start : start + size])
+        start += size
+    return chunks
+
+
+def execute_batch(
+    pending: Sequence[Tuple[int, "JobSpec"]],
+    jobs: int = 1,
+    timeout: Optional[float] = None,
+) -> List["JobResult"]:
+    """Run ``(index, spec)`` pairs; results in submission order.
+
+    The ``index`` of each pair is carried through to the corresponding
+    :class:`~repro.engine.jobs.JobResult`, so callers can interleave
+    cache hits and executed jobs without re-sorting.
+    """
+    from .jobs import JobResult, JobSpec  # late: avoids an import cycle
+
+    if jobs <= 1 or len(pending) <= 1:
+        return _execute_sequential(pending, timeout)
+    return _execute_pool(pending, jobs, timeout)
+
+
+def _execute_sequential(
+    pending: Sequence[Tuple[int, "JobSpec"]],
+    timeout: Optional[float],
+) -> List["JobResult"]:
+    """The default path: direct in-process calls, no serialization."""
+    from .jobs import JobResult
+
+    results = []
+    for index, spec in pending:
+        started = time.perf_counter()
+        try:
+            value = spec.run()
+            results.append(
+                JobResult(
+                    index=index,
+                    kind=spec.kind,
+                    value=value,
+                    wall_time=time.perf_counter() - started,
+                )
+            )
+        except SearchBudgetExceeded as exc:
+            results.append(
+                JobResult(
+                    index=index,
+                    kind=spec.kind,
+                    error="budget",
+                    nodes_explored=exc.nodes_explored,
+                    wall_time=time.perf_counter() - started,
+                )
+            )
+        except Exception:
+            results.append(
+                JobResult(
+                    index=index,
+                    kind=spec.kind,
+                    error=traceback.format_exc(limit=8),
+                    wall_time=time.perf_counter() - started,
+                )
+            )
+    return results
+
+
+def _execute_pool(
+    pending: Sequence[Tuple[int, "JobSpec"]],
+    jobs: int,
+    timeout: Optional[float],
+) -> List["JobResult"]:
+    from .jobs import JobResult
+
+    # Contiguous chunks, a few per worker: amortizes IPC/codec overhead
+    # on many-small-job batches while keeping the pool load-balanced.
+    indexed = list(pending)
+    chunks = _chunked(indexed, jobs * 4)
+    payload_chunks = [
+        [(spec.kind, serialize(spec.payload)) for _, spec in chunk]
+        for chunk in chunks
+    ]
+
+    results: List["JobResult"] = []
+    timed_out = False
+    pool = ProcessPoolExecutor(max_workers=jobs)
+    try:
+        futures = [
+            pool.submit(_run_chunk, payload) for payload in payload_chunks
+        ]
+        for chunk, future in zip(chunks, futures):
+            chunk_timeout = timeout * len(chunk) if timeout else None
+            try:
+                outcomes = future.result(timeout=chunk_timeout)
+            except FutureTimeoutError:
+                timed_out = True
+                for index, spec in chunk:
+                    results.append(
+                        JobResult(index=index, kind=spec.kind, error="timeout")
+                    )
+                continue
+            except Exception:
+                message = traceback.format_exc(limit=8)
+                for index, spec in chunk:
+                    results.append(
+                        JobResult(index=index, kind=spec.kind, error=message)
+                    )
+                continue
+            for (index, spec), (status, data, wall) in zip(chunk, outcomes):
+                if status == "ok":
+                    results.append(
+                        JobResult(
+                            index=index,
+                            kind=spec.kind,
+                            value=deserialize(data),
+                            wall_time=wall,
+                        )
+                    )
+                elif status == "budget":
+                    results.append(
+                        JobResult(
+                            index=index,
+                            kind=spec.kind,
+                            error="budget",
+                            nodes_explored=data,
+                            wall_time=wall,
+                        )
+                    )
+                else:
+                    results.append(
+                        JobResult(
+                            index=index, kind=spec.kind, error=data, wall_time=wall
+                        )
+                    )
+    finally:
+        if timed_out:
+            # A hung CPU-bound worker would block a graceful shutdown
+            # forever; reclaim the pool by force.
+            for process in getattr(pool, "_processes", {}).values():
+                process.terminate()
+            pool.shutdown(wait=False, cancel_futures=True)
+        else:
+            pool.shutdown(wait=True)
+    results.sort(key=lambda result: result.index)
+    return results

@@ -1,0 +1,456 @@
+"""Typed job specs and the engine's batch API.
+
+A :class:`JobSpec` is a pure description of one expensive computation —
+a subdivision, an ``R_A`` construction, an adversary classification, a
+FACT solvability query, or one Algorithm-1 fuzz case.  Specs are
+canonically serializable (see :mod:`repro.engine.serialize`), which
+gives each job a content-addressed cache key and lets the executor ship
+it to worker processes without pickling closures.
+
+:class:`Engine` is the façade the rest of the library talks to:
+``run_jobs`` executes any batch with caching, parallelism, per-job
+timing and deterministic result order; ``classify_many`` /
+``solve_many`` / ``r_affine_many`` / ``fuzz_many`` wrap the common
+batch shapes with typed results.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..adversaries.adversary import Adversary
+from ..adversaries.agreement import AgreementFunction, agreement_function_of
+from ..adversaries.fairness import is_fair
+from ..adversaries.setcon import setcon
+from ..core.affine import AffineTask
+from ..core.ra import DEFAULT_VARIANT, r_affine
+from ..tasks.solvability import (
+    MapSearch,
+    SearchBudgetExceeded,
+    split_search_domains,
+)
+from ..tasks.task import Task
+from ..topology.subdivision import iterated_subdivision
+from ..topology.chromatic import standard_simplex
+from .cache import MISS, NullCache
+from .serialize import digest
+
+# ----------------------------------------------------------------------
+# Job kinds: pure functions from a payload tuple to a serializable value
+# ----------------------------------------------------------------------
+def _compute_chr(payload: tuple) -> Any:
+    n, m = payload
+    # Not chr_complex(): workers and cold cache fills must not silently
+    # depend on the in-process lru_cache being warm.
+    return iterated_subdivision(standard_simplex(n), m)
+
+
+def _compute_classify(payload: tuple) -> Any:
+    (adversary,) = payload
+    from ..analysis.landscape import alpha_signature
+
+    alpha = agreement_function_of(adversary)
+    return (
+        is_fair(adversary),
+        adversary.is_superset_closed(),
+        adversary.is_symmetric(),
+        setcon(adversary),
+        alpha_signature(alpha),
+    )
+
+
+def _compute_r_affine(payload: tuple) -> Any:
+    alpha, variant = payload
+    return r_affine(alpha, variant)
+
+
+def _compute_solve(payload: tuple) -> Any:
+    affine, task, node_budget, overrides = payload
+    search = MapSearch(affine, task, domain_overrides=overrides)
+    mapping = search.search(node_budget)
+    return (mapping, search.nodes_explored)
+
+
+def _compute_fuzz(payload: tuple) -> Any:
+    alpha, affine, case_seed = payload
+    from ..runtime.algorithm1 import run_fuzz_case
+
+    outcome = run_fuzz_case(alpha, affine, case_seed)
+    return (outcome.in_affine_task, outcome.result.steps_taken)
+
+
+#: kind -> compute function.  Worker processes resolve kinds through
+#: this registry, so adding a job type is one entry + one payload codec.
+JOB_KINDS: Dict[str, Callable[[tuple], Any]] = {
+    "chr": _compute_chr,
+    "classify": _compute_classify,
+    "r_affine": _compute_r_affine,
+    "solve": _compute_solve,
+    "fuzz": _compute_fuzz,
+}
+
+
+@dataclass(frozen=True, eq=True)
+class JobSpec:
+    """One unit of engine work: a kind plus its canonical payload."""
+
+    kind: str
+    payload: tuple
+
+    def cache_key(self) -> tuple:
+        """The content-addressed identity of this computation."""
+        return ("repro.engine.job", self.kind, self.payload)
+
+    def run(self) -> Any:
+        """Execute in-process (the sequential and worker code path)."""
+        return JOB_KINDS[self.kind](self.payload)
+
+
+@dataclass
+class JobResult:
+    """Outcome of one job: value + provenance and cost accounting."""
+
+    index: int
+    kind: str
+    value: Any = None
+    wall_time: float = 0.0
+    cache_hit: bool = False
+    error: Optional[str] = None
+    nodes_explored: Optional[int] = None
+    splits: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+ProgressCallback = Callable[[JobResult], None]
+
+
+# ----------------------------------------------------------------------
+# The engine
+# ----------------------------------------------------------------------
+class Engine:
+    """Batch runner: cache short-circuit, then sequential or pooled work.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes.  ``1`` (the default) runs every job in the
+        calling process, in submission order — bit-identical to calling
+        the underlying functions directly.
+    cache:
+        An :class:`~repro.engine.cache.ArtifactCache` (persistent) or
+        :class:`~repro.engine.cache.NullCache` (default: no caching).
+    timeout:
+        Optional per-job wall-clock budget, enforced on the parallel
+        path (seconds).
+    progress:
+        Optional callback invoked with each :class:`JobResult` as it
+        completes (completion order; the returned list is always in
+        submission order).
+    split_retries:
+        How many levels a ``solve`` job that raises
+        :class:`SearchBudgetExceeded` is retried for: each level splits
+        the domain into independent sub-jobs and doubles the per-job
+        node budget, so level ``r`` spends at most ``2**r`` times the
+        original budget per slice before the error is surfaced.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache=None,
+        timeout: Optional[float] = None,
+        progress: Optional[ProgressCallback] = None,
+        split_retries: int = 3,
+    ):
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.jobs = jobs
+        self.cache = cache if cache is not None else NullCache()
+        self.timeout = timeout
+        self.progress = progress
+        self.split_retries = split_retries
+
+    def __repr__(self) -> str:
+        return f"Engine(jobs={self.jobs}, cache={self.cache!r})"
+
+    # ------------------------------------------------------------------
+    def run_jobs(self, specs: Sequence[JobSpec]) -> List[JobResult]:
+        """Execute a batch; results are in submission order.
+
+        Cache hits never reach the executor.  ``solve`` jobs that blow
+        their node budget are retried as domain-partitioned sub-jobs
+        (see :func:`repro.tasks.solvability.split_search_domains`); if
+        the budget still fires after ``split_retries`` levels, the
+        result carries ``error="budget"`` and the aggregated node count.
+        """
+        specs = list(specs)
+        results: List[Optional[JobResult]] = [None] * len(specs)
+        pending: List[Tuple[int, JobSpec]] = []
+
+        for index, spec in enumerate(specs):
+            key_digest = digest(spec.cache_key())
+            started = time.perf_counter()
+            value = self.cache.get(key_digest)
+            if value is not MISS:
+                result = JobResult(
+                    index=index,
+                    kind=spec.kind,
+                    value=value,
+                    wall_time=time.perf_counter() - started,
+                    cache_hit=True,
+                )
+                self._finish(results, result)
+            else:
+                pending.append((index, spec))
+
+        if pending:
+            from .executor import execute_batch
+
+            for result in execute_batch(
+                pending,
+                jobs=self.jobs,
+                timeout=self.timeout,
+            ):
+                if result.error == "budget":
+                    result = self._split_retry(
+                        specs[result.index], result
+                    )
+                if result.ok:
+                    self.cache.put(
+                        digest(specs[result.index].cache_key()), result.value
+                    )
+                self._finish(results, result)
+
+        for result in results:
+            if result is not None and result.kind == "solve" and result.ok:
+                result.nodes_explored = result.value[1]
+        return [result for result in results if result is not None]
+
+    def _finish(self, results: List[Optional[JobResult]], result: JobResult):
+        results[result.index] = result
+        if self.progress is not None:
+            self.progress(result)
+
+    # ------------------------------------------------------------------
+    def _split_retry(self, spec: JobSpec, failed: JobResult) -> JobResult:
+        """Node-budget-aware retry: partition the domain, escalate the budget.
+
+        Each retry level splits the first branching vertex's domain into
+        independent slices *and* doubles the per-slice node budget —
+        splitting alone cannot shrink deep backtracking subtrees, so the
+        geometric escalation is what guarantees termination, while the
+        domain partition keeps slices independent for the worker pool.
+        Slices are explored in canonical order, so the retry is fully
+        deterministic.  After ``split_retries`` levels an unresolved
+        slice surfaces as ``error="budget"`` with the aggregated node
+        count.
+        """
+        from .executor import execute_batch
+
+        affine, task, node_budget, overrides = spec.payload
+        total_nodes = failed.nodes_explored or 0
+        splits_done = 0
+        budget_hit = False
+        # Frontier items: (domain overrides, escalated budget, level).
+        frontier: List[Tuple[Any, int, int]] = [
+            (overrides, node_budget * 2, 1)
+        ]
+
+        while frontier:
+            current_overrides, budget, level = frontier.pop(0)
+            if level > self.split_retries:
+                budget_hit = True
+                continue
+            sub_spaces = split_search_domains(
+                affine, task, parts=2, domain_overrides=current_overrides
+            ) or [dict(current_overrides or {})]
+            splits_done += 1
+            sub_pending = [
+                (i, JobSpec("solve", (affine, task, budget, sub or None)))
+                for i, sub in enumerate(sub_spaces)
+            ]
+            sub_results = execute_batch(
+                sub_pending, jobs=self.jobs, timeout=self.timeout
+            )
+            for sub_result, sub_overrides in zip(sub_results, sub_spaces):
+                if sub_result.error == "budget":
+                    total_nodes += sub_result.nodes_explored or 0
+                    frontier.append((sub_overrides, budget * 2, level + 1))
+                    continue
+                if not sub_result.ok:
+                    return JobResult(
+                        index=failed.index,
+                        kind=spec.kind,
+                        error=sub_result.error,
+                        wall_time=failed.wall_time + sub_result.wall_time,
+                        splits=splits_done,
+                    )
+                mapping, nodes = sub_result.value
+                total_nodes += nodes
+                if mapping is not None:
+                    return JobResult(
+                        index=failed.index,
+                        kind=spec.kind,
+                        value=(mapping, total_nodes),
+                        wall_time=failed.wall_time,
+                        nodes_explored=total_nodes,
+                        splits=splits_done,
+                    )
+        if budget_hit:
+            return JobResult(
+                index=failed.index,
+                kind=spec.kind,
+                error="budget",
+                wall_time=failed.wall_time,
+                nodes_explored=total_nodes,
+                splits=splits_done,
+            )
+        return JobResult(
+            index=failed.index,
+            kind=spec.kind,
+            value=(None, total_nodes),
+            wall_time=failed.wall_time,
+            nodes_explored=total_nodes,
+            splits=splits_done,
+        )
+
+    # ------------------------------------------------------------------
+    # Typed batch wrappers
+    # ------------------------------------------------------------------
+    def chr_many(self, requests: Iterable[Tuple[int, int]]) -> List[Any]:
+        """Batch ``Chr^m s`` subdivisions for ``(n, m)`` requests."""
+        specs = [JobSpec("chr", (n, m)) for n, m in requests]
+        return [self._value(r) for r in self.run_jobs(specs)]
+
+    def classify_many(self, adversaries: Iterable[Adversary]) -> List[Any]:
+        """Per-adversary landscape classification (Figure 2 / E15).
+
+        Returns :class:`repro.analysis.landscape.LandscapeEntry` records
+        equal to the ones the legacy sequential path produces.
+        """
+        from ..analysis.landscape import LandscapeEntry
+
+        adversaries = list(adversaries)
+        specs = [JobSpec("classify", (a,)) for a in adversaries]
+        entries = []
+        for adversary, result in zip(adversaries, self.run_jobs(specs)):
+            fair, ssc, sym, power, alpha_key = self._value(result)
+            entries.append(
+                LandscapeEntry(
+                    adversary=adversary,
+                    fair=fair,
+                    superset_closed=ssc,
+                    symmetric=sym,
+                    power=power,
+                    alpha_key=alpha_key,
+                )
+            )
+        return entries
+
+    def r_affine_many(
+        self,
+        alphas: Iterable[AgreementFunction],
+        variant: str = DEFAULT_VARIANT,
+    ) -> List[AffineTask]:
+        """Batch ``R_A`` constructions (Definition 9)."""
+        specs = [JobSpec("r_affine", (alpha, variant)) for alpha in alphas]
+        return [self._value(r) for r in self.run_jobs(specs)]
+
+    def solve_many(
+        self,
+        queries: Iterable[Tuple[AffineTask, Task, Optional[int]]],
+    ) -> List[Tuple[Optional[Dict], int]]:
+        """Batch FACT solvability queries.
+
+        Each query is ``(L, T, node_budget)``; each result is
+        ``(mapping_or_None, nodes_explored)``.  Budget overruns that
+        survive split-retry raise :class:`SearchBudgetExceeded` with the
+        aggregated node count.
+        """
+        specs = [
+            JobSpec("solve", (affine, task, budget, None))
+            for affine, task, budget in queries
+        ]
+        return [self._value(r) for r in self.run_jobs(specs)]
+
+    def solve(
+        self,
+        affine: AffineTask,
+        task: Task,
+        node_budget: Optional[int] = None,
+    ) -> Optional[Dict]:
+        """One FACT query through the engine; returns the mapping."""
+        return self.solve_many([(affine, task, node_budget)])[0][0]
+
+    def minimal_set_consensus_many(
+        self,
+        affines: Iterable[AffineTask],
+        node_budget: Optional[int] = None,
+    ) -> List[int]:
+        """Per-affine-task minimal solvable ``k`` (the E11 table).
+
+        Issues the whole ``(L, k)`` grid as one batch — per-``(R_A, T)``
+        queries are independent, which is what the executor exploits.
+        """
+        from ..tasks.set_consensus import set_consensus_task
+
+        affines = list(affines)
+        queries = []
+        grid: List[Tuple[int, int]] = []
+        for row, affine in enumerate(affines):
+            for k in range(1, affine.n + 1):
+                grid.append((row, k))
+                queries.append(
+                    (affine, set_consensus_task(affine.n, k), node_budget)
+                )
+        answers: Dict[int, int] = {}
+        for (row, k), (mapping, _nodes) in zip(
+            grid, self.solve_many(queries)
+        ):
+            if mapping is not None and (row not in answers or k < answers[row]):
+                answers[row] = k
+        if len(answers) != len(affines):
+            raise AssertionError("n-set consensus is always solvable")
+        return [answers[row] for row in range(len(affines))]
+
+    def fuzz_many(
+        self,
+        alpha: AgreementFunction,
+        affine: AffineTask,
+        runs: int,
+        seed: int = 0,
+    ) -> List[Tuple[bool, int]]:
+        """Batch Algorithm-1 fuzz cases (one schedule per job).
+
+        Case seeds are derived deterministically from ``(seed, index)``,
+        so the batch is reproducible and independent of ``jobs``.
+        """
+        from ..runtime.algorithm1 import fuzz_case_seed
+
+        specs = [
+            JobSpec("fuzz", (alpha, affine, fuzz_case_seed(seed, index)))
+            for index in range(runs)
+        ]
+        return [self._value(r) for r in self.run_jobs(specs)]
+
+    # ------------------------------------------------------------------
+    def _value(self, result: JobResult) -> Any:
+        if result.ok:
+            return result.value
+        if result.error == "budget":
+            raise SearchBudgetExceeded(
+                "node budget exceeded after split-retry",
+                nodes_explored=result.nodes_explored or 0,
+            )
+        raise RuntimeError(
+            f"engine job {result.kind}#{result.index} failed: {result.error}"
+        )
+
+    def stats(self) -> Dict[str, int]:
+        """Aggregate cache statistics for this engine's cache."""
+        return {"hits": self.cache.hits, "misses": self.cache.misses}

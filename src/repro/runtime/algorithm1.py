@@ -161,6 +161,37 @@ def run_algorithm1(
     return Algorithm1Outcome(plan, result, simplex, in_task)
 
 
+def fuzz_case_seed(base_seed: int, index: int) -> int:
+    """A deterministic, well-mixed per-case seed for batch fuzzing.
+
+    Derived by hashing ``(base_seed, index)``, so every case has an
+    independent RNG stream and a batch's outcomes depend only on the
+    base seed and the case index — never on worker count or on the
+    order cases happen to execute in.
+    """
+    import hashlib
+
+    material = f"repro.algorithm1:{base_seed}:{index}".encode("ascii")
+    return int.from_bytes(hashlib.sha256(material).digest()[:8], "big")
+
+
+def run_fuzz_case(
+    alpha: AgreementFunction,
+    affine_task: AffineTask,
+    case_seed: int,
+    max_steps: int = 200_000,
+) -> Algorithm1Outcome:
+    """One self-contained fuzz case: plan from ``case_seed``, then run.
+
+    The engine's ``fuzz`` job kind calls this in worker processes; the
+    plan is regenerated from the seed on the worker, so only scalars
+    cross the process boundary.
+    """
+    rng = random.Random(case_seed)
+    plan = random_alpha_model_plan(alpha, rng)
+    return run_algorithm1(alpha, plan, affine_task, max_steps=max_steps)
+
+
 def fuzz_algorithm1(
     alpha: AgreementFunction,
     affine_task: AffineTask,

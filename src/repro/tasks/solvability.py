@@ -23,19 +23,56 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 from ..core.affine import AffineTask
 from ..topology.chromatic import ChrVertex, ProcessId, chi, color_of
-from ..topology.simplex import Simplex
+from ..topology.simplex import Simplex, simplex_key, vertex_key
 from ..topology.subdivision import carrier_in_s
 from .task import OutputVertex, Task
 
 
 class SearchBudgetExceeded(Exception):
-    """The backtracking search hit its node budget before deciding."""
+    """The backtracking search hit its node budget before deciding.
+
+    Carries the search state at the moment the budget ran out, so
+    callers (notably the engine's split-retry in
+    :mod:`repro.engine.executor`) can partition the remaining domain or
+    report progress:
+
+    * ``nodes_explored`` — assignments tried before giving up;
+    * ``partial_assignment`` — the consistent prefix held when the
+      budget fired (a copy; never mutated afterwards).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        nodes_explored: int = 0,
+        partial_assignment: Optional[Dict[ChrVertex, OutputVertex]] = None,
+    ):
+        super().__init__(message)
+        self.nodes_explored = nodes_explored
+        self.partial_assignment: Dict[ChrVertex, OutputVertex] = dict(
+            partial_assignment or {}
+        )
+
+
+DomainOverrides = Dict[ChrVertex, Tuple[OutputVertex, ...]]
 
 
 class MapSearch:
-    """Backtracking search for a carried chromatic simplicial map."""
+    """Backtracking search for a carried chromatic simplicial map.
 
-    def __init__(self, affine: AffineTask, task: Task):
+    ``domain_overrides`` restricts selected vertices to a subset of
+    their natural domains (preserving the canonical candidate order);
+    the engine uses this to split one search into independent sub-jobs
+    whose union covers the original space.
+    """
+
+    def __init__(
+        self,
+        affine: AffineTask,
+        task: Task,
+        domain_overrides: Optional[DomainOverrides] = None,
+    ):
         if affine.n != task.n:
             raise ValueError("affine task and task disagree on n")
         self.affine = affine
@@ -43,8 +80,11 @@ class MapSearch:
         self.nodes_explored = 0
 
         complex_ = affine.complex
+        # Structural sort keys (not repr) so the search order — and with
+        # it node counts and returned maps — is reproducible across
+        # runs, platforms and worker processes.
         self.simplices: List[Simplex] = sorted(
-            complex_.simplices, key=lambda s: (len(s), repr(s))
+            complex_.simplices, key=simplex_key
         )
         self.participation: Dict[Simplex, FrozenSet[ProcessId]] = {
             sigma: carrier_in_s(sigma) for sigma in self.simplices
@@ -62,6 +102,16 @@ class MapSearch:
         self.domains: Dict[ChrVertex, List[OutputVertex]] = {
             v: self._domain(v) for v in self.vertices
         }
+        if domain_overrides:
+            for vertex, allowed in domain_overrides.items():
+                if vertex not in self.domains:
+                    raise ValueError(
+                        f"override for {vertex!r}, not a vertex of L"
+                    )
+                allowed_set = set(allowed)
+                self.domains[vertex] = [
+                    out for out in self.domains[vertex] if out in allowed_set
+                ]
 
     # ------------------------------------------------------------------
     def _order_vertices(self, vertices: Iterable[ChrVertex]) -> List[ChrVertex]:
@@ -82,7 +132,7 @@ class MapSearch:
                 key=lambda v: (
                     -len(adjacency[v] & placed),
                     len(self.participation[frozenset([v])]),
-                    repr(v),
+                    vertex_key(v),
                 ),
             )
             ordered.append(best)
@@ -101,7 +151,7 @@ class MapSearch:
                 for out in sigma
                 if out.process == color
             },
-            key=repr,
+            key=vertex_key,
         )
         return [
             out for out in candidates if frozenset([out]) in allowed
@@ -149,7 +199,9 @@ class MapSearch:
                     and self.nodes_explored > node_budget
                 ):
                     raise SearchBudgetExceeded(
-                        f"exceeded {node_budget} nodes"
+                        f"exceeded {node_budget} nodes",
+                        nodes_explored=self.nodes_explored,
+                        partial_assignment=assignment,
                     )
                 assignment[vertex] = candidate
                 if consistent(vertex):
@@ -168,6 +220,47 @@ class MapSearch:
                 if depth < 0:
                     return None
                 assignment.pop(self.vertices[depth], None)
+
+
+def split_search_domains(
+    affine: AffineTask,
+    task: Task,
+    parts: int = 2,
+    domain_overrides: Optional[DomainOverrides] = None,
+) -> List[DomainOverrides]:
+    """Partition a :class:`MapSearch` space into independent sub-spaces.
+
+    Splits the domain of the first vertex (in assignment order) that
+    still has at least two candidates into ``parts`` contiguous chunks,
+    preserving the canonical candidate order.  The returned override
+    dicts describe disjoint sub-searches whose union covers the
+    original space, and running them in list order visits assignments
+    in exactly the order the undivided search would — so "first
+    sub-search that finds a map" returns the same map the full search
+    returns.
+
+    Returns ``[]`` when no vertex has a splittable domain (the search
+    space is a single branch and cannot be partitioned this way).
+    """
+    if parts < 2:
+        raise ValueError("need at least two parts to split")
+    search = MapSearch(affine, task, domain_overrides=domain_overrides)
+    for vertex in search.vertices:
+        domain = search.domains[vertex]
+        if len(domain) >= 2:
+            chunk_count = min(parts, len(domain))
+            base, extra = divmod(len(domain), chunk_count)
+            splits: List[DomainOverrides] = []
+            start = 0
+            for index in range(chunk_count):
+                size = base + (1 if index < extra else 0)
+                chunk = tuple(domain[start : start + size])
+                start += size
+                overrides: DomainOverrides = dict(domain_overrides or {})
+                overrides[vertex] = chunk
+                splits.append(overrides)
+            return splits
+    return []
 
 
 def find_carried_map(

@@ -84,6 +84,36 @@ def vertices_of(simplices: Iterable[Simplex]) -> Simplex:
     return frozenset(chain.from_iterable(simplices))
 
 
+def vertex_key(vertex: Vertex) -> tuple:
+    """A stable structural sort key for vertices.
+
+    Orders process ids numerically, tuple-like vertices (``ChrVertex``,
+    ``OutputVertex``) by their recursively-keyed fields, and vertex sets
+    (carriers) by their sorted member keys.  Unlike ``repr``-based
+    ordering the key depends only on the vertex's structure, so sort
+    orders — and anything derived from them, such as backtracking-search
+    node counts — are reproducible across runs, platforms and worker
+    processes.
+    """
+    if isinstance(vertex, bool):
+        return (3, "bool", repr(vertex))
+    if isinstance(vertex, int):
+        return (0, vertex)
+    if isinstance(vertex, tuple):
+        return (1, tuple(vertex_key(field) for field in vertex))
+    if isinstance(vertex, (frozenset, set)):
+        return (2, tuple(sorted(vertex_key(member) for member in vertex)))
+    if isinstance(vertex, str):
+        return (3, "str", vertex)
+    return (4, type(vertex).__name__, repr(vertex))
+
+
+def simplex_key(sigma: Iterable[Vertex]) -> tuple:
+    """A stable structural sort key for simplices: size, then vertex keys."""
+    member_keys = tuple(sorted(vertex_key(v) for v in sigma))
+    return (len(member_keys), member_keys)
+
+
 def closure_of(simplices: Iterable[Simplex]) -> frozenset:
     """The set of all non-empty faces of the given simplices.
 

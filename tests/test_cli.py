@@ -62,3 +62,33 @@ def test_inspect_unfair_adversary(capsys):
     out = capsys.readouterr().out
     assert "fair: False" in out
     assert "counterexample" in out
+
+
+def test_classify_engine_output_matches_legacy(capsys):
+    assert main(["classify"]) == 0
+    legacy = capsys.readouterr().out
+    assert main(["classify", "--jobs", "2", "--no-cache"]) == 0
+    assert capsys.readouterr().out == legacy
+
+
+def test_fact_engine_output_matches_legacy(capsys, tmp_path):
+    assert main(["fact"]) == 0
+    legacy = capsys.readouterr().out
+    assert main(["fact", "--cache-dir", str(tmp_path)]) == 0
+    assert capsys.readouterr().out == legacy
+    # warm cache, same table
+    assert main(["fact", "--cache-dir", str(tmp_path)]) == 0
+    assert capsys.readouterr().out == legacy
+
+
+def test_batch_command_cold_then_warm(capsys, tmp_path):
+    assert main(["batch", "--cache-dir", str(tmp_path)]) == 0
+    cold = capsys.readouterr().out
+    assert "min k-set consensus" in cold
+    assert "cache misses" in cold
+
+    assert main(["batch", "--cache-dir", str(tmp_path)]) == 0
+    warm = capsys.readouterr().out
+    assert "cache misses: 0" in warm
+    # Tables (everything above the stats block) must be identical.
+    assert cold.split("engine:")[0] == warm.split("engine:")[0]

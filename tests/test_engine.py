@@ -1,0 +1,246 @@
+"""The compute engine: cache, executor, split-retry, and equivalence.
+
+The load-bearing guarantee is at the bottom: the Figure-2 zoo
+classification and a FACT solvability query produce *equal* outputs
+through the engine (``jobs=2``, warm cache) and through the legacy
+sequential code path.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversaries import (
+    agreement_function_of,
+    build_catalogue,
+    is_fair,
+    setcon,
+)
+from repro.analysis.landscape import (
+    LandscapeEntry,
+    alpha_signature,
+    classify_all,
+    summarize,
+)
+from repro.engine import (
+    MISS,
+    ArtifactCache,
+    Engine,
+    JobSpec,
+    NullCache,
+    digest,
+)
+from repro.tasks.set_consensus import set_consensus_task
+from repro.tasks.solvability import (
+    MapSearch,
+    SearchBudgetExceeded,
+    split_search_domains,
+)
+from repro.topology import chr_complex
+
+
+@pytest.fixture
+def task23():
+    return set_consensus_task(3, 2)
+
+
+# ----------------------------------------------------------------------
+# Artifact cache
+# ----------------------------------------------------------------------
+def test_cache_round_trip_and_hit(tmp_path):
+    cache = ArtifactCache(tmp_path)
+    key = digest(("test-key", 1))
+    assert cache.get(key) is MISS
+    cache.put(key, chr_complex(3, 1))
+    value = cache.get(key)
+    assert value == chr_complex(3, 1)
+    assert cache.hits == 1 and cache.misses == 1
+    assert len(cache) == 1
+
+
+def test_cache_survives_corrupt_entries(tmp_path):
+    cache = ArtifactCache(tmp_path)
+    key = digest("corruptible")
+    cache.put(key, (1, 2, 3))
+    cache._path(key).write_text("{not json", encoding="utf-8")
+    assert cache.get(key) is MISS
+    cache.put(key, (1, 2, 3))
+    assert cache.get(key) == (1, 2, 3)
+
+
+def test_engine_second_call_hits_cache(tmp_path, ra_1res, task23):
+    first = Engine(cache=ArtifactCache(tmp_path))
+    mapping, nodes = first.solve_many([(ra_1res, task23, None)])[0]
+    assert first.stats() == {"hits": 0, "misses": 1}
+
+    second = Engine(cache=ArtifactCache(tmp_path))
+    mapping_again, nodes_again = second.solve_many([(ra_1res, task23, None)])[0]
+    assert second.stats() == {"hits": 1, "misses": 0}
+    assert mapping_again == mapping
+    assert nodes_again == nodes
+
+
+def test_null_cache_never_stores(ra_1of, task23):
+    engine = Engine(cache=NullCache())
+    engine.solve_many([(ra_1of, task23, None)])
+    engine.solve_many([(ra_1of, task23, None)])
+    assert engine.stats()["hits"] == 0
+    assert len(engine.cache) == 0
+
+
+# ----------------------------------------------------------------------
+# Determinism and the sequential default path
+# ----------------------------------------------------------------------
+def test_map_search_node_count_is_reproducible(ra_1res, task23):
+    counts = set()
+    mappings = []
+    for _ in range(3):
+        search = MapSearch(ra_1res, task23)
+        mappings.append(search.search())
+        counts.add(search.nodes_explored)
+    assert len(counts) == 1
+    assert mappings[0] == mappings[1] == mappings[2]
+
+
+def test_engine_sequential_matches_direct_search(ra_1res, task23):
+    reference = MapSearch(ra_1res, task23)
+    expected = reference.search()
+    mapping, nodes = Engine(jobs=1).solve_many([(ra_1res, task23, None)])[0]
+    assert mapping == expected
+    assert nodes == reference.nodes_explored
+
+
+def test_engine_pool_matches_sequential(ra_1of, ra_1res, task23):
+    queries = [(ra_1of, task23, None), (ra_1res, task23, None)]
+    sequential = Engine(jobs=1).solve_many(queries)
+    pooled = Engine(jobs=2).solve_many(queries)
+    assert pooled == sequential
+
+
+# ----------------------------------------------------------------------
+# Budget handling and split-retry
+# ----------------------------------------------------------------------
+def test_budget_exception_carries_state(ra_1res, task23):
+    with pytest.raises(SearchBudgetExceeded) as info:
+        MapSearch(ra_1res, task23).search(node_budget=20)
+    assert info.value.nodes_explored == 21
+    assert 0 < len(info.value.partial_assignment) <= 21
+
+
+def test_split_domains_cover_the_space(ra_1res, task23):
+    splits = split_search_domains(ra_1res, task23, parts=2)
+    assert len(splits) == 2
+    (vertex,) = set(splits[0]) & set(splits[1])
+    full_domain = MapSearch(ra_1res, task23).domains[vertex]
+    assert list(splits[0][vertex]) + list(splits[1][vertex]) == full_domain
+
+
+def test_split_retry_recovers_the_exact_mapping(ra_1res, task23):
+    reference = MapSearch(ra_1res, task23)
+    expected = reference.search()
+    # A budget below the full search's node count forces the retry.
+    budget = reference.nodes_explored // 2
+    engine = Engine(jobs=1, split_retries=6)
+    mapping, nodes = engine.solve_many([(ra_1res, task23, budget)])[0]
+    assert mapping == expected
+    assert nodes > budget
+
+
+def test_split_retry_decides_unsolvable_instances(ra_1res):
+    consensus = set_consensus_task(3, 1)
+    reference = MapSearch(ra_1res, consensus)
+    assert reference.search() is None
+    engine = Engine(jobs=1, split_retries=8)
+    budget = reference.nodes_explored // 3
+    mapping, _ = engine.solve_many([(ra_1res, consensus, budget)])[0]
+    assert mapping is None
+
+
+def test_exhausted_retries_surface_the_budget_error(ra_1res, task23):
+    engine = Engine(jobs=1, split_retries=1)
+    with pytest.raises(SearchBudgetExceeded) as info:
+        engine.solve_many([(ra_1res, task23, 3)])
+    assert info.value.nodes_explored > 3
+
+
+# ----------------------------------------------------------------------
+# Typed batches
+# ----------------------------------------------------------------------
+def test_chr_many_matches_direct_construction():
+    (built,) = Engine().chr_many([(3, 1)])
+    assert built == chr_complex(3, 1)
+
+
+def test_minimal_set_consensus_table(ra_1of, ra_2of, ra_1res):
+    engine = Engine(jobs=1)
+    assert engine.minimal_set_consensus_many([ra_1of, ra_2of, ra_1res]) == [
+        1,
+        2,
+        2,
+    ]
+
+
+def test_fuzz_many_is_worker_count_independent(alpha_1res, ra_1res):
+    sequential = Engine(jobs=1).fuzz_many(alpha_1res, ra_1res, 4, seed=11)
+    pooled = Engine(jobs=2).fuzz_many(alpha_1res, ra_1res, 4, seed=11)
+    assert pooled == sequential
+    assert all(in_task for in_task, _ in sequential)
+
+
+def test_progress_callback_sees_every_job(ra_1of, ra_1res, task23):
+    seen = []
+    engine = Engine(jobs=1, progress=seen.append)
+    engine.solve_many([(ra_1of, task23, None), (ra_1res, task23, None)])
+    assert sorted(result.index for result in seen) == [0, 1]
+
+
+def test_bad_job_surfaces_as_runtime_error():
+    engine = Engine(jobs=1)
+    (result,) = engine.run_jobs([JobSpec("chr", (3, "not-a-depth"))])
+    assert not result.ok
+    with pytest.raises(RuntimeError):
+        engine._value(result)
+
+
+# ----------------------------------------------------------------------
+# Engine vs legacy equivalence (the acceptance test)
+# ----------------------------------------------------------------------
+def test_zoo_and_fact_equal_via_engine_and_legacy(tmp_path, ra_1res, task23):
+    """Figure-2 classification + one FACT query: engine == legacy.
+
+    The engine runs with ``jobs=2`` against a warm cache; the legacy
+    path is plain in-process calls.  Both must produce equal outputs.
+    """
+    zoo = [entry.adversary for entry in build_catalogue(3)]
+
+    legacy_entries = [
+        LandscapeEntry(
+            adversary=adversary,
+            fair=is_fair(adversary),
+            superset_closed=adversary.is_superset_closed(),
+            symmetric=adversary.is_symmetric(),
+            power=setcon(adversary),
+            alpha_key=alpha_signature(agreement_function_of(adversary)),
+        )
+        for adversary in zoo
+    ]
+    legacy_mapping = MapSearch(ra_1res, task23).search()
+
+    cache = ArtifactCache(tmp_path)
+    Engine(jobs=2, cache=cache).classify_many(zoo)  # cold fill
+    warm = Engine(jobs=2, cache=ArtifactCache(tmp_path))
+    engine_entries = warm.classify_many(zoo)
+    engine_mapping = warm.solve(ra_1res, task23)
+    warm.solve(ra_1res, task23)
+
+    assert engine_entries == legacy_entries
+    assert engine_mapping == legacy_mapping
+    stats = warm.stats()
+    assert stats["hits"] >= len(zoo) + 1
+
+
+def test_landscape_classify_all_engine_equals_legacy():
+    legacy = classify_all(3)
+    via_engine = classify_all(3, engine=Engine(jobs=1))
+    assert via_engine == legacy
+    assert summarize(via_engine, engine=Engine(jobs=1)) == summarize(legacy)

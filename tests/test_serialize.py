@@ -1,0 +1,158 @@
+"""Round-trip and digest-stability tests for the engine codec.
+
+The cache and the process-pool executor both depend on two properties
+of :mod:`repro.engine.serialize`:
+
+* every supported artifact round-trips (``deserialize(serialize(x)) ==
+  x``, or table-equivalence for tasks);
+* equal values digest identically regardless of construction order —
+  the content address must not see set iteration order, dict insertion
+  order, or hash randomization.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversaries import (
+    Adversary,
+    agreement_function_of,
+    build_catalogue,
+    t_resilience_alpha,
+)
+from repro.core import r_affine
+from repro.engine import (
+    SerializationError,
+    deserialize,
+    digest,
+    serialize,
+    tasks_equivalent,
+)
+from repro.tasks.set_consensus import set_consensus_task
+from repro.tasks.solvability import MapSearch
+from repro.topology import chr_complex
+
+
+# ----------------------------------------------------------------------
+# Round trips
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("n", [2, 3])
+@pytest.mark.parametrize("depth", [1, 2])
+def test_chr_complex_round_trip(n, depth):
+    complex_ = chr_complex(n, depth)
+    restored = deserialize(serialize(complex_))
+    assert restored == complex_
+    assert restored.facets == complex_.facets
+
+
+def test_catalogue_adversaries_round_trip():
+    for entry in build_catalogue(3):
+        adversary = entry.adversary
+        restored = deserialize(serialize(adversary))
+        assert restored == adversary
+        assert digest(restored) == digest(adversary)
+
+
+def test_agreement_function_round_trip(alpha_1res, alpha_fig5b):
+    for alpha in (alpha_1res, alpha_fig5b):
+        restored = deserialize(serialize(alpha))
+        assert restored == alpha
+        assert restored.table() == alpha.table()
+
+
+def test_affine_task_round_trip(ra_1of, ra_1res, ra_fig5b):
+    for affine in (ra_1of, ra_1res, ra_fig5b):
+        restored = deserialize(serialize(affine))
+        assert restored == affine
+        assert restored.n == affine.n
+        assert restored.depth == affine.depth
+        assert restored.complex == affine.complex
+
+
+def test_task_round_trip_by_tabulation():
+    task = set_consensus_task(3, 2)
+    restored = deserialize(serialize(task))
+    assert tasks_equivalent(restored, task)
+    # The decoded task drives the decision procedure identically.
+    assert serialize(restored) == serialize(task)
+    assert digest(restored) == digest(task)
+
+
+def test_solution_mapping_round_trip(ra_1res):
+    task = set_consensus_task(3, 2)
+    mapping = MapSearch(ra_1res, task).search()
+    assert mapping is not None
+    restored = deserialize(serialize(mapping))
+    assert restored == mapping
+
+
+def test_scalars_and_containers_round_trip():
+    values = [
+        None,
+        True,
+        0,
+        -7,
+        3.5,
+        "text",
+        (1, (2, 3)),
+        [1, [2, "x"]],
+        frozenset({frozenset({1, 2}), frozenset({0})}),
+        {frozenset({0, 1}): (1, 2), "k": None},
+    ]
+    for value in values:
+        assert deserialize(serialize(value)) == value
+
+
+# ----------------------------------------------------------------------
+# Digest stability
+# ----------------------------------------------------------------------
+def test_digest_independent_of_set_construction_order():
+    forward = Adversary(3, [frozenset({0}), frozenset({1, 2}), frozenset({0, 1, 2})])
+    backward = Adversary(3, [frozenset({0, 1, 2}), frozenset({1, 2}), frozenset({0})])
+    assert digest(forward) == digest(backward)
+
+
+def test_digest_independent_of_dict_insertion_order():
+    one = {"a": 1, "b": 2, frozenset({1}): (3,)}
+    other = {frozenset({1}): (3,), "b": 2, "a": 1}
+    assert serialize(one) == serialize(other)
+    assert digest(one) == digest(other)
+
+
+def test_digest_of_rebuilt_complex_is_stable():
+    complex_ = chr_complex(3, 1)
+    rebuilt = type(complex_)(sorted(complex_.facets, key=serialize))
+    assert digest(rebuilt) == digest(complex_)
+
+
+def test_equivalent_alphas_digest_identically():
+    # Two independently constructed but equal agreement functions.
+    one = t_resilience_alpha(3, 1)
+    other = t_resilience_alpha(3, 1)
+    assert one is not other
+    assert digest(one) == digest(other)
+
+
+def test_distinct_values_digest_differently():
+    assert digest(set_consensus_task(3, 1)) != digest(set_consensus_task(3, 2))
+    assert digest(chr_complex(3, 1)) != digest(chr_complex(3, 2))
+
+
+def test_r_affine_digest_matches_reconstruction(alpha_1res):
+    assert digest(r_affine(alpha_1res)) == digest(r_affine(alpha_1res))
+
+
+# ----------------------------------------------------------------------
+# Errors
+# ----------------------------------------------------------------------
+def test_unknown_type_raises():
+    class Opaque:
+        pass
+
+    with pytest.raises(SerializationError):
+        serialize(Opaque())
+
+
+def test_malformed_text_raises():
+    with pytest.raises(SerializationError):
+        deserialize('["no-such-tag",1]')
