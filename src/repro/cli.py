@@ -8,8 +8,11 @@ Commands regenerate the paper's artifacts from the terminal:
 * ``fact``       — the FACT set-consensus table (E11);
 * ``algorithm1`` — fuzz Algorithm 1 under α-model schedules (E8);
 * ``crossover``  — the ε-agreement depth crossover (E14);
-* ``inspect``    — classify one adversary given as live sets;
-* ``batch``      — zoo classification + E11 through the compute engine.
+* ``inspect``    — classify one adversary given as live sets
+  (``--json`` emits the service response schema);
+* ``batch``      — zoo classification + E11 through the compute engine;
+* ``serve``      — run the resident query service (``repro.service``);
+* ``query``      — issue queries against a running service.
 
 ``classify``, ``landscape``, ``fact`` and ``algorithm1`` accept
 ``--jobs N`` / ``--cache-dir PATH`` / ``--no-cache``; with the defaults
@@ -253,6 +256,17 @@ def _cmd_crossover(args: argparse.Namespace) -> int:
 def _cmd_inspect(args: argparse.Namespace) -> int:
     live_sets = json.loads(args.live_sets)
     adversary = Adversary(args.n, [set(live) for live in live_sets])
+    if getattr(args, "json", False):
+        # Machine-readable path: one ``classify`` job through the
+        # engine, emitted in the service's wire schema (protocol v1),
+        # so scripted callers parse one format for CLI and service.
+        from .engine import Engine, JobSpec, serialize
+        from .service.protocol import encode_message, response_for_result
+
+        (result,) = Engine().run_jobs([JobSpec("classify", (adversary,))])
+        value_text = serialize(result.value) if result.ok else None
+        print(encode_message(response_for_result(0, result, value_text)))
+        return 0 if result.ok else 1
     print(banner(f"inspecting {adversary!r}"))
     fair = is_fair(adversary)
     info = {
@@ -350,6 +364,168 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the resident query service until SIGTERM/SIGINT, then drain."""
+    import asyncio
+    import signal as signal_module
+
+    from .service import MemCache, ServiceServer
+
+    engine = _build_engine(args, default_cache=True)
+    cache_note = (
+        str(engine.cache.root) if engine.cache.persistent else "disabled"
+    )
+    engine.cache = MemCache(
+        backing=engine.cache, max_entries=args.memcache_size
+    )
+
+    async def _serve() -> None:
+        server = ServiceServer(
+            engine,
+            host=args.host,
+            port=args.port,
+            window=args.window_ms / 1000.0,
+            max_batch=args.max_batch,
+            max_connections=args.max_connections,
+            max_inflight=args.max_inflight,
+            request_timeout=args.request_timeout,
+            drain_grace=args.drain_grace,
+        )
+        await server.start()
+        # The smoke tests and deployment wrappers parse this line for
+        # the bound port, so keep its shape stable.
+        print(
+            f"repro service listening on {server.host}:{server.port} "
+            f"(jobs={engine.jobs}, disk-cache={cache_note}, "
+            f"memcache={args.memcache_size})",
+            flush=True,
+        )
+        loop = asyncio.get_running_loop()
+        for signum in (signal_module.SIGTERM, signal_module.SIGINT):
+            try:
+                loop.add_signal_handler(signum, server.request_drain)
+            except NotImplementedError:  # pragma: no cover - non-POSIX
+                pass
+        await server.wait_stopped()
+        print(server.metrics.render_text(), end="", flush=True)
+        print("repro service drained cleanly", flush=True)
+
+    asyncio.run(_serve())
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    """One query against a running service; ``--json`` emits raw wire."""
+    from .service import ServiceClient
+
+    def _adversary():
+        if args.live_sets is None:
+            raise SystemExit(f"query {args.what} requires live sets JSON")
+        return Adversary(
+            args.n, [set(live) for live in json.loads(args.live_sets)]
+        )
+
+    def _emit(response: dict) -> None:
+        print(json.dumps(response, sort_keys=True))
+
+    with ServiceClient(
+        host=args.host, port=args.port, timeout=args.timeout
+    ) as client:
+        if args.what == "ping":
+            client.ping()
+            print("pong")
+            return 0
+        if args.what == "stats":
+            print(json.dumps(client.stats(), indent=2, sort_keys=True))
+            return 0
+        if args.what == "metrics":
+            print(client.metrics_text(), end="")
+            return 0
+        if args.what == "chr":
+            response = client.query_response("chr", (args.n, args.depth))
+            if args.json:
+                _emit(response)
+            else:
+                built = client._decode_value(response)
+                print(render_mapping("census:", complex_census(built)))
+            return 0
+        if args.what == "classify":
+            response = client.query_response("classify", (_adversary(),))
+            if args.json:
+                _emit(response)
+            else:
+                fair, ssc, sym, power, _alpha = client._decode_value(response)
+                print(
+                    render_mapping(
+                        "classification:",
+                        {
+                            "superset-closed": ssc,
+                            "symmetric": sym,
+                            "fair": fair,
+                            "setcon": power,
+                        },
+                    )
+                )
+            return 0
+        # The remaining kinds consume R_A; build it server-side (and
+        # cached there) from the adversary's agreement function.
+        alpha = agreement_function_of(_adversary())
+        from .core.ra import DEFAULT_VARIANT
+
+        affine = client.query("r_affine", (alpha, DEFAULT_VARIANT))
+        if args.what == "r_affine":
+            response = client.query_response(
+                "r_affine", (alpha, DEFAULT_VARIANT)
+            )
+            if args.json:
+                _emit(response)
+            else:
+                print(
+                    render_mapping(
+                        "affine task R_A:", complex_census(affine.complex)
+                    )
+                )
+            return 0
+        if args.what == "solve":
+            from .tasks.set_consensus import set_consensus_task
+
+            task = set_consensus_task(args.n, args.k)
+            response = client.query_response(
+                "solve", (affine, task, args.budget, None)
+            )
+            if args.json:
+                _emit(response)
+            else:
+                mapping, nodes = client._decode_value(response)
+                print(
+                    render_mapping(
+                        f"{args.k}-set consensus in R_A:",
+                        {
+                            "solvable": mapping is not None,
+                            "nodes explored": nodes,
+                            "cache hit": response["cache_hit"],
+                        },
+                    )
+                )
+            return 0
+        if args.what == "fuzz":
+            response = client.query_response(
+                "fuzz", (alpha, affine, args.seed)
+            )
+            if args.json:
+                _emit(response)
+            else:
+                in_task, steps = client._decode_value(response)
+                print(
+                    render_mapping(
+                        "algorithm 1 run:",
+                        {"output in R_A": in_task, "steps": steps},
+                    )
+                )
+            return 0
+    raise SystemExit(f"unknown query {args.what!r}")
+
+
 def _positive_int(text: str) -> int:
     value = int(text)
     if value < 1:
@@ -418,6 +594,85 @@ def build_parser() -> argparse.ArgumentParser:
         help='JSON list of live sets, e.g. "[[1],[0,2]]"',
     )
     inspect.add_argument("--n", type=int, default=3)
+    inspect.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable output in the service response schema",
+    )
+
+    serve = sub.add_parser(
+        "serve", help="run the resident query service (repro.service)"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=7341, help="0 binds an ephemeral port"
+    )
+    serve.add_argument(
+        "--memcache-size",
+        type=_positive_int,
+        default=256,
+        help="entries in the in-memory LRU tier",
+    )
+    serve.add_argument(
+        "--window-ms",
+        type=float,
+        default=2.0,
+        help="micro-batching window in milliseconds",
+    )
+    serve.add_argument("--max-batch", type=_positive_int, default=64)
+    serve.add_argument("--max-connections", type=_positive_int, default=64)
+    serve.add_argument("--max-inflight", type=_positive_int, default=256)
+    serve.add_argument(
+        "--request-timeout",
+        type=float,
+        default=None,
+        help="default per-request deadline in seconds",
+    )
+    serve.add_argument(
+        "--drain-grace",
+        type=float,
+        default=10.0,
+        help="seconds in-flight requests get to finish on shutdown",
+    )
+    _add_engine_options(serve)
+
+    query = sub.add_parser(
+        "query", help="issue one query against a running service"
+    )
+    query.add_argument(
+        "what",
+        choices=[
+            "ping",
+            "stats",
+            "metrics",
+            "chr",
+            "classify",
+            "r_affine",
+            "solve",
+            "fuzz",
+        ],
+    )
+    query.add_argument(
+        "live_sets",
+        nargs="?",
+        default=None,
+        help="JSON live sets (classify / r_affine / solve / fuzz)",
+    )
+    query.add_argument("--host", default="127.0.0.1")
+    query.add_argument("--port", type=int, default=7341)
+    query.add_argument("--timeout", type=float, default=60.0)
+    query.add_argument("--n", type=int, default=3)
+    query.add_argument("--depth", type=int, default=1, help="chr depth m")
+    query.add_argument(
+        "--k", type=int, default=2, help="set-consensus k for solve"
+    )
+    query.add_argument("--budget", type=int, default=None)
+    query.add_argument("--seed", type=int, default=0, help="fuzz case seed")
+    query.add_argument(
+        "--json",
+        action="store_true",
+        help="print the raw wire response instead of a rendering",
+    )
 
     export = sub.add_parser(
         "export", help="dump all figure data as JSON"
@@ -440,6 +695,8 @@ def _cmd_export(args: argparse.Namespace) -> int:
 _HANDLERS = {
     "batch": _cmd_batch,
     "export": _cmd_export,
+    "serve": _cmd_serve,
+    "query": _cmd_query,
     "figures": _cmd_figures,
     "classify": _cmd_classify,
     "landscape": _cmd_landscape,

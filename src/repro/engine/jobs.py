@@ -17,7 +17,7 @@ batch shapes with typed results.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..adversaries.adversary import Adversary
@@ -81,6 +81,15 @@ def _compute_fuzz(payload: tuple) -> Any:
     return (outcome.in_affine_task, outcome.result.steps_taken)
 
 
+def _compute_sleep(payload: tuple) -> Any:
+    # Synthetic workload: sleep for a wall-clock duration, then return
+    # the token.  Exists so timeout handling and service load tests can
+    # exercise slow jobs deterministically without heavy computation.
+    seconds, token = payload
+    time.sleep(seconds)
+    return token
+
+
 #: kind -> compute function.  Worker processes resolve kinds through
 #: this registry, so adding a job type is one entry + one payload codec.
 JOB_KINDS: Dict[str, Callable[[tuple], Any]] = {
@@ -89,6 +98,7 @@ JOB_KINDS: Dict[str, Callable[[tuple], Any]] = {
     "r_affine": _compute_r_affine,
     "solve": _compute_solve,
     "fuzz": _compute_fuzz,
+    "sleep": _compute_sleep,
 }
 
 
@@ -117,6 +127,10 @@ class JobResult:
     value: Any = None
     wall_time: float = 0.0
     cache_hit: bool = False
+    #: True when this result was not computed for this slot: an
+    #: identical spec earlier in the same batch did the work and the
+    #: value was fanned out (see ``Engine.run_jobs`` dedup).
+    coalesced: bool = False
     error: Optional[str] = None
     nodes_explored: Optional[int] = None
     splits: int = 0
@@ -174,6 +188,8 @@ class Engine:
         self.timeout = timeout
         self.progress = progress
         self.split_retries = split_retries
+        #: Jobs answered by batch-level dedup instead of computation.
+        self.deduped = 0
 
     def __repr__(self) -> str:
         return f"Engine(jobs={self.jobs}, cache={self.cache!r})"
@@ -182,18 +198,26 @@ class Engine:
     def run_jobs(self, specs: Sequence[JobSpec]) -> List[JobResult]:
         """Execute a batch; results are in submission order.
 
-        Cache hits never reach the executor.  ``solve`` jobs that blow
-        their node budget are retried as domain-partitioned sub-jobs
-        (see :func:`repro.tasks.solvability.split_search_domains`); if
-        the budget still fires after ``split_retries`` levels, the
-        result carries ``error="budget"`` and the aggregated node count.
+        Cache hits never reach the executor, and identical specs in one
+        batch are computed once: later duplicates receive the leader's
+        result with ``coalesced=True`` (so CLI ``batch`` and the service
+        batcher both pay for each distinct computation exactly once).
+        ``solve`` jobs that blow their node budget are retried as
+        domain-partitioned sub-jobs (see
+        :func:`repro.tasks.solvability.split_search_domains`); if the
+        budget still fires after ``split_retries`` levels, the result
+        carries ``error="budget"`` and the aggregated node count.
         """
         specs = list(specs)
         results: List[Optional[JobResult]] = [None] * len(specs)
         pending: List[Tuple[int, JobSpec]] = []
+        digests: List[str] = []
+        leaders: Dict[str, int] = {}
+        followers: Dict[str, List[int]] = {}
 
         for index, spec in enumerate(specs):
             key_digest = digest(spec.cache_key())
+            digests.append(key_digest)
             started = time.perf_counter()
             value = self.cache.get(key_digest)
             if value is not MISS:
@@ -205,7 +229,11 @@ class Engine:
                     cache_hit=True,
                 )
                 self._finish(results, result)
+            elif key_digest in leaders:
+                followers.setdefault(key_digest, []).append(index)
+                self.deduped += 1
             else:
+                leaders[key_digest] = index
                 pending.append((index, spec))
 
         if pending:
@@ -220,11 +248,15 @@ class Engine:
                     result = self._split_retry(
                         specs[result.index], result
                     )
+                key_digest = digests[result.index]
                 if result.ok:
-                    self.cache.put(
-                        digest(specs[result.index].cache_key()), result.value
-                    )
+                    self.cache.put(key_digest, result.value)
                 self._finish(results, result)
+                for follower in followers.get(key_digest, ()):
+                    self._finish(
+                        results,
+                        replace(result, index=follower, coalesced=True),
+                    )
 
         for result in results:
             if result is not None and result.kind == "solve" and result.ok:
@@ -452,5 +484,9 @@ class Engine:
         )
 
     def stats(self) -> Dict[str, int]:
-        """Aggregate cache statistics for this engine's cache."""
-        return {"hits": self.cache.hits, "misses": self.cache.misses}
+        """Aggregate cache + dedup statistics for this engine."""
+        return {
+            "hits": self.cache.hits,
+            "misses": self.cache.misses,
+            "deduped": self.deduped,
+        }

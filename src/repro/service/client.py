@@ -1,0 +1,236 @@
+"""Service clients: a blocking socket client and an asyncio client.
+
+Both speak protocol v1 and share the calling convention of the engine's
+typed batch API: payloads are ordinary Python values, canonically
+serialized client-side (:mod:`repro.engine.serialize`), and a
+successful query's value is deserialized back — so
+``client.solve(L, T)`` returns exactly what
+``Engine().solve_many([(L, T, None)])[0]`` returns.
+
+Protocol-level failures raise :class:`ServiceError` carrying the typed
+wire code — except ``budget_exceeded``, which is translated back into
+the engine's own :class:`~repro.tasks.solvability.SearchBudgetExceeded`
+so callers can keep one error-handling path for local and remote
+engines.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+from typing import Any, Dict, Optional, Tuple
+
+from ..engine.serialize import deserialize, serialize
+from ..tasks.solvability import SearchBudgetExceeded
+from .protocol import PROTOCOL_VERSION
+from .server import DEFAULT_HOST, DEFAULT_PORT
+
+
+class ServiceError(RuntimeError):
+    """A typed error response from the service."""
+
+    def __init__(self, code: str, message: str):
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+        self.message = message
+
+
+def _raise_for(response: Dict[str, Any]) -> Dict[str, Any]:
+    if response.get("ok"):
+        return response
+    error = response.get("error") or {}
+    code = error.get("code", "internal")
+    message = error.get("message", "unknown error")
+    if code == "budget_exceeded":
+        raise SearchBudgetExceeded(
+            message, nodes_explored=error.get("nodes_explored", 0)
+        )
+    raise ServiceError(code, message)
+
+
+class _QueryMixin:
+    """Typed helpers shared by the sync and async clients."""
+
+    @staticmethod
+    def _query_fields(
+        kind: str, payload: tuple, timeout: Optional[float]
+    ) -> Dict[str, Any]:
+        fields: Dict[str, Any] = {
+            "kind": kind,
+            "payload": serialize(payload),
+        }
+        if timeout is not None:
+            fields["timeout"] = timeout
+        return fields
+
+    @staticmethod
+    def _decode_value(response: Dict[str, Any]) -> Any:
+        return deserialize(response["value"])
+
+
+class ServiceClient(_QueryMixin):
+    """Blocking line-protocol client (one request in flight at a time)."""
+
+    def __init__(
+        self,
+        host: str = DEFAULT_HOST,
+        port: int = DEFAULT_PORT,
+        timeout: Optional[float] = 60.0,
+    ):
+        self.host = host
+        self.port = port
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+        self._next_id = 0
+
+    # -- transport -----------------------------------------------------
+    def request(self, op: str, **fields: Any) -> Dict[str, Any]:
+        """One raw request/response cycle; raises on error responses."""
+        self._next_id += 1
+        message = {"v": PROTOCOL_VERSION, "id": self._next_id, "op": op}
+        message.update(fields)
+        self._file.write(json.dumps(message).encode("utf-8") + b"\n")
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        response = json.loads(line)
+        if response.get("id") not in (None, self._next_id):
+            raise ServiceError(
+                "internal", f"response id mismatch: {response.get('id')!r}"
+            )
+        return _raise_for(response)
+
+    def query_response(
+        self, kind: str, payload: tuple, timeout: Optional[float] = None
+    ) -> Dict[str, Any]:
+        """The full wire response for one query (value still encoded)."""
+        return self.request(
+            "query", **self._query_fields(kind, payload, timeout)
+        )
+
+    def query(
+        self, kind: str, payload: tuple, timeout: Optional[float] = None
+    ) -> Any:
+        """One query; returns the decoded engine value."""
+        return self._decode_value(self.query_response(kind, payload, timeout))
+
+    # -- typed helpers -------------------------------------------------
+    def chr(self, n: int, depth: int) -> Any:
+        return self.query("chr", (n, depth))
+
+    def classify(self, adversary) -> Any:
+        return self.query("classify", (adversary,))
+
+    def r_affine(self, alpha, variant: Optional[str] = None) -> Any:
+        if variant is None:
+            from ..core.ra import DEFAULT_VARIANT
+
+            variant = DEFAULT_VARIANT
+        return self.query("r_affine", (alpha, variant))
+
+    def solve(
+        self, affine, task, node_budget: Optional[int] = None
+    ) -> Tuple[Optional[Dict], int]:
+        return self.query("solve", (affine, task, node_budget, None))
+
+    def fuzz(self, alpha, affine, case_seed: int) -> Tuple[bool, int]:
+        return self.query("fuzz", (alpha, affine, case_seed))
+
+    def ping(self) -> bool:
+        return bool(self.request("ping").get("pong"))
+
+    def stats(self) -> Dict[str, Any]:
+        return self.request("stats")["stats"]
+
+    def metrics_text(self) -> str:
+        return self.request("metrics")["text"]
+
+    # -- lifecycle -----------------------------------------------------
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class AsyncServiceClient(_QueryMixin):
+    """Asyncio client; one connection, lockstep request/response."""
+
+    def __init__(
+        self,
+        host: str = DEFAULT_HOST,
+        port: int = DEFAULT_PORT,
+    ):
+        self.host = host
+        self.port = port
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._lock = asyncio.Lock()
+        self._next_id = 0
+
+    async def connect(self) -> "AsyncServiceClient":
+        from .protocol import MAX_LINE_BYTES
+
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port, limit=MAX_LINE_BYTES
+        )
+        return self
+
+    async def request(self, op: str, **fields: Any) -> Dict[str, Any]:
+        if self._writer is None:
+            await self.connect()
+        async with self._lock:
+            self._next_id += 1
+            message = {"v": PROTOCOL_VERSION, "id": self._next_id, "op": op}
+            message.update(fields)
+            self._writer.write(json.dumps(message).encode("utf-8") + b"\n")
+            await self._writer.drain()
+            line = await self._reader.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return _raise_for(json.loads(line))
+
+    async def query_response(
+        self, kind: str, payload: tuple, timeout: Optional[float] = None
+    ) -> Dict[str, Any]:
+        return await self.request(
+            "query", **self._query_fields(kind, payload, timeout)
+        )
+
+    async def query(
+        self, kind: str, payload: tuple, timeout: Optional[float] = None
+    ) -> Any:
+        return self._decode_value(
+            await self.query_response(kind, payload, timeout)
+        )
+
+    async def solve(
+        self, affine, task, node_budget: Optional[int] = None
+    ) -> Tuple[Optional[Dict], int]:
+        return await self.query("solve", (affine, task, node_budget, None))
+
+    async def ping(self) -> bool:
+        return bool((await self.request("ping")).get("pong"))
+
+    async def stats(self) -> Dict[str, Any]:
+        return (await self.request("stats"))["stats"]
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            self._writer = None
+            self._reader = None
+
+    async def __aenter__(self) -> "AsyncServiceClient":
+        return await self.connect()
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()

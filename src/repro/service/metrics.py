@@ -1,0 +1,126 @@
+"""Live service metrics: counters and log-bucketed latency histograms.
+
+A single :class:`Metrics` registry per server, updated from the event
+loop and the batcher's dispatch thread (every mutation takes the
+registry lock).  Two read-out forms:
+
+* :meth:`Metrics.snapshot` — a JSON-ready dict, returned by the
+  protocol's ``stats`` op;
+* :meth:`Metrics.render_text` — a plain-text dump (one
+  ``repro_service_<name> <value>`` line each, Prometheus-style),
+  returned by the ``metrics`` op and the HTTP shim's ``GET /metrics``.
+
+Histogram quantiles are read from the bucket boundaries (the value
+reported for p50/p99 is the upper bound of the containing bucket), so
+they are estimates with bounded relative error — exact mean/max are
+tracked alongside.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict, List
+
+#: Latency bucket upper bounds (seconds): 100µs .. ~105s, doubling.
+BUCKET_BOUNDS = tuple(0.0001 * 2**i for i in range(21))
+
+
+class LatencyHistogram:
+    """Fixed log-spaced buckets plus exact count/sum/max."""
+
+    def __init__(self):
+        self.counts: List[int] = [0] * (len(BUCKET_BOUNDS) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.max = 0.0
+
+    def record(self, seconds: float) -> None:
+        index = 0
+        while index < len(BUCKET_BOUNDS) and seconds > BUCKET_BOUNDS[index]:
+            index += 1
+        self.counts[index] += 1
+        self.count += 1
+        self.total += seconds
+        if seconds > self.max:
+            self.max = seconds
+
+    def quantile(self, q: float) -> float:
+        """The bucket upper bound containing the q-quantile (0 if empty)."""
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        seen = 0
+        for index, bucket_count in enumerate(self.counts):
+            seen += bucket_count
+            if seen >= rank:
+                if index < len(BUCKET_BOUNDS):
+                    # The bucket's upper bound, clamped to the observed
+                    # max so quantiles never exceed a real measurement.
+                    return min(BUCKET_BOUNDS[index], self.max)
+                return self.max
+        return self.max
+
+    def snapshot(self) -> Dict[str, Any]:
+        mean = self.total / self.count if self.count else 0.0
+        return {
+            "count": self.count,
+            "mean_s": round(mean, 6),
+            "p50_s": round(self.quantile(0.50), 6),
+            "p99_s": round(self.quantile(0.99), 6),
+            "max_s": round(self.max, 6),
+        }
+
+
+class Metrics:
+    """A locked registry of named counters and latency histograms."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counters: Dict[str, int] = {}
+        self._histograms: Dict[str, LatencyHistogram] = {}
+        self._started = time.monotonic()
+
+    # ------------------------------------------------------------------
+    def inc(self, name: str, by: int = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + by
+
+    def observe(self, name: str, seconds: float) -> None:
+        with self._lock:
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                histogram = self._histograms[name] = LatencyHistogram()
+            histogram.record(seconds)
+
+    def counter(self, name: str) -> int:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def uptime(self) -> float:
+        return time.monotonic() - self._started
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            counters = dict(sorted(self._counters.items()))
+            latency = {
+                name: histogram.snapshot()
+                for name, histogram in sorted(self._histograms.items())
+            }
+        return {
+            "uptime_s": round(self.uptime(), 3),
+            "counters": counters,
+            "latency": latency,
+        }
+
+    def render_text(self) -> str:
+        """Plain-text dump: one ``repro_service_<name> <value>`` per line."""
+        snap = self.snapshot()
+        lines = [f"repro_service_uptime_seconds {snap['uptime_s']}"]
+        for name, value in snap["counters"].items():
+            lines.append(f"repro_service_{name} {value}")
+        for name, histogram in snap["latency"].items():
+            for field, value in histogram.items():
+                lines.append(f"repro_service_{name}_{field} {value}")
+        return "\n".join(lines) + "\n"

@@ -64,6 +64,49 @@ def test_inspect_unfair_adversary(capsys):
     assert "counterexample" in out
 
 
+def test_inspect_json_emits_the_service_schema(capsys):
+    import json
+
+    from repro.adversaries import Adversary
+    from repro.engine import JobSpec, serialize
+
+    live_sets = "[[0,1],[1,2],[0,2],[0,1,2]]"
+    assert main(["inspect", "--json", live_sets]) == 0
+    response = json.loads(capsys.readouterr().out)
+    assert response["v"] == 1
+    assert response["ok"] is True
+    assert response["kind"] == "classify"
+    adversary = Adversary(3, [set(live) for live in json.loads(live_sets)])
+    direct = JobSpec("classify", (adversary,)).run()
+    assert response["value"] == serialize(direct)
+
+
+def test_serve_and_query_round_trip(capsys):
+    """`repro query` renders values fetched from a live `repro serve`."""
+    import json
+
+    from repro.engine import Engine
+    from repro.service import BackgroundServer, MemCache
+
+    with BackgroundServer(Engine(cache=MemCache())) as server:
+        port = str(server.port)
+        assert main(["query", "ping", "--port", port]) == 0
+        assert "pong" in capsys.readouterr().out
+        assert main(["query", "chr", "--port", port, "--depth", "1"]) == 0
+        assert "f_vector" in capsys.readouterr().out
+        live_sets = "[[0,1],[1,2],[0,2],[0,1,2]]"
+        assert main(["query", "classify", live_sets, "--port", port]) == 0
+        assert "fair: True" in capsys.readouterr().out
+        assert main(
+            ["query", "solve", live_sets, "--port", port, "--k", "2", "--json"]
+        ) == 0
+        response = json.loads(capsys.readouterr().out)
+        assert response["ok"] and response["kind"] == "solve"
+        assert main(["query", "stats", "--port", port]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["engine"]["jobs"] == 1
+
+
 def test_classify_engine_output_matches_legacy(capsys):
     assert main(["classify"]) == 0
     legacy = capsys.readouterr().out

@@ -8,6 +8,8 @@ sequential code path.
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import pytest
 
 from repro.adversaries import (
@@ -71,11 +73,11 @@ def test_cache_survives_corrupt_entries(tmp_path):
 def test_engine_second_call_hits_cache(tmp_path, ra_1res, task23):
     first = Engine(cache=ArtifactCache(tmp_path))
     mapping, nodes = first.solve_many([(ra_1res, task23, None)])[0]
-    assert first.stats() == {"hits": 0, "misses": 1}
+    assert first.stats() == {"hits": 0, "misses": 1, "deduped": 0}
 
     second = Engine(cache=ArtifactCache(tmp_path))
     mapping_again, nodes_again = second.solve_many([(ra_1res, task23, None)])[0]
-    assert second.stats() == {"hits": 1, "misses": 0}
+    assert second.stats() == {"hits": 1, "misses": 0, "deduped": 0}
     assert mapping_again == mapping
     assert nodes_again == nodes
 
@@ -244,3 +246,110 @@ def test_landscape_classify_all_engine_equals_legacy():
     via_engine = classify_all(3, engine=Engine(jobs=1))
     assert via_engine == legacy
     assert summarize(via_engine, engine=Engine(jobs=1)) == summarize(legacy)
+
+
+# ----------------------------------------------------------------------
+# Failure paths surfaced by serving: timeouts, corruption, propagation
+# ----------------------------------------------------------------------
+def test_pool_per_job_timeout_surfaces_timeout_results():
+    """Slow jobs on the pool path become ``error="timeout"`` results."""
+    engine = Engine(jobs=2, timeout=0.2)
+    results = engine.run_jobs(
+        [JobSpec("sleep", (10.0, "a")), JobSpec("sleep", (10.0, "b"))]
+    )
+    assert [result.error for result in results] == ["timeout", "timeout"]
+    assert [result.index for result in results] == [0, 1]
+    with pytest.raises(RuntimeError, match="timeout"):
+        engine._value(results[0])
+
+
+def test_truncated_cache_entry_recomputes_and_repairs(tmp_path):
+    spec = JobSpec("chr", (3, 1))
+    cache = ArtifactCache(tmp_path)
+    (first,) = Engine(cache=cache).run_jobs([spec])
+    path = cache._path(digest(spec.cache_key()))
+    text = path.read_text(encoding="utf-8")
+    path.write_text(text[: len(text) // 2], encoding="utf-8")  # torn write
+
+    (recovered,) = Engine(cache=ArtifactCache(tmp_path)).run_jobs([spec])
+    assert recovered.ok and not recovered.cache_hit
+    assert recovered.value == first.value
+    # The recomputation repaired the stored artifact in place.
+    (warm,) = Engine(cache=ArtifactCache(tmp_path)).run_jobs([spec])
+    assert warm.cache_hit and warm.value == first.value
+
+
+def test_empty_cache_entry_is_a_miss(tmp_path):
+    spec = JobSpec("chr", (2, 1))
+    cache = ArtifactCache(tmp_path)
+    Engine(cache=cache).run_jobs([spec])
+    cache._path(digest(spec.cache_key())).write_text("", encoding="utf-8")
+    (result,) = Engine(cache=ArtifactCache(tmp_path)).run_jobs([spec])
+    assert result.ok and not result.cache_hit
+
+
+def test_error_results_propagate_in_order_and_are_not_cached(tmp_path):
+    cache = ArtifactCache(tmp_path)
+    engine = Engine(cache=cache)
+    results = engine.run_jobs(
+        [JobSpec("chr", (3, 1)), JobSpec("chr", (3, "not-a-depth"))]
+    )
+    assert results[0].ok and results[0].index == 0
+    assert not results[1].ok and results[1].index == 1
+    assert "Traceback" in results[1].error
+    assert len(cache) == 1  # only the good artifact was stored
+
+
+# ----------------------------------------------------------------------
+# Batch-level dedup
+# ----------------------------------------------------------------------
+def test_run_jobs_computes_identical_specs_once(tmp_path):
+    spec = JobSpec("chr", (3, 1))
+    cache = ArtifactCache(tmp_path)
+    seen = []
+    engine = Engine(cache=cache, progress=seen.append)
+    results = engine.run_jobs([spec, JobSpec("chr", (2, 1)), spec, spec])
+    assert [result.index for result in results] == [0, 1, 2, 3]
+    assert results[0].value == results[2].value == results[3].value
+    assert [result.coalesced for result in results] == [
+        False,
+        False,
+        True,
+        True,
+    ]
+    assert engine.stats()["deduped"] == 2
+    assert len(cache) == 2  # one artifact per distinct spec
+    assert sorted(result.index for result in seen) == [0, 1, 2, 3]
+
+
+def test_dedup_fans_out_error_results_too():
+    bad = JobSpec("chr", (3, "not-a-depth"))
+    results = Engine().run_jobs([bad, bad])
+    assert not results[0].ok and not results[1].ok
+    assert results[1].coalesced
+    assert results[0].error == results[1].error
+
+
+def test_dedup_matches_no_dedup_values(ra_1res, task23):
+    queries = [(ra_1res, task23, None)] * 3
+    deduped = Engine().solve_many(queries)
+    assert deduped[0] == deduped[1] == deduped[2]
+    assert deduped[0] == Engine().solve_many(queries[:1])[0]
+
+
+# ----------------------------------------------------------------------
+# Cache directory configuration
+# ----------------------------------------------------------------------
+def test_repro_cache_dir_env_var_controls_the_default(monkeypatch, tmp_path):
+    from repro.engine import default_cache_dir
+
+    target = tmp_path / "deploy-cache"
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(target))
+    assert default_cache_dir() == target
+    cache = ArtifactCache()
+    assert cache.root == target
+    cache.put(digest("env-dir-artifact"), (1, 2))
+    assert (target / "objects").is_dir()
+
+    monkeypatch.delenv("REPRO_CACHE_DIR")
+    assert default_cache_dir() == Path.home() / ".cache" / "repro-engine"

@@ -1,0 +1,107 @@
+"""The in-memory LRU tier: bounds, accounting, backing fallback."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import MISS, ArtifactCache, Engine, JobSpec, NullCache, digest
+from repro.service import MemCache
+from repro.topology import chr_complex
+
+
+def test_put_get_round_trip():
+    cache = MemCache()
+    key = digest("memcache-roundtrip")
+    assert cache.get(key) is MISS
+    cache.put(key, (1, 2, 3))
+    assert cache.get(key) == (1, 2, 3)
+    assert cache.hits == 1
+    assert cache.misses == 1
+
+
+def test_lru_eviction_order_and_accounting():
+    cache = MemCache(max_entries=2)
+    keys = [digest(("evict", i)) for i in range(3)]
+    cache.put(keys[0], "a")
+    cache.put(keys[1], "b")
+    cache.get(keys[0])  # make key 0 most-recent; key 1 becomes LRU
+    cache.put(keys[2], "c")  # evicts key 1
+    assert cache.evictions == 1
+    assert cache.get(keys[0]) == "a"
+    assert cache.get(keys[2]) == "c"
+    assert cache.get(keys[1]) is MISS
+    assert len(cache) == 2
+
+
+def test_backing_fallback_promotes_into_memory(tmp_path):
+    backing = ArtifactCache(tmp_path)
+    key = digest("promote-me")
+    backing.put(key, chr_complex(3, 1))
+
+    cache = MemCache(backing=ArtifactCache(tmp_path))
+    assert cache.get(key) == chr_complex(3, 1)  # memory miss, disk hit
+    assert cache.misses == 1 and cache.hits == 0
+    assert cache.get(key) == chr_complex(3, 1)  # now resident
+    assert cache.hits == 1
+    assert cache.stats()["backing_hits"] == 1
+
+
+def test_put_writes_through_to_backing(tmp_path):
+    cache = MemCache(backing=ArtifactCache(tmp_path))
+    key = digest("write-through")
+    cache.put(key, [1, 2])
+    assert ArtifactCache(tmp_path).get(key) == [1, 2]
+    assert cache.persistent
+
+
+def test_clear_drops_memory_not_backing(tmp_path):
+    cache = MemCache(backing=ArtifactCache(tmp_path))
+    key = digest("clear-mem")
+    cache.put(key, "kept")
+    assert cache.clear() == 1
+    assert len(cache) == 0
+    assert cache.get(key) == "kept"  # refilled from disk
+
+
+def test_corrupt_backing_entry_is_a_full_miss_and_recovers(tmp_path):
+    backing = ArtifactCache(tmp_path)
+    cache = MemCache(backing=backing)
+    key = digest("corrupt-backing")
+    backing.put(key, (1, 2))
+    backing._path(key).write_text('["tuple",[1', encoding="utf-8")  # truncated
+    assert cache.get(key) is MISS
+    cache.put(key, (1, 2))
+    assert cache.get(key) == (1, 2)
+
+
+def test_stats_shape():
+    cache = MemCache(backing=NullCache(), max_entries=4)
+    cache.get(digest("nothing"))
+    stats = cache.stats()
+    assert stats["misses"] == 1
+    assert stats["hit_rate"] == 0.0
+    assert stats["backing_persistent"] is False
+    assert stats["max_entries"] == 4
+
+
+def test_engine_runs_against_memcache_tier(tmp_path, ra_1of):
+    """A MemCache simply is the engine's cache: hits skip the executor."""
+    from repro.tasks.set_consensus import set_consensus_task
+
+    cache = MemCache(backing=ArtifactCache(tmp_path))
+    engine = Engine(cache=cache)
+    task = set_consensus_task(3, 2)
+    first = engine.solve_many([(ra_1of, task, None)])
+    again = engine.solve_many([(ra_1of, task, None)])
+    assert again == first
+    assert cache.hits == 1  # second call answered from memory
+
+    # A fresh process (fresh MemCache) falls back to the disk tier.
+    rewarmed = MemCache(backing=ArtifactCache(tmp_path))
+    assert Engine(cache=rewarmed).solve_many([(ra_1of, task, None)]) == first
+    assert rewarmed.stats()["backing_hits"] == 1
+
+
+def test_max_entries_must_be_positive():
+    with pytest.raises(ValueError):
+        MemCache(max_entries=0)

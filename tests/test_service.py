@@ -1,0 +1,339 @@
+"""The query service: protocol, equivalence, coalescing, drain.
+
+The load-bearing guarantees:
+
+* every job kind's response value is **byte-identical** to the engine's
+  canonical serialization of a direct call;
+* N concurrent clients issuing the same query cost exactly **one**
+  engine computation;
+* SIGTERM / ``drain()`` lets in-flight requests finish before exit.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import re
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.adversaries import figure5b_adversary
+from repro.core.ra import DEFAULT_VARIANT
+from repro.engine import Engine, JobSpec, serialize
+from repro.runtime.algorithm1 import fuzz_case_seed
+from repro.service import (
+    AsyncServiceClient,
+    BackgroundServer,
+    MemCache,
+    ProtocolError,
+    ServiceClient,
+    ServiceError,
+    parse_request,
+)
+from repro.tasks.set_consensus import set_consensus_task
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _raw_request(port: int, line: bytes) -> dict:
+    """One raw line on a fresh connection; returns the parsed response."""
+    with socket.create_connection(("127.0.0.1", port), timeout=30) as sock:
+        handle = sock.makefile("rwb")
+        handle.write(line)
+        handle.flush()
+        return json.loads(handle.readline())
+
+
+# ----------------------------------------------------------------------
+# Protocol unit tests (no server)
+# ----------------------------------------------------------------------
+def test_parse_request_rejects_malformed_lines():
+    with pytest.raises(ProtocolError) as info:
+        parse_request("{not json")
+    assert info.value.code == "bad_request"
+    with pytest.raises(ProtocolError) as info:
+        parse_request('{"v": 2, "op": "ping"}')
+    assert info.value.code == "unsupported_version"
+    with pytest.raises(ProtocolError) as info:
+        parse_request('{"v": 1, "op": "dance"}')
+    assert info.value.code == "unknown_op"
+    with pytest.raises(ProtocolError) as info:
+        parse_request('{"v": 1, "op": "query", "kind": "chr"}')
+    assert info.value.code == "bad_request"  # missing payload
+    with pytest.raises(ProtocolError) as info:
+        parse_request(
+            '{"v": 1, "op": "query", "kind": "chr", "payload": "x", "timeout": -1}'
+        )
+    assert info.value.code == "bad_request"
+
+
+def test_parse_request_round_trip():
+    request = parse_request(
+        '{"v": 1, "id": 9, "op": "query", "kind": "chr", "payload": "p", "timeout": 2}'
+    )
+    assert request.id == 9
+    assert request.kind == "chr"
+    assert request.timeout == 2.0
+
+
+# ----------------------------------------------------------------------
+# A shared server for read-mostly tests
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def server():
+    engine = Engine(cache=MemCache())
+    with BackgroundServer(engine, window=0.002) as background:
+        yield background
+
+
+@pytest.fixture()
+def client(server):
+    with ServiceClient(port=server.port) as active:
+        yield active
+
+
+def test_ping_and_stats_round_trip(client):
+    assert client.ping()
+    stats = client.stats()
+    assert stats["server"]["connections"] >= 1
+    assert stats["engine"]["jobs"] == 1
+    assert stats["memcache"]["max_entries"] == 256
+    assert "requests_total" in stats["metrics"]["counters"]
+    assert "repro_service_uptime_seconds" in client.metrics_text()
+
+
+# ----------------------------------------------------------------------
+# Byte-identical equivalence for every job kind (the acceptance test)
+# ----------------------------------------------------------------------
+def test_every_kind_is_byte_identical_to_direct_engine_calls(
+    client, alpha_1of, ra_1of, alpha_1res, ra_1res
+):
+    task23 = set_consensus_task(3, 2)
+    payloads = {
+        "chr": (3, 1),
+        "classify": (figure5b_adversary(),),
+        "r_affine": (alpha_1of, DEFAULT_VARIANT),
+        "solve": (ra_1res, task23, None, None),
+        "fuzz": (alpha_1res, ra_1res, fuzz_case_seed(0, 0)),
+    }
+    for kind, payload in payloads.items():
+        direct_value = JobSpec(kind, payload).run()
+        response = client.query_response(kind, payload)
+        assert response["ok"], (kind, response)
+        assert response["kind"] == kind
+        assert response["value"] == serialize(direct_value), kind
+        assert client._decode_value(response) == direct_value
+
+
+def test_repeated_query_hits_the_memcache(client):
+    first = client.query_response("chr", (2, 1))
+    again = client.query_response("chr", (2, 1))
+    assert again["value"] == first["value"]
+    assert again["cache_hit"]
+
+
+# ----------------------------------------------------------------------
+# Coalescing
+# ----------------------------------------------------------------------
+def test_concurrent_identical_sleeps_coalesce_to_one_execution():
+    engine = Engine(cache=MemCache())
+    with BackgroundServer(engine, window=0.02) as background:
+
+        async def fire():
+            clients = [
+                await AsyncServiceClient(port=background.port).connect()
+                for _ in range(6)
+            ]
+            try:
+                return await asyncio.gather(
+                    *[
+                        active.query_response("sleep", (0.5, "shared"))
+                        for active in clients
+                    ]
+                )
+            finally:
+                for active in clients:
+                    await active.close()
+
+        responses = asyncio.run(fire())
+        assert all(response["ok"] for response in responses)
+        assert sorted(r["coalesced"] for r in responses) == [False] + [True] * 5
+        metrics = background.server.metrics
+        assert metrics.counter("jobs_dispatched_total") == 1
+        assert metrics.counter("coalesced_total") == 5
+
+
+def test_concurrent_identical_solves_compute_once(ra_1res):
+    """N clients, one solve query: exactly one engine computation."""
+    task23 = set_consensus_task(3, 2)
+    engine = Engine(cache=MemCache())
+    with BackgroundServer(engine, window=0.05) as background:
+
+        async def fire():
+            clients = [
+                await AsyncServiceClient(port=background.port).connect()
+                for _ in range(5)
+            ]
+            try:
+                return await asyncio.gather(
+                    *[active.solve(ra_1res, task23) for active in clients]
+                )
+            finally:
+                for active in clients:
+                    await active.close()
+
+        answers = asyncio.run(fire())
+        expected = Engine().solve_many([(ra_1res, task23, None)])[0]
+        assert all(answer == expected for answer in answers)
+        # One full cache miss == one computation; every other request
+        # was coalesced onto it or answered from the memcache.
+        assert engine.stats()["misses"] == 1
+
+
+# ----------------------------------------------------------------------
+# Deadlines, errors, limits
+# ----------------------------------------------------------------------
+def test_per_request_timeout_returns_typed_error(client):
+    with pytest.raises(ServiceError) as info:
+        client.query("sleep", (3.0, "late"), timeout=0.2)
+    assert info.value.code == "timeout"
+    # The connection stays usable after a timed-out request.
+    assert client.ping()
+
+
+def test_wire_error_codes(server, client):
+    assert _raw_request(server.port, b"{broken\n")["error"]["code"] == "bad_request"
+    assert (
+        _raw_request(server.port, b'{"v": 99, "op": "ping"}\n')["error"]["code"]
+        == "unsupported_version"
+    )
+    with pytest.raises(ServiceError) as info:
+        client.query("no_such_kind", (1,))
+    assert info.value.code == "unknown_kind"
+    with pytest.raises(ServiceError) as info:
+        client.request("query", kind="chr", payload="]not canonical[")
+    assert info.value.code == "bad_payload"
+    with pytest.raises(ServiceError) as info:
+        client.request("query", kind="chr", payload=serialize([3, 1]))
+    assert info.value.code == "bad_payload"  # decodes, but not a tuple
+    with pytest.raises(ServiceError) as info:
+        client.query("chr", (3, "not-a-depth"))
+    assert info.value.code == "job_error"
+
+
+def test_budget_exceeded_maps_back_to_the_engine_exception(ra_1res):
+    from repro.tasks.solvability import SearchBudgetExceeded
+
+    engine = Engine(cache=MemCache(), split_retries=0)
+    with BackgroundServer(engine) as background:
+        with ServiceClient(port=background.port) as active:
+            with pytest.raises(SearchBudgetExceeded) as info:
+                active.solve(ra_1res, set_consensus_task(3, 2), node_budget=5)
+            assert info.value.nodes_explored > 0
+
+
+def test_connection_limit_returns_overloaded():
+    engine = Engine(cache=MemCache())
+    with BackgroundServer(engine, max_connections=1) as background:
+        with ServiceClient(port=background.port) as first:
+            assert first.ping()
+            response = _raw_request(
+                background.port, b'{"v": 1, "op": "ping"}\n'
+            )
+            assert response["error"]["code"] == "overloaded"
+
+
+# ----------------------------------------------------------------------
+# HTTP shim
+# ----------------------------------------------------------------------
+def test_http_shim_metrics_stats_health_and_query(server, client):
+    import urllib.request
+
+    client.ping()  # ensure at least one counter exists
+    base = f"http://127.0.0.1:{server.port}"
+    metrics = urllib.request.urlopen(f"{base}/metrics", timeout=30).read()
+    assert b"repro_service_requests_total" in metrics
+    stats = json.loads(urllib.request.urlopen(f"{base}/stats", timeout=30).read())
+    assert stats["server"]["port"] == server.port
+    health = urllib.request.urlopen(f"{base}/healthz", timeout=30).read()
+    assert health == b"ok\n"
+    body = json.dumps(
+        {"v": 1, "id": 1, "op": "query", "kind": "chr", "payload": serialize((2, 1))}
+    ).encode()
+    reply = json.loads(
+        urllib.request.urlopen(
+            urllib.request.Request(f"{base}/query", data=body, method="POST"),
+            timeout=30,
+        ).read()
+    )
+    assert reply["ok"] and reply["value"] == serialize(JobSpec("chr", (2, 1)).run())
+    with pytest.raises(urllib.error.HTTPError):
+        urllib.request.urlopen(f"{base}/nope", timeout=30)
+
+
+# ----------------------------------------------------------------------
+# Graceful drain
+# ----------------------------------------------------------------------
+def test_drain_completes_inflight_requests_then_refuses_connections():
+    engine = Engine(cache=MemCache())
+    background = BackgroundServer(engine, drain_grace=10.0).start()
+    port = background.port
+    outcome = {}
+
+    def slow_query():
+        with ServiceClient(port=port) as active:
+            outcome["response"] = active.query_response("sleep", (1.0, "drained"))
+
+    worker = threading.Thread(target=slow_query)
+    worker.start()
+    time.sleep(0.3)  # request is in flight
+    background.stop()  # graceful drain
+    worker.join(timeout=30)
+    assert outcome["response"]["ok"]
+    assert json.loads(outcome["response"]["value"]) == "drained"
+    with pytest.raises(OSError):
+        socket.create_connection(("127.0.0.1", port), timeout=5)
+
+
+def test_sigterm_drains_the_serve_subprocess():
+    """``python -m repro serve`` + SIGTERM: in-flight work finishes, exit 0."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0", "--no-cache"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    try:
+        announce = process.stdout.readline()
+        port = int(re.search(r":(\d+) ", announce).group(1))
+        outcome = {}
+
+        def slow_query():
+            with ServiceClient(port=port) as active:
+                outcome["value"] = active.query("sleep", (1.0, "survived"))
+
+        worker = threading.Thread(target=slow_query)
+        worker.start()
+        time.sleep(0.4)
+        process.send_signal(signal.SIGTERM)
+        output, _ = process.communicate(timeout=60)
+        worker.join(timeout=30)
+    finally:
+        if process.poll() is None:
+            process.kill()
+    assert process.returncode == 0
+    assert outcome["value"] == "survived"
+    assert "drained cleanly" in output
