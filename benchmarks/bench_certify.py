@@ -1,0 +1,131 @@
+"""Certificate economics: extraction overhead and check-vs-search cost.
+
+The workload is the E11 FACT grid (5 affine tasks x k in 1..3), run
+three ways:
+
+* plain solve — one :class:`MapSearch` per query (the baseline);
+* certified solve — the same search plus certificate extraction;
+* independent check — the stdlib checker validating each certificate.
+
+The claims worth recording honestly: extraction is a near-zero-cost
+by-product of the search (the certificate is a read-out of state the
+search already computed), checking a *positive* certificate is far
+cheaper than finding the map (verify one assignment vs search the
+space), while checking a *negative* certificate replays the exhaustive
+backtrack and therefore costs the same order as the refuting search —
+there is no free lunch for refutations.  Numbers land in
+``BENCH_certify.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.adversaries import (
+    agreement_function_of,
+    figure5b_adversary,
+    k_concurrency_alpha,
+    t_resilience_alpha,
+)
+from repro.analysis import render_mapping
+from repro.certify import certified_search, check
+from repro.core import full_affine_task, r_affine
+from repro.tasks.set_consensus import set_consensus_task
+from repro.tasks.solvability import MapSearch
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_certify.json"
+
+
+def _grid():
+    affines = [
+        full_affine_task(3, 1),
+        r_affine(k_concurrency_alpha(3, 1)),
+        r_affine(k_concurrency_alpha(3, 2)),
+        r_affine(t_resilience_alpha(3, 1)),
+        r_affine(agreement_function_of(figure5b_adversary())),
+    ]
+    return [
+        (affine, set_consensus_task(3, k))
+        for affine in affines
+        for k in range(1, 4)
+    ]
+
+
+def _timed(stage):
+    started = time.perf_counter()
+    value = stage()
+    return value, time.perf_counter() - started
+
+
+def bench_certify():
+    grid = _grid()
+
+    plain = []
+    t_plain = 0.0
+    for affine, task in grid:
+        mapping, elapsed = _timed(
+            lambda: MapSearch(affine, task).search()
+        )
+        plain.append(mapping)
+        t_plain += elapsed
+
+    certs = []
+    t_certified = 0.0
+    search_time = []
+    for affine, task in grid:
+        (mapping, cert), elapsed = _timed(
+            lambda: certified_search(affine, task)
+        )
+        certs.append((mapping, cert))
+        search_time.append(elapsed)
+        t_certified += elapsed
+    # The certified verdicts agree with the plain searches.
+    assert [m for m, _ in certs] == plain
+
+    t_check = {"solvable": 0.0, "unsolvable": 0.0}
+    t_search = {"solvable": 0.0, "unsolvable": 0.0}
+    counts = {"solvable": 0, "unsolvable": 0}
+    for (mapping, cert), elapsed in zip(certs, search_time):
+        report, t = _timed(lambda: check(cert))
+        assert report.valid, (report.reason, report.detail)
+        kind = cert["kind"]
+        t_check[kind] += t
+        t_search[kind] += elapsed
+        counts[kind] += 1
+    assert counts["solvable"] and counts["unsolvable"]
+
+    report = {
+        "workload": {
+            "queries": len(grid),
+            "solvable": counts["solvable"],
+            "unsolvable": counts["unsolvable"],
+        },
+        "t_plain_solve_s": round(t_plain, 4),
+        "t_certified_solve_s": round(t_certified, 4),
+        # >1.0 means extraction cost something; near 1.0 is the claim.
+        "certify_overhead_ratio": round(t_certified / t_plain, 3),
+        "t_check_positive_s": round(t_check["solvable"], 4),
+        "t_check_negative_s": round(t_check["unsolvable"], 4),
+        # Positive: verify one assignment vs search the space.
+        "check_positive_speedup_vs_search": round(
+            t_search["solvable"] / max(t_check["solvable"], 1e-9), 1
+        ),
+        # Negative: the replay IS a search; expect ~1x, recorded as-is.
+        "check_negative_ratio_vs_search": round(
+            t_check["unsolvable"] / max(t_search["unsolvable"], 1e-9), 3
+        ),
+    }
+    OUTPUT.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+
+    print()
+    print(render_mapping("certificate economics:", report))
+    print(f"wrote {OUTPUT}")
+
+    # Extraction must stay a by-product: a 2x blow-up would mean the
+    # cert builders re-search instead of reading out search state.
+    assert report["certify_overhead_ratio"] < 2.0
+    # Checking all positives must beat the searches that found them.
+    assert report["check_positive_speedup_vs_search"] > 1.0

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Certified solvability round-trip: engine -> files -> checker.
+
+Runs the E11 FACT grid (5 affine tasks x k in 1..3) through the
+engine's ``certify`` jobs, writes every certificate to disk, and then
+re-validates the files with the *independent* checker
+(:mod:`repro.certify.checker` — stdlib-only, imports nothing from the
+engine or the search).  The checker's verdicts must agree with the
+engine's plain ``solve`` answers on every cell; any divergence is a
+hard failure.
+
+This is also the CI checker gate: the workflow runs it under a timeout,
+then re-checks the written files with ``python -m repro check`` and
+uploads them as the build's certificate artifact.
+
+Run:  python examples/certify_roundtrip.py [--jobs N] [--output-dir DIR]
+"""
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.adversaries import (
+    agreement_function_of,
+    figure5b_adversary,
+    k_concurrency_alpha,
+    t_resilience_alpha,
+)
+from repro.analysis import banner, render_table
+from repro.certify import check_bytes, write_cert
+from repro.core import full_affine_task, r_affine
+from repro.engine import Engine
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--jobs", type=int, default=1)
+    parser.add_argument(
+        "--output-dir",
+        default="certs",
+        help="directory the certificate files are written to",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.tasks.set_consensus import set_consensus_task
+
+    cases = [
+        ("wait-free", full_affine_task(3, 1)),
+        ("ra-1of", r_affine(k_concurrency_alpha(3, 1))),
+        ("ra-2of", r_affine(k_concurrency_alpha(3, 2))),
+        ("ra-1res", r_affine(t_resilience_alpha(3, 1))),
+        ("ra-fig5b", r_affine(agreement_function_of(figure5b_adversary()))),
+    ]
+    grid = [
+        (f"{name}-k{k}", affine, set_consensus_task(3, k))
+        for name, affine in cases
+        for k in range(1, 4)
+    ]
+
+    engine = Engine(jobs=args.jobs)
+    print(banner(f"certifying {len(grid)} FACT queries (jobs={engine.jobs})"))
+    certs = engine.certify_many(
+        [(affine, task, None) for _, affine, task in grid]
+    )
+    solved = engine.solve_many(
+        [(affine, task, None) for _, affine, task in grid]
+    )
+
+    output_dir = Path(args.output_dir)
+    output_dir.mkdir(parents=True, exist_ok=True)
+    rows = []
+    divergences = 0
+    for (label, _, _), cert, (mapping, _nodes) in zip(grid, certs, solved):
+        path = output_dir / f"{label}.json"
+        write_cert(path, cert)
+        # The independent checker, from the file's bytes alone.
+        report = check_bytes(path.read_bytes())
+        solve_verdict = "solvable" if mapping is not None else "unsolvable"
+        agrees = report.valid and report.verdict == solve_verdict
+        divergences += 0 if agrees else 1
+        rows.append(
+            (
+                label,
+                cert["kind"],
+                "OK" if report.valid else f"INVALID:{report.reason}",
+                "agree" if agrees else "DIVERGE",
+            )
+        )
+    print(
+        render_table(
+            ["case", "certificate", "checker", "vs solve"], rows
+        )
+    )
+    print(f"wrote {len(rows)} certificates to {output_dir}/")
+
+    if divergences:
+        print(
+            f"FATAL: {divergences} cells diverged between the engine's "
+            "solve verdict and the independent checker",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,646 @@
+"""The independent certificate checker — the trusted base.
+
+This module re-validates solvability certificates with **no imports
+from the rest of the library** (standard library only; a test enforces
+it).  Everything it needs it re-derives from the certificate document
+itself:
+
+* vertex structure — its own reader for the tagged encodings
+  (``chrv`` / ``outv`` / ``fset`` / ints), its own color and
+  carrier-lowering folds;
+* the statement — the ``Delta`` table and the facets of ``L`` are in
+  the certificate body; the checker recomputes their content digests
+  (the same SHA-256-over-canonical-JSON scheme the engine addresses its
+  cache with) and compares them to the digests the statement claims,
+  binding witness to statement;
+* the complex — the downward closure of the facets, so a certificate
+  cannot omit a constraint simplex;
+* the domains — recomputed from the ``Delta`` table, so an unsolvable
+  certificate cannot smuggle in truncated candidate lists.
+
+Positive certificates are checked for chromaticity, simplicial-ness
+(every closure simplex has an entry whose image matches the map) and
+carrier inclusion (the image lies in ``Delta`` of the independently
+recomputed carrier).  Negative certificates are replayed: an exhaustive
+backtrack over the recomputed domains, in the certificate's vertex
+order, must find no map and must visit exactly the traced node count.
+Budget stubs are checked for internal consistency of the partial
+assignment, and report an ``undecided`` verdict.
+
+The result is always a structured :class:`CheckReport`; the checker
+never raises on malformed input.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, List, Optional, Tuple
+
+#: Format identifier/versions this checker understands (mirrors
+#: ``repro.certify.witness``; kept literal so the module stays
+#: dependency-free — a test asserts the two agree).
+CERT_FORMAT = "repro.certify"
+SUPPORTED_VERSIONS = (1,)
+
+#: Digest salt of the engine's canonical codec, reproduced literally
+#: for the same reason (test-enforced equal to
+#: ``repro.engine.serialize._DIGEST_SALT``).
+DIGEST_SALT = "repro.engine:v1:"
+
+#: The closed set of machine-readable failure reasons.
+REASONS = frozenset(
+    {
+        "ok",
+        "bad_format",
+        "unsupported_version",
+        "unknown_kind",
+        "statement_digest_mismatch",
+        "chromatic_violation",
+        "not_closed",
+        "missing_map_entry",
+        "carrier_mismatch",
+        "image_mismatch",
+        "image_not_allowed",
+        "order_not_permutation",
+        "domain_mismatch",
+        "map_exists",
+        "trace_mismatch",
+        "inconsistent_partial",
+    }
+)
+
+
+@dataclass
+class CheckReport:
+    """The structured outcome of one certificate check."""
+
+    valid: bool
+    kind: str  # "solvable" | "unsolvable" | "budget" | "unknown"
+    verdict: str  # "solvable" | "unsolvable" | "undecided" | "invalid"
+    reason: str  # "ok" or a code from REASONS
+    detail: str = ""
+    vertices_checked: int = 0
+    simplices_checked: int = 0
+    nodes_replayed: int = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "valid": self.valid,
+            "kind": self.kind,
+            "verdict": self.verdict,
+            "reason": self.reason,
+            "detail": self.detail,
+            "vertices_checked": self.vertices_checked,
+            "simplices_checked": self.simplices_checked,
+            "nodes_replayed": self.nodes_replayed,
+        }
+
+
+class _Reject(Exception):
+    """Internal control flow: abort the check with (reason, detail)."""
+
+    def __init__(self, reason: str, detail: str = ""):
+        assert reason in REASONS, reason
+        super().__init__(detail)
+        self.reason = reason
+        self.detail = detail
+
+
+# ----------------------------------------------------------------------
+# An independent reader for the tagged vertex encodings
+# ----------------------------------------------------------------------
+def _freeze(encoded: Any) -> Any:
+    """Encoded JSON structure -> hashable value (tagged tuples)."""
+    if encoded is None or isinstance(encoded, (bool, int, float, str)):
+        return encoded
+    if not isinstance(encoded, list) or not encoded:
+        raise _Reject("bad_format", f"unreadable vertex encoding {encoded!r}")
+    tag = encoded[0]
+    if tag in ("chrv", "outv") and len(encoded) == 3:
+        return (tag, _freeze(encoded[1]), _freeze(encoded[2]))
+    if tag == "fset" and len(encoded) == 2:
+        return ("fset", frozenset(_freeze(member) for member in encoded[1]))
+    if tag in ("tuple", "list") and len(encoded) == 2:
+        return (tag, tuple(_freeze(member) for member in encoded[1]))
+    raise _Reject("bad_format", f"unknown vertex encoding tag {tag!r}")
+
+
+def _canon_text(encoded: Any) -> str:
+    return json.dumps(
+        encoded, sort_keys=True, separators=(",", ":"), ensure_ascii=True
+    )
+
+
+def _recanon(encoded: Any) -> Any:
+    """Re-canonicalize an encoded structure (sort set members)."""
+    if isinstance(encoded, list) and encoded:
+        tag = encoded[0]
+        if not isinstance(tag, str):
+            # An untagged pair/array (e.g. a delta-table entry).
+            return [_recanon(member) for member in encoded]
+        if tag == "fset" and len(encoded) == 2:
+            members = [_recanon(member) for member in encoded[1]]
+            return ["fset", sorted(members, key=_canon_text)]
+        if tag in ("tuple", "list") and len(encoded) == 2:
+            return [tag, [_recanon(member) for member in encoded[1]]]
+        if tag in ("chrv", "outv") and len(encoded) == 3:
+            return [tag, _recanon(encoded[1]), _recanon(encoded[2])]
+        raise _Reject("bad_format", f"unknown encoding tag {tag!r}")
+    return encoded
+
+
+def _digest(encoded: Any) -> str:
+    payload = DIGEST_SALT + _canon_text(encoded)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Structural folds on frozen vertices
+# ----------------------------------------------------------------------
+def _color(vertex: Any) -> int:
+    if isinstance(vertex, bool):
+        raise _Reject("bad_format", "boolean is not a vertex")
+    if isinstance(vertex, int):
+        return vertex
+    if isinstance(vertex, tuple) and vertex and vertex[0] in ("chrv", "outv"):
+        color = vertex[1]
+        if isinstance(color, int) and not isinstance(color, bool):
+            return color
+    raise _Reject("bad_format", f"vertex {vertex!r} has no color")
+
+
+def _is_chrv(vertex: Any) -> bool:
+    return isinstance(vertex, tuple) and len(vertex) == 3 and vertex[0] == "chrv"
+
+
+def _carrier_members(vertex: Any) -> FrozenSet[Any]:
+    carrier = vertex[2]
+    if not (isinstance(carrier, tuple) and carrier[0] == "fset"):
+        raise _Reject("bad_format", f"carrier of {vertex!r} is not a set")
+    return carrier[1]
+
+
+def _carrier_in_s(vertices: FrozenSet[Any]) -> FrozenSet[int]:
+    """Lower a simplex's carrier to a face of ``s`` (process ids)."""
+    current = frozenset(vertices)
+    while current and all(_is_chrv(v) for v in current):
+        lowered: set = set()
+        for vertex in current:
+            lowered |= set(_carrier_members(vertex))
+        current = frozenset(lowered)
+    if not all(isinstance(v, int) and not isinstance(v, bool) for v in current):
+        raise _Reject(
+            "bad_format", "carrier does not lower to process ids"
+        )
+    return current
+
+
+def _closure(facets: List[FrozenSet[Any]]) -> FrozenSet[FrozenSet[Any]]:
+    """All non-empty faces of the given facets."""
+    closed: set = set()
+    for facet in facets:
+        members = tuple(facet)
+        count = len(members)
+        for mask in range(1, 1 << count):
+            closed.add(
+                frozenset(
+                    members[i] for i in range(count) if mask >> i & 1
+                )
+            )
+    return frozenset(closed)
+
+
+# ----------------------------------------------------------------------
+# Statement parsing and digest binding
+# ----------------------------------------------------------------------
+class _Statement:
+    """The parsed claim: complex facets + tabulated ``Delta``."""
+
+    def __init__(self, raw: Any):
+        if not isinstance(raw, dict):
+            raise _Reject("bad_format", "statement must be an object")
+        try:
+            self.n = int(raw["n"])
+            self.depth = int(raw["depth"])
+            self.affine_name = str(raw["affine_name"])
+            self.task_name = str(raw["task_name"])
+            facets_enc = raw["facets"]
+            delta_enc = raw["delta"]
+            claimed_affine = str(raw["affine_digest"])
+            claimed_task = str(raw["task_digest"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise _Reject("bad_format", f"incomplete statement: {exc}")
+        if not isinstance(facets_enc, list) or not isinstance(delta_enc, list):
+            raise _Reject("bad_format", "facets/delta must be arrays")
+
+        # Digest binding: recompute the engine's content addresses from
+        # the body and require them to match the claimed digests.
+        affine_body = [
+            "affine",
+            self.n,
+            self.depth,
+            self.affine_name,
+            [
+                "ccx",
+                sorted(
+                    (_recanon(facet) for facet in facets_enc), key=_canon_text
+                ),
+            ],
+        ]
+        task_body = [
+            "task",
+            self.n,
+            self.task_name,
+            sorted((_recanon(entry) for entry in delta_enc), key=_canon_text),
+        ]
+        if _digest(affine_body) != claimed_affine:
+            raise _Reject(
+                "statement_digest_mismatch",
+                "recomputed affine-complex digest differs from the claim",
+            )
+        if _digest(task_body) != claimed_task:
+            raise _Reject(
+                "statement_digest_mismatch",
+                "recomputed task digest differs from the claim",
+            )
+        self.affine_digest = claimed_affine
+        self.task_digest = claimed_task
+
+        self.facets: List[FrozenSet[Any]] = []
+        for facet_enc in facets_enc:
+            frozen = _freeze(facet_enc)
+            if not (isinstance(frozen, tuple) and frozen[0] == "fset"):
+                raise _Reject("bad_format", "facet is not a vertex set")
+            self.facets.append(frozen[1])
+        self.simplices = _closure(self.facets)
+        self.vertices = frozenset(
+            vertex for facet in self.facets for vertex in facet
+        )
+
+        # Delta: participation (frozenset of ids) -> set of allowed
+        # output simplices (frozensets of frozen output vertices).
+        self.delta: Dict[FrozenSet[int], FrozenSet[FrozenSet[Any]]] = {}
+        for entry in delta_enc:
+            if not (isinstance(entry, list) and len(entry) == 2):
+                raise _Reject("bad_format", "malformed delta entry")
+            participants_frozen = _freeze(entry[0])
+            outputs_frozen = _freeze(entry[1])
+            if not (
+                isinstance(participants_frozen, tuple)
+                and participants_frozen[0] == "fset"
+                and isinstance(outputs_frozen, tuple)
+                and outputs_frozen[0] == "fset"
+            ):
+                raise _Reject("bad_format", "malformed delta entry")
+            participants = frozenset(participants_frozen[1])
+            if not all(
+                isinstance(p, int) and not isinstance(p, bool)
+                for p in participants
+            ):
+                raise _Reject("bad_format", "delta participation not ids")
+            outputs = set()
+            for sigma in outputs_frozen[1]:
+                if not (isinstance(sigma, tuple) and sigma[0] == "fset"):
+                    raise _Reject(
+                        "bad_format", "delta output is not a simplex"
+                    )
+                outputs.add(frozenset(sigma[1]))
+            self.delta[participants] = frozenset(outputs)
+
+    def allowed(self, participants: FrozenSet[int]) -> FrozenSet[FrozenSet[Any]]:
+        return self.delta.get(frozenset(participants), frozenset())
+
+    def domain(self, vertex: Any) -> FrozenSet[Any]:
+        """The natural candidate set of ``vertex`` under ``Delta``.
+
+        Mirrors the decision procedure's domain rule: output vertices of
+        the vertex's color drawn from allowed simplices of its witnessed
+        participation, whose singleton is itself allowed.
+        """
+        participation = _carrier_in_s(frozenset([vertex]))
+        allowed = self.allowed(participation)
+        color = _color(vertex)
+        return frozenset(
+            out
+            for sigma in allowed
+            for out in sigma
+            if _color(out) == color and frozenset([out]) in allowed
+        )
+
+
+# ----------------------------------------------------------------------
+# Per-kind checks
+# ----------------------------------------------------------------------
+def _check_solvable(cert: Dict[str, Any], statement: _Statement) -> CheckReport:
+    mapping: Dict[Any, Any] = {}
+    for pair in cert.get("map", ()):
+        if not (isinstance(pair, list) and len(pair) == 2):
+            raise _Reject("bad_format", "malformed map entry")
+        mapping[_freeze(pair[0])] = _freeze(pair[1])
+
+    missing = statement.vertices - set(mapping)
+    if missing:
+        raise _Reject(
+            "missing_map_entry",
+            f"{len(missing)} complex vertices have no image",
+        )
+    # Chromaticity: phi preserves colors.
+    for vertex, out in mapping.items():
+        if _color(vertex) != _color(out):
+            raise _Reject(
+                "chromatic_violation",
+                f"vertex of color {_color(vertex)} maps to color {_color(out)}",
+            )
+
+    entries = cert.get("simplices")
+    if not isinstance(entries, list):
+        raise _Reject("bad_format", "missing per-simplex entries")
+    seen: set = set()
+    for entry in entries:
+        if not isinstance(entry, dict):
+            raise _Reject("bad_format", "malformed simplex entry")
+        try:
+            simplex = frozenset(_freeze(v) for v in entry["simplex"])
+            claimed_carrier = frozenset(entry["carrier"])
+            claimed_image = frozenset(entry["image"])
+        except (KeyError, TypeError) as exc:
+            raise _Reject("bad_format", f"incomplete simplex entry: {exc}")
+        if simplex not in statement.simplices:
+            raise _Reject(
+                "not_closed",
+                "entry lists a simplex outside the complex closure",
+            )
+        seen.add(simplex)
+        carrier = _carrier_in_s(simplex)
+        if carrier != claimed_carrier:
+            raise _Reject(
+                "carrier_mismatch",
+                f"claimed carrier {sorted(claimed_carrier)} != "
+                f"recomputed {sorted(carrier)}",
+            )
+        image = frozenset(mapping[v] for v in simplex)
+        if claimed_image != {_canon_text(_recanon_frozen(out)) for out in image}:
+            raise _Reject(
+                "image_mismatch",
+                "entry image differs from the map's image of the simplex",
+            )
+        if image not in statement.allowed(carrier):
+            raise _Reject(
+                "image_not_allowed",
+                f"image not in Delta({sorted(carrier)})",
+            )
+    if seen != statement.simplices:
+        raise _Reject(
+            "not_closed",
+            f"{len(statement.simplices) - len(seen)} closure simplices "
+            "have no entry",
+        )
+    return CheckReport(
+        valid=True,
+        kind="solvable",
+        verdict="solvable",
+        reason="ok",
+        vertices_checked=len(mapping),
+        simplices_checked=len(seen),
+    )
+
+
+def _recanon_frozen(vertex: Any) -> Any:
+    """Frozen vertex -> canonical encoded structure (for image texts)."""
+    if isinstance(vertex, tuple) and vertex:
+        tag = vertex[0]
+        if tag in ("chrv", "outv"):
+            return [tag, _recanon_frozen(vertex[1]), _recanon_frozen(vertex[2])]
+        if tag == "fset":
+            return [
+                "fset",
+                sorted(
+                    (_recanon_frozen(m) for m in vertex[1]), key=_canon_text
+                ),
+            ]
+        if tag in ("tuple", "list"):
+            return [tag, [_recanon_frozen(m) for m in vertex[1]]]
+    return vertex
+
+
+def _check_unsolvable(
+    cert: Dict[str, Any], statement: _Statement
+) -> CheckReport:
+    order_enc = cert.get("order")
+    domains_enc = cert.get("domains")
+    trace = cert.get("trace")
+    if (
+        not isinstance(order_enc, list)
+        or not isinstance(domains_enc, list)
+        or len(order_enc) != len(domains_enc)
+        or not isinstance(trace, dict)
+    ):
+        raise _Reject("bad_format", "malformed refutation trace")
+
+    order = [_freeze(v) for v in order_enc]
+    if frozenset(order) != statement.vertices or len(order) != len(
+        statement.vertices
+    ):
+        raise _Reject(
+            "order_not_permutation",
+            "vertex order is not a permutation of the complex vertices",
+        )
+    domains: List[List[Any]] = []
+    for vertex, domain_enc in zip(order, domains_enc):
+        domain = [_freeze(out) for out in domain_enc]
+        if len(set(domain)) != len(domain) or set(domain) != set(
+            statement.domain(vertex)
+        ):
+            raise _Reject(
+                "domain_mismatch",
+                "listed candidate domain differs from the Delta-derived one",
+            )
+        domains.append(domain)
+
+    found, nodes = _replay(statement, order, domains)
+    if found is not None:
+        raise _Reject(
+            "map_exists",
+            "replay found a carried map; the unsolvability claim is false",
+        )
+    claimed_nodes = trace.get("nodes_explored")
+    if claimed_nodes != nodes:
+        raise _Reject(
+            "trace_mismatch",
+            f"replay visited {nodes} nodes, trace claims {claimed_nodes}",
+        )
+    return CheckReport(
+        valid=True,
+        kind="unsolvable",
+        verdict="unsolvable",
+        reason="ok",
+        vertices_checked=len(order),
+        simplices_checked=len(statement.simplices),
+        nodes_replayed=nodes,
+    )
+
+
+def _replay(
+    statement: _Statement,
+    order: List[Any],
+    domains: List[List[Any]],
+) -> Tuple[Optional[Dict[Any, Any]], int]:
+    """Exhaustive backtrack over the given order/domains.
+
+    An independent re-implementation of the decision procedure's
+    iterative DFS: same node accounting (one node per candidate tried),
+    same constraint discipline (each closure simplex checked once, when
+    its latest vertex in ``order`` is assigned) — so a faithful
+    refutation trace replays to the identical node count.
+    """
+    rank = {vertex: index for index, vertex in enumerate(order)}
+    firing: Dict[Any, List[Tuple[FrozenSet[Any], FrozenSet[int]]]] = {
+        vertex: [] for vertex in order
+    }
+    for sigma in statement.simplices:
+        last = max(sigma, key=lambda v: rank[v])
+        firing[last].append((sigma, _carrier_in_s(sigma)))
+
+    assignment: Dict[Any, Any] = {}
+    nodes = 0
+    total = len(order)
+    if total == 0:
+        return {}, 0
+    choice_index = [0] * total
+    depth = 0
+    while True:
+        vertex = order[depth]
+        domain = domains[depth]
+        advanced = False
+        while choice_index[depth] < len(domain):
+            candidate = domain[choice_index[depth]]
+            choice_index[depth] += 1
+            nodes += 1
+            assignment[vertex] = candidate
+            consistent = True
+            for sigma, carrier in firing[vertex]:
+                image = frozenset(assignment[v] for v in sigma)
+                if image not in statement.allowed(carrier):
+                    consistent = False
+                    break
+            if consistent:
+                advanced = True
+                break
+            del assignment[vertex]
+        if advanced:
+            if depth + 1 == total:
+                return dict(assignment), nodes
+            depth += 1
+            choice_index[depth] = 0
+        else:
+            if vertex in assignment:
+                del assignment[vertex]
+            depth -= 1
+            if depth < 0:
+                return None, nodes
+            assignment.pop(order[depth], None)
+
+
+def _check_budget(cert: Dict[str, Any], statement: _Statement) -> CheckReport:
+    partial: Dict[Any, Any] = {}
+    for pair in cert.get("partial", ()):
+        if not (isinstance(pair, list) and len(pair) == 2):
+            raise _Reject("bad_format", "malformed partial-assignment entry")
+        partial[_freeze(pair[0])] = _freeze(pair[1])
+    stray = set(partial) - statement.vertices
+    if stray:
+        raise _Reject(
+            "inconsistent_partial",
+            "partial assignment mentions vertices outside the complex",
+        )
+    checked = 0
+    for vertex, out in partial.items():
+        if _color(vertex) != _color(out):
+            raise _Reject(
+                "inconsistent_partial", "partial assignment breaks colors"
+            )
+        if out not in statement.domain(vertex):
+            raise _Reject(
+                "inconsistent_partial",
+                "partial assignment uses an out-of-domain candidate",
+            )
+    for sigma in statement.simplices:
+        if all(v in partial for v in sigma):
+            image = frozenset(partial[v] for v in sigma)
+            if image not in statement.allowed(_carrier_in_s(sigma)):
+                raise _Reject(
+                    "inconsistent_partial",
+                    "partial assignment violates a carrier constraint",
+                )
+            checked += 1
+    return CheckReport(
+        valid=True,
+        kind="budget",
+        verdict="undecided",
+        reason="ok",
+        detail="resumable stub; not a solvability verdict",
+        vertices_checked=len(partial),
+        simplices_checked=checked,
+    )
+
+
+# ----------------------------------------------------------------------
+# Entry points
+# ----------------------------------------------------------------------
+def check(cert: Any) -> CheckReport:
+    """Validate one certificate document; never raises."""
+    kind = "unknown"
+    try:
+        if not isinstance(cert, dict):
+            raise _Reject("bad_format", "certificate must be a JSON object")
+        if cert.get("format") != CERT_FORMAT:
+            raise _Reject(
+                "bad_format", f"unknown format {cert.get('format')!r}"
+            )
+        if cert.get("version") not in SUPPORTED_VERSIONS:
+            raise _Reject(
+                "unsupported_version",
+                f"certificate version {cert.get('version')!r} not supported",
+            )
+        kind = cert.get("kind", "unknown")
+        statement = _Statement(cert.get("statement"))
+        if kind == "solvable":
+            return _check_solvable(cert, statement)
+        if kind == "unsolvable":
+            return _check_unsolvable(cert, statement)
+        if kind == "budget":
+            return _check_budget(cert, statement)
+        raise _Reject("unknown_kind", f"unknown certificate kind {kind!r}")
+    except _Reject as rejection:
+        return CheckReport(
+            valid=False,
+            kind=kind if isinstance(kind, str) else "unknown",
+            verdict="invalid",
+            reason=rejection.reason,
+            detail=rejection.detail,
+        )
+    except Exception as exc:  # malformed beyond recognition
+        return CheckReport(
+            valid=False,
+            kind=kind if isinstance(kind, str) else "unknown",
+            verdict="invalid",
+            reason="bad_format",
+            detail=f"{type(exc).__name__}: {exc}",
+        )
+
+
+def check_bytes(data: bytes) -> CheckReport:
+    """Validate a certificate from its on-disk bytes."""
+    try:
+        cert = json.loads(data.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        return CheckReport(
+            valid=False,
+            kind="unknown",
+            verdict="invalid",
+            reason="bad_format",
+            detail=f"unparsable certificate file: {exc}",
+        )
+    return check(cert)

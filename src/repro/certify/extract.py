@@ -1,0 +1,83 @@
+"""Certificate extraction: instrument the FACT search, resume stubs.
+
+The decision procedure already computes everything a certificate needs
+— the map (positive), the vertex order / domains / node count
+(negative), the consistent prefix (budget) — so extraction is a cheap
+read-out of :class:`~repro.tasks.solvability.MapSearch` state after one
+``search()`` call, never a second search.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..core.affine import AffineTask
+from ..tasks.solvability import MapSearch, SearchBudgetExceeded
+from ..tasks.task import OutputVertex, Task
+from ..topology.chromatic import ChrVertex
+from . import witness
+from .witness import Cert
+
+
+def certified_search(
+    affine: AffineTask,
+    task: Task,
+    node_budget: Optional[int] = None,
+) -> Tuple[Optional[Dict[ChrVertex, OutputVertex]], Cert]:
+    """One FACT query with a certificate as by-product.
+
+    Returns ``(mapping_or_None, certificate)``:
+
+    * a carried map was found — ``(mapping, SolvableCert)``;
+    * the search exhausted — ``(None, UnsolvableCert)``;
+    * the node budget fired — ``(None, budget stub)`` carrying the
+      resumable partial assignment (the stub's ``kind`` is ``budget``;
+      it is *not* a verdict).
+    """
+    search = MapSearch(affine, task)
+    try:
+        mapping = search.search(node_budget)
+    except SearchBudgetExceeded as exc:
+        return None, witness.budget_stub(affine, task, exc, node_budget)
+    if mapping is not None:
+        return mapping, witness.solvable_cert(
+            affine, task, mapping, nodes_explored=search.nodes_explored
+        )
+    return None, witness.unsolvable_cert(affine, task, search)
+
+
+def certificate_for(
+    affine: AffineTask,
+    task: Task,
+    node_budget: Optional[int] = None,
+) -> Cert:
+    """Just the certificate (the engine's ``certify`` job body)."""
+    _, cert = certified_search(affine, task, node_budget)
+    return cert
+
+
+def resume_from_stub(
+    stub: Cert,
+    affine: AffineTask,
+    task: Task,
+    node_budget: Optional[int] = None,
+) -> Tuple[Optional[Dict[ChrVertex, OutputVertex]], int]:
+    """Continue a budget-interrupted search from its stub.
+
+    Seeds a fresh :class:`MapSearch` with the stub's partial assignment,
+    so only the unexplored remainder of the space is visited.  Raises
+    ``ValueError`` when the stub does not belong to ``(affine, task)``
+    (digest check) or its prefix is not consistent.  Returns
+    ``(mapping_or_None, nodes_explored_in_resume)``.
+    """
+    from ..engine.serialize import digest
+
+    statement = stub.get("statement", {})
+    if statement.get("affine_digest") != digest(affine) or statement.get(
+        "task_digest"
+    ) != digest(task):
+        raise ValueError("stub statement digests do not match (affine, task)")
+    partial = witness.partial_assignment_of(stub)
+    search = MapSearch(affine, task)
+    mapping = search.search(node_budget, resume_from=partial)
+    return mapping, search.nodes_explored

@@ -1,0 +1,238 @@
+"""Portable solvability certificates: the canonical witness format.
+
+FACT (Theorem 16) is a biconditional, so every verdict the decision
+procedure emits has a finite witness:
+
+* *solvable* — the chromatic simplicial map ``phi : L -> O`` itself,
+  together with, per simplex of ``L``, its image and the carrier face
+  of ``s`` whose ``Delta`` value must contain that image;
+* *unsolvable* — the search's vertex order, the per-vertex candidate
+  domains, and a trace proving the backtrack was exhaustive (replayable
+  node-for-node);
+* *budget* — a resumable stub: the consistent partial assignment a
+  :class:`~repro.tasks.solvability.SearchBudgetExceeded` carried, so a
+  re-issued query can seed the search instead of restarting.
+
+A certificate is a plain JSON document (dict of strings, ints and
+tagged vertex encodings) and therefore travels unchanged through the
+engine's canonical codec, the artifact cache, the service wire and
+certificate files on disk.  The *statement* block embeds the task's
+tabulated ``Delta`` and the affine complex's facets in exactly the form
+:mod:`repro.engine.serialize` encodes them, plus the content digests the
+engine uses as ``solve`` cache keys — which lets the independent checker
+(:mod:`repro.certify.checker`, stdlib-only) re-derive those digests from
+the certificate body alone and bind the witness to the statement.
+
+Builders here may import anything; only the checker is a trusted base.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from ..core.affine import AffineTask
+from ..engine.serialize import decode, digest, encode
+from ..tasks.task import OutputVertex, Task
+from ..topology.chromatic import ChrVertex
+from ..topology.simplex import simplex_key, vertex_key
+from ..topology.subdivision import carrier_in_s
+
+#: Certificate format identifier and version.  Bump the version on any
+#: incompatible change to the document layout; the checker rejects
+#: versions it does not know with ``unsupported_version``.
+CERT_FORMAT = "repro.certify"
+CERT_VERSION = 1
+
+Cert = Dict[str, Any]
+
+
+def _canon_text(encoded: Any) -> str:
+    """Canonical JSON text (mirrors the engine codec's sort key)."""
+    return json.dumps(
+        encoded, sort_keys=True, separators=(",", ":"), ensure_ascii=True
+    )
+
+
+# ----------------------------------------------------------------------
+# The statement block
+# ----------------------------------------------------------------------
+def statement_for(affine: AffineTask, task: Task) -> Dict[str, Any]:
+    """The claim a certificate is about: ``(L, T)`` plus their digests.
+
+    ``facets`` and ``delta`` are lifted verbatim from the engine's
+    canonical encodings of ``L`` and ``T``, so the digests recomputed by
+    the independent checker from the certificate body equal the digests
+    recorded here — the same content addresses the engine cache keys
+    ``solve`` and ``certify`` jobs under.
+    """
+    affine_enc = encode(affine)  # ["affine", n, depth, name, ["ccx", [...]]]
+    task_enc = encode(task)  # ["task", n, name, [[P, outputs], ...]]
+    # Every field comes from the *encoding*, never from the object: the
+    # engine memoizes encodings by value equality, so an equal artifact
+    # constructed under a different display name shares the memoized
+    # encoding — mixing object attributes with encoded fields would
+    # break the digest binding for exactly those artifacts.
+    return {
+        "n": affine_enc[1],
+        "depth": affine_enc[2],
+        "affine_name": affine_enc[3],
+        "task_name": task_enc[2],
+        "affine_digest": digest(affine),
+        "task_digest": digest(task),
+        "facets": affine_enc[4][1],
+        "delta": task_enc[3],
+    }
+
+
+def _header(kind: str, affine: AffineTask, task: Task) -> Cert:
+    return {
+        "format": CERT_FORMAT,
+        "version": CERT_VERSION,
+        "kind": kind,
+        "statement": statement_for(affine, task),
+    }
+
+
+# ----------------------------------------------------------------------
+# Builders
+# ----------------------------------------------------------------------
+def solvable_cert(
+    affine: AffineTask,
+    task: Task,
+    mapping: Dict[ChrVertex, OutputVertex],
+    nodes_explored: Optional[int] = None,
+) -> Cert:
+    """A positive certificate: the map plus per-simplex image/carrier.
+
+    The per-simplex entries are redundant given the map — deliberately:
+    the checker verifies each entry *and* that the entries exhaust the
+    downward closure of the facets, so a certificate cannot silently
+    omit a constraint.
+    """
+    cert = _header("solvable", affine, task)
+    # Each vertex appears in many simplices; encode and canonicalize it
+    # once, not once per appearance (this keeps extraction a by-product
+    # of the search instead of a second traversal-sized cost).
+    vertex_enc = {vertex: encode(vertex) for vertex in mapping}
+    vertex_text = {v: _canon_text(e) for v, e in vertex_enc.items()}
+    out_enc = {vertex: encode(out) for vertex, out in mapping.items()}
+    out_text = {v: _canon_text(e) for v, e in out_enc.items()}
+    cert["map"] = [
+        [vertex_enc[vertex], out_enc[vertex]]
+        for vertex in sorted(mapping, key=vertex_key)
+    ]
+    entries: List[Dict[str, Any]] = []
+    for sigma in sorted(affine.complex.simplices, key=simplex_key):
+        entries.append(
+            {
+                "simplex": [
+                    vertex_enc[v]
+                    for v in sorted(sigma, key=vertex_text.__getitem__)
+                ],
+                "carrier": sorted(carrier_in_s(sigma)),
+                "image": sorted({out_text[v] for v in sigma}),
+            }
+        )
+    cert["simplices"] = entries
+    cert["search"] = {"nodes_explored": nodes_explored}
+    return cert
+
+
+def unsolvable_cert(affine: AffineTask, task: Task, search) -> Cert:
+    """A negative certificate from a completed, map-less search.
+
+    ``search`` is the :class:`~repro.tasks.solvability.MapSearch` whose
+    ``search()`` just returned ``None``: its vertex order and candidate
+    domains (in canonical candidate order) are the refutation trace —
+    an independent exhaustive backtrack over exactly these domains, in
+    exactly this order, visits ``nodes_explored`` assignments and finds
+    no carried map.  The checker recomputes the domains from the
+    statement's ``Delta`` table (so truncated domains are rejected) and
+    replays the backtrack node-for-node.
+    """
+    if getattr(search, "domains_overridden", False):
+        raise ValueError(
+            "refutations over override-restricted domains are partial; "
+            "only full searches yield unsolvable certificates"
+        )
+    cert = _header("unsolvable", affine, task)
+    cert["order"] = [encode(vertex) for vertex in search.vertices]
+    cert["domains"] = [
+        [encode(out) for out in search.domains[vertex]]
+        for vertex in search.vertices
+    ]
+    cert["trace"] = {"nodes_explored": search.nodes_explored}
+    return cert
+
+
+def budget_stub(
+    affine: AffineTask,
+    task: Task,
+    exc,
+    node_budget: Optional[int] = None,
+) -> Cert:
+    """A resumable stub from a :class:`SearchBudgetExceeded`.
+
+    Not a verdict: it records the consistent prefix the search held when
+    the budget fired, so :func:`repro.certify.extract.resume_from_stub`
+    (or ``Engine.resume_solve``) can seed a re-issued query with it.
+    """
+    cert = _header("budget", affine, task)
+    cert["partial"] = [
+        [encode(vertex), encode(out)]
+        for vertex, out in sorted(
+            exc.partial_assignment.items(), key=lambda kv: vertex_key(kv[0])
+        )
+    ]
+    cert["trace"] = {
+        "nodes_explored": exc.nodes_explored,
+        "node_budget": node_budget,
+    }
+    return cert
+
+
+# ----------------------------------------------------------------------
+# Decoding the pieces callers resume from
+# ----------------------------------------------------------------------
+def partial_assignment_of(stub: Cert) -> Dict[ChrVertex, OutputVertex]:
+    """Rebuild the partial assignment carried by a budget stub."""
+    if stub.get("kind") != "budget":
+        raise ValueError(f"not a budget stub: kind={stub.get('kind')!r}")
+    return {
+        decode(vertex): decode(out) for vertex, out in stub.get("partial", [])
+    }
+
+
+def mapping_of(cert: Cert) -> Dict[ChrVertex, OutputVertex]:
+    """Rebuild the carried map of a solvable certificate."""
+    if cert.get("kind") != "solvable":
+        raise ValueError(f"not a solvable certificate: {cert.get('kind')!r}")
+    return {decode(vertex): decode(out) for vertex, out in cert["map"]}
+
+
+# ----------------------------------------------------------------------
+# Files
+# ----------------------------------------------------------------------
+def cert_to_bytes(cert: Cert) -> bytes:
+    """The canonical on-disk form: sorted-key JSON, one trailing newline.
+
+    Deterministic byte-for-byte: two runs producing the same certificate
+    produce identical files.
+    """
+    return (_canon_text(cert) + "\n").encode("utf-8")
+
+
+def write_cert(path, cert: Cert) -> None:
+    """Write a certificate file at ``path`` (canonical bytes)."""
+    with open(path, "wb") as handle:
+        handle.write(cert_to_bytes(cert))
+
+
+def read_cert(path) -> Cert:
+    """Load a certificate file; raises ``ValueError`` on non-JSON."""
+    with open(path, "rb") as handle:
+        loaded = json.loads(handle.read().decode("utf-8"))
+    if not isinstance(loaded, dict):
+        raise ValueError(f"{path}: certificate must be a JSON object")
+    return loaded

@@ -12,7 +12,11 @@ Commands regenerate the paper's artifacts from the terminal:
   (``--json`` emits the service response schema);
 * ``batch``      — zoo classification + E11 through the compute engine;
 * ``serve``      — run the resident query service (``repro.service``);
-* ``query``      — issue queries against a running service.
+* ``query``      — issue queries against a running service;
+* ``certify``    — one certified FACT query, written as a portable
+  certificate JSON file (``repro.certify``);
+* ``check``      — validate certificate files with the independent
+  checker (imports only ``repro.certify.checker``).
 
 ``classify``, ``landscape``, ``fact`` and ``algorithm1`` accept
 ``--jobs N`` / ``--cache-dir PATH`` / ``--no-cache``; with the defaults
@@ -508,6 +512,31 @@ def _cmd_query(args: argparse.Namespace) -> int:
                     )
                 )
             return 0
+        if args.what == "certify":
+            from .certify import write_cert
+            from .tasks.set_consensus import set_consensus_task
+
+            task = set_consensus_task(args.n, args.k)
+            response = client.query_response(
+                "certify", (affine, task, args.budget)
+            )
+            cert = client._decode_value(response)
+            if args.output is not None:
+                write_cert(args.output, cert)
+            if args.json:
+                _emit(response)
+            else:
+                print(
+                    render_mapping(
+                        f"certificate for {args.k}-set consensus in R_A:",
+                        {
+                            "kind": cert["kind"],
+                            "cache hit": response["cache_hit"],
+                            "written to": args.output or "(not written)",
+                        },
+                    )
+                )
+            return 0
         if args.what == "fuzz":
             response = client.query_response(
                 "fuzz", (alpha, affine, args.seed)
@@ -524,6 +553,80 @@ def _cmd_query(args: argparse.Namespace) -> int:
                 )
             return 0
     raise SystemExit(f"unknown query {args.what!r}")
+
+
+def _certify_affine(args: argparse.Namespace):
+    """The affine task a ``certify`` invocation is about."""
+    if getattr(args, "wait_free", False):
+        return full_affine_task(args.n, args.depth)
+    if args.live_sets is None:
+        raise SystemExit(
+            "certify requires live sets JSON (or --wait-free)"
+        )
+    adversary = Adversary(
+        args.n, [set(live) for live in json.loads(args.live_sets)]
+    )
+    return r_affine(agreement_function_of(adversary))
+
+
+def _cmd_certify(args: argparse.Namespace) -> int:
+    """One certified FACT query; the certificate is the deliverable.
+
+    The verdict is in the certificate's ``kind``: ``solvable`` /
+    ``unsolvable`` carry a complete witness; a ``budget`` stub is
+    resumable, not a verdict, and exits non-zero so scripts notice.
+    """
+    from .certify import cert_to_bytes, write_cert
+    from .tasks.set_consensus import set_consensus_task
+
+    affine = _certify_affine(args)
+    task = set_consensus_task(args.n, args.k)
+    engine = _build_engine(args)
+    cert = engine.certify(affine, task, args.budget)
+    if args.output is not None:
+        write_cert(args.output, cert)
+        print(
+            f"wrote {args.output}: kind={cert['kind']} "
+            f"({affine.name} / {task.name})"
+        )
+    else:
+        sys.stdout.write(cert_to_bytes(cert).decode("utf-8"))
+    return 0 if cert["kind"] in ("solvable", "unsolvable") else 2
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    """Validate certificate files; exit 0 iff every file is valid.
+
+    Deliberately trusts nothing but :mod:`repro.certify.checker` — the
+    files are read as raw bytes and every claim in them is re-derived by
+    the independent checker.
+    """
+    from .certify import checker
+
+    all_valid = True
+    for path in args.certs:
+        try:
+            with open(path, "rb") as handle:
+                report = checker.check_bytes(handle.read())
+        except OSError as exc:
+            print(f"{path}: unreadable ({exc})", file=sys.stderr)
+            all_valid = False
+            continue
+        all_valid = all_valid and report.valid
+        if args.json:
+            print(
+                json.dumps(
+                    {"path": path, **report.to_dict()}, sort_keys=True
+                )
+            )
+        else:
+            status = "OK" if report.valid else "INVALID"
+            detail = f" ({report.detail})" if report.detail else ""
+            print(
+                f"{path}: {status} kind={report.kind} "
+                f"verdict={report.verdict} reason={report.reason}{detail}"
+            )
+    return 0 if all_valid else 1
 
 
 def _positive_int(text: str) -> int:
@@ -649,6 +752,7 @@ def build_parser() -> argparse.ArgumentParser:
             "classify",
             "r_affine",
             "solve",
+            "certify",
             "fuzz",
         ],
     )
@@ -656,7 +760,7 @@ def build_parser() -> argparse.ArgumentParser:
         "live_sets",
         nargs="?",
         default=None,
-        help="JSON live sets (classify / r_affine / solve / fuzz)",
+        help="JSON live sets (classify / r_affine / solve / certify / fuzz)",
     )
     query.add_argument("--host", default="127.0.0.1")
     query.add_argument("--port", type=int, default=7341)
@@ -672,6 +776,57 @@ def build_parser() -> argparse.ArgumentParser:
         "--json",
         action="store_true",
         help="print the raw wire response instead of a rendering",
+    )
+    query.add_argument(
+        "--output",
+        default=None,
+        help="write a fetched certificate to this file (query certify)",
+    )
+
+    certify = sub.add_parser(
+        "certify",
+        help="one certified FACT query -> a portable certificate file",
+    )
+    certify.add_argument(
+        "live_sets",
+        nargs="?",
+        default=None,
+        help='JSON list of live sets, e.g. "[[1],[0,2]]"',
+    )
+    certify.add_argument(
+        "--wait-free",
+        action="store_true",
+        help="certify against the wait-free task Chr^depth s instead",
+    )
+    certify.add_argument("--n", type=int, default=3)
+    certify.add_argument(
+        "--depth", type=int, default=1, help="subdivision depth (--wait-free)"
+    )
+    certify.add_argument(
+        "--k", type=int, default=2, help="set-consensus k to certify"
+    )
+    certify.add_argument(
+        "--budget",
+        type=int,
+        default=None,
+        help="node budget; overruns yield a resumable stub (exit 2)",
+    )
+    certify.add_argument(
+        "--output", default=None, help="certificate file (default: stdout)"
+    )
+    _add_engine_options(certify)
+
+    check = sub.add_parser(
+        "check",
+        help="validate certificate files with the independent checker",
+    )
+    check.add_argument(
+        "certs", nargs="+", help="certificate JSON files to validate"
+    )
+    check.add_argument(
+        "--json",
+        action="store_true",
+        help="one JSON report object per line instead of a rendering",
     )
 
     export = sub.add_parser(
@@ -704,6 +859,8 @@ _HANDLERS = {
     "algorithm1": _cmd_algorithm1,
     "crossover": _cmd_crossover,
     "inspect": _cmd_inspect,
+    "certify": _cmd_certify,
+    "check": _cmd_check,
 }
 
 

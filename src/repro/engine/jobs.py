@@ -2,7 +2,8 @@
 
 A :class:`JobSpec` is a pure description of one expensive computation —
 a subdivision, an ``R_A`` construction, an adversary classification, a
-FACT solvability query, or one Algorithm-1 fuzz case.  Specs are
+FACT solvability query (plain or certificate-producing), a certificate
+check, or one Algorithm-1 fuzz case.  Specs are
 canonically serializable (see :mod:`repro.engine.serialize`), which
 gives each job a content-addressed cache key and lets the executor ship
 it to worker processes without pickling closures.
@@ -67,10 +68,31 @@ def _compute_r_affine(payload: tuple) -> Any:
 
 
 def _compute_solve(payload: tuple) -> Any:
-    affine, task, node_budget, overrides = payload
+    # 4-tuple (affine, task, node_budget, overrides) or 5-tuple with a
+    # resume assignment (a budget stub's consistent prefix) appended.
+    affine, task, node_budget, overrides = payload[:4]
+    resume = dict(payload[4]) if len(payload) > 4 and payload[4] else None
     search = MapSearch(affine, task, domain_overrides=overrides)
-    mapping = search.search(node_budget)
+    mapping = search.search(node_budget, resume_from=resume)
     return (mapping, search.nodes_explored)
+
+
+def _compute_certify(payload: tuple) -> Any:
+    # One FACT query that returns the portable certificate document
+    # (solvable / unsolvable / resumable budget stub).  Budget overruns
+    # are part of the value — a stub, not an error — so certify jobs
+    # never enter the solve split-retry path.
+    affine, task, node_budget = payload
+    from ..certify.extract import certificate_for
+
+    return certificate_for(affine, task, node_budget)
+
+
+def _compute_check(payload: tuple) -> Any:
+    (cert,) = payload
+    from ..certify.checker import check
+
+    return check(cert).to_dict()
 
 
 def _compute_fuzz(payload: tuple) -> Any:
@@ -97,6 +119,8 @@ JOB_KINDS: Dict[str, Callable[[tuple], Any]] = {
     "classify": _compute_classify,
     "r_affine": _compute_r_affine,
     "solve": _compute_solve,
+    "certify": _compute_certify,
+    "check": _compute_check,
     "fuzz": _compute_fuzz,
     "sleep": _compute_sleep,
 }
@@ -244,7 +268,10 @@ class Engine:
                 jobs=self.jobs,
                 timeout=self.timeout,
             ):
-                if result.error == "budget":
+                if (
+                    result.error == "budget"
+                    and specs[result.index].kind == "solve"
+                ):
                     result = self._split_retry(
                         specs[result.index], result
                     )
@@ -284,7 +311,7 @@ class Engine:
         """
         from .executor import execute_batch
 
-        affine, task, node_budget, overrides = spec.payload
+        affine, task, node_budget, overrides = spec.payload[:4]
         total_nodes = failed.nodes_explored or 0
         splits_done = 0
         budget_hit = False
@@ -418,6 +445,79 @@ class Engine:
     ) -> Optional[Dict]:
         """One FACT query through the engine; returns the mapping."""
         return self.solve_many([(affine, task, node_budget)])[0][0]
+
+    def certify_many(
+        self,
+        queries: Iterable[Tuple[AffineTask, Task, Optional[int]]],
+    ) -> List[Dict]:
+        """Batch certified FACT queries; each result is a certificate.
+
+        Certificates are content-addressed-cached like ``solve`` values.
+        Budget overruns come back as resumable ``budget`` stubs (part of
+        the value, never an error), so no split-retry happens here —
+        callers hold the stub and can choose to resume.
+        """
+        specs = [
+            JobSpec("certify", (affine, task, budget))
+            for affine, task, budget in queries
+        ]
+        return [self._value(r) for r in self.run_jobs(specs)]
+
+    def certify(
+        self,
+        affine: AffineTask,
+        task: Task,
+        node_budget: Optional[int] = None,
+    ) -> Dict:
+        """One certified FACT query; returns the certificate document."""
+        return self.certify_many([(affine, task, node_budget)])[0]
+
+    def check_cert(self, cert: Dict) -> Dict:
+        """Run the independent checker on one certificate (cached).
+
+        Returns :meth:`repro.certify.checker.CheckReport.to_dict` output.
+        The check itself only trusts :mod:`repro.certify.checker`; the
+        engine merely caches the report under the certificate's content
+        address.
+        """
+        specs = [JobSpec("check", (cert,))]
+        return self._value(self.run_jobs(specs)[0])
+
+    def resume_solve(
+        self,
+        affine: AffineTask,
+        task: Task,
+        stub: Dict,
+        node_budget: Optional[int] = None,
+    ) -> Tuple[Optional[Dict], int]:
+        """Re-issue a budget-interrupted solve, seeded from its stub.
+
+        The stub must be a ``budget`` certificate for exactly this
+        ``(affine, task)`` pair (digest-checked); its consistent prefix
+        becomes the search's starting assignment, so only the unexplored
+        remainder of the space is visited.  Returns
+        ``(mapping_or_None, nodes_explored)``.
+        """
+        from ..certify import witness
+        from ..topology.simplex import vertex_key
+
+        statement = stub.get("statement", {}) if isinstance(stub, dict) else {}
+        if stub.get("kind") != "budget":
+            raise ValueError(f"not a budget stub: kind={stub.get('kind')!r}")
+        if statement.get("affine_digest") != digest(affine) or statement.get(
+            "task_digest"
+        ) != digest(task):
+            raise ValueError(
+                "stub statement digests do not match (affine, task)"
+            )
+        partial = witness.partial_assignment_of(stub)
+        resume = tuple(
+            sorted(partial.items(), key=lambda kv: vertex_key(kv[0]))
+        )
+        specs = [
+            JobSpec("solve", (affine, task, node_budget, None, resume))
+        ]
+        return self._value(self.run_jobs(specs)[0])
 
     def minimal_set_consensus_many(
         self,

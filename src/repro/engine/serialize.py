@@ -226,8 +226,22 @@ def _decode_task(encoded: Any) -> Task:
 # ----------------------------------------------------------------------
 # Public surface
 # ----------------------------------------------------------------------
+#: Canonical text of the big artifact types, memoized like their
+#: encodings: ``json.dumps`` over a subdivision-sized encoding costs as
+#: much as the encode itself, and digests (cache keys, certificate
+#: statements) re-serialize the same artifacts constantly.
+_SERIALIZE_MEMO: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
 def serialize(obj: Any) -> str:
     """Canonical, deterministic JSON text for a supported value."""
+    if isinstance(obj, _MEMOIZED_TYPES):
+        try:
+            return _SERIALIZE_MEMO[obj]
+        except KeyError:
+            text = _canon_text(encode(obj))
+            _SERIALIZE_MEMO[obj] = text
+            return text
     return _canon_text(encode(obj))
 
 

@@ -135,6 +135,24 @@ class ServiceClient(_QueryMixin):
     ) -> Tuple[Optional[Dict], int]:
         return self.query("solve", (affine, task, node_budget, None))
 
+    def certify(
+        self, affine, task, node_budget: Optional[int] = None
+    ) -> Dict[str, Any]:
+        """One certified FACT query; returns the certificate document.
+
+        Budget overruns come back as resumable ``budget`` stubs, not as
+        :class:`SearchBudgetExceeded` — the stub is the query's value.
+        """
+        return self.query("certify", (affine, task, node_budget))
+
+    def check(self, cert: Dict[str, Any]) -> Dict[str, Any]:
+        """Server-side certificate check; returns the report dict.
+
+        Convenience only — the certificate format is designed so any
+        holder can run :func:`repro.certify.check` locally instead.
+        """
+        return self.query("check", (cert,))
+
     def fuzz(self, alpha, affine, case_seed: int) -> Tuple[bool, int]:
         return self.query("fuzz", (alpha, affine, case_seed))
 
@@ -216,6 +234,14 @@ class AsyncServiceClient(_QueryMixin):
         self, affine, task, node_budget: Optional[int] = None
     ) -> Tuple[Optional[Dict], int]:
         return await self.query("solve", (affine, task, node_budget, None))
+
+    async def certify(
+        self, affine, task, node_budget: Optional[int] = None
+    ) -> Dict[str, Any]:
+        return await self.query("certify", (affine, task, node_budget))
+
+    async def check(self, cert: Dict[str, Any]) -> Dict[str, Any]:
+        return await self.query("check", (cert,))
 
     async def ping(self) -> bool:
         return bool((await self.request("ping")).get("pong"))

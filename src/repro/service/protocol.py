@@ -20,6 +20,12 @@ Request fields::
 * ``id``      — any JSON scalar; echoed verbatim in the response.
 * ``op``      — ``query`` | ``stats`` | ``metrics`` | ``ping``.
 * ``kind``    — (query only) an engine job kind from ``JOB_KINDS``.
+  Dispatch is generic over the registry, so kinds added after v1 —
+  ``certify`` (payload ``(affine, task, node_budget)``, value: a
+  certificate document) and ``check`` (payload ``(cert,)``, value: a
+  ``CheckReport`` dict) — work with no protocol change.  ``certify``
+  returns budget overruns as resumable ``budget`` stubs in the value,
+  never as a ``budget_exceeded`` error.
 * ``payload`` — (query only) canonical serialization of the job's
   payload tuple.
 * ``timeout`` — (query only, optional) per-request deadline in seconds;

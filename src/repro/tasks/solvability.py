@@ -102,6 +102,10 @@ class MapSearch:
         self.domains: Dict[ChrVertex, List[OutputVertex]] = {
             v: self._domain(v) for v in self.vertices
         }
+        #: True when ``domain_overrides`` restricted any domain; such a
+        #: search covers only a slice of the space, so its exhaustion is
+        #: not a full refutation (certificates refuse to cite it).
+        self.domains_overridden = bool(domain_overrides)
         if domain_overrides:
             for vertex, allowed in domain_overrides.items():
                 if vertex not in self.domains:
@@ -159,12 +163,24 @@ class MapSearch:
 
     # ------------------------------------------------------------------
     def search(
-        self, node_budget: Optional[int] = None
+        self,
+        node_budget: Optional[int] = None,
+        resume_from: Optional[Dict[ChrVertex, OutputVertex]] = None,
     ) -> Optional[Dict[ChrVertex, OutputVertex]]:
         """Find a carried map, or return ``None`` when none exists.
 
         Raises :class:`SearchBudgetExceeded` if ``node_budget``
         assignments are exhausted before the search concludes.
+
+        ``resume_from`` seeds the search with the partial assignment a
+        previous run's :class:`SearchBudgetExceeded` carried (see
+        ``repro.certify``'s budget stubs): the DFS stack is rebuilt so
+        every branch the interrupted run already exhausted is skipped,
+        and the remaining space is explored in the identical order — a
+        resumed search finds exactly the map a fresh, unbudgeted run
+        would.  ``nodes_explored`` counts only the resumed portion.
+        Raises ``ValueError`` when the prefix is not a consistent
+        assignment of an initial segment of the vertex order.
         """
         assignment: Dict[ChrVertex, OutputVertex] = {}
         self.nodes_explored = 0
@@ -186,6 +202,10 @@ class MapSearch:
             return {}
         choice_index = [0] * total
         depth = 0
+        if resume_from:
+            depth = self._seed(assignment, choice_index, resume_from, consistent)
+            if depth == total:
+                return dict(assignment)
         while True:
             vertex = self.vertices[depth]
             domain = self.domains[vertex]
@@ -220,6 +240,47 @@ class MapSearch:
                 if depth < 0:
                     return None
                 assignment.pop(self.vertices[depth], None)
+
+    def _seed(
+        self,
+        assignment: Dict[ChrVertex, OutputVertex],
+        choice_index: List[int],
+        resume_from: Dict[ChrVertex, OutputVertex],
+        consistent,
+    ) -> int:
+        """Rebuild the DFS stack from a partial assignment.
+
+        The prefix must assign exactly ``self.vertices[:d]`` for some
+        ``d``; each choice index is set one *past* the assigned
+        candidate, which is precisely the "next branch on backtrack"
+        state of the interrupted search.  Returns ``d``.
+        """
+        depth = 0
+        for vertex in self.vertices:
+            if vertex not in resume_from:
+                break
+            depth += 1
+        extra = set(resume_from) - set(self.vertices[:depth])
+        if extra:
+            raise ValueError(
+                "resume assignment is not an initial segment of the "
+                f"vertex order ({len(extra)} stray entries)"
+            )
+        for index in range(depth):
+            vertex = self.vertices[index]
+            candidate = resume_from[vertex]
+            domain = self.domains[vertex]
+            if candidate not in domain:
+                raise ValueError(
+                    f"resume candidate for {vertex!r} is outside its domain"
+                )
+            assignment[vertex] = candidate
+            if not consistent(vertex):
+                raise ValueError("resume assignment violates a constraint")
+            choice_index[index] = domain.index(candidate) + 1
+        if depth < len(self.vertices):
+            choice_index[depth] = 0
+        return depth
 
 
 def split_search_domains(

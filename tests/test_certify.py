@@ -1,0 +1,444 @@
+"""Tests for ``repro.certify`` — certificates, the independent checker,
+and the engine / service / CLI wiring.
+
+The important invariants:
+
+* every verdict the library can produce round-trips through a
+  certificate the *independent* checker validates (fuzzed over random
+  task mutations);
+* forged certificates are rejected with the right machine-readable
+  reason;
+* the negative verdict agrees with the Sperner counting obstruction;
+* budget stubs resume to the same map a fresh search finds;
+* the checker is genuinely independent (stdlib-only, AST-enforced) yet
+  stays in sync with the engine's digest scheme (test-enforced).
+"""
+
+from __future__ import annotations
+
+import ast
+import copy
+import json
+import random
+from itertools import combinations
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.sperner import fuzz_sperner
+from repro.certify import (
+    CERT_FORMAT,
+    CERT_VERSION,
+    budget_stub,
+    cert_to_bytes,
+    certified_search,
+    check,
+    check_bytes,
+    mapping_of,
+    read_cert,
+    resume_from_stub,
+    solvable_cert,
+    unsolvable_cert,
+    write_cert,
+)
+from repro.certify import checker as checker_module
+from repro.cli import main
+from repro.core import full_affine_task
+from importlib import import_module
+
+from repro.engine import ArtifactCache, Engine
+
+# ``repro.engine.serialize`` the *module* — the package re-exports a
+# function under the same name, shadowing the attribute.
+serialize_module = import_module("repro.engine.serialize")
+from repro.tasks.set_consensus import set_consensus_task
+from repro.tasks.solvability import MapSearch, SearchBudgetExceeded
+from repro.tasks.task import Task
+
+
+@pytest.fixture(scope="session")
+def wf_affine():
+    """The wait-free one-round task ``Chr s`` (3 processes)."""
+    return full_affine_task(3, 1)
+
+
+@pytest.fixture(scope="session")
+def solvable_pair(ra_1res):
+    """A known-solvable instance and its certificate."""
+    task = set_consensus_task(3, 2)
+    mapping, cert = certified_search(ra_1res, task)
+    assert mapping is not None and cert["kind"] == "solvable"
+    return mapping, cert
+
+
+@pytest.fixture(scope="session")
+def unsolvable_cert_wf(wf_affine):
+    """A known-unsolvable instance's certificate (wait-free 2-set)."""
+    mapping, cert = certified_search(wf_affine, set_consensus_task(3, 2))
+    assert mapping is None and cert["kind"] == "unsolvable"
+    return cert
+
+
+# ---------------------------------------------------------------- round-trip
+def test_positive_roundtrip(solvable_pair):
+    mapping, cert = solvable_pair
+    report = check(cert)
+    assert report.valid and report.verdict == "solvable"
+    assert report.reason == "ok"
+    assert report.vertices_checked == len(mapping)
+    assert report.simplices_checked > 0
+    assert mapping_of(cert) == mapping
+
+
+def test_negative_roundtrip(unsolvable_cert_wf):
+    report = check(unsolvable_cert_wf)
+    assert report.valid and report.verdict == "unsolvable"
+    # The replay visits exactly the traced node count — no more, no less.
+    assert report.nodes_replayed == (
+        unsolvable_cert_wf["trace"]["nodes_explored"]
+    )
+
+
+def _thinned_task(base: Task, seed: int) -> Task:
+    """A random sub-task: ``Delta`` with some output simplices dropped."""
+    rng = random.Random(seed)
+    table = {}
+    for size in range(1, base.n + 1):
+        for combo in combinations(range(base.n), size):
+            participants = frozenset(combo)
+            outputs = sorted(
+                base.allowed_outputs(participants),
+                key=lambda sigma: sorted(
+                    (v.process, repr(v.value)) for v in sigma
+                ),
+            )
+            kept = [sigma for sigma in outputs if rng.random() < 0.8]
+            table[participants] = frozenset(kept or outputs)
+    return Task(
+        base.n,
+        base.input_complex,
+        base.output_complex,
+        lambda participants: table[frozenset(participants)],
+        name=f"{base.name}-thinned-{seed}",
+    )
+
+
+def test_fuzz_random_tasks_roundtrip(wf_affine):
+    """Seeded random sub-tasks: every verdict's certificate validates."""
+    base = set_consensus_task(3, 3)
+    verdicts = set()
+    for seed in range(6):
+        task = _thinned_task(base, seed)
+        mapping, cert = certified_search(wf_affine, task)
+        report = check(cert)
+        assert report.valid, (seed, report.reason, report.detail)
+        expected = "solvable" if mapping is not None else "unsolvable"
+        assert report.verdict == expected, (seed, report.verdict)
+        verdicts.add(expected)
+    # The seeds are chosen to exercise both branches of the format.
+    assert verdicts == {"solvable", "unsolvable"}
+
+
+# ---------------------------------------------------------------- forgeries
+def test_mutation_recolored_vertex_rejected(solvable_pair):
+    _, cert = solvable_pair
+    mutated = copy.deepcopy(cert)
+    vertex_enc, out_enc = mutated["map"][0]
+    mutated["map"][0] = [
+        vertex_enc,
+        ["outv", (out_enc[1] + 1) % 3, out_enc[2]],
+    ]
+    report = check(mutated)
+    assert not report.valid and report.reason == "chromatic_violation"
+
+
+def test_mutation_swapped_image_rejected(solvable_pair):
+    _, cert = solvable_pair
+    mutated = copy.deepcopy(cert)
+    by_color: dict = {}
+    for index, (_, out_enc) in enumerate(mutated["map"]):
+        by_color.setdefault(out_enc[1], []).append(index)
+    swap = next(
+        (a, b)
+        for indices in by_color.values()
+        for a in indices
+        for b in indices
+        if mutated["map"][a][1] != mutated["map"][b][1]
+    )
+    a, b = swap
+    (va, oa), (vb, ob) = mutated["map"][a], mutated["map"][b]
+    mutated["map"][a], mutated["map"][b] = [va, ob], [vb, oa]
+    report = check(mutated)
+    # The per-simplex image entries no longer match the mutated map.
+    assert not report.valid and report.reason == "image_mismatch"
+
+
+def test_mutation_widened_carrier_rejected(solvable_pair):
+    _, cert = solvable_pair
+    mutated = copy.deepcopy(cert)
+    entry = next(e for e in mutated["simplices"] if len(e["carrier"]) < 3)
+    entry["carrier"] = [0, 1, 2]
+    report = check(mutated)
+    assert not report.valid and report.reason == "carrier_mismatch"
+
+
+def test_mutation_tampered_statement_rejected(solvable_pair):
+    _, cert = solvable_pair
+    mutated = copy.deepcopy(cert)
+    mutated["statement"]["delta"] = mutated["statement"]["delta"][:-1]
+    report = check(mutated)
+    assert not report.valid and report.reason == "statement_digest_mismatch"
+
+
+def test_mutation_truncated_trace_rejected(unsolvable_cert_wf):
+    mutated = copy.deepcopy(unsolvable_cert_wf)
+    mutated["trace"]["nodes_explored"] += 1
+    report = check(mutated)
+    assert not report.valid and report.reason == "trace_mismatch"
+
+    truncated = copy.deepcopy(unsolvable_cert_wf)
+    truncated["domains"][0] = truncated["domains"][0][:-1]
+    report = check(truncated)
+    assert not report.valid and report.reason == "domain_mismatch"
+
+
+def test_format_and_version_gates(solvable_pair):
+    _, cert = solvable_pair
+    other = dict(cert, version=99)
+    assert check(other).reason == "unsupported_version"
+    assert check(dict(cert, format="else")).reason == "bad_format"
+    assert check(["not", "an", "object"]).reason == "bad_format"
+    assert check(dict(cert, kind="mystery")).reason == "unknown_kind"
+    assert not check_bytes(b"{ not json").valid
+
+
+# ------------------------------------------------------- verdict consistency
+def test_unsolvable_agrees_with_sperner(unsolvable_cert_wf, chr1):
+    """The FACT refutation and the Sperner obstruction must agree.
+
+    Wait-free 2-set consensus over ``Chr s`` is the instance where the
+    counting argument applies: an admissible labeling with zero
+    panchromatic facets would contradict the parity, and a carried map
+    would be exactly such a labeling.  If this assertion ever fires the
+    two independent proofs of the same fact diverged — that is a bug in
+    one of them, not in this test.
+    """
+    report = check(unsolvable_cert_wf)
+    sperner_holds = fuzz_sperner(chr1, trials=50, seed=3)
+    assert report.valid and report.verdict == "unsolvable" and sperner_holds, (
+        "DIVERGENCE between independent obstructions: certificate replay "
+        f"says {report.verdict!r} (valid={report.valid}) but the Sperner "
+        f"parity fuzz says {'holds' if sperner_holds else 'FAILS'}"
+    )
+
+
+# ---------------------------------------------------------------- resume
+def test_budget_stub_resumes_to_same_map(ra_1res):
+    task = set_consensus_task(3, 2)
+    fresh = MapSearch(ra_1res, task)
+    expected = fresh.search()
+    assert expected is not None
+
+    mapping, stub = certified_search(ra_1res, task, node_budget=20)
+    assert mapping is None and stub["kind"] == "budget"
+    report = check(stub)
+    assert report.valid and report.verdict == "undecided"
+
+    resumed, nodes = resume_from_stub(stub, ra_1res, task)
+    assert resumed == expected
+    # The resume skips the already-explored prefix.
+    assert nodes < fresh.nodes_explored
+
+
+def test_resume_rejects_foreign_stub(ra_1res):
+    _, stub = certified_search(
+        ra_1res, set_consensus_task(3, 2), node_budget=20
+    )
+    with pytest.raises(ValueError):
+        resume_from_stub(stub, ra_1res, set_consensus_task(3, 1))
+
+
+def test_unsolvable_cert_refuses_restricted_domains(wf_affine):
+    task = set_consensus_task(3, 2)
+    search = MapSearch(wf_affine, task)
+    vertex = search.vertices[0]
+    restricted = MapSearch(
+        wf_affine, task, domain_overrides={vertex: frozenset()}
+    )
+    assert restricted.search() is None
+    with pytest.raises(ValueError):
+        unsolvable_cert(wf_affine, task, restricted)
+
+
+# ---------------------------------------------------------------- determinism
+def test_certificates_are_byte_deterministic(ra_1res, wf_affine):
+    for affine, k in ((ra_1res, 2), (wf_affine, 2)):
+        task = set_consensus_task(3, k)
+        _, first = certified_search(affine, task)
+        _, second = certified_search(affine, task)
+        assert cert_to_bytes(first) == cert_to_bytes(second)
+
+
+def test_cert_file_roundtrip(tmp_path, solvable_pair):
+    _, cert = solvable_pair
+    path = tmp_path / "cert.json"
+    write_cert(path, cert)
+    assert read_cert(path) == cert
+    assert check_bytes(path.read_bytes()).valid
+
+
+# ---------------------------------------------------------------- trusted base
+def test_checker_is_stdlib_only():
+    """The checker must not import the library it is checking."""
+    source = Path(checker_module.__file__).read_text()
+    allowed = {"__future__", "hashlib", "json", "dataclasses", "typing"}
+    for node in ast.walk(ast.parse(source)):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                assert alias.name in allowed, alias.name
+        elif isinstance(node, ast.ImportFrom):
+            assert node.level == 0, "relative import in the trusted base"
+            assert node.module in allowed, node.module
+
+
+def test_checker_constants_match_engine():
+    """The literal constants in the trusted base stay in sync."""
+    from repro.certify import witness
+
+    assert checker_module.DIGEST_SALT == serialize_module._DIGEST_SALT
+    assert checker_module.CERT_FORMAT == witness.CERT_FORMAT == CERT_FORMAT
+    assert witness.CERT_VERSION == CERT_VERSION
+    assert CERT_VERSION in checker_module.SUPPORTED_VERSIONS
+
+
+# ---------------------------------------------------------------- engine
+def test_engine_certify_and_check_jobs(tmp_path, ra_1res):
+    task = set_consensus_task(3, 2)
+    engine = Engine(cache=ArtifactCache(tmp_path))
+    cert = engine.certify(ra_1res, task)
+    assert cert["kind"] == "solvable"
+    report = engine.check_cert(cert)
+    assert report["valid"] and report["verdict"] == "solvable"
+
+    warm = Engine(cache=ArtifactCache(tmp_path))
+    again = warm.certify(ra_1res, task)
+    assert again == cert
+    assert warm.stats()["hits"] >= 1
+
+
+def test_engine_certify_budget_returns_stub(ra_1res):
+    """Budget overruns are stub values, never split-retried errors."""
+    engine = Engine(split_retries=3)
+    stub = engine.certify(ra_1res, set_consensus_task(3, 2), 20)
+    assert stub["kind"] == "budget"
+    assert stub["trace"]["node_budget"] == 20
+
+
+def test_engine_parallel_certify(ra_1res, wf_affine):
+    certs = Engine(jobs=2).certify_many(
+        [
+            (ra_1res, set_consensus_task(3, 2), None),
+            (wf_affine, set_consensus_task(3, 2), None),
+        ]
+    )
+    assert [cert["kind"] for cert in certs] == ["solvable", "unsolvable"]
+
+
+def test_engine_resume_solve(ra_1res):
+    task = set_consensus_task(3, 2)
+    engine = Engine()
+    stub = engine.certify(ra_1res, task, 20)
+    assert stub["kind"] == "budget"
+    mapping, nodes = engine.resume_solve(ra_1res, task, stub)
+    assert mapping == engine.solve(ra_1res, task)
+    assert nodes > 0
+    with pytest.raises(ValueError):
+        engine.resume_solve(ra_1res, set_consensus_task(3, 1), stub)
+    with pytest.raises(ValueError):
+        engine.resume_solve(ra_1res, task, {"kind": "solvable"})
+
+
+def test_engine_solve_budget_still_raises(wf_affine):
+    """The solve path's split-retry semantics are unchanged."""
+    engine = Engine(split_retries=0)
+    with pytest.raises(SearchBudgetExceeded):
+        engine.solve_many([(wf_affine, set_consensus_task(3, 2), 5)])
+
+
+# ---------------------------------------------------------------- service
+def test_service_certify_and_check(ra_1res):
+    from repro.service import BackgroundServer, ServiceClient
+
+    task = set_consensus_task(3, 2)
+    with BackgroundServer(Engine()) as background:
+        with ServiceClient(port=background.server.port) as client:
+            cert = client.certify(ra_1res, task)
+            assert cert["kind"] == "solvable"
+            report = client.check(cert)
+            assert report["valid"] and report["verdict"] == "solvable"
+            stub = client.certify(ra_1res, task, 20)
+            assert stub["kind"] == "budget"
+    # The wire cert validates locally too — the format is portable.
+    assert check(cert).valid
+
+
+# ---------------------------------------------------------------- CLI
+LIVE_SETS_1RES = "[[0,1],[0,2],[1,2],[0,1,2]]"
+
+
+def test_cli_certify_check_roundtrip(tmp_path, capsys):
+    path = tmp_path / "cert.json"
+    assert (
+        main(
+            [
+                "certify",
+                LIVE_SETS_1RES,
+                "--k",
+                "2",
+                "--output",
+                str(path),
+            ]
+        )
+        == 0
+    )
+    assert "kind=solvable" in capsys.readouterr().out
+    assert main(["check", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "OK" in out and "verdict=solvable" in out
+
+    assert main(["check", str(path), "--json"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["valid"] and report["path"] == str(path)
+
+    # A tampered file must flip the exit code.
+    cert = read_cert(path)
+    cert["statement"]["delta"] = cert["statement"]["delta"][:-1]
+    write_cert(path, cert)
+    assert main(["check", str(path)]) == 1
+    assert "statement_digest_mismatch" in capsys.readouterr().out
+
+
+def test_cli_certify_budget_exit_code(tmp_path, capsys):
+    path = tmp_path / "stub.json"
+    code = main(
+        [
+            "certify",
+            LIVE_SETS_1RES,
+            "--k",
+            "2",
+            "--budget",
+            "10",
+            "--output",
+            str(path),
+        ]
+    )
+    assert code == 2
+    assert read_cert(path)["kind"] == "budget"
+    capsys.readouterr()
+
+
+def test_cli_certify_stdout(capsys):
+    assert main(["certify", "--wait-free", "--k", "3"]) == 0
+    cert = json.loads(capsys.readouterr().out)
+    assert cert["kind"] == "solvable"
+    assert check(cert).valid
