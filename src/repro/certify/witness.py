@@ -170,13 +170,15 @@ def budget_stub(
     affine: AffineTask,
     task: Task,
     exc,
-    node_budget: Optional[int] = None,
+    budget: Optional[int] = None,
 ) -> Cert:
     """A resumable stub from a :class:`SearchBudgetExceeded`.
 
     Not a verdict: it records the consistent prefix the search held when
     the budget fired, so :func:`repro.certify.extract.resume_from_stub`
     (or ``Engine.resume_solve``) can seed a re-issued query with it.
+    The trace field keeps its v1 name ``node_budget`` — the certificate
+    format is independent of the API's kwarg spelling.
     """
     cert = _header("budget", affine, task)
     cert["partial"] = [
@@ -187,7 +189,7 @@ def budget_stub(
     ]
     cert["trace"] = {
         "nodes_explored": exc.nodes_explored,
-        "node_budget": node_budget,
+        "node_budget": budget,
     }
     return cert
 

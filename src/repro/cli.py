@@ -64,18 +64,31 @@ from .topology import chr_complex, fubini_number
 def _build_engine(args: argparse.Namespace, default_cache: bool = False):
     """An :class:`repro.engine.Engine` configured from CLI options."""
     from .engine import ArtifactCache, Engine, NullCache
+    from .solver import DEFAULT_KERNEL
 
     cache_dir = getattr(args, "cache_dir", None)
     want_cache = (
         cache_dir is not None or default_cache
     ) and not getattr(args, "no_cache", False)
     cache = ArtifactCache(cache_dir) if want_cache else NullCache()
-    return Engine(jobs=getattr(args, "jobs", 1), cache=cache)
+    return Engine(
+        jobs=getattr(args, "jobs", 1),
+        cache=cache,
+        kernel=getattr(args, "kernel", None) or DEFAULT_KERNEL,
+    )
 
 
 def _engine_from_args(args: argparse.Namespace):
-    """An engine when the user opted in, else ``None`` (legacy path)."""
-    if getattr(args, "jobs", 1) == 1 and getattr(args, "cache_dir", None) is None:
+    """An engine when the user opted in, else ``None`` (legacy path).
+
+    An explicit ``--kernel`` is an opt-in too: kernel selection lives in
+    the engine, so asking for one routes the command through it.
+    """
+    if (
+        getattr(args, "jobs", 1) == 1
+        and getattr(args, "cache_dir", None) is None
+        and getattr(args, "kernel", None) is None
+    ):
         return None
     return _build_engine(args)
 
@@ -298,6 +311,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     ``~/.cache/repro-engine``); a warm second invocation does no
     expensive computation at all.
     """
+    from .solver import SolveRequest
     from .tasks.set_consensus import set_consensus_task
 
     engine = _build_engine(args, default_cache=True)
@@ -306,7 +320,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     )
     print(
         banner(
-            f"engine batch — jobs={engine.jobs}, cache={cache_note}"
+            f"engine batch — jobs={engine.jobs}, cache={cache_note}, "
+            f"kernel={engine.kernel}"
         )
     )
 
@@ -334,7 +349,11 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         ("R_A(fig5b)", r_affine(agreement_function_of(figure5b_adversary()))),
     ]
     queries = [
-        (task, set_consensus_task(task.n, k), None)
+        SolveRequest(
+            affine=task,
+            task=set_consensus_task(task.n, k),
+            kernel=engine.kernel,
+        )
         for _, task in cases
         for k in range(1, 4)
     ]
@@ -637,6 +656,8 @@ def _positive_int(text: str) -> int:
 
 
 def _add_engine_options(parser: argparse.ArgumentParser) -> None:
+    from .solver import KERNELS
+
     parser.add_argument(
         "--jobs",
         type=_positive_int,
@@ -652,6 +673,12 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
         "--no-cache",
         action="store_true",
         help="disable the artifact cache",
+    )
+    parser.add_argument(
+        "--kernel",
+        choices=KERNELS,
+        default=None,
+        help="solve kernel for FACT queries (implies the engine path)",
     )
 
 

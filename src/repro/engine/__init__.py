@@ -22,6 +22,7 @@ functions directly; parallelism and persistence are strictly opt-in
 (``--jobs N`` / ``--cache-dir`` on the CLI).  See ``docs/engine.md``.
 """
 
+from ..solver.api import SolveRequest, SolveResult
 from .cache import MISS, ArtifactCache, NullCache, default_cache_dir
 from .jobs import Engine, JobResult, JobSpec
 from .serialize import (
@@ -42,6 +43,8 @@ __all__ = [
     "NullCache",
     "SCHEME_VERSION",
     "SerializationError",
+    "SolveRequest",
+    "SolveResult",
     "default_cache_dir",
     "deserialize",
     "digest",

@@ -27,11 +27,16 @@ from ..adversaries.fairness import is_fair
 from ..adversaries.setcon import setcon
 from ..core.affine import AffineTask
 from ..core.ra import DEFAULT_VARIANT, r_affine
-from ..tasks.solvability import (
-    MapSearch,
-    SearchBudgetExceeded,
-    split_search_domains,
+from ..solver.api import (
+    DEFAULT_KERNEL,
+    KERNELS,
+    SolveRequest,
+    SolveResult,
+    as_solve_request,
+    run_request,
 )
+from ..solver.split import split_request
+from ..tasks.solvability import SearchBudgetExceeded, resolve_budget
 from ..tasks.task import Task
 from ..topology.subdivision import iterated_subdivision
 from ..topology.chromatic import standard_simplex
@@ -68,24 +73,25 @@ def _compute_r_affine(payload: tuple) -> Any:
 
 
 def _compute_solve(payload: tuple) -> Any:
-    # 4-tuple (affine, task, node_budget, overrides) or 5-tuple with a
-    # resume assignment (a budget stub's consistent prefix) appended.
-    affine, task, node_budget, overrides = payload[:4]
-    resume = dict(payload[4]) if len(payload) > 4 and payload[4] else None
-    search = MapSearch(affine, task, domain_overrides=overrides)
-    mapping = search.search(node_budget, resume_from=resume)
-    return (mapping, search.nodes_explored)
+    # Typed payload: a 1-tuple wrapping a SolveRequest.  Legacy
+    # positional 4/5-tuples still work through the adapter below, which
+    # emits a DeprecationWarning.
+    result = run_request(as_solve_request(payload))
+    return result.as_pair()
 
 
 def _compute_certify(payload: tuple) -> Any:
     # One FACT query that returns the portable certificate document
     # (solvable / unsolvable / resumable budget stub).  Budget overruns
     # are part of the value — a stub, not an error — so certify jobs
-    # never enter the solve split-retry path.
-    affine, task, node_budget = payload
+    # never enter the solve split-retry path.  Certificates are
+    # kernel-independent (extraction coerces to a tree-identical
+    # kernel), so the payload carries no kernel and cache keys are
+    # stable across engine kernel settings.
+    affine, task, budget = payload
     from ..certify.extract import certificate_for
 
-    return certificate_for(affine, task, node_budget)
+    return certificate_for(affine, task, budget)
 
 
 def _compute_check(payload: tuple) -> Any:
@@ -158,6 +164,8 @@ class JobResult:
     error: Optional[str] = None
     nodes_explored: Optional[int] = None
     splits: int = 0
+    #: The solve kernel that produced the value (``solve`` jobs only).
+    kernel: Optional[str] = None
 
     @property
     def ok(self) -> bool:
@@ -195,6 +203,12 @@ class Engine:
         the domain into independent sub-jobs and doubles the per-job
         node budget, so level ``r`` spends at most ``2**r`` times the
         original budget per slice before the error is surfaced.
+    kernel:
+        The solve kernel queries default to when they don't choose one
+        (``legacy``, ``bitset``, ``fc``; see :mod:`repro.solver`).
+        Kernels whose node counts differ from legacy cache under
+        kernel-specific keys, so switching kernels never serves a
+        mismatched cached count.
     """
 
     def __init__(
@@ -204,14 +218,20 @@ class Engine:
         timeout: Optional[float] = None,
         progress: Optional[ProgressCallback] = None,
         split_retries: int = 3,
+        kernel: str = DEFAULT_KERNEL,
     ):
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
+        if kernel not in KERNELS:
+            raise ValueError(
+                f"unknown kernel {kernel!r}; expected one of {KERNELS}"
+            )
         self.jobs = jobs
         self.cache = cache if cache is not None else NullCache()
         self.timeout = timeout
         self.progress = progress
         self.split_retries = split_retries
+        self.kernel = kernel
         #: Jobs answered by batch-level dedup instead of computation.
         self.deduped = 0
 
@@ -288,6 +308,9 @@ class Engine:
         for result in results:
             if result is not None and result.kind == "solve" and result.ok:
                 result.nodes_explored = result.value[1]
+                payload = specs[result.index].payload
+                if len(payload) == 1 and isinstance(payload[0], SolveRequest):
+                    result.kernel = payload[0].kernel
         return [result for result in results if result is not None]
 
     def _finish(self, results: List[Optional[JobResult]], result: JobResult):
@@ -309,37 +332,49 @@ class Engine:
         slice surfaces as ``error="budget"`` with the aggregated node
         count.
         """
+        from dataclasses import replace as dc_replace
+
         from .executor import execute_batch
 
-        affine, task, node_budget, overrides = spec.payload[:4]
+        request = as_solve_request(spec.payload, warn=False)
         total_nodes = failed.nodes_explored or 0
         splits_done = 0
         budget_hit = False
-        # Frontier items: (domain overrides, escalated budget, level).
-        frontier: List[Tuple[Any, int, int]] = [
-            (overrides, node_budget * 2, 1)
+        # Frontier items: (solve request with escalated budget, level).
+        # Slices are SolveRequests, so their override domains normalize
+        # to structural vertex_key order at construction — the split
+        # portfolio is platform- and hash-seed-stable.
+        frontier: List[Tuple[SolveRequest, int]] = [
+            (dc_replace(request, budget=request.budget * 2), 1)
         ]
 
         while frontier:
-            current_overrides, budget, level = frontier.pop(0)
+            current, level = frontier.pop(0)
             if level > self.split_retries:
                 budget_hit = True
                 continue
-            sub_spaces = split_search_domains(
-                affine, task, parts=2, domain_overrides=current_overrides
-            ) or [dict(current_overrides or {})]
+            sub_requests = split_request(current, parts=2) or [
+                dc_replace(current, resume=None)
+            ]
             splits_done += 1
             sub_pending = [
-                (i, JobSpec("solve", (affine, task, budget, sub or None)))
-                for i, sub in enumerate(sub_spaces)
+                (i, JobSpec("solve", (sub,)))
+                for i, sub in enumerate(sub_requests)
             ]
             sub_results = execute_batch(
                 sub_pending, jobs=self.jobs, timeout=self.timeout
             )
-            for sub_result, sub_overrides in zip(sub_results, sub_spaces):
+            for sub_result, sub_request in zip(sub_results, sub_requests):
                 if sub_result.error == "budget":
                     total_nodes += sub_result.nodes_explored or 0
-                    frontier.append((sub_overrides, budget * 2, level + 1))
+                    frontier.append(
+                        (
+                            dc_replace(
+                                sub_request, budget=sub_request.budget * 2
+                            ),
+                            level + 1,
+                        )
+                    )
                     continue
                 if not sub_result.ok:
                     return JobResult(
@@ -420,31 +455,70 @@ class Engine:
         specs = [JobSpec("r_affine", (alpha, variant)) for alpha in alphas]
         return [self._value(r) for r in self.run_jobs(specs)]
 
+    def _request_of(self, query) -> SolveRequest:
+        """Coerce a query — request or ``(L, T, budget)`` triple — to a
+        :class:`SolveRequest` carrying this engine's default kernel."""
+        if isinstance(query, SolveRequest):
+            return query
+        affine, task, budget = query
+        return SolveRequest(
+            affine=affine, task=task, budget=budget, kernel=self.kernel
+        )
+
     def solve_many(
         self,
-        queries: Iterable[Tuple[AffineTask, Task, Optional[int]]],
+        queries: Iterable,
     ) -> List[Tuple[Optional[Dict], int]]:
         """Batch FACT solvability queries.
 
-        Each query is ``(L, T, node_budget)``; each result is
+        Each query is a :class:`SolveRequest` or an ``(L, T, budget)``
+        triple (triples inherit the engine's kernel); each result is
         ``(mapping_or_None, nodes_explored)``.  Budget overruns that
         survive split-retry raise :class:`SearchBudgetExceeded` with the
         aggregated node count.
         """
         specs = [
-            JobSpec("solve", (affine, task, budget, None))
-            for affine, task, budget in queries
+            JobSpec("solve", (self._request_of(query),))
+            for query in queries
         ]
         return [self._value(r) for r in self.run_jobs(specs)]
+
+    def solve_results(self, queries: Iterable) -> List[SolveResult]:
+        """Like :meth:`solve_many`, but typed: one
+        :class:`SolveResult` (verdict/map/nodes/kernel) per query."""
+        requests = [self._request_of(query) for query in queries]
+        pairs = self.solve_many(requests)
+        return [
+            SolveResult(
+                verdict="solvable" if mapping is not None else "unsolvable",
+                mapping=mapping,
+                nodes=nodes,
+                kernel=request.kernel,
+            )
+            for request, (mapping, nodes) in zip(requests, pairs)
+        ]
 
     def solve(
         self,
         affine: AffineTask,
         task: Task,
+        budget: Optional[int] = None,
+        *,
+        kernel: Optional[str] = None,
         node_budget: Optional[int] = None,
+        max_nodes: Optional[int] = None,
     ) -> Optional[Dict]:
         """One FACT query through the engine; returns the mapping."""
-        return self.solve_many([(affine, task, node_budget)])[0][0]
+        budget = resolve_budget(
+            budget, node_budget=node_budget, max_nodes=max_nodes
+        )
+        request = SolveRequest(
+            affine=affine,
+            task=task,
+            budget=budget,
+            kernel=kernel or self.kernel,
+        )
+        return self.solve_many([request])[0][0]
 
     def certify_many(
         self,
@@ -467,10 +541,16 @@ class Engine:
         self,
         affine: AffineTask,
         task: Task,
+        budget: Optional[int] = None,
+        *,
         node_budget: Optional[int] = None,
+        max_nodes: Optional[int] = None,
     ) -> Dict:
         """One certified FACT query; returns the certificate document."""
-        return self.certify_many([(affine, task, node_budget)])[0]
+        budget = resolve_budget(
+            budget, node_budget=node_budget, max_nodes=max_nodes
+        )
+        return self.certify_many([(affine, task, budget)])[0]
 
     def check_cert(self, cert: Dict) -> Dict:
         """Run the independent checker on one certificate (cached).
@@ -488,19 +568,26 @@ class Engine:
         affine: AffineTask,
         task: Task,
         stub: Dict,
+        budget: Optional[int] = None,
+        *,
         node_budget: Optional[int] = None,
+        max_nodes: Optional[int] = None,
     ) -> Tuple[Optional[Dict], int]:
         """Re-issue a budget-interrupted solve, seeded from its stub.
 
         The stub must be a ``budget`` certificate for exactly this
         ``(affine, task)`` pair (digest-checked); its consistent prefix
         becomes the search's starting assignment, so only the unexplored
-        remainder of the space is visited.  Returns
+        remainder of the space is visited.  Resume positions encode the
+        legacy tree, so the request runs on a tree-identical kernel
+        even when the engine defaults to ``fc``.  Returns
         ``(mapping_or_None, nodes_explored)``.
         """
         from ..certify import witness
-        from ..topology.simplex import vertex_key
 
+        budget = resolve_budget(
+            budget, node_budget=node_budget, max_nodes=max_nodes
+        )
         statement = stub.get("statement", {}) if isinstance(stub, dict) else {}
         if stub.get("kind") != "budget":
             raise ValueError(f"not a budget stub: kind={stub.get('kind')!r}")
@@ -511,17 +598,20 @@ class Engine:
                 "stub statement digests do not match (affine, task)"
             )
         partial = witness.partial_assignment_of(stub)
-        resume = tuple(
-            sorted(partial.items(), key=lambda kv: vertex_key(kv[0]))
+        request = SolveRequest(
+            affine=affine,
+            task=task,
+            budget=budget,
+            resume=partial,
+            kernel=self.kernel,
         )
-        specs = [
-            JobSpec("solve", (affine, task, node_budget, None, resume))
-        ]
-        return self._value(self.run_jobs(specs)[0])
+        return self._value(self.run_jobs([JobSpec("solve", (request,))])[0])
 
     def minimal_set_consensus_many(
         self,
         affines: Iterable[AffineTask],
+        budget: Optional[int] = None,
+        *,
         node_budget: Optional[int] = None,
     ) -> List[int]:
         """Per-affine-task minimal solvable ``k`` (the E11 table).
@@ -531,6 +621,7 @@ class Engine:
         """
         from ..tasks.set_consensus import set_consensus_task
 
+        budget = resolve_budget(budget, node_budget=node_budget)
         affines = list(affines)
         queries = []
         grid: List[Tuple[int, int]] = []
@@ -538,7 +629,7 @@ class Engine:
             for k in range(1, affine.n + 1):
                 grid.append((row, k))
                 queries.append(
-                    (affine, set_consensus_task(affine.n, k), node_budget)
+                    (affine, set_consensus_task(affine.n, k), budget)
                 )
         answers: Dict[int, int] = {}
         for (row, k), (mapping, _nodes) in zip(

@@ -33,6 +33,7 @@ from typing import Any, Dict, FrozenSet, List
 from ..adversaries.adversary import Adversary
 from ..adversaries.agreement import AgreementFunction
 from ..core.affine import AffineTask
+from ..solver.api import SolveRequest
 from ..topology.chromatic import ChromaticComplex, ChrVertex
 from ..topology.complex import SimplicialComplex
 from ..tasks.task import OutputVertex, Task
@@ -150,6 +151,21 @@ def _encode(obj: Any) -> Any:
             for participants, outputs in _task_table(obj).items()
         ]
         return ["task", obj.n, obj.name, _sorted_canonical(table)]
+    if isinstance(obj, SolveRequest):
+        # Additive tag (SCHEME_VERSION unchanged): request fields are
+        # already normalized to canonical order at construction, so no
+        # re-sorting happens here.  The kernel is part of the encoding
+        # — hence of cache digests — because non-tree-identical kernels
+        # return different node counts for the same query.
+        return [
+            "solvereq",
+            encode(obj.affine),
+            encode(obj.task),
+            obj.budget,
+            encode(obj.domain_overrides),
+            encode(obj.resume),
+            obj.kernel,
+        ]
     raise SerializationError(
         f"no canonical encoding for {type(obj).__name__}: {obj!r}"
     )
@@ -196,6 +212,18 @@ def decode(encoded: Any) -> Any:
         return AgreementFunction(n, table, name=name, validate=False)
     if tag == "task":
         return _decode_task(encoded)
+    if tag == "solvereq":
+        _, affine_enc, task_enc, budget, overrides_enc, resume_enc, kernel = (
+            encoded
+        )
+        return SolveRequest(
+            affine=decode(affine_enc),
+            task=decode(task_enc),
+            budget=budget,
+            domain_overrides=decode(overrides_enc),
+            resume=decode(resume_enc),
+            kernel=kernel,
+        )
     raise SerializationError(f"unknown tag {tag!r}")
 
 

@@ -22,7 +22,7 @@ import socket
 from typing import Any, Dict, Optional, Tuple
 
 from ..engine.serialize import deserialize, serialize
-from ..tasks.solvability import SearchBudgetExceeded
+from ..tasks.solvability import SearchBudgetExceeded, resolve_budget
 from .protocol import PROTOCOL_VERSION
 from .server import DEFAULT_HOST, DEFAULT_PORT
 
@@ -131,19 +131,37 @@ class ServiceClient(_QueryMixin):
         return self.query("r_affine", (alpha, variant))
 
     def solve(
-        self, affine, task, node_budget: Optional[int] = None
+        self,
+        affine,
+        task,
+        budget: Optional[int] = None,
+        *,
+        node_budget: Optional[int] = None,
+        max_nodes: Optional[int] = None,
     ) -> Tuple[Optional[Dict], int]:
-        return self.query("solve", (affine, task, node_budget, None))
+        budget = resolve_budget(
+            budget, node_budget=node_budget, max_nodes=max_nodes
+        )
+        return self.query("solve", (affine, task, budget, None))
 
     def certify(
-        self, affine, task, node_budget: Optional[int] = None
+        self,
+        affine,
+        task,
+        budget: Optional[int] = None,
+        *,
+        node_budget: Optional[int] = None,
+        max_nodes: Optional[int] = None,
     ) -> Dict[str, Any]:
         """One certified FACT query; returns the certificate document.
 
         Budget overruns come back as resumable ``budget`` stubs, not as
         :class:`SearchBudgetExceeded` — the stub is the query's value.
         """
-        return self.query("certify", (affine, task, node_budget))
+        budget = resolve_budget(
+            budget, node_budget=node_budget, max_nodes=max_nodes
+        )
+        return self.query("certify", (affine, task, budget))
 
     def check(self, cert: Dict[str, Any]) -> Dict[str, Any]:
         """Server-side certificate check; returns the report dict.
@@ -231,14 +249,32 @@ class AsyncServiceClient(_QueryMixin):
         )
 
     async def solve(
-        self, affine, task, node_budget: Optional[int] = None
+        self,
+        affine,
+        task,
+        budget: Optional[int] = None,
+        *,
+        node_budget: Optional[int] = None,
+        max_nodes: Optional[int] = None,
     ) -> Tuple[Optional[Dict], int]:
-        return await self.query("solve", (affine, task, node_budget, None))
+        budget = resolve_budget(
+            budget, node_budget=node_budget, max_nodes=max_nodes
+        )
+        return await self.query("solve", (affine, task, budget, None))
 
     async def certify(
-        self, affine, task, node_budget: Optional[int] = None
+        self,
+        affine,
+        task,
+        budget: Optional[int] = None,
+        *,
+        node_budget: Optional[int] = None,
+        max_nodes: Optional[int] = None,
     ) -> Dict[str, Any]:
-        return await self.query("certify", (affine, task, node_budget))
+        budget = resolve_budget(
+            budget, node_budget=node_budget, max_nodes=max_nodes
+        )
+        return await self.query("certify", (affine, task, budget))
 
     async def check(self, cert: Dict[str, Any]) -> Dict[str, Any]:
         return await self.query("check", (cert,))

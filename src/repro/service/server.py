@@ -40,6 +40,7 @@ from typing import Any, Dict, Optional, Set
 from ..engine.jobs import JOB_KINDS, Engine
 from ..engine.jobs import JobSpec
 from ..engine.serialize import SerializationError, deserialize, serialize
+from ..solver.api import as_solve_request
 from .batcher import Batcher
 from .metrics import Metrics
 from .protocol import (
@@ -309,6 +310,19 @@ class ServiceServer:
                 "bad_payload",
                 f"payload must decode to a tuple, got {type(payload).__name__}",
             )
+        if request.kind == "solve":
+            # Wire payloads for solve are protocol-v1 positional tuples
+            # (or already-typed requests from newer clients); normalize
+            # to the typed path without a deprecation warning — the
+            # wire format is the protocol, not a deprecated call site.
+            # Typed specs also keep cache digests aligned with
+            # engine-internal queries, preserving cross-path hits.
+            try:
+                payload = (as_solve_request(payload, warn=False),)
+            except (TypeError, ValueError) as exc:
+                raise ProtocolError(
+                    "bad_payload", f"malformed solve payload: {exc}"
+                )
         spec = JobSpec(request.kind, payload)
         deadline = self._deadline(request.timeout)
         self._active_requests += 1

@@ -1,0 +1,244 @@
+"""Typed solve API: :class:`SolveRequest` in, :class:`SolveResult` out.
+
+The engine's ``solve`` jobs historically carried positional 4/5-element
+payload tuples ``(affine, task, budget, overrides[, resume])``.  This
+module replaces them with a frozen, hashable, canonically-normalized
+:class:`SolveRequest` — the single value that flows through
+``Engine.solve``/``solve_many``/``resume_solve``, the service batcher
+and the CLI — and a :class:`SolveResult` carrying the verdict, the map,
+the node count and the kernel that produced them.
+
+Normalization happens at construction: ``domain_overrides`` and
+``resume`` mappings are flattened to tuples of pairs sorted by the
+structural :func:`~repro.topology.simplex.vertex_key`, never by
+``repr`` or hash order — so two requests describing the same slice are
+equal, share one cache digest, and split slices are platform-stable.
+
+Legacy tuple payloads remain accepted everywhere through
+:func:`as_solve_request`, a one-line adapter that emits a
+``DeprecationWarning`` (suppressed on the service wire, where tuples
+are the protocol-v1 format and not a deprecated call site).
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..core.affine import AffineTask
+from ..tasks.solvability import MapSearch
+from ..tasks.task import OutputVertex, Task
+from ..topology.chromatic import ChrVertex
+from ..topology.simplex import vertex_key
+from .kernel import BitsetKernel, ForwardCheckingKernel
+
+__all__ = [
+    "DEFAULT_KERNEL",
+    "KERNELS",
+    "KERNEL_BITSET",
+    "KERNEL_FC",
+    "KERNEL_LEGACY",
+    "SolveRequest",
+    "SolveResult",
+    "TREE_IDENTICAL_KERNELS",
+    "as_solve_request",
+    "make_searcher",
+    "run_request",
+    "solve_request_from_payload",
+]
+
+KERNEL_LEGACY = "legacy"
+KERNEL_BITSET = "bitset"
+KERNEL_FC = "fc"
+#: Every selectable kernel, in documentation order.
+KERNELS = (KERNEL_LEGACY, KERNEL_BITSET, KERNEL_FC)
+#: The kernel used when none is requested: tree-identical to legacy.
+DEFAULT_KERNEL = KERNEL_BITSET
+
+#: Parity classes: kernels whose search tree — verdicts, maps *and*
+#: node counts — is identical to legacy ``MapSearch``.  Only these may
+#: back certificates and resume seeding.
+TREE_IDENTICAL_KERNELS = frozenset({KERNEL_LEGACY, KERNEL_BITSET})
+
+
+def _normalize_pairs(value, what: str):
+    """Flatten a vertex-keyed mapping to a vertex_key-sorted pair tuple."""
+    if not value:
+        return None
+    if isinstance(value, dict):
+        items = list(value.items())
+    else:
+        items = [tuple(pair) for pair in value]
+    normalized = []
+    for vertex, payload in items:
+        if what == "domain_overrides":
+            payload = tuple(payload)
+        normalized.append((vertex, payload))
+    normalized.sort(key=lambda pair: vertex_key(pair[0]))
+    return tuple(normalized)
+
+
+@dataclass(frozen=True)
+class SolveRequest:
+    """One FACT solvability query, canonically normalized.
+
+    ``domain_overrides`` and ``resume`` accept either mappings or pair
+    sequences and are stored as vertex_key-sorted tuples of pairs —
+    hashable, order-independent, and stable across platforms and hash
+    seeds (this ordering *is* the split-slice stability fix).
+    """
+
+    affine: AffineTask
+    task: Task
+    budget: Optional[int] = None
+    domain_overrides: Optional[Tuple] = None
+    resume: Optional[Tuple] = None
+    kernel: str = DEFAULT_KERNEL
+
+    def __post_init__(self):
+        if self.kernel not in KERNELS:
+            raise ValueError(
+                f"unknown kernel {self.kernel!r}; expected one of {KERNELS}"
+            )
+        object.__setattr__(
+            self,
+            "domain_overrides",
+            _normalize_pairs(self.domain_overrides, "domain_overrides"),
+        )
+        object.__setattr__(
+            self, "resume", _normalize_pairs(self.resume, "resume")
+        )
+
+    # ------------------------------------------------------------------
+    def overrides_dict(self):
+        """The ``MapSearch`` view of ``domain_overrides`` (or ``None``)."""
+        if self.domain_overrides is None:
+            return None
+        return {vertex: outs for vertex, outs in self.domain_overrides}
+
+    def resume_dict(self):
+        """The ``search(resume_from=...)`` view of ``resume`` (or ``None``)."""
+        if self.resume is None:
+            return None
+        return {vertex: out for vertex, out in self.resume}
+
+    def legacy_payload(self) -> Tuple:
+        """The positional tuple this request replaces (for the wire)."""
+        base = (
+            self.affine,
+            self.task,
+            self.budget,
+            self.overrides_dict(),
+        )
+        if self.resume is not None:
+            return base + (self.resume_dict(),)
+        return base
+
+
+@dataclass(frozen=True)
+class SolveResult:
+    """The outcome of one solve: verdict, map, node count, kernel."""
+
+    verdict: str  # "solvable" | "unsolvable"
+    mapping: Optional[Dict[ChrVertex, OutputVertex]]
+    nodes: int
+    kernel: str = DEFAULT_KERNEL
+
+    @property
+    def solvable(self) -> bool:
+        return self.verdict == "solvable"
+
+    def as_pair(self) -> Tuple[Optional[Dict], int]:
+        """The legacy ``(mapping, nodes_explored)`` value shape."""
+        return (self.mapping, self.nodes)
+
+
+# ----------------------------------------------------------------------
+# Payload adapters
+# ----------------------------------------------------------------------
+def solve_request_from_payload(
+    payload: Tuple, kernel: str = DEFAULT_KERNEL
+) -> SolveRequest:
+    """Build a request from a positional 4/5-tuple (no deprecation)."""
+    if not 4 <= len(payload) <= 5:
+        raise ValueError(
+            f"solve payload must have 4 or 5 elements, got {len(payload)}"
+        )
+    affine, task, budget, overrides = payload[:4]
+    resume = payload[4] if len(payload) == 5 else None
+    return SolveRequest(
+        affine=affine,
+        task=task,
+        budget=budget,
+        domain_overrides=overrides or None,
+        resume=resume or None,
+        kernel=kernel,
+    )
+
+
+def as_solve_request(
+    payload, *, kernel: str = DEFAULT_KERNEL, warn: bool = True
+) -> SolveRequest:
+    """Coerce a solve payload — typed or legacy tuple — to a request.
+
+    Accepts a :class:`SolveRequest`, a 1-tuple wrapping one (the typed
+    job payload shape), or a legacy positional 4/5-tuple.  The legacy
+    form emits a ``DeprecationWarning`` unless ``warn=False`` (the
+    service wire, where tuples are the v1 protocol, not a call site).
+    """
+    if isinstance(payload, SolveRequest):
+        return payload
+    if (
+        isinstance(payload, tuple)
+        and len(payload) == 1
+        and isinstance(payload[0], SolveRequest)
+    ):
+        return payload[0]
+    if warn:
+        warnings.warn(
+            "positional solve payload tuples are deprecated; "
+            "pass a SolveRequest",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+    return solve_request_from_payload(tuple(payload), kernel=kernel)
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+def make_searcher(request: SolveRequest):
+    """The searcher object a request resolves to (kernel dispatch).
+
+    A request carrying ``resume`` is coerced to a tree-identical kernel
+    — resume stubs encode positions in the *legacy* tree, which the fc
+    kernel prunes.
+    """
+    kernel = request.kernel
+    if request.resume is not None and kernel not in TREE_IDENTICAL_KERNELS:
+        kernel = KERNEL_BITSET
+    overrides = request.overrides_dict()
+    if kernel == KERNEL_LEGACY:
+        return MapSearch(
+            request.affine, request.task, domain_overrides=overrides
+        )
+    if kernel == KERNEL_FC:
+        return ForwardCheckingKernel(
+            request.affine, request.task, domain_overrides=overrides
+        )
+    return BitsetKernel(
+        request.affine, request.task, domain_overrides=overrides
+    )
+
+
+def run_request(request: SolveRequest) -> SolveResult:
+    """Execute one request; raises :class:`SearchBudgetExceeded` as legacy."""
+    searcher = make_searcher(request)
+    mapping = searcher.search(request.budget, resume_from=request.resume_dict())
+    return SolveResult(
+        verdict="solvable" if mapping is not None else "unsolvable",
+        mapping=mapping,
+        nodes=searcher.nodes_explored,
+        kernel=request.kernel,
+    )

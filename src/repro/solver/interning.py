@@ -1,0 +1,147 @@
+"""Dense-integer interning of one FACT constraint problem.
+
+The legacy :class:`~repro.tasks.solvability.MapSearch` spends its inner
+loop hashing ``frozenset`` images of :class:`OutputVertex` tuples and
+probing them against ``Delta``'s allowed-output sets.  The bitset
+kernels instead intern everything **once per (affine, task) pair**:
+
+* every output vertex that appears in any candidate domain gets a dense
+  integer id, so a *set* of output vertices becomes a Python-int
+  bitmask (one bit per id) and set union / membership become ``|`` and
+  a hash probe on a small ``frozenset`` of ints;
+* every affine vertex becomes its position in the legacy assignment
+  order (the interner is built *from* a ``MapSearch``, so vertex order,
+  candidate order and firing positions are identical by construction);
+* every simplex constraint ``image(sigma) in Delta(carrier(sigma, s))``
+  is pre-compiled into a :class:`CompiledConstraint`: the member
+  positions plus the set of allowed image bitmasks.
+
+On top of the compiled constraints the table memoizes **allowed-
+candidate bitmasks**: for a constraint, a target position and the
+bitmask of the already-chosen members, the set of candidates at the
+target that complete an allowed image — computed once, then a single
+``&`` per arrival at that position.  The memo is shared by the
+tree-identical bitset kernel (target = firing position) and the
+forward-checking kernel (any unassigned position).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from ..tasks.solvability import MapSearch
+from ..tasks.task import OutputVertex
+
+__all__ = ["CompiledConstraint", "InternTable"]
+
+
+class CompiledConstraint:
+    """One simplex constraint over interned positions.
+
+    ``positions`` are the simplex's vertices as assignment-order
+    indices, ascending — so ``positions[-1]`` is the firing position
+    (the constraint is fully assigned exactly when it is reached).
+    ``allowed`` holds the bitmask of every allowed image that is
+    reachable (images mentioning an output vertex no domain offers are
+    dropped: no assignment can ever produce them).
+    """
+
+    __slots__ = ("positions", "allowed", "memo")
+
+    def __init__(
+        self, positions: Tuple[int, ...], allowed: FrozenSet[int]
+    ):
+        self.positions = positions
+        self.allowed = allowed
+        #: ``(target_position, others_mask) -> candidate-index bitmask``
+        self.memo: Dict[Tuple[int, int], int] = {}
+
+
+class InternTable:
+    """Interned view of a :class:`MapSearch` problem.
+
+    Built from an already-constructed ``MapSearch`` so every ordering
+    decision (vertex order, candidate order, firing assignment) is
+    inherited rather than re-derived — the parity guarantees of the
+    bitset kernel reduce to "same orders, same booleans".
+    """
+
+    def __init__(self, search: MapSearch):
+        self.search = search
+        vertices = search.vertices
+        self.position: Dict = {v: i for i, v in enumerate(vertices)}
+
+        # Output-vertex interning: ids are assigned in canonical domain
+        # order (vertex order, then candidate order), so the id layout
+        # is as deterministic as the search itself.
+        self.out_index: Dict[OutputVertex, int] = {}
+        #: per position, the bit of each candidate (candidate order).
+        self.domain_bits: List[List[int]] = []
+        for vertex in vertices:
+            bits: List[int] = []
+            for out in search.domains[vertex]:
+                idx = self.out_index.setdefault(out, len(self.out_index))
+                bits.append(1 << idx)
+            self.domain_bits.append(bits)
+
+        #: constraints indexed by firing position (legacy ``firing``).
+        self.firing: List[List[CompiledConstraint]] = [[] for _ in vertices]
+        #: constraints indexed by every member position (for the
+        #: forward-checking kernel's propagation).
+        self.involving: List[List[CompiledConstraint]] = [[] for _ in vertices]
+        # Thousands of simplices share a handful of participation sets,
+        # so the allowed-image mask set is computed once per
+        # participation, not once per simplex.
+        allowed_masks: Dict[FrozenSet, FrozenSet[int]] = {}
+        for sigma in search.simplices:
+            positions = tuple(
+                sorted(self.position[v] for v in sigma)
+            )
+            participation = search.participation[sigma]
+            allowed = allowed_masks.get(participation)
+            if allowed is None:
+                raw = search.task.allowed_outputs(participation)
+                allowed = frozenset(
+                    mask
+                    for mask in (self._image_mask(image) for image in raw)
+                    if mask is not None
+                )
+                allowed_masks[participation] = allowed
+            constraint = CompiledConstraint(positions, allowed)
+            self.firing[positions[-1]].append(constraint)
+            for position in positions:
+                self.involving[position].append(constraint)
+
+    def _image_mask(self, image) -> Optional[int]:
+        """Bitmask of an allowed image, or ``None`` if unreachable."""
+        mask = 0
+        for out in image:
+            idx = self.out_index.get(out)
+            if idx is None:
+                return None
+            mask |= 1 << idx
+        return mask
+
+    # ------------------------------------------------------------------
+    def allowed_candidates(
+        self, constraint: CompiledConstraint, target: int, others_mask: int
+    ) -> int:
+        """Candidates at ``target`` completing an allowed image.
+
+        ``others_mask`` is the OR of the chosen bits of every *other*
+        assigned member of the constraint; the result is a bitmask over
+        candidate **indices** of ``target``'s domain.  Memoized: search
+        trees revisit the same ``(target, others)`` context constantly,
+        and distinct output choices at non-member positions collapse
+        onto one memo entry.
+        """
+        key = (target, others_mask)
+        mask = constraint.memo.get(key)
+        if mask is None:
+            mask = 0
+            allowed = constraint.allowed
+            for index, bit in enumerate(self.domain_bits[target]):
+                if (others_mask | bit) in allowed:
+                    mask |= 1 << index
+            constraint.memo[key] = mask
+        return mask

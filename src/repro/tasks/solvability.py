@@ -19,6 +19,7 @@ failures surface at the smallest violating face.
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 from ..core.affine import AffineTask
@@ -26,6 +27,44 @@ from ..topology.chromatic import ChrVertex, ProcessId, chi, color_of
 from ..topology.simplex import Simplex, simplex_key, vertex_key
 from ..topology.subdivision import carrier_in_s
 from .task import OutputVertex, Task
+
+__all__ = [
+    "DomainOverrides",
+    "MapSearch",
+    "SearchBudgetExceeded",
+    "find_carried_map",
+    "minimal_set_consensus",
+    "resolve_budget",
+    "solves_set_consensus",
+    "split_search_domains",
+    "verify_carried_map",
+]
+
+
+def resolve_budget(
+    budget: Optional[int],
+    *,
+    node_budget: Optional[int] = None,
+    max_nodes: Optional[int] = None,
+    stacklevel: int = 3,
+) -> Optional[int]:
+    """Resolve the unified ``budget`` kwarg against its legacy spellings.
+
+    ``budget`` is the canonical name everywhere (search, engine, service,
+    CLI); ``node_budget`` and ``max_nodes`` are accepted as deprecated
+    aliases that warn once per call site.  An explicit ``budget`` wins
+    over any alias.
+    """
+    for name, value in (("node_budget", node_budget), ("max_nodes", max_nodes)):
+        if value is not None:
+            warnings.warn(
+                f"the {name!r} keyword is deprecated; spell it budget=",
+                DeprecationWarning,
+                stacklevel=stacklevel,
+            )
+            if budget is None:
+                budget = value
+    return budget
 
 
 class SearchBudgetExceeded(Exception):
@@ -164,13 +203,17 @@ class MapSearch:
     # ------------------------------------------------------------------
     def search(
         self,
-        node_budget: Optional[int] = None,
+        budget: Optional[int] = None,
         resume_from: Optional[Dict[ChrVertex, OutputVertex]] = None,
+        *,
+        node_budget: Optional[int] = None,
+        max_nodes: Optional[int] = None,
     ) -> Optional[Dict[ChrVertex, OutputVertex]]:
         """Find a carried map, or return ``None`` when none exists.
 
-        Raises :class:`SearchBudgetExceeded` if ``node_budget``
-        assignments are exhausted before the search concludes.
+        Raises :class:`SearchBudgetExceeded` if ``budget`` assignments
+        are exhausted before the search concludes (``node_budget`` and
+        ``max_nodes`` are deprecated spellings of the same limit).
 
         ``resume_from`` seeds the search with the partial assignment a
         previous run's :class:`SearchBudgetExceeded` carried (see
@@ -182,6 +225,9 @@ class MapSearch:
         Raises ``ValueError`` when the prefix is not a consistent
         assignment of an initial segment of the vertex order.
         """
+        budget = resolve_budget(
+            budget, node_budget=node_budget, max_nodes=max_nodes
+        )
         assignment: Dict[ChrVertex, OutputVertex] = {}
         self.nodes_explored = 0
 
@@ -214,12 +260,9 @@ class MapSearch:
                 candidate = domain[choice_index[depth]]
                 choice_index[depth] += 1
                 self.nodes_explored += 1
-                if (
-                    node_budget is not None
-                    and self.nodes_explored > node_budget
-                ):
+                if budget is not None and self.nodes_explored > budget:
                     raise SearchBudgetExceeded(
-                        f"exceeded {node_budget} nodes",
+                        f"exceeded {budget} nodes",
                         nodes_explored=self.nodes_explored,
                         partial_assignment=assignment,
                     )
@@ -327,10 +370,13 @@ def split_search_domains(
 def find_carried_map(
     affine: AffineTask,
     task: Task,
+    budget: Optional[int] = None,
+    *,
     node_budget: Optional[int] = None,
 ) -> Optional[Dict[ChrVertex, OutputVertex]]:
     """Convenience wrapper around :class:`MapSearch`."""
-    return MapSearch(affine, task).search(node_budget)
+    budget = resolve_budget(budget, node_budget=node_budget)
+    return MapSearch(affine, task).search(budget)
 
 
 def verify_carried_map(
@@ -354,17 +400,25 @@ def verify_carried_map(
 
 
 def solves_set_consensus(
-    affine: AffineTask, k: int, node_budget: Optional[int] = None
+    affine: AffineTask,
+    k: int,
+    budget: Optional[int] = None,
+    *,
+    node_budget: Optional[int] = None,
 ) -> bool:
     """Is k-set consensus solvable by one shot of the affine task?"""
     from .set_consensus import set_consensus_task
 
+    budget = resolve_budget(budget, node_budget=node_budget)
     task = set_consensus_task(affine.n, k)
-    return MapSearch(affine, task).search(node_budget) is not None
+    return MapSearch(affine, task).search(budget) is not None
 
 
 def minimal_set_consensus(
-    affine: AffineTask, node_budget: Optional[int] = None
+    affine: AffineTask,
+    budget: Optional[int] = None,
+    *,
+    node_budget: Optional[int] = None,
 ) -> int:
     """The smallest ``k`` such that one shot of ``L`` solves k-set consensus.
 
@@ -372,7 +426,8 @@ def minimal_set_consensus(
     on) this equals ``setcon(A)`` when ``L = R_A`` for a fair adversary
     ``A`` with ``alpha(Pi) = setcon(A)``.
     """
+    budget = resolve_budget(budget, node_budget=node_budget)
     for k in range(1, affine.n + 1):
-        if solves_set_consensus(affine, k, node_budget):
+        if solves_set_consensus(affine, k, budget):
             return k
     raise AssertionError("n-set consensus is always solvable")

@@ -84,6 +84,19 @@ def vertices_of(simplices: Iterable[Simplex]) -> Simplex:
     return frozenset(chain.from_iterable(simplices))
 
 
+#: Memoized structural keys.  Vertices recur constantly in sort calls
+#: (ordering search variables alone is quadratic in vertex count), and
+#: the key of a subdivision vertex is a deep recursion over nested
+#: carriers — computing it once per distinct vertex instead of once per
+#: comparison is one of the larger constant-factor wins in the search
+#: setup path.  Entries are keyed by ``(type, value)`` because equal
+#: values of different types (``1``/``1.0``/``True``) key differently;
+#: the memo is cleared wholesale at a size bound so long-lived server
+#: processes cannot grow it without limit.
+_VERTEX_KEY_MEMO: dict = {}
+_VERTEX_KEY_MEMO_LIMIT = 1 << 20
+
+
 def vertex_key(vertex: Vertex) -> tuple:
     """A stable structural sort key for vertices.
 
@@ -95,6 +108,21 @@ def vertex_key(vertex: Vertex) -> tuple:
     node counts — are reproducible across runs, platforms and worker
     processes.
     """
+    try:
+        memo_key = (vertex.__class__, vertex)
+        cached = _VERTEX_KEY_MEMO.get(memo_key)
+    except TypeError:  # unhashable vertex: compute without caching
+        return _vertex_key(vertex)
+    if cached is None:
+        cached = _vertex_key(vertex)
+        if len(_VERTEX_KEY_MEMO) >= _VERTEX_KEY_MEMO_LIMIT:
+            _VERTEX_KEY_MEMO.clear()
+        _VERTEX_KEY_MEMO[memo_key] = cached
+    return cached
+
+
+def _vertex_key(vertex: Vertex) -> tuple:
+    """The uncached structural recursion behind :func:`vertex_key`."""
     if isinstance(vertex, bool):
         return (3, "bool", repr(vertex))
     if isinstance(vertex, int):

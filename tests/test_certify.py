@@ -239,7 +239,7 @@ def test_budget_stub_resumes_to_same_map(ra_1res):
     expected = fresh.search()
     assert expected is not None
 
-    mapping, stub = certified_search(ra_1res, task, node_budget=20)
+    mapping, stub = certified_search(ra_1res, task, budget=20)
     assert mapping is None and stub["kind"] == "budget"
     report = check(stub)
     assert report.valid and report.verdict == "undecided"
@@ -252,7 +252,7 @@ def test_budget_stub_resumes_to_same_map(ra_1res):
 
 def test_resume_rejects_foreign_stub(ra_1res):
     _, stub = certified_search(
-        ra_1res, set_consensus_task(3, 2), node_budget=20
+        ra_1res, set_consensus_task(3, 2), budget=20
     )
     with pytest.raises(ValueError):
         resume_from_stub(stub, ra_1res, set_consensus_task(3, 1))

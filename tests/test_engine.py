@@ -124,7 +124,7 @@ def test_engine_pool_matches_sequential(ra_1of, ra_1res, task23):
 # ----------------------------------------------------------------------
 def test_budget_exception_carries_state(ra_1res, task23):
     with pytest.raises(SearchBudgetExceeded) as info:
-        MapSearch(ra_1res, task23).search(node_budget=20)
+        MapSearch(ra_1res, task23).search(budget=20)
     assert info.value.nodes_explored == 21
     assert 0 < len(info.value.partial_assignment) <= 21
 

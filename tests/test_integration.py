@@ -97,6 +97,6 @@ def test_fact_pipeline_n4_sample():
     alpha = agreement_function_of(adversary, name="1-res-n4")
     task = r_affine(alpha)
     assert task.complex.is_pure(3)
-    assert minimal_set_consensus(task, node_budget=5_000_000) == setcon(
+    assert minimal_set_consensus(task, budget=5_000_000) == setcon(
         adversary
     )

@@ -38,6 +38,7 @@ from repro.service import (
     ServiceError,
     parse_request,
 )
+from repro.solver import SolveRequest
 from repro.tasks.set_consensus import set_consensus_task
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -121,7 +122,10 @@ def test_every_kind_is_byte_identical_to_direct_engine_calls(
         "chr": (3, 1),
         "classify": (figure5b_adversary(),),
         "r_affine": (alpha_1of, DEFAULT_VARIANT),
-        "solve": (ra_1res, task23, None, None),
+        # Typed request payload: exercises the ``solvereq`` codec over
+        # the wire end-to-end (legacy tuple payloads are covered by the
+        # client helpers and the deprecation-shim tests).
+        "solve": (SolveRequest(affine=ra_1res, task=task23),),
         "fuzz": (alpha_1res, ra_1res, fuzz_case_seed(0, 0)),
     }
     for kind, payload in payloads.items():
@@ -236,7 +240,7 @@ def test_budget_exceeded_maps_back_to_the_engine_exception(ra_1res):
     with BackgroundServer(engine) as background:
         with ServiceClient(port=background.port) as active:
             with pytest.raises(SearchBudgetExceeded) as info:
-                active.solve(ra_1res, set_consensus_task(3, 2), node_budget=5)
+                active.solve(ra_1res, set_consensus_task(3, 2), budget=5)
             assert info.value.nodes_explored > 0
 
 

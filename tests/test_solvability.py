@@ -79,7 +79,7 @@ def test_budget_exceeded_raises():
     task = full_affine_task(3, 1)
     search = MapSearch(task, set_consensus_task(3, 2))
     with pytest.raises(SearchBudgetExceeded):
-        search.search(node_budget=3)
+        search.search(budget=3)
 
 
 def test_nodes_explored_counted(ra_1of):

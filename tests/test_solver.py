@@ -1,0 +1,401 @@
+"""Tests for ``repro.solver`` — the typed solve surface and its kernels.
+
+The load-bearing guarantees:
+
+* the default ``bitset`` kernel is **tree-identical** to the legacy
+  :class:`~repro.tasks.solvability.MapSearch` oracle: same verdicts,
+  same returned maps *and the same node counts*, fuzzed over randomly
+  thinned tasks (so certificates, budget stubs and resume seeds are
+  interchangeable between the two);
+* the opt-in ``fc`` kernel prunes soundly: verdict and returned map
+  still match the oracle, and it can never back a certificate or a
+  resume;
+* :class:`SolveRequest` normalization makes equal queries equal values
+  with one cache digest, regardless of override insertion order;
+* the deprecated spellings — positional payload tuples,
+  ``node_budget=`` / ``max_nodes=`` — warn but keep working.
+"""
+
+from __future__ import annotations
+
+import random
+from itertools import combinations
+
+import pytest
+
+from repro.certify import cert_to_bytes, certified_search
+from repro.cli import main
+from repro.core import full_affine_task
+from repro.engine import Engine, JobSpec, digest, serialize
+from repro.engine.serialize import deserialize
+from repro.solver import (
+    DEFAULT_KERNEL,
+    KERNEL_BITSET,
+    KERNEL_FC,
+    KERNEL_LEGACY,
+    KERNELS,
+    TREE_IDENTICAL_KERNELS,
+    BitsetKernel,
+    ForwardCheckingKernel,
+    SolveRequest,
+    SolveResult,
+    as_solve_request,
+    make_searcher,
+    run_request,
+    split_request,
+)
+from repro.tasks.set_consensus import set_consensus_task
+from repro.tasks.solvability import (
+    MapSearch,
+    SearchBudgetExceeded,
+    find_carried_map,
+    resolve_budget,
+)
+from repro.tasks.task import Task
+from repro.topology.simplex import vertex_key
+
+
+@pytest.fixture(scope="session")
+def wf_affine():
+    """The wait-free one-round task ``Chr s`` (3 processes)."""
+    return full_affine_task(3, 1)
+
+
+def _thinned_task(base: Task, seed: int) -> Task:
+    """A random sub-task: ``Delta`` with some output simplices dropped."""
+    rng = random.Random(seed)
+    table = {}
+    for size in range(1, base.n + 1):
+        for combo in combinations(range(base.n), size):
+            participants = frozenset(combo)
+            outputs = sorted(
+                base.allowed_outputs(participants),
+                key=lambda sigma: sorted(
+                    (v.process, repr(v.value)) for v in sigma
+                ),
+            )
+            kept = [sigma for sigma in outputs if rng.random() < 0.8]
+            table[participants] = frozenset(kept or outputs)
+    return Task(
+        base.n,
+        base.input_complex,
+        base.output_complex,
+        lambda participants: table[frozenset(participants)],
+        name=f"{base.name}-thinned-{seed}",
+    )
+
+
+# ------------------------------------------------------- differential parity
+def test_bitset_is_tree_identical_on_known_instances(
+    wf_affine, ra_1res, ra_1of
+):
+    for affine, k in (
+        (wf_affine, 2),
+        (wf_affine, 3),
+        (ra_1res, 1),
+        (ra_1res, 2),
+        (ra_1of, 1),
+    ):
+        task = set_consensus_task(3, k)
+        oracle = MapSearch(affine, task)
+        expected = oracle.search()
+        kernel = BitsetKernel(affine, task)
+        assert kernel.search() == expected, (affine.name, k)
+        assert kernel.nodes_explored == oracle.nodes_explored, (
+            affine.name,
+            k,
+        )
+
+
+def test_differential_fuzz_thinned_tasks(wf_affine):
+    """Seeded random sub-tasks: bitset tree-identical, fc map-identical."""
+    base = set_consensus_task(3, 3)
+    verdicts = set()
+    for seed in range(8):
+        task = _thinned_task(base, seed)
+        oracle = MapSearch(wf_affine, task)
+        expected = oracle.search()
+        verdicts.add(expected is not None)
+
+        bitset = BitsetKernel(wf_affine, task)
+        assert bitset.search() == expected, seed
+        assert bitset.nodes_explored == oracle.nodes_explored, seed
+
+        fc = ForwardCheckingKernel(wf_affine, task)
+        assert fc.search() == expected, seed
+        # Sound pruning can only shrink the tree, never grow it.
+        assert fc.nodes_explored <= oracle.nodes_explored, seed
+    # The seeds exercise both verdicts.
+    assert verdicts == {True, False}
+
+
+def test_budget_semantics_are_identical(wf_affine):
+    task = set_consensus_task(3, 2)
+    for budget in (1, 7, 20):
+        oracle = MapSearch(wf_affine, task)
+        with pytest.raises(SearchBudgetExceeded) as legacy_info:
+            oracle.search(budget=budget)
+        kernel = BitsetKernel(wf_affine, task)
+        with pytest.raises(SearchBudgetExceeded) as bitset_info:
+            kernel.search(budget=budget)
+        assert str(bitset_info.value) == str(legacy_info.value)
+        assert (
+            bitset_info.value.nodes_explored
+            == legacy_info.value.nodes_explored
+        )
+        assert (
+            bitset_info.value.partial_assignment
+            == legacy_info.value.partial_assignment
+        )
+
+
+def test_resume_parity(ra_1res):
+    task = set_consensus_task(3, 2)
+    expected = MapSearch(ra_1res, task).search()
+    assert expected is not None
+    with pytest.raises(SearchBudgetExceeded) as info:
+        MapSearch(ra_1res, task).search(budget=20)
+    partial = info.value.partial_assignment
+
+    oracle = MapSearch(ra_1res, task)
+    kernel = BitsetKernel(ra_1res, task)
+    assert oracle.search(resume_from=partial) == expected
+    assert kernel.search(resume_from=partial) == expected
+    assert kernel.nodes_explored == oracle.nodes_explored
+
+
+def test_bitset_seed_rejects_what_legacy_rejects(ra_1res):
+    task = set_consensus_task(3, 2)
+    oracle = MapSearch(ra_1res, task)
+    kernel = BitsetKernel(ra_1res, task)
+    stray = {oracle.vertices[-1]: oracle.domains[oracle.vertices[-1]][0]}
+    for searcher in (oracle, kernel):
+        with pytest.raises(ValueError, match="initial segment"):
+            searcher.search(resume_from=stray)
+
+
+def test_fc_refuses_resume_and_requests_coerce(ra_1res):
+    task = set_consensus_task(3, 2)
+    with pytest.raises(ValueError, match="cannot honor"):
+        ForwardCheckingKernel(ra_1res, task).search(
+            resume_from={object(): object()}
+        )
+    with pytest.raises(SearchBudgetExceeded) as info:
+        MapSearch(ra_1res, task).search(budget=20)
+    request = SolveRequest(
+        affine=ra_1res,
+        task=task,
+        resume=info.value.partial_assignment,
+        kernel=KERNEL_FC,
+    )
+    # A resume-carrying fc request silently runs on a tree-identical kernel.
+    assert isinstance(make_searcher(request), BitsetKernel)
+    assert run_request(request).mapping == MapSearch(ra_1res, task).search()
+
+
+# ------------------------------------------------------------ the typed API
+def test_run_request_returns_typed_result(ra_1res, wf_affine):
+    solvable = run_request(
+        SolveRequest(affine=ra_1res, task=set_consensus_task(3, 2))
+    )
+    assert isinstance(solvable, SolveResult)
+    assert solvable.solvable and solvable.verdict == "solvable"
+    assert solvable.kernel == DEFAULT_KERNEL == KERNEL_BITSET
+    assert solvable.as_pair() == (solvable.mapping, solvable.nodes)
+
+    oracle = MapSearch(wf_affine, set_consensus_task(3, 2))
+    assert oracle.search() is None
+    refuted = run_request(
+        SolveRequest(affine=wf_affine, task=set_consensus_task(3, 2))
+    )
+    assert not refuted.solvable and refuted.mapping is None
+    assert refuted.nodes == oracle.nodes_explored
+
+
+def test_request_normalization_is_order_independent(wf_affine):
+    task = set_consensus_task(3, 2)
+    search = MapSearch(wf_affine, task)
+    a, b = search.vertices[0], search.vertices[1]
+    overrides_ab = {a: tuple(search.domains[a]), b: tuple(search.domains[b])}
+    overrides_ba = {b: tuple(search.domains[b]), a: tuple(search.domains[a])}
+    first = SolveRequest(
+        affine=wf_affine, task=task, domain_overrides=overrides_ab
+    )
+    second = SolveRequest(
+        affine=wf_affine, task=task, domain_overrides=overrides_ba
+    )
+    assert first == second
+    assert hash(first) == hash(second)
+    assert digest(first) == digest(second)
+    # Stored order is structural, never insertion order.
+    keys = [vertex_key(v) for v, _ in first.domain_overrides]
+    assert keys == sorted(keys)
+
+
+def test_kernel_is_part_of_the_digest(ra_1res):
+    task = set_consensus_task(3, 2)
+    digests = {
+        digest(SolveRequest(affine=ra_1res, task=task, kernel=kernel))
+        for kernel in KERNELS
+    }
+    assert len(digests) == len(KERNELS)
+    with pytest.raises(ValueError, match="unknown kernel"):
+        SolveRequest(affine=ra_1res, task=task, kernel="quantum")
+
+
+def test_solvereq_serialize_roundtrip(ra_1res):
+    task = set_consensus_task(3, 2)
+    request = SolveRequest(
+        affine=ra_1res, task=task, budget=123, kernel=KERNEL_FC
+    )
+    text = serialize(request)
+    rebuilt = deserialize(text)
+    assert isinstance(rebuilt, SolveRequest)
+    assert rebuilt.budget == 123 and rebuilt.kernel == KERNEL_FC
+    # Tasks compare by tabulated Delta, not identity — byte equality of
+    # the canonical form is the round-trip property.
+    assert serialize(rebuilt) == text
+
+
+# ------------------------------------------------------- deprecation shims
+def test_legacy_tuple_payload_warns_and_works(ra_1res):
+    task = set_consensus_task(3, 2)
+    typed = JobSpec(
+        "solve", (SolveRequest(affine=ra_1res, task=task),)
+    ).run()
+    with pytest.warns(DeprecationWarning, match="SolveRequest"):
+        legacy = JobSpec("solve", (ra_1res, task, None, None)).run()
+    assert legacy == typed
+    with pytest.warns(DeprecationWarning, match="SolveRequest"):
+        request = as_solve_request((ra_1res, task, None, None))
+    assert request == SolveRequest(affine=ra_1res, task=task)
+    # The service wire (protocol v1) passes tuples by design: no warning.
+    assert as_solve_request((ra_1res, task, None, None), warn=False) == request
+
+
+def test_budget_alias_kwargs_warn_and_work(wf_affine):
+    task = set_consensus_task(3, 2)
+    with pytest.warns(DeprecationWarning, match="node_budget"):
+        assert resolve_budget(None, node_budget=7) == 7
+    with pytest.warns(DeprecationWarning, match="max_nodes"):
+        # An explicit budget wins over the alias.
+        assert resolve_budget(10, max_nodes=5) == 10
+    for searcher in (MapSearch(wf_affine, task), BitsetKernel(wf_affine, task)):
+        with pytest.warns(DeprecationWarning, match="max_nodes"):
+            with pytest.raises(SearchBudgetExceeded) as info:
+                searcher.search(max_nodes=5)
+        assert info.value.nodes_explored == 6
+    with pytest.warns(DeprecationWarning, match="node_budget"):
+        mapping = find_carried_map(wf_affine, task, node_budget=10**9)
+    assert mapping is None
+
+
+# ---------------------------------------------------------------- splitting
+def test_split_request_slices_cover_and_stay_stable(ra_1res, wf_affine):
+    task = set_consensus_task(3, 2)
+    request = SolveRequest(affine=ra_1res, task=task)
+    slices = split_request(request, parts=2)
+    assert len(slices) == 2
+    assert all(s.kernel == request.kernel for s in slices)
+    # First slice (in canonical order) that solves returns the full map.
+    expected = run_request(request).mapping
+    for sub in slices:
+        result = run_request(sub)
+        if result.mapping is not None:
+            assert result.mapping == expected
+            break
+    else:  # pragma: no cover - would mean the union lost solutions
+        pytest.fail("no slice recovered the solvable verdict")
+
+    # Unsolvable: every slice refutes its share.
+    refuting = split_request(
+        SolveRequest(affine=wf_affine, task=task), parts=2
+    )
+    assert refuting and all(
+        run_request(sub).mapping is None for sub in refuting
+    )
+    # Slice identity is insertion-order independent (the platform fix):
+    # the same split built twice yields identical digests.
+    again = split_request(SolveRequest(affine=wf_affine, task=task), parts=2)
+    assert [digest(s) for s in refuting] == [digest(s) for s in again]
+
+
+# ------------------------------------------------------------------- engine
+def test_engine_kernel_selection(ra_1res):
+    task = set_consensus_task(3, 2)
+    expected = Engine().solve(ra_1res, task)
+    assert Engine(kernel=KERNEL_FC).solve(ra_1res, task) == expected
+    assert Engine(kernel=KERNEL_LEGACY).solve(ra_1res, task) == expected
+    assert Engine().solve(ra_1res, task, kernel=KERNEL_FC) == expected
+    with pytest.raises(ValueError, match="unknown kernel"):
+        Engine(kernel="quantum")
+
+
+def test_engine_results_carry_the_kernel(ra_1res):
+    task = set_consensus_task(3, 2)
+    engine = Engine(kernel=KERNEL_FC)
+    (result,) = engine.run_jobs(
+        [JobSpec("solve", (SolveRequest(affine=ra_1res, task=task),))]
+    )
+    assert result.ok and result.kernel == KERNEL_BITSET
+    (typed,) = engine.solve_results([(ra_1res, task, None)])
+    assert typed.kernel == KERNEL_FC and typed.solvable
+    # fc prunes, so node counts differ — but the map is the oracle's.
+    assert typed.mapping == Engine().solve(ra_1res, task)
+
+
+def test_engine_fc_resume_coerces_to_tree_identical(ra_1res):
+    task = set_consensus_task(3, 2)
+    engine = Engine(kernel=KERNEL_FC)
+    stub = engine.certify(ra_1res, task, 20)
+    assert stub["kind"] == "budget"
+    mapping, nodes = engine.resume_solve(ra_1res, task, stub)
+    assert mapping == Engine().solve(ra_1res, task)
+    assert nodes > 0
+
+
+def test_engine_split_retry_still_resolves_with_bitset(wf_affine):
+    """A starved budget resolves through split-retry on the new kernel."""
+    task = set_consensus_task(3, 3)
+    (mapping, nodes) = Engine(split_retries=6).solve_many(
+        [(wf_affine, task, 3)]
+    )[0]
+    assert mapping == MapSearch(wf_affine, task).search()
+    assert nodes > 0
+
+
+# -------------------------------------------------------- certificates / CLI
+def test_certificates_are_byte_identical_across_kernels(ra_1res, wf_affine):
+    for affine, budget in ((ra_1res, None), (wf_affine, None), (ra_1res, 20)):
+        task = set_consensus_task(3, 2)
+        _, legacy = certified_search(
+            affine, task, budget=budget, kernel=KERNEL_LEGACY
+        )
+        _, bitset = certified_search(
+            affine, task, budget=budget, kernel=KERNEL_BITSET
+        )
+        # fc is not tree-identical: extraction coerces it to the default.
+        _, coerced = certified_search(
+            affine, task, budget=budget, kernel=KERNEL_FC
+        )
+        assert cert_to_bytes(bitset) == cert_to_bytes(legacy)
+        assert cert_to_bytes(coerced) == cert_to_bytes(legacy)
+
+
+def test_cli_kernel_flag_routes_through_the_engine(capsys):
+    assert main(["fact", "--kernel", "fc"]) == 0
+    out = capsys.readouterr().out
+    assert "min k-set consensus" in out
+
+
+# ----------------------------------------------------------------- exports
+def test_curated_exports_resolve():
+    import repro.solver as solver_pkg
+    import repro.tasks.solvability as solvability_module
+
+    for module in (solver_pkg, solvability_module):
+        assert module.__all__ == sorted(module.__all__), module.__name__
+        for name in module.__all__:
+            assert hasattr(module, name), (module.__name__, name)
+    assert TREE_IDENTICAL_KERNELS == {KERNEL_LEGACY, KERNEL_BITSET}
+    assert set(KERNELS) == {KERNEL_LEGACY, KERNEL_BITSET, KERNEL_FC}
