@@ -15,7 +15,6 @@ from repro.adversaries import (
     setcon,
     t_resilience_alpha,
     t_resilient,
-    k_obstruction_free,
     wait_free,
 )
 from repro.analysis import render_table

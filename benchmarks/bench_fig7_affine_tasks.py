@@ -7,9 +7,9 @@ guard-variant experiment: under the union reading of Definition 9,
 the documented finding of this reproduction.
 """
 
-from repro.adversaries import k_concurrency_alpha, t_resilience_alpha
+from repro.adversaries import k_concurrency_alpha
 from repro.analysis import compare_affine_tasks, render_table
-from repro.core.ra import RABuilder, r_affine
+from repro.core.ra import r_affine
 from repro.core.rkof import r_k_obstruction_free
 from repro.core.rtres import r_t_resilient
 from repro.core.theorems import guard_variant_report

@@ -32,7 +32,6 @@ from repro.adversaries import (
 from repro.analysis import banner, render_mapping, render_table
 from repro.core import full_affine_task, r_affine
 from repro.engine import ArtifactCache, Engine
-from repro.tasks.set_consensus import set_consensus_task
 
 
 def run_batch(engine: Engine) -> None:

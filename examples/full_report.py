@@ -16,9 +16,6 @@ from repro.adversaries import (
     figure5b_adversary,
     is_fair,
     k_concurrency_alpha,
-    setcon,
-    t_resilience_alpha,
-    wait_free_alpha,
 )
 from repro.analysis import banner, render_check
 from repro.analysis.compactness import (
@@ -32,7 +29,6 @@ from repro.core import (
     contention_complex,
     full_affine_task,
     r_affine,
-    r_k_obstruction_free,
     r_t_resilient,
 )
 from repro.core.theorems import ra_equals_rkof, ra_equals_rtres

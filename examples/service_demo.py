@@ -30,7 +30,6 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.adversaries import Adversary, agreement_function_of  # noqa: E402
-from repro.core.ra import DEFAULT_VARIANT  # noqa: E402
 from repro.engine import JobSpec, serialize  # noqa: E402
 from repro.service import ServiceClient  # noqa: E402
 from repro.tasks.set_consensus import set_consensus_task  # noqa: E402

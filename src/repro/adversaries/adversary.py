@@ -12,7 +12,7 @@ superset-closed and symmetric closures).
 from __future__ import annotations
 
 from itertools import combinations
-from typing import FrozenSet, Iterable, Iterator, Tuple
+from typing import FrozenSet, Iterable, Iterator
 
 ProcessSet = FrozenSet[int]
 

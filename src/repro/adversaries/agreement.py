@@ -13,7 +13,7 @@ and ``R_A`` only ever consult ``alpha``, never the adversary itself.
 from __future__ import annotations
 
 from itertools import combinations
-from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional
 
 from .adversary import Adversary, ProcessSet
 from .setcon import setcon_restricted

@@ -9,8 +9,8 @@ region of the Figure 2 classification diagram.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List
+from dataclasses import dataclass
+from typing import Dict, List
 
 from .adversary import (
     Adversary,

@@ -15,8 +15,7 @@ combinators interact with the paper's notions in testable ways:
 
 from __future__ import annotations
 
-from itertools import combinations
-from typing import Iterable, Iterator, Optional, Tuple
+from typing import Optional, Tuple
 
 from .adversary import Adversary
 from .fairness import is_fair

@@ -24,9 +24,9 @@ This module makes both halves executable for the paper's examples:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional
 
-from ..adversaries.adversary import Adversary, t_resilient, k_obstruction_free
+from ..adversaries.adversary import t_resilient, k_obstruction_free
 from ..core.affine import AffineTask
 from ..tasks.solvability import MapSearch
 from ..tasks.task import Task

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from itertools import combinations
-from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Tuple
 
 from ..adversaries.adversary import Adversary
 from ..adversaries.agreement import AgreementFunction, agreement_function_of

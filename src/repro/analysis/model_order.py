@@ -17,7 +17,7 @@ lattice-like landscape behind Figure 2.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import networkx as nx
 

@@ -6,7 +6,7 @@ experiment's output has a uniform, diff-friendly shape.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, Iterable, Sequence
 
 
 def render_table(

@@ -17,7 +17,7 @@ row at depth 2).
 from __future__ import annotations
 
 import random
-from typing import Callable, Dict, FrozenSet, Iterable
+from typing import Dict, FrozenSet
 
 from ..topology.chromatic import ChromaticComplex, ChrVertex
 from ..topology.subdivision import carrier_in_s

@@ -16,18 +16,26 @@ Commands regenerate the paper's artifacts from the terminal:
 * ``certify``    — one certified FACT query, written as a portable
   certificate JSON file (``repro.certify``);
 * ``check``      — validate certificate files with the independent
-  checker (imports only ``repro.certify.checker``).
+  checker (imports only ``repro.certify.checker``);
+* ``trace``      — summarize a JSONL trace file (``repro.obs``).
 
 ``classify``, ``landscape``, ``fact`` and ``algorithm1`` accept
 ``--jobs N`` / ``--cache-dir PATH`` / ``--no-cache``; with the defaults
 (``--jobs 1``, no cache) they bypass the engine entirely and run the
 legacy in-process code, so default invocations stay byte-identical.
+
+Any command accepts span tracing via ``--trace FILE.jsonl`` (where the
+engine options are available) or the ``REPRO_TRACE`` environment
+variable: the command runs with the :mod:`repro.obs` tracer enabled and
+the finished spans are appended to the file on exit, ready for
+``repro trace FILE.jsonl``.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import List, Optional
 
@@ -42,7 +50,6 @@ from .adversaries import (
     k_concurrency_alpha,
     setcon,
     t_resilience_alpha,
-    wait_free,
 )
 from .analysis import (
     banner,
@@ -58,7 +65,7 @@ from .core import (
     r_k_obstruction_free,
     r_t_resilient,
 )
-from .topology import chr_complex, fubini_number
+from .topology import chr_complex
 
 
 def _build_engine(args: argparse.Namespace, default_cache: bool = False):
@@ -680,6 +687,13 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="solve kernel for FACT queries (implies the engine path)",
     )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="JSONL",
+        help="enable span tracing and append finished spans to this "
+        "JSONL file (env fallback: REPRO_TRACE)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -860,6 +874,32 @@ def build_parser() -> argparse.ArgumentParser:
         "export", help="dump all figure data as JSON"
     )
     export.add_argument("--output", default=None, help="file path (default: stdout)")
+
+    from .obs.summary import SORT_KEYS
+
+    trace = sub.add_parser(
+        "trace", help="summarize a JSONL trace file (repro.obs)"
+    )
+    trace.add_argument(
+        "trace_file", help="trace written by --trace / REPRO_TRACE"
+    )
+    trace.add_argument(
+        "--sort",
+        choices=SORT_KEYS,
+        default="total_s",
+        help="order the per-span-kind table by this column",
+    )
+    trace.add_argument(
+        "--limit",
+        type=int,
+        default=0,
+        help="show at most this many span kinds (0 = all)",
+    )
+    trace.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the summary as one JSON object instead of a table",
+    )
     return parser
 
 
@@ -871,6 +911,22 @@ def _cmd_export(args: argparse.Namespace) -> int:
         print(payload)
     else:
         print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Summarize a JSONL trace: per-span-kind latency breakdown."""
+    from . import obs
+
+    try:
+        spans = obs.load_spans(args.trace_file)
+    except OSError as exc:
+        raise SystemExit(f"cannot read {args.trace_file}: {exc}")
+    summary = obs.summarize(spans)
+    if args.json:
+        print(json.dumps(summary, sort_keys=True))
+    else:
+        print(obs.render_summary(summary, sort=args.sort, limit=args.limit))
     return 0
 
 
@@ -888,12 +944,50 @@ _HANDLERS = {
     "inspect": _cmd_inspect,
     "certify": _cmd_certify,
     "check": _cmd_check,
+    "trace": _cmd_trace,
 }
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    try:
+        return _main(argv)
+    except BrokenPipeError:
+        # Downstream closed the pipe (`repro trace ... | head`): stop
+        # quietly instead of dumping a traceback.  Redirect stdout to
+        # devnull so the interpreter's exit-time flush can't re-raise.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
+
+
+def _main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return _HANDLERS[args.command](args)
+    trace_path = getattr(args, "trace", None) or os.environ.get(
+        "REPRO_TRACE"
+    )
+    if args.command == "trace" or not trace_path:
+        return _HANDLERS[args.command](args)
+    # Traced run: every span the command produces — including spans
+    # shipped back from worker processes — lands in one JSONL file.
+    from . import obs
+
+    tracer = obs.enable()
+    try:
+        return _HANDLERS[args.command](args)
+    finally:
+        count = obs.export_jsonl(trace_path, tracer.drain())
+        obs.disable()
+        print(f"trace: wrote {count} spans to {trace_path}", file=sys.stderr)
+        if count == 0:
+            # Tracing never reroutes the computation, so the legacy
+            # direct paths (no engine opt-in) produce no spans.
+            print(
+                "trace: 0 spans means the command ran on the legacy "
+                "direct path; add an engine opt-in (--jobs, "
+                "--cache-dir, --no-cache with batch, or --kernel) "
+                "to trace it.",
+                file=sys.stderr,
+            )
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -14,14 +14,10 @@ of whose ``l``-round prefixes stay inside the iterates.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, FrozenSet, Iterable, List, Optional
+from typing import Dict, FrozenSet, Iterable, List
 
 from ..topology.chromatic import ChromaticComplex, ChrVertex, ProcessId, chi
-from ..topology.subdivision import (
-    carrier_in_s,
-    chr_complex,
-    subdivision_restricted_to,
-)
+from ..topology.subdivision import chr_complex, subdivision_restricted_to
 
 Simplex = FrozenSet
 

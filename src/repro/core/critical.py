@@ -21,7 +21,7 @@ task exempts simplices that can rely on them from contention limits.
 from __future__ import annotations
 
 from itertools import combinations
-from typing import Dict, FrozenSet, Iterable, Tuple
+from typing import Dict, FrozenSet, Iterable
 
 from ..adversaries.agreement import AgreementFunction
 from ..topology.chromatic import ChrVertex, ProcessId, chi

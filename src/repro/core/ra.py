@@ -31,7 +31,7 @@ not facet-for-facet.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Literal
+from typing import Dict, FrozenSet, Literal
 
 from ..adversaries.adversary import Adversary
 from ..adversaries.agreement import AgreementFunction, agreement_function_of

@@ -18,7 +18,7 @@ by tests and benchmarks:
 from __future__ import annotations
 
 from itertools import combinations
-from typing import FrozenSet, Iterable, List, Optional, Tuple
+from typing import FrozenSet, Iterable, List, Optional
 
 from ..adversaries.agreement import (
     AgreementFunction,

@@ -17,7 +17,7 @@ from __future__ import annotations
 from typing import FrozenSet
 
 from ..topology.chromatic import ChrVertex, ProcessId
-from ..topology.subdivision import carrier, own_vertex_in_carrier
+from ..topology.subdivision import own_vertex_in_carrier
 
 
 def view2(vertex: ChrVertex) -> FrozenSet[ChrVertex]:

@@ -14,6 +14,14 @@ completion order.
 return a structured ``budget`` outcome carrying the node count, which
 the engine turns into a domain-split retry (see
 :meth:`repro.engine.jobs.Engine._split_retry`).
+
+When tracing is enabled (:mod:`repro.obs`), the submitting context's
+span carrier rides along with each chunk: workers run their jobs under
+a private tracer with the carrier attached, so the per-job
+``engine.compute`` / ``engine.codec.*`` spans they produce are parented
+under the submitting span, and the finished span dicts come back beside
+the outcomes for the parent tracer to reattach.  With tracing off the
+carrier is ``None`` and workers skip all of it.
 """
 
 from __future__ import annotations
@@ -22,8 +30,9 @@ import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
-from typing import Any, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from .. import obs
 from ..tasks.solvability import SearchBudgetExceeded
 from .serialize import deserialize, serialize
 
@@ -32,38 +41,62 @@ from .serialize import deserialize, serialize
 #   ("budget", nodes_explored,   wall_time)
 #   ("error",  message,          wall_time)
 _ChunkItem = Tuple[str, str]  # (kind, serialized payload)
+_ChunkReturn = Tuple[List[Tuple[str, Any, float]], List[Dict[str, Any]]]
 
 
-def _run_chunk(chunk: Sequence[_ChunkItem]) -> List[Tuple[str, Any, float]]:
-    """Worker entry point: execute one chunk of serialized jobs."""
+def _run_chunk(
+    chunk: Sequence[_ChunkItem],
+    carrier: Optional[Dict[str, str]] = None,
+) -> _ChunkReturn:
+    """Worker entry point: execute one chunk of serialized jobs.
+
+    Returns ``(outcomes, span_dicts)``; ``span_dicts`` is empty unless
+    the submitting process sent a span carrier.
+    """
     from .jobs import JOB_KINDS
 
+    # Workers forked from a traced parent inherit its module-global
+    # tracer; reset explicitly so worker tracing is governed only by
+    # the carrier the submitting batch chose to send.
+    tracer = obs.enable() if carrier is not None else None
+    if carrier is None:
+        obs.disable()
+
     outcomes: List[Tuple[str, Any, float]] = []
-    for kind, payload_text in chunk:
-        started = time.perf_counter()
-        try:
-            payload = deserialize(payload_text)
-            value = JOB_KINDS[kind](payload)
-            outcomes.append(
-                ("ok", serialize(value), time.perf_counter() - started)
-            )
-        except SearchBudgetExceeded as exc:
-            outcomes.append(
-                (
-                    "budget",
-                    exc.nodes_explored,
-                    time.perf_counter() - started,
+    with obs.attach(carrier):
+        for kind, payload_text in chunk:
+            started = time.perf_counter()
+            try:
+                with obs.span("engine.codec.decode", kind=kind):
+                    payload = deserialize(payload_text)
+                with obs.span("engine.compute", kind=kind):
+                    value = JOB_KINDS[kind](payload)
+                with obs.span("engine.codec.encode", kind=kind):
+                    value_text = serialize(value)
+                outcomes.append(
+                    ("ok", value_text, time.perf_counter() - started)
                 )
-            )
-        except Exception:
-            outcomes.append(
-                (
-                    "error",
-                    traceback.format_exc(limit=8),
-                    time.perf_counter() - started,
+            except SearchBudgetExceeded as exc:
+                outcomes.append(
+                    (
+                        "budget",
+                        exc.nodes_explored,
+                        time.perf_counter() - started,
+                    )
                 )
-            )
-    return outcomes
+            except Exception:
+                outcomes.append(
+                    (
+                        "error",
+                        traceback.format_exc(limit=8),
+                        time.perf_counter() - started,
+                    )
+                )
+    span_dicts: List[Dict[str, Any]] = []
+    if tracer is not None:
+        span_dicts = [span_obj.to_dict() for span_obj in tracer.drain()]
+        obs.disable()
+    return outcomes, span_dicts
 
 
 def _chunked(items: List, chunk_count: int) -> List[List]:
@@ -107,7 +140,8 @@ def _execute_sequential(
     for index, spec in pending:
         started = time.perf_counter()
         try:
-            value = spec.run()
+            with obs.span("engine.compute", kind=spec.kind):
+                value = spec.run()
             results.append(
                 JobResult(
                     index=index,
@@ -149,22 +183,30 @@ def _execute_pool(
     # on many-small-job batches while keeping the pool load-balanced.
     indexed = list(pending)
     chunks = _chunked(indexed, jobs * 4)
-    payload_chunks = [
-        [(spec.kind, serialize(spec.payload)) for _, spec in chunk]
-        for chunk in chunks
-    ]
+    with obs.span("engine.codec.encode", jobs=len(indexed)):
+        payload_chunks = [
+            [(spec.kind, serialize(spec.payload)) for _, spec in chunk]
+            for chunk in chunks
+        ]
+    # The submitting span context rides along so worker spans reattach
+    # under it; ``None`` (tracing off) costs workers nothing.
+    carrier = obs.current_carrier()
+    tracer = obs.get_tracer()
 
     results: List["JobResult"] = []
     timed_out = False
     pool = ProcessPoolExecutor(max_workers=jobs)
     try:
         futures = [
-            pool.submit(_run_chunk, payload) for payload in payload_chunks
+            pool.submit(_run_chunk, payload, carrier)
+            for payload in payload_chunks
         ]
         for chunk, future in zip(chunks, futures):
             chunk_timeout = timeout * len(chunk) if timeout else None
             try:
-                outcomes = future.result(timeout=chunk_timeout)
+                outcomes, worker_spans = future.result(timeout=chunk_timeout)
+                if tracer is not None and worker_spans:
+                    tracer.ingest(worker_spans)
             except FutureTimeoutError:
                 timed_out = True
                 for index, spec in chunk:
@@ -181,11 +223,13 @@ def _execute_pool(
                 continue
             for (index, spec), (status, data, wall) in zip(chunk, outcomes):
                 if status == "ok":
+                    with obs.span("engine.codec.decode", kind=spec.kind):
+                        value = deserialize(data)
                     results.append(
                         JobResult(
                             index=index,
                             kind=spec.kind,
-                            value=deserialize(data),
+                            value=value,
                             wall_time=wall,
                         )
                     )

@@ -21,6 +21,7 @@ import time
 from dataclasses import dataclass, replace
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from .. import obs
 from ..adversaries.adversary import Adversary
 from ..adversaries.agreement import AgreementFunction, agreement_function_of
 from ..adversaries.fairness import is_fair
@@ -253,65 +254,78 @@ class Engine:
         carries ``error="budget"`` and the aggregated node count.
         """
         specs = list(specs)
-        results: List[Optional[JobResult]] = [None] * len(specs)
-        pending: List[Tuple[int, JobSpec]] = []
-        digests: List[str] = []
-        leaders: Dict[str, int] = {}
-        followers: Dict[str, List[int]] = {}
+        with obs.span(
+            "engine.batch", jobs=self.jobs, specs=len(specs)
+        ) as batch_span:
+            results: List[Optional[JobResult]] = [None] * len(specs)
+            pending: List[Tuple[int, JobSpec]] = []
+            digests: List[str] = []
+            leaders: Dict[str, int] = {}
+            followers: Dict[str, List[int]] = {}
 
-        for index, spec in enumerate(specs):
-            key_digest = digest(spec.cache_key())
-            digests.append(key_digest)
-            started = time.perf_counter()
-            value = self.cache.get(key_digest)
-            if value is not MISS:
-                result = JobResult(
-                    index=index,
-                    kind=spec.kind,
-                    value=value,
-                    wall_time=time.perf_counter() - started,
-                    cache_hit=True,
-                )
-                self._finish(results, result)
-            elif key_digest in leaders:
-                followers.setdefault(key_digest, []).append(index)
-                self.deduped += 1
-            else:
-                leaders[key_digest] = index
-                pending.append((index, spec))
+            hits = 0
+            with obs.span("engine.cache.lookup") as lookup_span:
+                for index, spec in enumerate(specs):
+                    key_digest = digest(spec.cache_key())
+                    digests.append(key_digest)
+                    started = time.perf_counter()
+                    value = self.cache.get(key_digest)
+                    if value is not MISS:
+                        hits += 1
+                        result = JobResult(
+                            index=index,
+                            kind=spec.kind,
+                            value=value,
+                            wall_time=time.perf_counter() - started,
+                            cache_hit=True,
+                        )
+                        self._finish(results, result)
+                    elif key_digest in leaders:
+                        followers.setdefault(key_digest, []).append(index)
+                        self.deduped += 1
+                    else:
+                        leaders[key_digest] = index
+                        pending.append((index, spec))
+                lookup_span.set_attr("hits", hits)
+                lookup_span.set_attr("pending", len(pending))
 
-        if pending:
-            from .executor import execute_batch
+            if pending:
+                from .executor import execute_batch
 
-            for result in execute_batch(
-                pending,
-                jobs=self.jobs,
-                timeout=self.timeout,
-            ):
-                if (
-                    result.error == "budget"
-                    and specs[result.index].kind == "solve"
+                for result in execute_batch(
+                    pending,
+                    jobs=self.jobs,
+                    timeout=self.timeout,
                 ):
-                    result = self._split_retry(
-                        specs[result.index], result
-                    )
-                key_digest = digests[result.index]
-                if result.ok:
-                    self.cache.put(key_digest, result.value)
-                self._finish(results, result)
-                for follower in followers.get(key_digest, ()):
-                    self._finish(
-                        results,
-                        replace(result, index=follower, coalesced=True),
-                    )
+                    if (
+                        result.error == "budget"
+                        and specs[result.index].kind == "solve"
+                    ):
+                        result = self._split_retry(
+                            specs[result.index], result
+                        )
+                    key_digest = digests[result.index]
+                    if result.ok:
+                        self.cache.put(key_digest, result.value)
+                    self._finish(results, result)
+                    for follower in followers.get(key_digest, ()):
+                        self._finish(
+                            results,
+                            replace(result, index=follower, coalesced=True),
+                        )
 
-        for result in results:
-            if result is not None and result.kind == "solve" and result.ok:
-                result.nodes_explored = result.value[1]
-                payload = specs[result.index].payload
-                if len(payload) == 1 and isinstance(payload[0], SolveRequest):
-                    result.kernel = payload[0].kernel
-        return [result for result in results if result is not None]
+            for result in results:
+                if result is not None and result.kind == "solve" and result.ok:
+                    result.nodes_explored = result.value[1]
+                    payload = specs[result.index].payload
+                    if len(payload) == 1 and isinstance(
+                        payload[0], SolveRequest
+                    ):
+                        result.kernel = payload[0].kernel
+            batch_span.set_attr("cache_hits", hits)
+            batch_span.set_attr("computed", len(pending))
+            batch_span.set_attr("coalesced", len(specs) - hits - len(pending))
+            return [result for result in results if result is not None]
 
     def _finish(self, results: List[Optional[JobResult]], result: JobResult):
         results[result.index] = result
@@ -332,6 +346,17 @@ class Engine:
         slice surfaces as ``error="budget"`` with the aggregated node
         count.
         """
+        with obs.span(
+            "engine.split_retry",
+            failed_nodes=failed.nodes_explored or 0,
+            levels=self.split_retries,
+        ) as retry_span:
+            result = self._split_retry_impl(spec, failed)
+            retry_span.set_attr("splits", result.splits)
+            retry_span.set_attr("resolved", result.error is None)
+            return result
+
+    def _split_retry_impl(self, spec: JobSpec, failed: JobResult) -> JobResult:
         from dataclasses import replace as dc_replace
 
         from .executor import execute_batch

@@ -1,0 +1,137 @@
+"""Trace summarization: per-span-kind latency breakdowns.
+
+Input is span dicts (from :func:`repro.obs.export.load_spans` or
+``Span.to_dict``); output is a JSON-ready summary plus a plain-text
+rendering used by the ``repro trace`` CLI.  Stdlib-only by design —
+the summarizer must run anywhere a trace file lands.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Sequence
+
+__all__ = ["render_summary", "summarize"]
+
+#: Sort keys accepted by the CLI and :func:`render_summary`.
+SORT_KEYS = ("total_s", "count", "mean_s", "max_s")
+
+
+def _percentile(ordered: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending-sorted sequence."""
+    if not ordered:
+        return 0.0
+    rank = max(0, min(len(ordered) - 1, int(q * len(ordered))))
+    return ordered[rank]
+
+
+def summarize(spans: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
+    """Aggregate spans per name: count, total, mean, p50, p95, max.
+
+    Also reports the distinct trace count, the total span count and the
+    slowest individual spans (for "where did that one query go" style
+    digging without replaying the whole file).
+    """
+    durations: Dict[str, List[float]] = {}
+    traces = set()
+    all_spans: List[Dict[str, Any]] = []
+    for span_data in spans:
+        durations.setdefault(span_data["name"], []).append(
+            float(span_data.get("dur_s", 0.0))
+        )
+        traces.add(span_data.get("trace_id"))
+        all_spans.append(span_data)
+
+    by_name: Dict[str, Dict[str, Any]] = {}
+    for name, values in durations.items():
+        values.sort()
+        total = sum(values)
+        by_name[name] = {
+            "count": len(values),
+            "total_s": round(total, 6),
+            "mean_s": round(total / len(values), 6),
+            "p50_s": round(_percentile(values, 0.50), 6),
+            "p95_s": round(_percentile(values, 0.95), 6),
+            "max_s": round(values[-1], 6),
+        }
+
+    slowest = sorted(
+        all_spans, key=lambda s: float(s.get("dur_s", 0.0)), reverse=True
+    )[:5]
+    return {
+        "spans": len(all_spans),
+        "traces": len(traces),
+        "by_name": by_name,
+        "slowest": [
+            {
+                "name": s["name"],
+                "dur_s": float(s.get("dur_s", 0.0)),
+                "trace_id": s.get("trace_id"),
+                "attrs": s.get("attrs") or {},
+            }
+            for s in slowest
+        ],
+    }
+
+
+def render_summary(
+    summary: Dict[str, Any],
+    sort: str = "total_s",
+    limit: int = 0,
+) -> str:
+    """A plain-text table of the per-span-kind breakdown."""
+    if sort not in SORT_KEYS:
+        raise ValueError(f"sort must be one of {SORT_KEYS}, got {sort!r}")
+    rows = sorted(
+        summary["by_name"].items(),
+        key=lambda item: item[1][sort],
+        reverse=True,
+    )
+    if limit:
+        rows = rows[:limit]
+    header = ["span", "count", "total_s", "mean_s", "p50_s", "p95_s", "max_s"]
+    table: List[List[str]] = [header]
+    for name, entry in rows:
+        table.append(
+            [
+                name,
+                str(entry["count"]),
+                f"{entry['total_s']:.6f}",
+                f"{entry['mean_s']:.6f}",
+                f"{entry['p50_s']:.6f}",
+                f"{entry['p95_s']:.6f}",
+                f"{entry['max_s']:.6f}",
+            ]
+        )
+    widths = [
+        max(len(row[column]) for row in table)
+        for column in range(len(header))
+    ]
+    lines = [
+        f"{summary['spans']} spans in {summary['traces']} traces",
+        "",
+    ]
+    for index, row in enumerate(table):
+        lines.append(
+            "  ".join(
+                cell.ljust(width) if column == 0 else cell.rjust(width)
+                for column, (cell, width) in enumerate(zip(row, widths))
+            )
+        )
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    if summary.get("slowest"):
+        lines.append("")
+        lines.append("slowest spans:")
+        for entry in summary["slowest"]:
+            attrs = ""
+            if entry["attrs"]:
+                rendered = ", ".join(
+                    f"{key}={value}"
+                    for key, value in sorted(entry["attrs"].items())
+                )
+                attrs = f"  [{rendered}]"
+            lines.append(
+                f"  {entry['dur_s']:.6f}s  {entry['name']}"
+                f"  (trace {entry['trace_id']}){attrs}"
+            )
+    return "\n".join(lines)

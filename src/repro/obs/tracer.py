@@ -1,0 +1,377 @@
+"""The span tracer: monotonic timings, context propagation, no-op off.
+
+One process holds at most one *active* :class:`Tracer` (module global,
+installed with :func:`enable`, removed with :func:`disable`).  Code
+under measurement never touches the tracer directly — it calls
+:func:`span`::
+
+    with span("engine.batch", jobs=4) as batch_span:
+        ...
+        batch_span.set_attr("cache_hits", hits)
+
+When no tracer is active, :func:`span` returns one shared
+:data:`NOOP_SPAN` singleton — no allocation, no contextvar write, no
+lock — so instrumented hot paths cost a single module-global read when
+tracing is off.  The tier-1 suite and the committed benchmarks all run
+in that state.
+
+**Context.**  The current span is a ``contextvars.ContextVar`` holding
+``(trace_id, span_id)``, so nesting works across ``await`` points (each
+asyncio task gets its own context) and new threads start at the root
+(thread pools never inherit a request's context by accident).
+
+**Cross-process propagation.**  A span context can be exported as a
+*carrier* dict (:func:`current_carrier`) and re-installed elsewhere
+with :func:`attach` — including in a pool worker process, which runs
+its jobs under a private tracer and ships the finished spans back as
+plain dicts for :meth:`Tracer.ingest` to reattach.  Span ids embed the
+producing process id, so reattached ids never collide with local ones.
+
+Span attributes are coerced to JSON-safe scalars at ``set_attr`` time
+(anything else becomes its ``repr``), which keeps serialization total
+and byte-stable.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import os
+import threading
+import time
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "NOOP_SPAN",
+    "Span",
+    "Tracer",
+    "attach",
+    "current_carrier",
+    "disable",
+    "enable",
+    "get_tracer",
+    "span",
+]
+
+#: ``(trace_id, span_id)`` of the innermost open span, or ``None``.
+_CURRENT: contextvars.ContextVar[Optional[Tuple[str, str]]] = (
+    contextvars.ContextVar("repro_obs_current", default=None)
+)
+
+#: The process-wide active tracer (``None`` = tracing off).
+_ACTIVE: Optional["Tracer"] = None
+
+
+def _attr_value(value: Any) -> Any:
+    """Coerce one attribute to a JSON-safe scalar (repr as last resort)."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return repr(value)
+
+
+class Span:
+    """One timed, named region of work, with parent/child identity.
+
+    Spans are context managers: entering installs the span as the
+    current context (children created inside parent to it), exiting
+    stamps the monotonic duration and hands the span to its tracer.
+    An exception propagating through ``__exit__`` records the exception
+    type under the ``error`` attribute before re-raising.
+    """
+
+    __slots__ = (
+        "name",
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "pid",
+        "start_s",
+        "dur_s",
+        "attrs",
+        "_tracer",
+        "_token",
+        "_t0",
+    )
+
+    recording = True
+
+    def __init__(
+        self,
+        name: str,
+        trace_id: str,
+        span_id: str,
+        parent_id: Optional[str],
+        attrs: Optional[Dict[str, Any]] = None,
+        tracer: Optional["Tracer"] = None,
+    ):
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.pid = os.getpid()
+        #: Wall-clock start (epoch seconds) — for humans reading traces;
+        #: ordering and durations come from the monotonic clock.
+        self.start_s = round(time.time(), 6)
+        self.dur_s = 0.0
+        self.attrs: Dict[str, Any] = {}
+        if attrs:
+            for key, value in attrs.items():
+                self.attrs[key] = _attr_value(value)
+        self._tracer = tracer
+        self._token: Optional[contextvars.Token] = None
+        self._t0 = time.perf_counter()
+
+    # ------------------------------------------------------------------
+    def set_attr(self, key: str, value: Any) -> None:
+        self.attrs[key] = _attr_value(value)
+
+    def __enter__(self) -> "Span":
+        self._token = _CURRENT.set((self.trace_id, self.span_id))
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.dur_s = round(time.perf_counter() - self._t0, 9)
+        if self._token is not None:
+            _CURRENT.reset(self._token)
+            self._token = None
+        if exc_type is not None and "error" not in self.attrs:
+            self.attrs["error"] = exc_type.__name__
+        if self._tracer is not None:
+            self._tracer._finish(self)
+        return False
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-safe dict with deterministic key content.
+
+        Serializing the same finished span twice yields identical bytes
+        (see :func:`repro.obs.export.span_line`): attributes are emitted
+        in sorted key order and every value is a JSON scalar.
+        """
+        data: Dict[str, Any] = {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "pid": self.pid,
+            "start_s": self.start_s,
+            "dur_s": self.dur_s,
+        }
+        if self.attrs:
+            data["attrs"] = {key: self.attrs[key] for key in sorted(self.attrs)}
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Span":
+        """Rebuild a finished span (e.g. one shipped from a worker)."""
+        span_obj = cls.__new__(cls)
+        span_obj.name = data["name"]
+        span_obj.trace_id = data["trace_id"]
+        span_obj.span_id = data["span_id"]
+        span_obj.parent_id = data.get("parent_id")
+        span_obj.pid = data.get("pid", 0)
+        span_obj.start_s = data.get("start_s", 0.0)
+        span_obj.dur_s = data.get("dur_s", 0.0)
+        span_obj.attrs = dict(data.get("attrs") or {})
+        span_obj._tracer = None
+        span_obj._token = None
+        span_obj._t0 = 0.0
+        return span_obj
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Span({self.name!r}, id={self.span_id}, "
+            f"parent={self.parent_id}, dur={self.dur_s:.6f}s)"
+        )
+
+
+class _NoopSpan:
+    """The shared do-nothing span returned while tracing is off."""
+
+    __slots__ = ()
+
+    recording = False
+
+    def set_attr(self, key: str, value: Any) -> None:
+        pass
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+#: The singleton every ``span()`` call returns when tracing is off.
+NOOP_SPAN = _NoopSpan()
+
+
+class Tracer:
+    """Collects finished spans and per-name aggregates (thread-safe).
+
+    ``max_spans`` bounds the buffered span list so a long-lived traced
+    server cannot grow without limit; overflowing spans are dropped from
+    the buffer (and counted in ``spans_dropped``) but still feed the
+    per-name aggregates, so :meth:`stats` stays truthful.
+    """
+
+    def __init__(self, max_spans: int = 100_000):
+        self.max_spans = max_spans
+        self._lock = threading.Lock()
+        self._spans: List[Span] = []
+        self._seq = 0
+        self._total = 0
+        self._dropped = 0
+        #: name -> [count, total_seconds, max_seconds]
+        self._agg: Dict[str, List[float]] = {}
+
+    # ------------------------------------------------------------------
+    def start_span(
+        self, name: str, attrs: Optional[Dict[str, Any]] = None
+    ) -> Span:
+        """A new open span parented under the current context."""
+        parent = _CURRENT.get()
+        with self._lock:
+            self._seq += 1
+            sequence = self._seq
+        span_id = f"{os.getpid():x}.{sequence:x}"
+        if parent is not None:
+            trace_id, parent_id = parent
+        else:
+            trace_id = f"t{span_id}"
+            parent_id = None
+        return Span(name, trace_id, span_id, parent_id, attrs, tracer=self)
+
+    def _finish(self, span_obj: Span) -> None:
+        with self._lock:
+            self._record_locked(span_obj)
+
+    def _record_locked(self, span_obj: Span) -> None:
+        self._total += 1
+        entry = self._agg.get(span_obj.name)
+        if entry is None:
+            entry = self._agg[span_obj.name] = [0, 0.0, 0.0]
+        entry[0] += 1
+        entry[1] += span_obj.dur_s
+        if span_obj.dur_s > entry[2]:
+            entry[2] = span_obj.dur_s
+        if len(self._spans) < self.max_spans:
+            self._spans.append(span_obj)
+        else:
+            self._dropped += 1
+
+    def ingest(self, span_dicts: Iterable[Dict[str, Any]]) -> int:
+        """Reattach finished spans shipped from another process."""
+        count = 0
+        with self._lock:
+            for data in span_dicts:
+                self._record_locked(Span.from_dict(data))
+                count += 1
+        return count
+
+    # ------------------------------------------------------------------
+    def drain(self) -> List[Span]:
+        """Remove and return every buffered span (aggregates persist)."""
+        with self._lock:
+            drained, self._spans = self._spans, []
+        return drained
+
+    def spans(self) -> List[Span]:
+        """A snapshot copy of the buffered spans."""
+        with self._lock:
+            return list(self._spans)
+
+    def stats(self) -> Dict[str, Any]:
+        """Aggregate counters: totals plus per-name count/total/max."""
+        with self._lock:
+            by_name = {
+                name: {
+                    "count": int(entry[0]),
+                    "total_s": round(entry[1], 6),
+                    "max_s": round(entry[2], 6),
+                }
+                for name, entry in sorted(self._agg.items())
+            }
+            return {
+                "spans_total": self._total,
+                "spans_dropped": self._dropped,
+                "spans_buffered": len(self._spans),
+                "by_name": by_name,
+            }
+
+
+# ----------------------------------------------------------------------
+# The module-global switch and context helpers
+# ----------------------------------------------------------------------
+def enable(tracer: Optional[Tracer] = None) -> Tracer:
+    """Install (and return) the process-wide active tracer."""
+    global _ACTIVE
+    _ACTIVE = tracer if tracer is not None else Tracer()
+    return _ACTIVE
+
+
+def disable() -> None:
+    """Remove the active tracer; :func:`span` reverts to the no-op."""
+    global _ACTIVE
+    _ACTIVE = None
+
+
+def get_tracer() -> Optional[Tracer]:
+    """The active tracer, or ``None`` when tracing is off."""
+    return _ACTIVE
+
+
+def span(name: str, **attrs: Any):
+    """An open span under the active tracer — or the no-op singleton.
+
+    This is the only call sites use.  Keep the disabled path at one
+    global read: anything more belongs behind the ``is None`` check.
+    """
+    tracer = _ACTIVE
+    if tracer is None:
+        return NOOP_SPAN
+    return tracer.start_span(name, attrs)
+
+
+def current_carrier() -> Optional[Dict[str, str]]:
+    """The current span context as a JSON-safe carrier dict.
+
+    ``None`` when tracing is off *or* no span is open — callers pass
+    the result across a process/thread boundary and hand it to
+    :func:`attach` on the other side.
+    """
+    if _ACTIVE is None:
+        return None
+    current = _CURRENT.get()
+    if current is None:
+        return None
+    return {"trace_id": current[0], "span_id": current[1]}
+
+
+class attach:
+    """Context manager installing a carrier as the current span context.
+
+    ``attach(None)`` clears the context (new spans become trace roots),
+    which is how detached work — a micro-batch aggregating many
+    requests, a worker thread — starts a fresh trace on purpose.
+    """
+
+    __slots__ = ("_carrier", "_token")
+
+    def __init__(self, carrier: Optional[Dict[str, str]]):
+        self._carrier = carrier
+        self._token: Optional[contextvars.Token] = None
+
+    def __enter__(self) -> "attach":
+        if self._carrier is None:
+            self._token = _CURRENT.set(None)
+        else:
+            self._token = _CURRENT.set(
+                (self._carrier["trace_id"], self._carrier["span_id"])
+            )
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if self._token is not None:
+            _CURRENT.reset(self._token)
+            self._token = None
+        return False

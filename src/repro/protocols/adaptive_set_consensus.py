@@ -23,8 +23,8 @@ Theorem-level guarantees exercised by the harness (experiment E13):
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Any, Dict, FrozenSet, List, Optional
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
 
 from ..adversaries.agreement import AgreementFunction
 from ..core.affine import AffineTask

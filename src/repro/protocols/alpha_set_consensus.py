@@ -23,10 +23,10 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Any, Dict, FrozenSet, Generator, List
+from typing import Any, Dict, Generator, List
 
 from ..adversaries.agreement import AgreementFunction
-from ..runtime.algorithm1 import algorithm1_protocol, outputs_to_simplex
+from ..runtime.algorithm1 import algorithm1_protocol
 from ..runtime.memory import SharedMemory
 from ..runtime.scheduler import (
     ExecutionPlan,

@@ -31,7 +31,7 @@ from typing import FrozenSet, Iterable, List, Optional
 from ..adversaries.agreement import AgreementFunction
 from ..core.affine import AffineTask
 from ..core.critical import CriticalStructure
-from ..topology.chromatic import ChrVertex, ProcessId, chi
+from ..topology.chromatic import ChrVertex, ProcessId
 from ..topology.subdivision import carrier_in_s
 
 ProcessSet = FrozenSet[ProcessId]

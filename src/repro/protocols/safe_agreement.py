@@ -21,7 +21,7 @@ Guarantees (fuzz-validated):
 from __future__ import annotations
 
 import random
-from typing import Any, Dict, Generator, Optional, Tuple
+from typing import Any, Dict, Generator, Optional
 
 from ..runtime.memory import SharedMemory
 from ..runtime.scheduler import LivenessViolation, Scheduler

@@ -21,7 +21,7 @@ This module generates A-compliant plans so the distinction is testable:
 from __future__ import annotations
 
 import random
-from typing import FrozenSet, Iterable, List
+from typing import List
 
 from ..adversaries.adversary import Adversary
 from .scheduler import ExecutionPlan

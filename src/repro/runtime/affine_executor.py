@@ -26,7 +26,6 @@ from typing import Any, Callable, Dict, FrozenSet, List, Optional, Sequence
 from ..core.affine import AffineTask
 from ..topology.chromatic import ChrVertex
 from ..topology.subdivision import carrier_in_s
-from .iis import IISExecution
 from ..topology.enumeration import chr_facet_to_partition
 
 FacetChooser = Callable[[int, AffineTask], FrozenSet[ChrVertex]]

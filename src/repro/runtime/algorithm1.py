@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Any, Dict, FrozenSet, Generator, List, Optional, Tuple
+from typing import Dict, FrozenSet, Generator, List, Optional, Tuple
 
 from ..adversaries.agreement import AgreementFunction
 from ..core.affine import AffineTask
@@ -36,7 +36,6 @@ from .immediate_snapshot import immediate_snapshot_protocol
 from .memory import SharedMemory
 from .scheduler import (
     ExecutionPlan,
-    LivenessViolation,
     RunResult,
     random_alpha_model_plan,
     run_plan,

@@ -19,7 +19,7 @@ Typical uses (see the test-suite):
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, FrozenSet, Iterator, List, Optional, Tuple
+from typing import Any, Callable, Dict, FrozenSet, Iterator, List, Tuple
 
 from .memory import SharedMemory
 from .scheduler import Scheduler

@@ -15,9 +15,9 @@ process holds, :meth:`IISExecution.vertex_of` its combinatorial shadow.
 from __future__ import annotations
 
 import random
-from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Tuple
+from typing import Any, Dict, FrozenSet, List, Optional, Sequence
 
-from ..topology.chromatic import ChrVertex, ProcessId
+from ..topology.chromatic import ChrVertex
 from ..topology.enumeration import (
     OrderedPartition,
     ordered_set_partitions,

@@ -15,7 +15,7 @@ The protocol is written as a sub-generator compatible with
 
 from __future__ import annotations
 
-from typing import Any, Dict, Generator, Tuple
+from typing import Any, Dict, Generator
 
 from .memory import SharedMemory, SnapshotArray
 

@@ -16,7 +16,7 @@ were justified by the memory history).
 
 from __future__ import annotations
 
-from typing import Any, List, Optional, Tuple
+from typing import Any, List, Tuple
 
 
 class Register:

@@ -32,10 +32,18 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, FrozenSet, Generator, Iterable, List, Optional
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    FrozenSet,
+    Generator,
+    Iterable,
+    Optional,
+)
 
 from ..adversaries.agreement import AgreementFunction
-from .memory import Register, SharedMemory, SnapshotArray
+from .memory import SharedMemory
 
 Protocol = Generator  # yields op tuples, receives results, returns output
 

@@ -28,6 +28,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import replace
 from typing import Dict, List, Optional, Tuple
 
+from .. import obs
 from ..engine.jobs import Engine, JobResult, JobSpec
 from ..engine.serialize import digest
 from .metrics import Metrics
@@ -117,7 +118,7 @@ class Batcher:
         self.metrics.inc("jobs_dispatched_total", len(specs))
         try:
             results = await self._loop.run_in_executor(
-                self._executor, self.engine.run_jobs, specs
+                self._executor, self._traced_run_jobs, specs
             )
         except Exception as exc:  # engine infrastructure failure
             for key_digest, (_, future) in entries:
@@ -129,6 +130,15 @@ class Batcher:
             self._inflight.pop(key_digest, None)
             if not future.done():
                 future.set_result(result)
+
+    def _traced_run_jobs(self, specs: List[JobSpec]) -> List[JobResult]:
+        # ``run_in_executor`` does not propagate contextvars, so the
+        # dispatch thread starts context-free: the ``service.batch``
+        # span is deliberately a fresh trace root covering every query
+        # merged into this batch (queries keep their own per-request
+        # traces on the event loop side).
+        with obs.span("service.batch", specs=len(specs)):
+            return self.engine.run_jobs(specs)
 
     # ------------------------------------------------------------------
     @property

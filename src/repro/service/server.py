@@ -37,6 +37,7 @@ import signal
 import time
 from typing import Any, Dict, Optional, Set
 
+from .. import obs
 from ..engine.jobs import JOB_KINDS, Engine
 from ..engine.jobs import JobSpec
 from ..engine.serialize import SerializationError, deserialize, serialize
@@ -252,39 +253,47 @@ class ServiceServer:
     async def _process_line(self, line: bytes) -> Dict[str, Any]:
         started = time.perf_counter()
         self.metrics.inc("requests_total")
-        try:
-            request = parse_request(line.decode("utf-8", errors="replace"))
-        except ProtocolError as exc:
-            self.metrics.inc(f"errors_{exc.code}_total")
-            return error_response(None, exc.code, exc.message)
-        self.metrics.inc(f"op_{request.op}_total")
-        try:
-            if request.op == "ping":
-                response = ping_response(request.id)
-            elif request.op == "stats":
-                response = stats_response(request.id, self.stats())
-            elif request.op == "metrics":
-                response = metrics_response(
-                    request.id, self.metrics.render_text()
+        with obs.span("service.request") as request_span:
+            try:
+                request = parse_request(
+                    line.decode("utf-8", errors="replace")
+                )
+            except ProtocolError as exc:
+                self.metrics.inc(f"errors_{exc.code}_total")
+                request_span.set_attr("error", exc.code)
+                return error_response(None, exc.code, exc.message)
+            request_span.set_attr("op", request.op)
+            self.metrics.inc(f"op_{request.op}_total")
+            try:
+                if request.op == "ping":
+                    response = ping_response(request.id)
+                elif request.op == "stats":
+                    response = stats_response(request.id, self.stats())
+                elif request.op == "metrics":
+                    response = metrics_response(
+                        request.id, self.metrics.render_text()
+                    )
+                else:
+                    response = await self._process_query(request)
+            except ProtocolError as exc:
+                response = error_response(request.id, exc.code, exc.message)
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:  # never let a request kill the loop
+                response = error_response(
+                    request.id, "internal", f"{type(exc).__name__}: {exc}"
+                )
+            if not response["ok"]:
+                self.metrics.inc(
+                    f"errors_{response['error']['code']}_total"
+                )
+                request_span.set_attr(
+                    "error", response["error"]["code"]
                 )
             else:
-                response = await self._process_query(request)
-        except ProtocolError as exc:
-            response = error_response(request.id, exc.code, exc.message)
-        except asyncio.CancelledError:
-            raise
-        except Exception as exc:  # never let a request kill the loop
-            response = error_response(
-                request.id, "internal", f"{type(exc).__name__}: {exc}"
-            )
-        if not response["ok"]:
-            self.metrics.inc(
-                f"errors_{response['error']['code']}_total"
-            )
-        else:
-            self.metrics.inc("responses_ok_total")
-        self.metrics.observe("request", time.perf_counter() - started)
-        return response
+                self.metrics.inc("responses_ok_total")
+            self.metrics.observe("request", time.perf_counter() - started)
+            return response
 
     async def _process_query(self, request) -> Dict[str, Any]:
         if self._draining:
@@ -327,31 +336,34 @@ class ServiceServer:
         deadline = self._deadline(request.timeout)
         self._active_requests += 1
         started = time.perf_counter()
-        try:
-            waiter = self._batcher.submit(spec)
-            if deadline is not None:
-                result = await asyncio.wait_for(waiter, deadline)
-            else:
-                result = await waiter
-        except asyncio.TimeoutError:
-            raise ProtocolError(
-                "timeout", f"request deadline of {deadline}s expired"
-            )
-        finally:
-            self._active_requests -= 1
-            self.metrics.observe(
-                f"query_{request.kind}", time.perf_counter() - started
-            )
-        value_text = None
-        if result.ok:
-            value_text = await loop.run_in_executor(
-                None, serialize, result.value
-            )
-            if result.cache_hit:
-                self.metrics.inc("cache_hits_total")
-            if result.coalesced:
-                self.metrics.inc("coalesced_responses_total")
-        return response_for_result(request.id, result, value_text)
+        with obs.span("service.query", kind=request.kind) as query_span:
+            try:
+                waiter = self._batcher.submit(spec)
+                if deadline is not None:
+                    result = await asyncio.wait_for(waiter, deadline)
+                else:
+                    result = await waiter
+            except asyncio.TimeoutError:
+                raise ProtocolError(
+                    "timeout", f"request deadline of {deadline}s expired"
+                )
+            finally:
+                self._active_requests -= 1
+                self.metrics.observe(
+                    f"query_{request.kind}", time.perf_counter() - started
+                )
+            query_span.set_attr("cache_hit", result.cache_hit)
+            query_span.set_attr("coalesced", result.coalesced)
+            value_text = None
+            if result.ok:
+                value_text = await loop.run_in_executor(
+                    None, serialize, result.value
+                )
+                if result.cache_hit:
+                    self.metrics.inc("cache_hits_total")
+                if result.coalesced:
+                    self.metrics.inc("coalesced_responses_total")
+            return response_for_result(request.id, result, value_text)
 
     def _deadline(self, requested: Optional[float]) -> Optional[float]:
         candidates = [

@@ -26,6 +26,7 @@ import warnings
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
+from .. import obs
 from ..core.affine import AffineTask
 from ..tasks.solvability import MapSearch
 from ..tasks.task import OutputVertex, Task
@@ -220,9 +221,12 @@ def make_searcher(request: SolveRequest):
         kernel = KERNEL_BITSET
     overrides = request.overrides_dict()
     if kernel == KERNEL_LEGACY:
-        return MapSearch(
-            request.affine, request.task, domain_overrides=overrides
-        )
+        # Legacy searches always build fresh (no shared setup cache),
+        # so the whole construction is the setup phase.
+        with obs.span("solver.setup", kernel=KERNEL_LEGACY):
+            return MapSearch(
+                request.affine, request.task, domain_overrides=overrides
+            )
     if kernel == KERNEL_FC:
         return ForwardCheckingKernel(
             request.affine, request.task, domain_overrides=overrides
@@ -235,7 +239,20 @@ def make_searcher(request: SolveRequest):
 def run_request(request: SolveRequest) -> SolveResult:
     """Execute one request; raises :class:`SearchBudgetExceeded` as legacy."""
     searcher = make_searcher(request)
-    mapping = searcher.search(request.budget, resume_from=request.resume_dict())
+    with obs.span(
+        "solver.search",
+        kernel=request.kernel,
+        budget=request.budget,
+        resumed=request.resume is not None,
+    ) as search_span:
+        try:
+            mapping = searcher.search(
+                request.budget, resume_from=request.resume_dict()
+            )
+        finally:
+            # The budget exception path still reports how far it got.
+            search_span.set_attr("nodes", searcher.nodes_explored)
+        search_span.set_attr("solvable", mapping is not None)
     return SolveResult(
         verdict="solvable" if mapping is not None else "unsolvable",
         mapping=mapping,

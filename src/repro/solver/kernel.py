@@ -31,6 +31,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from .. import obs
 from ..core.affine import AffineTask
 from ..tasks.solvability import (
     DomainOverrides,
@@ -65,8 +66,10 @@ def _shared_setup(affine: AffineTask, task: Task):
         task._solver_setup = cache
     entry = cache.get(affine)
     if entry is None:
-        search = MapSearch(affine, task)
-        entry = (search, InternTable(search))
+        with obs.span("solver.setup", shared=True) as setup_span:
+            search = MapSearch(affine, task)
+            entry = (search, InternTable(search))
+            setup_span.set_attr("vertices", len(search.vertices))
         cache[affine] = entry
     return entry
 
@@ -87,10 +90,14 @@ class _KernelBase:
         domain_overrides: Optional[DomainOverrides] = None,
     ):
         if domain_overrides:
-            self._search = MapSearch(
-                affine, task, domain_overrides=domain_overrides
-            )
-            self.tables = InternTable(self._search)
+            with obs.span("solver.setup", overridden=True) as setup_span:
+                self._search = MapSearch(
+                    affine, task, domain_overrides=domain_overrides
+                )
+                self.tables = InternTable(self._search)
+                setup_span.set_attr(
+                    "vertices", len(self._search.vertices)
+                )
         else:
             self._search, self.tables = _shared_setup(affine, task)
         self.nodes_explored = 0

@@ -15,7 +15,7 @@ from __future__ import annotations
 from itertools import combinations, product
 from typing import FrozenSet, Iterable
 
-from ..topology.chromatic import ChromaticComplex, ProcessId, standard_simplex
+from ..topology.chromatic import ProcessId, standard_simplex
 from ..topology.simplex import Simplex
 from .task import OutputVertex, Task, output_complex_from_delta
 

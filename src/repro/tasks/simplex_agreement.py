@@ -23,7 +23,6 @@ from ..topology.chromatic import (
     standard_simplex,
 )
 from ..topology.simplex import Simplex
-from ..topology.subdivision import chr_complex
 from .task import OutputVertex, Task
 
 

@@ -23,7 +23,7 @@ import warnings
 from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 from ..core.affine import AffineTask
-from ..topology.chromatic import ChrVertex, ProcessId, chi, color_of
+from ..topology.chromatic import ChrVertex, ProcessId, color_of
 from ..topology.simplex import Simplex, simplex_key, vertex_key
 from ..topology.subdivision import carrier_in_s
 from .task import OutputVertex, Task

@@ -12,9 +12,9 @@ output complexes compose across modules.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, FrozenSet, Hashable, Iterable, NamedTuple, Optional
+from typing import Callable, Dict, FrozenSet, Hashable, Iterable, NamedTuple
 
-from ..topology.chromatic import ChromaticComplex, ProcessId, chi, color_of
+from ..topology.chromatic import ChromaticComplex, ProcessId, chi
 from ..topology.simplex import Simplex
 
 

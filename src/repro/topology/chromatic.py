@@ -16,10 +16,10 @@ ids.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, NamedTuple, Optional
+from typing import FrozenSet, Iterable, NamedTuple, Optional
 
 from .complex import SimplicialComplex
-from .simplex import Simplex, Vertex
+from .simplex import Vertex
 
 ProcessId = int
 ColorSet = FrozenSet[ProcessId]

@@ -17,7 +17,7 @@ Simplices are ``frozenset`` objects (see :mod:`repro.topology.simplex`).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, FrozenSet, Iterable, Iterator, List, Optional, Set
+from typing import Callable, FrozenSet, Iterable, Iterator, List, Optional, Set
 
 from .simplex import Simplex, Vertex, dim, faces
 

@@ -10,7 +10,7 @@ validated in the tests) round out the topology substrate.
 from __future__ import annotations
 
 from itertools import combinations
-from typing import Hashable, Iterable
+from typing import Hashable
 
 from .complex import SimplicialComplex
 

@@ -17,7 +17,7 @@ from __future__ import annotations
 from functools import lru_cache
 from typing import FrozenSet, Iterable, Iterator, List, Sequence, Tuple
 
-from .chromatic import ChrVertex, ProcessId, color_of
+from .chromatic import ChrVertex, color_of
 
 OrderedPartition = Tuple[FrozenSet, ...]
 

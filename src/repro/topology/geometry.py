@@ -17,7 +17,7 @@ the subdivided simplex.
 from __future__ import annotations
 
 from math import factorial
-from typing import Dict, FrozenSet, Iterable
+from typing import Dict
 
 import numpy as np
 

@@ -7,7 +7,7 @@ FACT statement asks for a *chromatic simplicial map*
 
 from __future__ import annotations
 
-from typing import Callable, Dict, FrozenSet, Iterable, Mapping, Optional
+from typing import Callable, Dict, FrozenSet, Iterable, Mapping
 
 from .chromatic import ChromaticComplex, color_of
 from .complex import SimplicialComplex

@@ -22,7 +22,7 @@ from __future__ import annotations
 from functools import lru_cache
 from typing import FrozenSet, Iterable
 
-from .chromatic import ChromaticComplex, ChrVertex, ProcessId, color_of, standard_simplex
+from .chromatic import ChromaticComplex, ChrVertex, ProcessId, standard_simplex
 from .enumeration import ordered_set_partitions, partition_to_chr_facet
 from .simplex import Simplex
 

@@ -2,7 +2,6 @@
 
 import random
 
-import pytest
 
 from repro.adversaries import (
     agreement_function_of,
@@ -15,7 +14,7 @@ from repro.runtime.adversary_runs import (
     is_alpha_model_compliant,
     split_plans_by_alpha_compliance,
 )
-from repro.runtime.algorithm1 import outputs_to_simplex, run_algorithm1
+from repro.runtime.algorithm1 import run_algorithm1
 from repro.runtime.scheduler import LivenessViolation
 
 

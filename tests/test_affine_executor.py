@@ -6,10 +6,8 @@ from repro.core import full_affine_task
 from repro.runtime.affine_executor import (
     AffineModelExecutor,
     facet_to_round_partitions,
-    random_facet_chooser,
     scripted_chooser,
 )
-from repro.topology.subdivision import carrier_in_s
 
 
 def states(n):

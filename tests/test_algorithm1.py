@@ -4,11 +4,7 @@ import random
 
 import pytest
 
-from repro.runtime.algorithm1 import (
-    fuzz_algorithm1,
-    outputs_to_simplex,
-    run_algorithm1,
-)
+from repro.runtime.algorithm1 import fuzz_algorithm1, run_algorithm1
 from repro.runtime.scheduler import ExecutionPlan, random_alpha_model_plan
 from repro.topology.chromatic import ChrVertex
 

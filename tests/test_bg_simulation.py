@@ -5,7 +5,6 @@ import random
 import pytest
 
 from repro.runtime.bg_simulation import (
-    BGOutcome,
     check_simulated_history,
     full_information_code,
     run_bg_simulation,

@@ -1,6 +1,5 @@
 """Tests for the adversary catalogue (Figure 2 regions)."""
 
-import pytest
 
 from repro.adversaries.catalogue import (
     build_catalogue,

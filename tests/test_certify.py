@@ -29,7 +29,6 @@ from repro.analysis.sperner import fuzz_sperner
 from repro.certify import (
     CERT_FORMAT,
     CERT_VERSION,
-    budget_stub,
     cert_to_bytes,
     certified_search,
     check,
@@ -37,7 +36,6 @@ from repro.certify import (
     mapping_of,
     read_cert,
     resume_from_stub,
-    solvable_cert,
     unsolvable_cert,
     write_cert,
 )

@@ -1,6 +1,5 @@
 """Unit tests for the concurrency map (Definition 8, Figure 6)."""
 
-import pytest
 
 from repro.core.concurrency import (
     concurrency_census,

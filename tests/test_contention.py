@@ -1,6 +1,5 @@
 """Unit tests for Cont2 (Definition 5, Figure 4)."""
 
-import pytest
 
 from repro.core.contention import (
     are_contending,

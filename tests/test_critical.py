@@ -1,6 +1,5 @@
 """Unit tests for critical simplices (Definition 7, Figure 5)."""
 
-import pytest
 
 from repro.core.critical import (
     CriticalStructure,

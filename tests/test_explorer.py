@@ -6,11 +6,7 @@ from repro.protocols.commit_adopt import (
     check_commit_adopt_outputs,
     commit_adopt_protocol,
 )
-from repro.runtime.explorer import (
-    ScheduleExplorer,
-    check_all_schedules,
-    explore_outputs,
-)
+from repro.runtime.explorer import check_all_schedules, explore_outputs
 from repro.runtime.immediate_snapshot import standalone_is_protocol
 from repro.topology.enumeration import (
     is_valid_is_views,

@@ -7,7 +7,6 @@ from hypothesis import strategies as st
 
 from repro.adversaries.adversary import (
     Adversary,
-    from_live_sets,
     k_obstruction_free,
     symmetric_from_sizes,
     t_resilient,

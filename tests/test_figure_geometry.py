@@ -1,9 +1,8 @@
 """Tests for the figure-drawing geometry export."""
 
 import json
-from math import isclose, sqrt
+from math import sqrt
 
-import pytest
 
 from repro.adversaries import k_concurrency_alpha
 from repro.analysis.figure_geometry import (

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.engine import MISS, ArtifactCache, Engine, JobSpec, NullCache, digest
+from repro.engine import MISS, ArtifactCache, Engine, NullCache, digest
 from repro.service import MemCache
 from repro.topology import chr_complex
 

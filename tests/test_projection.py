@@ -2,13 +2,13 @@
 
 import pytest
 
-from repro.topology.chromatic import ChrVertex, color_of, standard_simplex
+from repro.topology.chromatic import ChrVertex, color_of
 from repro.topology.projection import (
     carrier_projection_map,
     project_to_base,
     project_vertex,
 )
-from repro.topology.subdivision import carrier_in_s, chr_complex
+from repro.topology.subdivision import carrier_in_s
 
 
 def test_project_vertex_depth1():

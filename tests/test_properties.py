@@ -6,7 +6,7 @@ from hypothesis import strategies as st
 from repro.topology.chromatic import ChromaticComplex, chi, is_rainbow
 from repro.topology.complex import SimplicialComplex
 from repro.topology.enumeration import fubini_number
-from repro.topology.simplex import dim, faces
+from repro.topology.simplex import faces
 from repro.topology.subdivision import (
     carrier,
     carrier_in_s,

@@ -1,17 +1,13 @@
 """Unit tests for R_A (Definition 9) — the paper's central construction."""
 
-import pytest
 
 from repro.adversaries import (
     agreement_function_of,
     figure5b_adversary,
     k_concurrency_alpha,
-    t_resilience_alpha,
     unfair_example,
-    wait_free_alpha,
 )
 from repro.core.ra import DEFAULT_VARIANT, RABuilder, r_affine, r_affine_of_adversary
-from repro.topology.subdivision import chr_complex
 
 
 def test_default_variant_is_union():

@@ -7,7 +7,6 @@ from repro.core.rkof import r_k_obstruction_free
 from repro.core.rtres import r_t_resilient
 from repro.core.views import witnessed_participation
 from repro.topology.simplex import faces
-from repro.topology.subdivision import chr_complex
 
 
 # ----------------------------------------------------------------- R_{k-OF}

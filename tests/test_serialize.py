@@ -14,12 +14,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.adversaries import (
-    Adversary,
-    agreement_function_of,
-    build_catalogue,
-    t_resilience_alpha,
-)
+from repro.adversaries import Adversary, build_catalogue, t_resilience_alpha
 from repro.core import r_affine
 from repro.engine import (
     SerializationError,

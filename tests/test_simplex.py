@@ -1,6 +1,5 @@
 """Unit tests for repro.topology.simplex."""
 
-import pytest
 
 from repro.topology.simplex import (
     EMPTY_SIMPLEX,

@@ -1,15 +1,12 @@
 """Tests for simplex agreement and affine-task-as-task adapters."""
 
-import pytest
 
-from repro.core import full_affine_task, r_t_resilient
 from repro.tasks.simplex_agreement import (
     affine_task_as_task,
     chromatic_simplex_agreement,
     is_valid_agreement,
 )
 from repro.tasks.task import OutputVertex
-from repro.topology.chromatic import chi
 
 
 def test_affine_task_as_task_validates(rkof_1):

@@ -2,8 +2,7 @@
 
 import pytest
 
-from repro.adversaries import k_concurrency_alpha
-from repro.core import full_affine_task, r_affine
+from repro.core import full_affine_task
 from repro.tasks.set_consensus import set_consensus_task
 from repro.tasks.simplex_agreement import affine_task_as_task
 from repro.tasks.solvability import (

@@ -21,7 +21,6 @@ from repro.core.theorems import (
     ra_equals_rkof,
     ra_equals_rtres,
 )
-from repro.topology.subdivision import chr_complex
 
 ALPHAS = [
     ("1-OF", k_concurrency_alpha(3, 1)),

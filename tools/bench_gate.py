@@ -1,0 +1,255 @@
+#!/usr/bin/env python3
+"""Benchmark trajectory gate: fresh BENCH_*.json versus committed baselines.
+
+CI runs the benchmark suite, which rewrites the ``BENCH_*.json`` files
+in the repository root, then runs this gate to compare the fresh
+numbers against the committed baselines.  The gate fails (nonzero
+exit, readable per-metric diff) when the trajectory regresses:
+
+* **Parity metrics** (workload shapes, node counts, error counts,
+  cached-artifact counts) must match **exactly** — these are
+  deterministic, so any drift is a correctness change, not noise.
+* **Ratio metrics** (warm-cache speedups, coalesce rates, overhead
+  ratios) carry per-metric tolerances: a warm speedup may not drop
+  below ``RATIO`` of its baseline (default 0.75 — a >25%% drop fails),
+  and overhead ratios may not *grow* beyond their ceiling factor.
+
+Absolute latencies are deliberately **not** gated — they track the CI
+machine, not the code.  Ratios computed inside one run (speedup of
+path A over path B on the same box) are the machine-independent signal.
+
+Baselines come from ``git show HEAD:<file>`` by default so the gate
+compares against what is committed even after the benchmark step has
+overwritten the working-tree files; ``--baseline-dir`` overrides this
+(used by the gate's own tests).  ``--fresh-dir`` points at the freshly
+produced files (default: the repository root).
+
+Re-baselining: when a change legitimately moves a gated number —
+a faster kernel, a new workload shape — run the benchmark locally,
+inspect the diff this tool prints, and commit the regenerated
+``BENCH_*.json`` together with the change that explains it.  The gate
+compares against HEAD, so the PR that moves the number and the PR that
+re-baselines it are the same PR.
+
+Stdlib only; importable (``main(argv)``) for the test suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+from typing import Any, Dict, List, Optional, Tuple
+
+#: Comparison kinds.
+EXACT = "exact"  # fresh == baseline, exactly
+MIN_RATIO = "min_ratio"  # fresh >= tolerance * baseline (bigger is better)
+MAX_RATIO = "max_ratio"  # fresh <= tolerance * baseline (smaller is better)
+
+#: file -> [(dotted metric path, kind, tolerance)].
+#:
+#: Every metric listed here must exist in both files; a missing metric
+#: is itself a gate failure (a renamed field silently ungates nothing).
+RULES: Dict[str, List[Tuple[str, str, float]]] = {
+    "BENCH_solver.json": [
+        ("workload.queries", EXACT, 0.0),
+        ("workload.solvable", EXACT, 0.0),
+        ("workload.search_nodes_total", EXACT, 0.0),
+        ("fc_nodes_vs_legacy", EXACT, 0.0),
+        ("median_speedup_warm", MIN_RATIO, 0.75),
+        ("median_speedup_cold", MIN_RATIO, 0.50),
+        ("median_speedup_fc_warm", MIN_RATIO, 0.50),
+    ],
+    "BENCH_engine.json": [
+        ("workload.adversaries_classified", EXACT, 0.0),
+        ("workload.solvability_queries", EXACT, 0.0),
+        ("artifacts_cached", EXACT, 0.0),
+        ("speedup_warm_cache", MIN_RATIO, 0.75),
+    ],
+    "BENCH_service.json": [
+        ("requests_total", EXACT, 0.0),
+        ("errors", EXACT, 0.0),
+        ("burst.engine_computations", EXACT, 0.0),
+        ("memcache_hit_rate", MIN_RATIO, 0.95),
+        ("coalesce_rate", MIN_RATIO, 0.50),
+    ],
+    "BENCH_certify.json": [
+        ("workload.queries", EXACT, 0.0),
+        ("workload.solvable", EXACT, 0.0),
+        ("workload.unsolvable", EXACT, 0.0),
+        ("certify_overhead_ratio", MAX_RATIO, 1.50),
+        ("check_positive_speedup_vs_search", MIN_RATIO, 0.60),
+    ],
+    "BENCH_obs.json": [
+        ("workload.queries", EXACT, 0.0),
+        ("spans_per_batch", EXACT, 0.0),
+        ("traced_overhead_ratio", MAX_RATIO, 3.00),
+    ],
+}
+
+
+class GateFailure(Exception):
+    """One metric outside its tolerance (message is the diff line)."""
+
+
+def lookup(data: Dict[str, Any], path: str) -> Any:
+    """Resolve a dotted path; raises :class:`GateFailure` when absent."""
+    node: Any = data
+    for part in path.split("."):
+        if not isinstance(node, dict) or part not in node:
+            raise GateFailure(f"metric {path!r} is missing")
+        node = node[part]
+    return node
+
+
+def check_metric(
+    path: str, kind: str, tolerance: float, baseline: Any, fresh: Any
+) -> Optional[str]:
+    """``None`` when within tolerance, else a human-readable diff line."""
+    if kind == EXACT:
+        if fresh != baseline:
+            return (
+                f"{path}: expected exactly {baseline!r}, got {fresh!r} "
+                "(parity metric — deterministic, any drift is a bug)"
+            )
+        return None
+    try:
+        baseline_value = float(baseline)
+        fresh_value = float(fresh)
+    except (TypeError, ValueError):
+        return f"{path}: not numeric (baseline={baseline!r}, fresh={fresh!r})"
+    if kind == MIN_RATIO:
+        floor = tolerance * baseline_value
+        if fresh_value < floor:
+            drop = 100.0 * (1.0 - fresh_value / baseline_value)
+            return (
+                f"{path}: {fresh_value:g} < floor {floor:g} "
+                f"({tolerance:g} x baseline {baseline_value:g}; "
+                f"dropped {drop:.1f}%)"
+            )
+        return None
+    if kind == MAX_RATIO:
+        ceiling = tolerance * baseline_value
+        if fresh_value > ceiling:
+            return (
+                f"{path}: {fresh_value:g} > ceiling {ceiling:g} "
+                f"({tolerance:g} x baseline {baseline_value:g})"
+            )
+        return None
+    raise ValueError(f"unknown rule kind {kind!r}")
+
+
+def load_baseline(
+    name: str, baseline_dir: Optional[str], repo_root: str
+) -> Optional[Dict[str, Any]]:
+    """The committed baseline, or ``None`` when it does not exist yet."""
+    if baseline_dir is not None:
+        path = os.path.join(baseline_dir, name)
+        if not os.path.exists(path):
+            return None
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    proc = subprocess.run(
+        ["git", "show", f"HEAD:{name}"],
+        cwd=repo_root,
+        capture_output=True,
+        text=True,
+    )
+    if proc.returncode != 0:
+        return None
+    return json.loads(proc.stdout)
+
+
+def load_fresh(name: str, fresh_dir: str) -> Optional[Dict[str, Any]]:
+    path = os.path.join(fresh_dir, name)
+    if not os.path.exists(path):
+        return None
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def compare_file(
+    name: str,
+    baseline: Optional[Dict[str, Any]],
+    fresh: Optional[Dict[str, Any]],
+) -> List[str]:
+    """Every diff line for one benchmark file (empty = pass)."""
+    if baseline is None:
+        # First benchmark of its kind: nothing to regress against.
+        return []
+    if fresh is None:
+        return [f"{name}: fresh results missing (benchmark did not run?)"]
+    failures: List[str] = []
+    for path, kind, tolerance in RULES[name]:
+        try:
+            baseline_value = lookup(baseline, path)
+            fresh_value = lookup(fresh, path)
+        except GateFailure as exc:
+            failures.append(f"{name}: {exc}")
+            continue
+        diff = check_metric(path, kind, tolerance, baseline_value, fresh_value)
+        if diff is not None:
+            failures.append(f"{name}: {diff}")
+    return failures
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="gate fresh BENCH_*.json files against committed baselines"
+    )
+    parser.add_argument(
+        "--baseline-dir",
+        default=None,
+        help="read baselines from this directory instead of git HEAD",
+    )
+    parser.add_argument(
+        "--fresh-dir",
+        default=None,
+        help="read fresh results from this directory (default: repo root)",
+    )
+    parser.add_argument(
+        "--repo-root",
+        default=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        help="repository root for git baseline lookup",
+    )
+    args = parser.parse_args(argv)
+    fresh_dir = args.fresh_dir or args.repo_root
+
+    failures: List[str] = []
+    compared = 0
+    for name in sorted(RULES):
+        baseline = load_baseline(name, args.baseline_dir, args.repo_root)
+        fresh = load_fresh(name, fresh_dir)
+        if baseline is None and fresh is None:
+            continue
+        file_failures = compare_file(name, baseline, fresh)
+        if baseline is not None and fresh is not None:
+            compared += 1
+        if file_failures:
+            failures.extend(file_failures)
+            print(f"FAIL {name}")
+            for line in file_failures:
+                print(f"  {line}")
+        else:
+            status = "PASS" if baseline is not None else "NEW "
+            print(f"{status} {name}")
+
+    if failures:
+        print(
+            f"\nbench gate: {len(failures)} metric(s) outside tolerance "
+            f"across {compared} compared file(s)."
+        )
+        print(
+            "If the change is intentional, re-run the benchmarks and "
+            "commit the regenerated BENCH_*.json (see tools/bench_gate.py "
+            "docstring on re-baselining)."
+        )
+        return 1
+    print(f"\nbench gate: all gated metrics within tolerance ({compared} file(s)).")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
