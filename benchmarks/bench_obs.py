@@ -13,6 +13,10 @@ Everything lands in ``BENCH_obs.json`` as measured; the CI gate bounds
 ``traced_overhead_ratio`` (enabled-mode cost may not creep) and pins
 ``spans_per_batch`` (the span taxonomy per engine batch is
 deterministic — a new or lost span is a structural change, not noise).
+The simulator's hot loop gets the same treatment: its disabled-path
+calls must return the shared noop singleton, and one seeded exploration
+has a pinned ``sim.schedule`` / ``sim.round`` / ``sim.guard_wait``
+census.
 """
 
 from __future__ import annotations
@@ -133,6 +137,48 @@ def bench_obs():
         "solver.search": len(grid),
     }
 
+    # -- the sim hot loop: disabled fast path + pinned taxonomy --------
+    # The simulator wraps every schedule in ``sim.schedule`` and marks
+    # round starts / guard resumes inside the event loop, so its hot
+    # loop is the densest span call site outside the solver.  With the
+    # tracer off those calls must hit the shared-noop fast path; with it
+    # on, one exploration has a deterministic span census.
+    from repro.sim import BoscoWeakAgreement, byzantine_plans, explore
+
+    assert obs.span("sim.schedule") is obs.NOOP_SPAN
+    assert obs.span("sim.round") is obs.NOOP_SPAN
+    assert obs.span("sim.guard_wait") is obs.NOOP_SPAN
+
+    protocol = BoscoWeakAgreement(4, 1)
+    plans = byzantine_plans(4, 1, seed=0)
+
+    def run_sim():
+        return explore(protocol, plans, 2, seed=0)
+
+    sim_report, sim_untraced_s = _best_of(ROUNDS, run_sim)
+
+    def run_sim_traced():
+        tracer = obs.enable()
+        try:
+            report = explore(protocol, plans, 2, seed=0)
+        finally:
+            obs.disable()
+        return report, tracer.drain()
+
+    (sim_traced_report, sim_spans), sim_traced_s = _best_of(
+        ROUNDS, run_sim_traced
+    )
+    assert sim_traced_report == sim_report  # tracing never changes runs
+    sim_overhead_ratio = sim_traced_s / max(sim_untraced_s, 1e-9)
+
+    sim_by_name: dict = {}
+    for span_obj in sim_spans:
+        sim_by_name[span_obj.name] = sim_by_name.get(span_obj.name, 0) + 1
+    # Exactly one sim.schedule per executed schedule; round-start and
+    # guard-resume markers are deterministic for the seeded exploration.
+    assert set(sim_by_name) == {"sim.schedule", "sim.round", "sim.guard_wait"}
+    assert sim_by_name["sim.schedule"] == sim_report["schedules"]
+
     # -- export throughput ---------------------------------------------
     handle, export_path = tempfile.mkstemp(suffix=".jsonl")
     os.close(handle)
@@ -159,6 +205,13 @@ def bench_obs():
         "t_warm_untraced_s": round(untraced_s, 6),
         "t_warm_traced_s": round(traced_s, 6),
         "traced_overhead_ratio": round(overhead_ratio, 3),
+        "sim": {
+            "schedules": sim_report["schedules"],
+            "span_sim_schedule": sim_by_name["sim.schedule"],
+            "span_sim_round": sim_by_name["sim.round"],
+            "span_sim_guard_wait": sim_by_name["sim.guard_wait"],
+            "traced_overhead_ratio": round(sim_overhead_ratio, 3),
+        },
         "export_spans_per_s": round(export_rate, 0),
     }
     OUTPUT.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")

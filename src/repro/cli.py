@@ -17,6 +17,11 @@ Commands regenerate the paper's artifacts from the terminal:
   certificate JSON file (``repro.certify``);
 * ``check``      — validate certificate files with the independent
   checker (imports only ``repro.certify.checker``);
+* ``sim``        — explore one executable protocol under generated
+  fault plans (``repro.sim``);
+* ``oracle``     — differential oracle: simulator verdicts versus
+  FACT / resilience-regime references, with replayable
+  disagreement artifacts;
 * ``trace``      — summarize a JSONL trace file (``repro.obs``).
 
 ``classify``, ``landscape``, ``fact`` and ``algorithm1`` accept
@@ -310,17 +315,44 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
     return 0
 
 
+#: ``repro batch`` sections, keyed by the engine job kind they exercise.
+_BATCH_SECTIONS = ("classify", "solve", "simulate", "oracle")
+
+
+def _batch_sections(args: argparse.Namespace) -> List[str]:
+    """Resolve ``--only`` into batch sections; bad kinds exit cleanly."""
+    from .engine.jobs import JOB_KINDS
+
+    requested = list(dict.fromkeys(getattr(args, "only", None) or []))
+    for kind in requested:
+        if kind not in JOB_KINDS:
+            raise SystemExit(
+                f"repro batch: unknown job kind {kind!r}; valid kinds: "
+                + ", ".join(sorted(JOB_KINDS))
+            )
+    for kind in requested:
+        if kind not in _BATCH_SECTIONS:
+            raise SystemExit(
+                f"repro batch: job kind {kind!r} has no batch section; "
+                "batch sections: " + ", ".join(_BATCH_SECTIONS)
+            )
+    # Default = the historical batch (zoo + E11); sim/oracle opt in.
+    return requested or ["classify", "solve"]
+
+
 def _cmd_batch(args: argparse.Namespace) -> int:
     """Zoo classification + the E11 FACT table as one engine session.
 
     Unlike the other commands, ``batch`` always runs through the engine
     and caches by default (to ``--cache-dir``, ``$REPRO_CACHE_DIR`` or
     ``~/.cache/repro-engine``); a warm second invocation does no
-    expensive computation at all.
+    expensive computation at all.  ``--only`` restricts the run to the
+    sections for specific job kinds (e.g. ``--only simulate oracle``).
     """
     from .solver import SolveRequest
     from .tasks.set_consensus import set_consensus_task
 
+    sections = _batch_sections(args)
     engine = _build_engine(args, default_cache=True)
     cache_note = (
         str(engine.cache.root) if engine.cache.persistent else "disabled"
@@ -332,53 +364,111 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         )
     )
 
-    catalogue = build_catalogue(3)
-    classified = engine.classify_many(
-        [entry.adversary for entry in catalogue]
-    )
-    rows = [
-        [
-            entry.name,
-            "yes" if record.superset_closed else "no",
-            "yes" if record.symmetric else "no",
-            "yes" if record.fair else "NO",
-            record.power,
+    exit_code = 0
+    if "classify" in sections:
+        catalogue = build_catalogue(3)
+        classified = engine.classify_many(
+            [entry.adversary for entry in catalogue]
+        )
+        rows = [
+            [
+                entry.name,
+                "yes" if record.superset_closed else "no",
+                "yes" if record.symmetric else "no",
+                "yes" if record.fair else "NO",
+                record.power,
+            ]
+            for entry, record in zip(catalogue, classified)
         ]
-        for entry, record in zip(catalogue, classified)
-    ]
-    print(render_table(["adversary", "ssc", "sym", "fair", "setcon"], rows))
+        print(
+            render_table(["adversary", "ssc", "sym", "fair", "setcon"], rows)
+        )
 
-    cases = [
-        ("wait-free (Chr s)", full_affine_task(3, 1)),
-        ("R_A(1-OF)", r_affine(k_concurrency_alpha(3, 1))),
-        ("R_A(2-OF)", r_affine(k_concurrency_alpha(3, 2))),
-        ("R_A(1-res)", r_affine(t_resilience_alpha(3, 1))),
-        ("R_A(fig5b)", r_affine(agreement_function_of(figure5b_adversary()))),
-    ]
-    queries = [
-        SolveRequest(
-            affine=task,
-            task=set_consensus_task(task.n, k),
-            kernel=engine.kernel,
+    if "solve" in sections:
+        cases = [
+            ("wait-free (Chr s)", full_affine_task(3, 1)),
+            ("R_A(1-OF)", r_affine(k_concurrency_alpha(3, 1))),
+            ("R_A(2-OF)", r_affine(k_concurrency_alpha(3, 2))),
+            ("R_A(1-res)", r_affine(t_resilience_alpha(3, 1))),
+            (
+                "R_A(fig5b)",
+                r_affine(agreement_function_of(figure5b_adversary())),
+            ),
+        ]
+        queries = [
+            SolveRequest(
+                affine=task,
+                task=set_consensus_task(task.n, k),
+                kernel=engine.kernel,
+            )
+            for _, task in cases
+            for k in range(1, 4)
+        ]
+        solved = engine.solve_many(queries)
+        fact_rows = []
+        for row, (name, _) in enumerate(cases):
+            answers = solved[row * 3 : row * 3 + 3]
+            min_k = next(
+                k for k, (mapping, _) in enumerate(answers, start=1)
+                if mapping is not None
+            )
+            nodes = sum(nodes for _, nodes in answers)
+            fact_rows.append((name, min_k, nodes))
+        print(
+            render_table(
+                ["affine task", "min k-set consensus", "search nodes"],
+                fact_rows,
+            )
         )
-        for _, task in cases
-        for k in range(1, 4)
-    ]
-    solved = engine.solve_many(queries)
-    fact_rows = []
-    for row, (name, _) in enumerate(cases):
-        answers = solved[row * 3 : row * 3 + 3]
-        min_k = next(
-            k for k, (mapping, _) in enumerate(answers, start=1)
-            if mapping is not None
+
+    if "simulate" in sections:
+        from .sim import standard_grid
+
+        grid = standard_grid()
+        reports = engine.simulate_many(case.payload() for case in grid)
+        sim_rows = [
+            [
+                case.name,
+                report["plans"],
+                report["schedules"],
+                report["blocked_runs"],
+                "pass" if report["pass"] else "VIOLATION",
+            ]
+            for case, report in zip(grid, reports)
+        ]
+        print(
+            render_table(
+                ["sim case", "plans", "schedules", "blocked", "verdict"],
+                sim_rows,
+            )
         )
-        nodes = sum(nodes for _, nodes in answers)
-        fact_rows.append((name, min_k, nodes))
-    print(
-        render_table(
-            ["affine task", "min k-set consensus", "search nodes"], fact_rows
+
+    if "oracle" in sections:
+        from .sim import standard_grid
+
+        grid = standard_grid()
+        reports = engine.oracle_many(case.payload() for case in grid)
+        oracle_rows = []
+        for case, report in zip(grid, reports):
+            reference = report["reference"]
+            agree = report["agree"]
+            if not agree:
+                exit_code = 1
+            oracle_rows.append(
+                [
+                    case.name,
+                    reference["method"],
+                    "yes" if reference["solvable"] else "no",
+                    "pass" if report["sim"]["pass"] else "VIOLATION",
+                    "yes" if agree else "DISAGREE",
+                ]
+            )
+        print(
+            render_table(
+                ["oracle case", "reference", "solvable", "sim", "agree"],
+                oracle_rows,
+            )
         )
-    )
 
     stats = engine.stats()
     print(
@@ -391,7 +481,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             },
         )
     )
-    return 0
+    return exit_code
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -493,6 +583,61 @@ def _cmd_query(args: argparse.Namespace) -> int:
                             "symmetric": sym,
                             "fair": fair,
                             "setcon": power,
+                        },
+                    )
+                )
+            return 0
+        if args.what in ("simulate", "oracle"):
+            adversary = (
+                Adversary(
+                    args.n,
+                    [set(live) for live in json.loads(args.live_sets)],
+                )
+                if args.live_sets is not None
+                else None
+            )
+            response = client.query_response(
+                args.what,
+                (
+                    args.protocol,
+                    adversary,
+                    args.n,
+                    args.t,
+                    args.k,
+                    args.schedules,
+                    args.seed,
+                ),
+            )
+            if args.json:
+                _emit(response)
+                return 0
+            report = client._decode_value(response)
+            if args.what == "simulate":
+                print(
+                    render_mapping(
+                        f"sim {args.protocol}:",
+                        {
+                            "fault plans": report["plans"],
+                            "schedules": report["schedules"],
+                            "violations": report["violations"],
+                            "verdict": (
+                                "pass" if report["pass"] else "VIOLATION"
+                            ),
+                            "cache hit": response["cache_hit"],
+                        },
+                    )
+                )
+            else:
+                reference = report["reference"]
+                print(
+                    render_mapping(
+                        f"oracle {args.protocol}:",
+                        {
+                            "reference": reference["method"],
+                            "solvable": reference["solvable"],
+                            "sim pass": report["sim"]["pass"],
+                            "agree": report["agree"],
+                            "cache hit": response["cache_hit"],
                         },
                     )
                 )
@@ -655,6 +800,172 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return 0 if all_valid else 1
 
 
+def _sim_adversary(args: argparse.Namespace):
+    """The adversary a sim/oracle invocation names, or ``None``."""
+    if getattr(args, "live_sets", None) is None:
+        return None
+    return Adversary(
+        args.n, [set(live) for live in json.loads(args.live_sets)]
+    )
+
+
+def _cmd_sim(args: argparse.Namespace) -> int:
+    """Explore one protocol instance under generated fault plans.
+
+    Exit 0 means no explored schedule violated the protocol spec —
+    exactly the simulator half of the differential oracle, so a
+    violating exit 1 on a solvable instance is a bug report.
+    """
+    from .sim import write_artifact
+
+    engine = _build_engine(args, default_cache=True)
+    report = engine.simulate(
+        args.protocol,
+        _sim_adversary(args),
+        n=args.n,
+        t=args.t,
+        k=args.k,
+        schedules=args.schedules,
+        seed=args.seed,
+    )
+    if args.json:
+        print(json.dumps(report, sort_keys=True))
+    else:
+        print(
+            banner(
+                f"sim {args.protocol} — n={report['n']}, t={report['t']}, "
+                f"k={report['k']}"
+            )
+        )
+        print(
+            render_mapping(
+                "exploration:",
+                {
+                    "fault plans": report["plans"],
+                    "schedules": report["schedules"],
+                    "deliveries": report["deliveries"],
+                    "blocked runs": report["blocked_runs"],
+                    "violations": report["violations"],
+                    "verdict": "pass" if report["pass"] else "VIOLATION",
+                },
+            )
+        )
+        violation = report["first_violation"]
+        if violation is not None:
+            for line in violation["violations"]:
+                print(f"violation: {line}")
+    if report["first_violation"] is not None and args.artifact is not None:
+        write_artifact(args.artifact, report["first_violation"])
+        print(f"wrote replay artifact to {args.artifact}", file=sys.stderr)
+    return 0 if report["pass"] else 1
+
+
+def _cmd_oracle(args: argparse.Namespace) -> int:
+    """Differential oracle: simulator verdicts versus FACT / regime.
+
+    Without arguments this re-checks the whole committed grid; exit 0
+    iff every case agrees.  ``--replay`` re-executes a disagreement
+    artifact event for event and exits 0 iff the recorded outcome is
+    reproduced exactly.
+    """
+    from .sim import (
+        grid_case,
+        load_artifact,
+        replay,
+        standard_grid,
+        write_artifact,
+    )
+
+    if args.replay is not None:
+        artifact = load_artifact(args.replay)
+        outcome = replay(artifact)
+        reproduced = (
+            outcome["decisions"] == artifact["decisions"]
+            and outcome["blocked"] == artifact["blocked"]
+            and outcome["violations"] == artifact["violations"]
+        )
+        if args.json:
+            print(
+                json.dumps(
+                    {"reproduced": reproduced, **outcome}, sort_keys=True
+                )
+            )
+        else:
+            print(
+                render_mapping(
+                    f"replay of {args.replay}:",
+                    {
+                        "protocol": artifact["protocol"],
+                        "decisions": outcome["decisions"],
+                        "blocked": outcome["blocked"],
+                        "violations": len(outcome["violations"]),
+                        "reproduced": "yes" if reproduced else "NO",
+                    },
+                )
+            )
+        return 0 if reproduced else 1
+
+    if args.list:
+        for case in standard_grid():
+            print(
+                f"{case.name}: {case.protocol} n={case.n} t={case.t} "
+                f"k={case.k}"
+            )
+        return 0
+
+    try:
+        cases = (
+            [grid_case(name) for name in args.case]
+            if args.case
+            else standard_grid()
+        )
+    except KeyError as exc:
+        raise SystemExit(str(exc.args[0]))
+    engine = _build_engine(args, default_cache=True)
+    reports = engine.oracle_many(case.payload() for case in cases)
+    disagreements = 0
+    if args.json:
+        for case, report in zip(cases, reports):
+            print(json.dumps({"case": case.name, **report}, sort_keys=True))
+    else:
+        rows = []
+        for case, report in zip(cases, reports):
+            reference = report["reference"]
+            rows.append(
+                [
+                    case.name,
+                    reference["method"],
+                    "yes" if reference["solvable"] else "no",
+                    "pass" if report["sim"]["pass"] else "VIOLATION",
+                    "yes" if report["agree"] else "DISAGREE",
+                ]
+            )
+        print(
+            render_table(
+                ["oracle case", "reference", "solvable", "sim", "agree"],
+                rows,
+            )
+        )
+    for case, report in zip(cases, reports):
+        if report["agree"]:
+            continue
+        disagreements += 1
+        if report["artifact"] is not None and args.artifact_dir is not None:
+            os.makedirs(args.artifact_dir, exist_ok=True)
+            path = os.path.join(
+                args.artifact_dir, f"disagreement-{case.name}.json"
+            )
+            write_artifact(path, report["artifact"])
+            print(f"wrote replay artifact to {path}", file=sys.stderr)
+    if disagreements:
+        print(
+            f"oracle: {disagreements} of {len(cases)} cases DISAGREE",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _positive_int(text: str) -> int:
     value = int(text)
     if value < 1:
@@ -728,7 +1039,82 @@ def build_parser() -> argparse.ArgumentParser:
         "batch",
         help="zoo classification + E11 through the compute engine",
     )
+    batch.add_argument(
+        "--only",
+        nargs="+",
+        metavar="KIND",
+        default=None,
+        help="run only the sections for these job kinds "
+        "(e.g. --only simulate oracle)",
+    )
     _add_engine_options(batch)
+
+    from .sim.library import PROTOCOL_NAMES
+
+    sim = sub.add_parser(
+        "sim", help="explore one executable protocol (repro.sim)"
+    )
+    sim.add_argument("protocol", choices=PROTOCOL_NAMES)
+    sim.add_argument(
+        "live_sets",
+        nargs="?",
+        default=None,
+        help='adversary live sets JSON (crash-model protocols), '
+        'e.g. "[[0],[0,1]]"',
+    )
+    sim.add_argument("--n", type=int, default=3)
+    sim.add_argument(
+        "--t", type=int, default=0, help="Byzantine fault budget"
+    )
+    sim.add_argument(
+        "--k", type=int, default=1, help="set-consensus k (hitting-set)"
+    )
+    sim.add_argument(
+        "--schedules",
+        type=int,
+        default=4,
+        help="random schedules per fault plan (targeted ones always run)",
+    )
+    sim.add_argument("--seed", type=int, default=7)
+    sim.add_argument(
+        "--json", action="store_true", help="print the raw report object"
+    )
+    sim.add_argument(
+        "--artifact",
+        default=None,
+        help="write the first violating schedule here as a replay artifact",
+    )
+    _add_engine_options(sim)
+
+    oracle = sub.add_parser(
+        "oracle",
+        help="differential oracle: simulator versus FACT verdicts",
+    )
+    oracle.add_argument(
+        "case",
+        nargs="*",
+        help="grid case names (default: the whole committed grid)",
+    )
+    oracle.add_argument(
+        "--list",
+        action="store_true",
+        help="list the committed grid cases and exit",
+    )
+    oracle.add_argument(
+        "--json", action="store_true", help="one JSON report per case"
+    )
+    oracle.add_argument(
+        "--artifact-dir",
+        default=None,
+        help="write disagreement replay artifacts into this directory",
+    )
+    oracle.add_argument(
+        "--replay",
+        default=None,
+        metavar="ARTIFACT",
+        help="re-execute a recorded disagreement artifact instead",
+    )
+    _add_engine_options(oracle)
 
     sub.add_parser("crossover", help="ε-agreement depth crossover (E14)")
 
@@ -795,6 +1181,8 @@ def build_parser() -> argparse.ArgumentParser:
             "solve",
             "certify",
             "fuzz",
+            "simulate",
+            "oracle",
         ],
     )
     query.add_argument(
@@ -813,6 +1201,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     query.add_argument("--budget", type=int, default=None)
     query.add_argument("--seed", type=int, default=0, help="fuzz case seed")
+    query.add_argument(
+        "--protocol",
+        choices=PROTOCOL_NAMES,
+        default="hitting-set-consensus",
+        help="sim protocol (query simulate / oracle)",
+    )
+    query.add_argument(
+        "--t",
+        type=int,
+        default=0,
+        help="Byzantine fault budget (query simulate / oracle)",
+    )
+    query.add_argument(
+        "--schedules",
+        type=int,
+        default=4,
+        help="random schedules per fault plan (query simulate / oracle)",
+    )
     query.add_argument(
         "--json",
         action="store_true",
@@ -944,6 +1350,8 @@ _HANDLERS = {
     "inspect": _cmd_inspect,
     "certify": _cmd_certify,
     "check": _cmd_check,
+    "sim": _cmd_sim,
+    "oracle": _cmd_oracle,
     "trace": _cmd_trace,
 }
 

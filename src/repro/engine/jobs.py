@@ -110,6 +110,26 @@ def _compute_fuzz(payload: tuple) -> Any:
     return (outcome.in_affine_task, outcome.result.steps_taken)
 
 
+def _compute_simulate(payload: tuple) -> Any:
+    # Explore schedules of one library protocol under generated fault
+    # plans; the value is the JSON-safe exploration report (including
+    # the first violating schedule as a replayable artifact).
+    protocol, adversary, n, t, k, schedules, seed = payload
+    from ..sim.oracle import simulate_params
+
+    return simulate_params(protocol, adversary, n, t, k, schedules, seed)
+
+
+def _compute_oracle(payload: tuple) -> Any:
+    # One differential-oracle check: the simulate report plus the
+    # reference verdict (FACT for crash cases, the n > 3t regime for
+    # Byzantine ones) and the agreement bit.
+    protocol, adversary, n, t, k, schedules, seed = payload
+    from ..sim.oracle import oracle_params
+
+    return oracle_params(protocol, adversary, n, t, k, schedules, seed)
+
+
 def _compute_sleep(payload: tuple) -> Any:
     # Synthetic workload: sleep for a wall-clock duration, then return
     # the token.  Exists so timeout handling and service load tests can
@@ -129,6 +149,8 @@ JOB_KINDS: Dict[str, Callable[[tuple], Any]] = {
     "certify": _compute_certify,
     "check": _compute_check,
     "fuzz": _compute_fuzz,
+    "simulate": _compute_simulate,
+    "oracle": _compute_oracle,
     "sleep": _compute_sleep,
 }
 
@@ -665,6 +687,39 @@ class Engine:
         if len(answers) != len(affines):
             raise AssertionError("n-set consensus is always solvable")
         return [answers[row] for row in range(len(affines))]
+
+    def simulate(
+        self,
+        protocol: str,
+        adversary: Optional[Adversary] = None,
+        *,
+        n: int = 3,
+        t: int = 0,
+        k: int = 1,
+        schedules: int = 4,
+        seed: int = 7,
+    ) -> Dict:
+        """Explore one protocol under generated fault plans (cached)."""
+        spec = JobSpec(
+            "simulate", (protocol, adversary, n, t, k, schedules, seed)
+        )
+        return self._value(self.run_jobs([spec])[0])
+
+    def simulate_many(self, payloads: Iterable[tuple]) -> List[Dict]:
+        """Batch protocol explorations (same payload shape as ``oracle``)."""
+        specs = [JobSpec("simulate", tuple(p)) for p in payloads]
+        return [self._value(r) for r in self.run_jobs(specs)]
+
+    def oracle_many(self, payloads: Iterable[tuple]) -> List[Dict]:
+        """Batch differential-oracle checks.
+
+        Each payload is the 7-tuple an :class:`OracleCase
+        <repro.sim.oracle.OracleCase>` produces via ``payload()`` —
+        the full parameter set is the cache identity, so a changed
+        grid never serves a stale verdict.
+        """
+        specs = [JobSpec("oracle", tuple(p)) for p in payloads]
+        return [self._value(r) for r in self.run_jobs(specs)]
 
     def fuzz_many(
         self,

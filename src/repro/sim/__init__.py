@@ -1,0 +1,101 @@
+"""repro.sim — deterministic executable-protocol simulator + oracle.
+
+The subsystem that *runs* protocols instead of reasoning about them:
+
+* :mod:`~repro.sim.runtime` — guard-based message-passing runtime with
+  an adversary-driven event scheduler and replayable traces;
+* :mod:`~repro.sim.faults` — crash / omission / Byzantine fault plans,
+  generated from the ``repro.adversaries`` catalogue;
+* :mod:`~repro.sim.library` — reliable broadcast, Bosco-style weak
+  agreement, hitting-set k-set consensus, each with a spec checker;
+* :mod:`~repro.sim.oracle` — the differential oracle comparing
+  simulator outcomes against FACT verdicts, with serialized replay
+  artifacts on disagreement.
+
+Everything is seeded and platform-deterministic: the same seed yields
+a byte-identical schedule trace.
+"""
+
+from .faults import (
+    BYZANTINE_STRATEGIES,
+    FaultPlan,
+    byzantine_emissions,
+    byzantine_plans,
+    byzantine_regime_ok,
+    crash_plans_from_adversary,
+)
+from .library import (
+    PROTOCOL_NAMES,
+    BoscoWeakAgreement,
+    HittingSetConsensus,
+    Protocol,
+    ReliableBroadcast,
+    build_protocol,
+)
+from .oracle import (
+    ARTIFACT_VERSION,
+    STANDARD_GRID,
+    OracleCase,
+    explore,
+    grid_case,
+    load_artifact,
+    oracle_params,
+    replay,
+    simulate_params,
+    standard_grid,
+    write_artifact,
+)
+from .runtime import (
+    AnyGuard,
+    Guard,
+    ReplayChooser,
+    ReplayError,
+    Runtime,
+    SimError,
+    SimRun,
+    ThresholdGuard,
+    eager_chooser,
+    events_from_trace,
+    isolate_chooser,
+    random_chooser,
+    trace_of,
+)
+
+__all__ = [
+    "ARTIFACT_VERSION",
+    "AnyGuard",
+    "BYZANTINE_STRATEGIES",
+    "BoscoWeakAgreement",
+    "FaultPlan",
+    "Guard",
+    "HittingSetConsensus",
+    "OracleCase",
+    "PROTOCOL_NAMES",
+    "Protocol",
+    "ReliableBroadcast",
+    "ReplayChooser",
+    "ReplayError",
+    "Runtime",
+    "STANDARD_GRID",
+    "SimError",
+    "SimRun",
+    "ThresholdGuard",
+    "build_protocol",
+    "byzantine_emissions",
+    "byzantine_plans",
+    "byzantine_regime_ok",
+    "crash_plans_from_adversary",
+    "eager_chooser",
+    "events_from_trace",
+    "explore",
+    "grid_case",
+    "isolate_chooser",
+    "load_artifact",
+    "oracle_params",
+    "random_chooser",
+    "replay",
+    "simulate_params",
+    "standard_grid",
+    "trace_of",
+    "write_artifact",
+]

@@ -1,0 +1,409 @@
+"""The differential oracle: executable protocols versus FACT verdicts.
+
+For one (task, adversary) pair the oracle runs both sides:
+
+* **reference verdict** — for crash cases, a genuine FACT decision:
+  build ``R_A`` from the adversary's agreement function and search for
+  a chromatic simplicial map to the k-set-consensus output complex
+  (:mod:`repro.solver`); for Byzantine cases, the classic resilience
+  regime ``n > 3t`` (the Mendes–Tasson–Herlihy quarantine reduction
+  collapses Byzantine solvability of these tasks to that bound);
+* **simulator verdict** — explore schedules of the matching library
+  protocol under fault plans generated from the adversary: targeted
+  plans (live-set sweep / strategy sweep) and targeted schedules
+  (eager, split-brain isolation) first, then seeded random schedules.
+  ``pass`` means no explored schedule violated the protocol spec.
+
+Agreement means: FACT says solvable ⇔ the simulator found no
+violation.  On the *solvable* side a violating schedule is a genuine
+counterexample to the verdict (or a protocol bug); on the
+*unsolvable* side the targeted plans deterministically exhibit the
+refuting schedule, so a clean pass there is equally loud.  Either
+disagreement surfaces the schedule as a **replayable artifact** —
+:func:`replay` re-executes the recorded event sequence step for step
+and must reproduce the same decisions and violations.
+
+Exploration scope per case is intentionally bounded (a handful of
+plans x a handful of schedules); :data:`STANDARD_GRID` pins the
+committed (task, adversary) pairs CI re-checks on every change.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..adversaries.adversary import Adversary, from_live_sets
+from ..adversaries.agreement import agreement_function_of
+from ..adversaries.catalogue import catalogue_by_name
+from ..core.ra import r_affine
+from ..solver.api import SolveRequest, run_request
+from ..tasks.set_consensus import set_consensus_task
+from .faults import (
+    FaultPlan,
+    byzantine_emissions,
+    byzantine_plans,
+    byzantine_regime_ok,
+    crash_plans_from_adversary,
+)
+from .library import Inputs, Protocol, build_protocol
+from .runtime import (
+    Chooser,
+    ReplayChooser,
+    Runtime,
+    SimRun,
+    eager_chooser,
+    events_from_trace,
+    isolate_chooser,
+    random_chooser,
+    trace_of,
+)
+
+#: Version tag of the replayable-artifact format.
+ARTIFACT_VERSION = 1
+
+#: Node budget for the FACT reference queries (grid-sized instances).
+FACT_BUDGET = 200_000
+
+
+# ----------------------------------------------------------------------
+# One simulated run
+# ----------------------------------------------------------------------
+def _run_once(
+    protocol: Protocol,
+    plan: FaultPlan,
+    inputs: Inputs,
+    chooser: Chooser,
+) -> SimRun:
+    injected: List[Tuple[int, int, str, int, Any]] = []
+    domain = protocol.domain(inputs)
+    for pid, strategy in plan.byzantine:
+        injected.extend(
+            byzantine_emissions(
+                pid, strategy, protocol.slots(pid), domain, protocol.n
+            )
+        )
+    runtime = Runtime(
+        protocol.n,
+        protocol.factories(inputs, plan),
+        message_allowance=plan.allowances(),
+        omission=frozenset(plan.omission),
+        byzantine=plan.byzantine_pids,
+        injected=sorted(injected),
+    )
+    return runtime.run(chooser)
+
+
+def _choosers(
+    plan: FaultPlan, schedules: int, seed: int, plan_index: int
+) -> List[Tuple[str, Chooser]]:
+    """Targeted schedules first, then seeded random ones."""
+    correct = sorted(plan.correct)
+    quarantined = frozenset(plan.faulty)
+    named: List[Tuple[str, Chooser]] = [
+        ("eager", eager_chooser()),
+        ("isolate", isolate_chooser(correct, quarantined)),
+        ("isolate-reversed", isolate_chooser(correct[::-1], quarantined)),
+    ]
+    for index in range(schedules):
+        schedule_seed = seed * 100_003 + plan_index * 1_009 + index
+        named.append(
+            (f"random:{schedule_seed}", random_chooser(schedule_seed))
+        )
+    return named
+
+
+# ----------------------------------------------------------------------
+# Exploration and reports
+# ----------------------------------------------------------------------
+def explore(
+    protocol: Protocol,
+    plans: Sequence[FaultPlan],
+    schedules: int,
+    seed: int,
+    inputs: Optional[Inputs] = None,
+) -> Dict[str, Any]:
+    """Run every (plan, schedule) pair; returns the JSON-safe report."""
+    inputs = dict(inputs) if inputs is not None else protocol.default_inputs()
+    runs = 0
+    deliveries = 0
+    blocked_runs = 0
+    violations = 0
+    first_violation: Optional[Dict[str, Any]] = None
+    for plan_index, plan in enumerate(plans):
+        for label, chooser in _choosers(plan, schedules, seed, plan_index):
+            run = _run_once(protocol, plan, inputs, chooser)
+            runs += 1
+            deliveries += run.deliveries
+            if run.blocked:
+                blocked_runs += 1
+            found = protocol.check(plan, inputs, run)
+            if found:
+                violations += 1
+                if first_violation is None:
+                    first_violation = _artifact(
+                        protocol, plan, inputs, label, run, found
+                    )
+    return {
+        "protocol": protocol.name,
+        "n": protocol.n,
+        "t": protocol.t,
+        "plans": len(plans),
+        "schedules": runs,
+        "deliveries": deliveries,
+        "blocked_runs": blocked_runs,
+        "violations": violations,
+        "pass": violations == 0,
+        "first_violation": first_violation,
+    }
+
+
+def _artifact(
+    protocol: Protocol,
+    plan: FaultPlan,
+    inputs: Inputs,
+    chooser_label: str,
+    run: SimRun,
+    violations: List[str],
+) -> Dict[str, Any]:
+    """The replayable schedule artifact for one violating run."""
+    adversary = getattr(protocol, "adversary", None)
+    return {
+        "version": ARTIFACT_VERSION,
+        "protocol": protocol.name,
+        "n": protocol.n,
+        "t": protocol.t,
+        "k": getattr(protocol, "k", 1),
+        "adversary": (
+            sorted(sorted(live) for live in adversary.live_sets)
+            if adversary is not None
+            else None
+        ),
+        "plan": plan.to_json(),
+        "inputs": {str(pid): value for pid, value in inputs.items()},
+        "chooser": chooser_label,
+        "events": trace_of(run),
+        "decisions": {
+            str(pid): value for pid, value in sorted(run.decisions.items())
+        },
+        "blocked": run.blocked,
+        "violations": violations,
+    }
+
+
+def replay(artifact: Dict[str, Any]) -> Dict[str, Any]:
+    """Re-execute a serialized schedule; returns the reproduced outcome.
+
+    Raises :class:`repro.sim.runtime.ReplayError` when the recorded
+    events no longer form a valid schedule (the loud signal that the
+    runtime or a protocol changed semantics under a committed artifact).
+    """
+    if artifact.get("version") != ARTIFACT_VERSION:
+        raise ValueError(
+            f"unsupported artifact version {artifact.get('version')!r}"
+        )
+    adversary = (
+        from_live_sets(
+            artifact["n"], [set(live) for live in artifact["adversary"]]
+        )
+        if artifact.get("adversary") is not None
+        else None
+    )
+    protocol = build_protocol(
+        artifact["protocol"],
+        artifact["n"],
+        t=artifact["t"],
+        k=artifact.get("k", 1),
+        adversary=adversary,
+    )
+    plan = FaultPlan.from_json(artifact["plan"])
+    inputs = {int(pid): value for pid, value in artifact["inputs"].items()}
+    chooser = ReplayChooser(events_from_trace(artifact["events"]))
+    run = _run_once(protocol, plan, inputs, chooser)
+    return {
+        "decisions": {
+            str(pid): value for pid, value in sorted(run.decisions.items())
+        },
+        "blocked": run.blocked,
+        "violations": protocol.check(plan, inputs, run),
+    }
+
+
+def write_artifact(path: str, artifact: Dict[str, Any]) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(artifact, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_artifact(path: str) -> Dict[str, Any]:
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+# ----------------------------------------------------------------------
+# Parameterized entry points (the engine job kinds call these)
+# ----------------------------------------------------------------------
+def simulate_params(
+    protocol_name: str,
+    adversary: Optional[Adversary],
+    n: int,
+    t: int,
+    k: int,
+    schedules: int,
+    seed: int,
+) -> Dict[str, Any]:
+    """Explore one protocol instance; the ``simulate`` job kind."""
+    protocol = build_protocol(
+        protocol_name, n, t=t, k=k, adversary=adversary
+    )
+    if protocol.model == "crash":
+        if adversary is None:
+            raise ValueError(f"{protocol_name} requires an adversary")
+        plans = crash_plans_from_adversary(adversary, seed)
+    else:
+        plans = [FaultPlan(n=n, note="fault-free")] + byzantine_plans(
+            n, t, seed
+        )
+    report = explore(protocol, plans, schedules, seed)
+    report["k"] = k
+    return report
+
+
+def oracle_params(
+    protocol_name: str,
+    adversary: Optional[Adversary],
+    n: int,
+    t: int,
+    k: int,
+    schedules: int,
+    seed: int,
+) -> Dict[str, Any]:
+    """Differential check for one pair; the ``oracle`` job kind."""
+    if protocol_name == "hitting-set-consensus":
+        if adversary is None:
+            raise ValueError("crash-model oracle requires an adversary")
+        alpha = agreement_function_of(adversary)
+        affine = r_affine(alpha)
+        result = run_request(
+            SolveRequest(
+                affine=affine,
+                task=set_consensus_task(n, k),
+                budget=FACT_BUDGET,
+            )
+        )
+        reference = {"method": "fact", "solvable": result.solvable}
+    else:
+        reference = {
+            "method": "regime",
+            "solvable": byzantine_regime_ok(n, t),
+        }
+    report = simulate_params(
+        protocol_name, adversary, n, t, k, schedules, seed
+    )
+    agree = bool(reference["solvable"]) == bool(report["pass"])
+    return {
+        "reference": reference,
+        "sim": report,
+        "agree": agree,
+        "artifact": report["first_violation"] if not agree else None,
+    }
+
+
+# ----------------------------------------------------------------------
+# The committed grid
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class OracleCase:
+    """One committed (task, adversary) differential-oracle pair."""
+
+    name: str
+    protocol: str
+    n: int
+    t: int
+    k: int
+    adversary: Optional[Adversary]
+    schedules: int = 4
+    seed: int = 7
+
+    def payload(self) -> Tuple:
+        """The engine job payload (content-addressed cache identity)."""
+        return (
+            self.protocol,
+            self.adversary,
+            self.n,
+            self.t,
+            self.k,
+            self.schedules,
+            self.seed,
+        )
+
+
+def _solo_leader(n: int = 3) -> Adversary:
+    """Process 0 participates in every live set: ``csize = setcon = 1``."""
+    return from_live_sets(n, [{0}]).superset_closure()
+
+
+def _duo_leaders(n: int = 3) -> Adversary:
+    """Every live set contains 0 or 1: ``csize = setcon = 2``."""
+    return from_live_sets(n, [{0}, {1}]).superset_closure()
+
+
+def standard_grid() -> List[OracleCase]:
+    """The committed pairs: crash cases decided by FACT, Byzantine
+    cases decided by the ``n > 3t`` regime — both solvable and
+    unsolvable on each side."""
+    zoo = catalogue_by_name(3)
+    cases: List[OracleCase] = []
+
+    def crash(name: str, adversary: Adversary, k: int) -> None:
+        cases.append(
+            OracleCase(
+                name=name,
+                protocol="hitting-set-consensus",
+                n=3,
+                t=0,
+                k=k,
+                adversary=adversary,
+            )
+        )
+
+    # wait-free k=2 is deliberately absent: its FACT impossibility
+    # search is orders of magnitude beyond every other grid query (the
+    # hard 2-set-consensus impossibility), and the duo-leaders pair
+    # covers the same setcon=2 verdict shape cheaply.
+    crash("ksc-wait-free-k1", zoo["wait-free"], 1)
+    crash("ksc-wait-free-k3", zoo["wait-free"], 3)
+    crash("ksc-1-resilient-k1", zoo["1-resilient"], 1)
+    crash("ksc-1-resilient-k2", zoo["1-resilient"], 2)
+    crash("ksc-figure-5b-k1", zoo["figure-5b"], 1)
+    crash("ksc-figure-5b-k2", zoo["figure-5b"], 2)
+    crash("ksc-solo-leader-k1", _solo_leader(), 1)
+    crash("ksc-duo-leaders-k1", _duo_leaders(), 1)
+    crash("ksc-duo-leaders-k2", _duo_leaders(), 2)
+
+    def byz(name: str, protocol: str, n: int, t: int) -> None:
+        cases.append(
+            OracleCase(
+                name=name, protocol=protocol, n=n, t=t, k=1, adversary=None
+            )
+        )
+
+    byz("rbcast-n4-t1", "reliable-broadcast", 4, 1)
+    byz("rbcast-n5-t1", "reliable-broadcast", 5, 1)
+    byz("rbcast-n3-t1", "reliable-broadcast", 3, 1)
+    byz("wba-n4-t1", "bosco-weak-agreement", 4, 1)
+    byz("wba-n7-t2", "bosco-weak-agreement", 7, 2)
+    byz("wba-n3-t1", "bosco-weak-agreement", 3, 1)
+    return cases
+
+
+STANDARD_GRID: Tuple[OracleCase, ...] = tuple(standard_grid())
+
+
+def grid_case(name: str) -> OracleCase:
+    for case in STANDARD_GRID:
+        if case.name == name:
+            return case
+    known = ", ".join(case.name for case in STANDARD_GRID)
+    raise KeyError(f"unknown oracle case {name!r}; known cases: {known}")

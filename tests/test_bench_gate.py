@@ -53,6 +53,18 @@ BASELINES = {
         "workload": {"queries": 15},
         "spans_per_batch": 32,
         "traced_overhead_ratio": 1.0,
+        "sim": {
+            "span_sim_schedule": 30,
+            "span_sim_round": 30,
+            "span_sim_guard_wait": 90,
+            "traced_overhead_ratio": 1.2,
+        },
+    },
+    "BENCH_sim.json": {
+        "workload": {"cases": 15, "schedules_total": 952},
+        "deliveries_total": 10617,
+        "oracle_agreement_rate": 1.0,
+        "disagreements": 0,
     },
 }
 

@@ -135,3 +135,153 @@ def test_batch_command_cold_then_warm(capsys, tmp_path):
     assert "cache misses: 0" in warm
     # Tables (everything above the stats block) must be identical.
     assert cold.split("engine:")[0] == warm.split("engine:")[0]
+
+
+def test_batch_unknown_kind_exits_with_the_valid_kinds(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["batch", "--only", "bogus"])
+    message = str(excinfo.value)
+    assert "unknown job kind 'bogus'" in message
+    assert "simulate" in message and "oracle" in message
+    assert "solve" in message
+
+
+def test_batch_rejects_kinds_without_a_section(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["batch", "--only", "sleep"])
+    assert "no batch section" in str(excinfo.value)
+
+
+def test_batch_only_classify_skips_the_fact_table(capsys):
+    assert main(["batch", "--only", "classify", "--no-cache"]) == 0
+    out = capsys.readouterr().out
+    assert "adversary" in out
+    assert "min k-set consensus" not in out
+
+
+def test_sim_command_pass_and_violation(capsys):
+    assert (
+        main(
+            [
+                "sim",
+                "reliable-broadcast",
+                "--n", "4", "--t", "1",
+                "--schedules", "2",
+                "--no-cache",
+            ]
+        )
+        == 0
+    )
+    assert "verdict: pass" in capsys.readouterr().out
+
+    assert (
+        main(
+            [
+                "sim",
+                "bosco-weak-agreement",
+                "--n", "3", "--t", "1",
+                "--schedules", "2",
+                "--no-cache",
+            ]
+        )
+        == 1
+    )
+    out = capsys.readouterr().out
+    assert "verdict: VIOLATION" in out
+    assert "violation: agreement" in out
+
+
+def test_sim_command_json_report(capsys):
+    import json
+
+    assert (
+        main(
+            [
+                "sim",
+                "hitting-set-consensus",
+                "[[0],[0,1],[0,2],[0,1,2]]",
+                "--k", "1",
+                "--schedules", "2",
+                "--no-cache",
+                "--json",
+            ]
+        )
+        == 0
+    )
+    report = json.loads(capsys.readouterr().out)
+    assert report["pass"] is True and report["k"] == 1
+
+
+def test_oracle_command_list_and_named_cases(capsys):
+    assert main(["oracle", "--list", "--no-cache"]) == 0
+    listing = capsys.readouterr().out
+    assert "ksc-wait-free-k1" in listing and "wba-n7-t2" in listing
+
+    assert (
+        main(["oracle", "wba-n4-t1", "rbcast-n3-t1", "--no-cache"]) == 0
+    )
+    out = capsys.readouterr().out
+    assert "agree" in out and "DISAGREE" not in out
+
+
+def test_oracle_command_unknown_case(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["oracle", "no-such-case", "--no-cache"])
+    assert "known cases" in str(excinfo.value)
+
+
+def test_sim_artifact_then_oracle_replay(capsys, tmp_path):
+    artifact = tmp_path / "violation.json"
+    assert (
+        main(
+            [
+                "sim",
+                "bosco-weak-agreement",
+                "--n", "3", "--t", "1",
+                "--schedules", "2",
+                "--no-cache",
+                "--artifact", str(artifact),
+            ]
+        )
+        == 1
+    )
+    capsys.readouterr()
+    assert artifact.exists()
+    assert main(["oracle", "--replay", str(artifact), "--no-cache"]) == 0
+    assert "reproduced: yes" in capsys.readouterr().out
+
+
+def test_query_simulate_against_a_live_service(capsys):
+    from repro.engine import Engine
+    from repro.service import BackgroundServer, MemCache
+
+    with BackgroundServer(Engine(cache=MemCache())) as server:
+        port = str(server.port)
+        assert (
+            main(
+                [
+                    "query", "simulate",
+                    "--protocol", "bosco-weak-agreement",
+                    "--n", "4", "--t", "1",
+                    "--schedules", "2",
+                    "--port", port,
+                ]
+            )
+            == 0
+        )
+        assert "verdict: pass" in capsys.readouterr().out
+        assert (
+            main(
+                [
+                    "query", "oracle",
+                    "[[0],[0,1],[0,2],[0,1,2]]",
+                    "--protocol", "hitting-set-consensus",
+                    "--k", "1",
+                    "--schedules", "2",
+                    "--port", port,
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "agree: True" in out and "reference: fact" in out

@@ -144,6 +144,24 @@ def test_repeated_query_hits_the_memcache(client):
     assert again["cache_hit"]
 
 
+def test_simulate_and_oracle_helpers(client):
+    from repro.sim import oracle_params, simulate_params
+
+    report = client.simulate(
+        "bosco-weak-agreement", n=4, t=1, schedules=2
+    )
+    assert report == simulate_params(
+        "bosco-weak-agreement", None, 4, 1, 1, 2, 7
+    )
+    assert report["pass"]
+
+    verdict = client.oracle("reliable-broadcast", n=3, t=1, schedules=2)
+    assert verdict == oracle_params(
+        "reliable-broadcast", None, 3, 1, 1, 2, 7
+    )
+    assert verdict["agree"] and not verdict["reference"]["solvable"]
+
+
 # ----------------------------------------------------------------------
 # Coalescing
 # ----------------------------------------------------------------------

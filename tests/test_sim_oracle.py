@@ -1,0 +1,195 @@
+"""Tests for the differential oracle, its grid, and engine/CLI wiring."""
+
+import json
+
+import pytest
+
+from repro.adversaries.catalogue import catalogue_by_name
+from repro.engine import Engine, JobSpec
+from repro.sim import (
+    STANDARD_GRID,
+    grid_case,
+    load_artifact,
+    oracle_params,
+    replay,
+    simulate_params,
+    standard_grid,
+    write_artifact,
+)
+from repro.sim import oracle as oracle_module
+
+
+# ----------------------------------------------------------------------
+# Reports and determinism
+# ----------------------------------------------------------------------
+def test_simulate_params_report_shape():
+    adversary = catalogue_by_name(3)["1-resilient"]
+    report = simulate_params(
+        "hitting-set-consensus", adversary, 3, 0, 2, 2, seed=5
+    )
+    assert report["protocol"] == "hitting-set-consensus"
+    assert report["n"] == 3 and report["t"] == 0 and report["k"] == 2
+    assert report["schedules"] > report["plans"] > 0
+    assert report["pass"] is True
+    assert report["first_violation"] is None
+
+
+def test_simulate_params_is_deterministic():
+    adversary = catalogue_by_name(3)["figure-5b"]
+    first = simulate_params(
+        "hitting-set-consensus", adversary, 3, 0, 1, 3, seed=11
+    )
+    second = simulate_params(
+        "hitting-set-consensus", adversary, 3, 0, 1, 3, seed=11
+    )
+    assert json.dumps(first, sort_keys=True) == json.dumps(
+        second, sort_keys=True
+    )
+
+
+def test_oracle_params_crash_side_agrees_both_ways():
+    adversary = catalogue_by_name(3)["1-resilient"]
+    solvable = oracle_params(
+        "hitting-set-consensus", adversary, 3, 0, 2, 2, seed=5
+    )
+    assert solvable["reference"] == {"method": "fact", "solvable": True}
+    assert solvable["agree"] and solvable["artifact"] is None
+    unsolvable = oracle_params(
+        "hitting-set-consensus", adversary, 3, 0, 1, 2, seed=5
+    )
+    assert unsolvable["reference"]["solvable"] is False
+    assert not unsolvable["sim"]["pass"]
+    assert unsolvable["agree"]
+
+
+def test_oracle_params_byzantine_side_uses_the_regime():
+    report = oracle_params("bosco-weak-agreement", None, 4, 1, 1, 2, seed=5)
+    assert report["reference"] == {"method": "regime", "solvable": True}
+    assert report["agree"]
+
+
+# ----------------------------------------------------------------------
+# The committed grid
+# ----------------------------------------------------------------------
+def test_standard_grid_spans_both_regimes():
+    grid = standard_grid()
+    assert len(grid) >= 12
+    crash = [case for case in grid if case.protocol == "hitting-set-consensus"]
+    byzantine = [case for case in grid if case.t > 0]
+    assert len(crash) >= 4 and len(byzantine) >= 4
+    # Both sides of the t < n/3 bound are represented.
+    assert any(case.n > 3 * case.t for case in byzantine)
+    assert any(case.n <= 3 * case.t for case in byzantine)
+    names = [case.name for case in grid]
+    assert len(names) == len(set(names))
+    assert tuple(grid) == STANDARD_GRID
+
+
+def test_grid_case_lookup_and_error():
+    case = grid_case("rbcast-n4-t1")
+    assert case.protocol == "reliable-broadcast"
+    with pytest.raises(KeyError, match="known cases"):
+        grid_case("no-such-case")
+
+
+def test_whole_grid_agrees():
+    """The acceptance gate: every committed (task, adversary) pair
+    agrees between the simulator and its reference verdict."""
+    for case in standard_grid():
+        report = oracle_params(*case.payload())
+        assert report["agree"], (
+            case.name,
+            report["reference"],
+            report["sim"]["violations"],
+        )
+
+
+# ----------------------------------------------------------------------
+# Disagreement artifacts and replay
+# ----------------------------------------------------------------------
+def test_doctored_disagreement_emits_a_replayable_artifact(
+    tmp_path, monkeypatch
+):
+    # Doctor the reference: claim n=3, t=1 weak agreement is solvable.
+    # The simulator's equivocation split then *disagrees*, and the
+    # violating schedule must come back as a replayable artifact.
+    monkeypatch.setattr(
+        oracle_module, "byzantine_regime_ok", lambda n, t: True
+    )
+    report = oracle_params("bosco-weak-agreement", None, 3, 1, 1, 2, seed=5)
+    assert not report["agree"]
+    artifact = report["artifact"]
+    assert artifact is not None
+    assert artifact["version"] == 1
+    assert artifact["violations"]
+
+    path = tmp_path / "disagreement.json"
+    write_artifact(str(path), artifact)
+    loaded = load_artifact(str(path))
+    assert loaded == artifact
+
+    outcome = replay(loaded)
+    assert outcome["decisions"] == artifact["decisions"]
+    assert outcome["blocked"] == artifact["blocked"]
+    assert outcome["violations"] == artifact["violations"]
+
+
+def test_replay_rejects_unknown_versions():
+    with pytest.raises(ValueError, match="version"):
+        replay({"version": 999})
+
+
+def test_crash_side_artifact_replays(tmp_path):
+    adversary = catalogue_by_name(3)["wait-free"]
+    report = simulate_params(
+        "hitting-set-consensus", adversary, 3, 0, 1, 2, seed=5
+    )
+    artifact = report["first_violation"]
+    assert artifact is not None
+    assert artifact["adversary"] is not None
+    outcome = replay(artifact)
+    assert outcome["violations"] == artifact["violations"]
+
+
+# ----------------------------------------------------------------------
+# Engine wiring
+# ----------------------------------------------------------------------
+def test_engine_simulate_is_cached(tmp_path):
+    from repro.engine import ArtifactCache
+
+    adversary = catalogue_by_name(3)["1-resilient"]
+    engine = Engine(cache=ArtifactCache(tmp_path))
+    first = engine.simulate(
+        "hitting-set-consensus", adversary, n=3, k=2, schedules=2
+    )
+    assert first["pass"]
+    again = Engine(cache=ArtifactCache(tmp_path))
+    spec = JobSpec(
+        "simulate", ("hitting-set-consensus", adversary, 3, 0, 2, 2, 7)
+    )
+    (result,) = again.run_jobs([spec])
+    assert result.cache_hit
+    assert result.value == first
+
+
+def test_engine_oracle_many_matches_direct_calls():
+    cases = [grid_case("wba-n4-t1"), grid_case("rbcast-n3-t1")]
+    engine = Engine()
+    reports = engine.oracle_many([case.payload() for case in cases])
+    for case, report in zip(cases, reports):
+        assert report == oracle_params(*case.payload())
+
+
+def test_engine_simulate_many():
+    engine = Engine()
+    cases = [grid_case("wba-n4-t1"), grid_case("wba-n3-t1")]
+    reports = engine.simulate_many(case.payload() for case in cases)
+    assert reports[0]["pass"] and not reports[1]["pass"]
+
+
+def test_simulate_payload_serialization_round_trips():
+    from repro.engine import deserialize, serialize
+
+    adversary = catalogue_by_name(3)["figure-5b"]
+    payload = ("hitting-set-consensus", adversary, 3, 0, 1, 2, 7)
+    assert deserialize(json.loads(json.dumps(serialize(payload)))) == payload

@@ -86,6 +86,17 @@ RULES: Dict[str, List[Tuple[str, str, float]]] = {
         ("workload.queries", EXACT, 0.0),
         ("spans_per_batch", EXACT, 0.0),
         ("traced_overhead_ratio", MAX_RATIO, 3.00),
+        ("sim.span_sim_schedule", EXACT, 0.0),
+        ("sim.span_sim_round", EXACT, 0.0),
+        ("sim.span_sim_guard_wait", EXACT, 0.0),
+        ("sim.traced_overhead_ratio", MAX_RATIO, 3.00),
+    ],
+    "BENCH_sim.json": [
+        ("workload.cases", EXACT, 0.0),
+        ("workload.schedules_total", EXACT, 0.0),
+        ("deliveries_total", EXACT, 0.0),
+        ("oracle_agreement_rate", EXACT, 0.0),
+        ("disagreements", EXACT, 0.0),
     ],
 }
 
