@@ -13,7 +13,9 @@ In-process ``lru_cache`` state is cleared before every cold stage so a
 ``BENCH_engine.json`` at the repo root; multi-worker scaling is
 recorded honestly together with ``cpu_count`` — on a single-CPU box a
 process pool cannot beat sequential execution for CPU-bound work, so
-the >1x assertion only applies when more than one CPU is available.
+the multiworker stages are skipped outright and their metrics recorded
+as ``null`` (the bench gate reads null-vs-number as "skipped on this
+environment", not as a regression).
 """
 
 from __future__ import annotations
@@ -90,9 +92,11 @@ def bench_engine_cache(tmp_path):
         lambda: _run_legacy(queries)
     )
 
+    cpu_count = os.cpu_count() or 1
+    worker_counts = (1, 2) if cpu_count >= 2 else (1,)
     timings = {}
     entries_by_stage = {}
-    for jobs in (1, 2):
+    for jobs in worker_counts:
         cache_dir = tmp_path / f"cache-jobs{jobs}"
         _go_cold()
         (entries, solved), t_cold = _timed(
@@ -113,8 +117,7 @@ def bench_engine_cache(tmp_path):
         entries_by_stage[jobs] = len(ArtifactCache(cache_dir))
 
     t_cold_1, t_warm_1 = timings[1]
-    t_cold_2, t_warm_2 = timings[2]
-    cpu_count = os.cpu_count() or 1
+    t_cold_2, t_warm_2 = timings.get(2, (None, None))
     report = {
         "workload": {
             "adversaries_classified": len(legacy_entries),
@@ -124,10 +127,12 @@ def bench_engine_cache(tmp_path):
         "t_direct_s": round(t_direct, 4),
         "t_cold_jobs1_s": round(t_cold_1, 4),
         "t_warm_jobs1_s": round(t_warm_1, 4),
-        "t_cold_jobs2_s": round(t_cold_2, 4),
-        "t_warm_jobs2_s": round(t_warm_2, 4),
+        "t_cold_jobs2_s": None if t_cold_2 is None else round(t_cold_2, 4),
+        "t_warm_jobs2_s": None if t_warm_2 is None else round(t_warm_2, 4),
         "speedup_warm_cache": round(t_cold_1 / t_warm_1, 2),
-        "speedup_multiworker_cold": round(t_cold_1 / t_cold_2, 2),
+        "speedup_multiworker_cold": (
+            None if t_cold_2 is None else round(t_cold_1 / t_cold_2, 2)
+        ),
         "artifacts_cached": entries_by_stage[1],
     }
     OUTPUT.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
@@ -142,3 +147,5 @@ def bench_engine_cache(tmp_path):
     # Honest scaling claim: only meaningful with real parallel hardware.
     if cpu_count >= 2:
         assert report["speedup_multiworker_cold"] > 1.0
+    else:
+        assert report["speedup_multiworker_cold"] is None

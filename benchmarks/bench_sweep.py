@@ -1,0 +1,114 @@
+"""Sweep economics: cells/s, compact-vs-naive memory, resume overhead.
+
+Three measurements around :mod:`repro.sweep`, landing in
+``BENCH_landscape.json`` at the repo root for the trajectory gate:
+
+* **throughput** — the ``n3-smoke`` grid end to end (cells per second,
+  informational: absolute rates track the CI machine and are not
+  gated);
+* **compression** — the interned :class:`~repro.sweep.compact.
+  CompactComplex` versus the naive fully-materialized
+  ``SimplicialComplex`` closure on ``Chr^2 s`` (n=3), the ratio the
+  whole compact layer exists to win;
+* **resume overhead** — a sweep interrupted after half its cells and
+  resumed, versus one uninterrupted run: the resumed path must
+  recompute **zero** cells, produce a byte-identical artifact, and cost
+  only checkpoint-reload overhead.
+
+Verdict counts are parity-gated: the grid is content-addressed and the
+kernels are tree-identical, so any drift in solvable/unsolvable/budget
+is a correctness change, not noise.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.analysis import render_mapping
+from repro.sweep import GRID_PRESETS, SweepDriver, compact_census
+from repro.topology import chr_complex
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_landscape.json"
+
+GRID = GRID_PRESETS["n3-smoke"]
+
+
+def _timed(stage):
+    started = time.perf_counter()
+    value = stage()
+    return value, time.perf_counter() - started
+
+
+def bench_sweep(tmp_path):
+    cells = len(GRID.cells())
+
+    # Warmup: fill the in-process memos (R_A constructions, setcon
+    # caches) once, so straight-vs-resumed compares checkpoint
+    # mechanics instead of cold-import effects.
+    SweepDriver(GRID, tmp_path / "warmup").run()
+
+    # Throughput: one uninterrupted sweep (the reference artifact too).
+    straight = SweepDriver(GRID, tmp_path / "straight")
+    status, t_straight = _timed(lambda: straight.run())
+    assert status["complete"]
+    reference = straight.write_artifact(tmp_path / "straight.json")
+    summary = status["artifact"]["summary"]
+
+    # Compression: interned vs naive on the ambient complex Chr^2 s.
+    census = compact_census(chr_complex(3, 2))
+
+    # Resume: interrupt after half the grid, then continue.
+    half = cells // 2
+
+    def interrupted():
+        SweepDriver(GRID, tmp_path / "resumed").run(limit=half)
+        return SweepDriver(GRID, tmp_path / "resumed").run(resume=True)
+
+    resumed_status, t_resumed = _timed(interrupted)
+    assert resumed_status["complete"]
+    assert resumed_status["resumed"] == half
+    resumed_bytes = SweepDriver(GRID, tmp_path / "resumed").write_artifact(
+        tmp_path / "resumed.json"
+    )
+    assert resumed_bytes == reference  # byte-identical, kill or no kill
+
+    # A third pass over a complete checkpoint recomputes nothing.
+    replay = SweepDriver(GRID, tmp_path / "resumed").run(resume=True)
+    assert replay["complete"]
+
+    report = {
+        "workload": {
+            "grid": GRID.name,
+            "grid_cells": cells,
+            "adversaries": summary["adversaries"],
+        },
+        "verdicts": summary["verdicts"],
+        "resume": {
+            "interrupted_after": half,
+            "recomputed_cells": replay["computed"],
+        },
+        "t_straight_s": round(t_straight, 4),
+        "t_resumed_s": round(t_resumed, 4),
+        "cells_per_s": round(cells / t_straight, 1),
+        "resume_overhead_ratio": round(t_resumed / t_straight, 2),
+        "compact_vs_naive_memory_ratio": census["compression_ratio"],
+        "compact": {
+            "complex": "chr(3,2)",
+            "simplices": census["simplices"],
+            "naive_bytes": census["naive_bytes"],
+            "interned_bytes": census["interned_bytes"],
+        },
+    }
+    OUTPUT.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+
+    print()
+    print(render_mapping("sweep economics:", report))
+    print(f"wrote {OUTPUT}")
+
+    # The compact representation must actually beat the naive one.
+    assert report["compact_vs_naive_memory_ratio"] > 1
+    # Resuming replays stubs instead of recomputing cells.
+    assert report["resume"]["recomputed_cells"] == 0

@@ -22,6 +22,10 @@ Commands regenerate the paper's artifacts from the terminal:
 * ``oracle``     — differential oracle: simulator verdicts versus
   FACT / resilience-regime references, with replayable
   disagreement artifacts;
+* ``sweep``      — run or resume a checkpointed landscape sweep
+  (``repro.sweep``): ``--grid`` names a preset or a grid JSON file,
+  progress persists after every completed cell, ``--resume`` continues
+  a killed run, ``--limit`` bounds one slice;
 * ``trace``      — summarize a JSONL trace file (``repro.obs``).
 
 ``classify``, ``landscape``, ``fact`` and ``algorithm1`` accept
@@ -282,6 +286,21 @@ def _cmd_crossover(args: argparse.Namespace) -> int:
     return 0
 
 
+def _inspect_census(adversary: Adversary):
+    """The ``R_A`` complex census for a fair, powered adversary, or None.
+
+    Includes the compact-representation comparison from
+    :mod:`repro.sweep.compact` so interned-vs-naive sizes are visible
+    straight from the CLI.
+    """
+    if not is_fair(adversary) or setcon(adversary) < 1:
+        return None
+    from .sweep.compact import compact_census
+
+    task = r_affine(agreement_function_of(adversary))
+    return compact_census(task.complex)
+
+
 def _cmd_inspect(args: argparse.Namespace) -> int:
     live_sets = json.loads(args.live_sets)
     adversary = Adversary(args.n, [set(live) for live in live_sets])
@@ -289,12 +308,16 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
         # Machine-readable path: one ``classify`` job through the
         # engine, emitted in the service's wire schema (protocol v1),
         # so scripted callers parse one format for CLI and service.
+        # The complex census rides along as an additive top-level key
+        # (``value`` stays byte-for-byte the service schema).
         from .engine import Engine, JobSpec, serialize
         from .service.protocol import encode_message, response_for_result
 
         (result,) = Engine().run_jobs([JobSpec("classify", (adversary,))])
         value_text = serialize(result.value) if result.ok else None
-        print(encode_message(response_for_result(0, result, value_text)))
+        message = response_for_result(0, result, value_text)
+        message["census"] = _inspect_census(adversary) if result.ok else None
+        print(encode_message(message))
         return 0 if result.ok else 1
     print(banner(f"inspecting {adversary!r}"))
     fair = is_fair(adversary)
@@ -312,7 +335,78 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
         alpha = agreement_function_of(adversary)
         task = r_affine(alpha)
         print(render_mapping("affine task R_A:", complex_census(task.complex)))
+        census = _inspect_census(adversary)
+        print(
+            render_mapping(
+                "interned form:",
+                {
+                    "f_vector": census["f_vector"],
+                    "naive bytes": census["naive_bytes"],
+                    "interned bytes": census["interned_bytes"],
+                    "compression": f'{census["compression_ratio"]}x',
+                },
+            )
+        )
     return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    """Run or resume a checkpointed landscape sweep (``repro.sweep``).
+
+    Progress persists after every completed cell, so a killed run picks
+    up where it stopped with ``--resume`` — and the final artifact is
+    byte-identical to an uninterrupted run's.  Exit 0 means the grid is
+    complete; a ``--limit`` slice that leaves cells pending exits 2.
+    """
+    from .sweep import SweepDriver, load_grid
+
+    try:
+        grid = load_grid(args.grid)
+    except ValueError as exc:
+        raise SystemExit(f"repro sweep: {exc}")
+    engine = _build_engine(args)
+    driver = SweepDriver(grid, args.checkpoint_dir, engine=engine)
+    try:
+        status = driver.run(resume=args.resume, limit=args.limit)
+    except ValueError as exc:
+        raise SystemExit(f"repro sweep: {exc}")
+    if args.escalate and status["complete"]:
+        escalated = driver.escalate(args.escalate)
+        status = {**status, "escalated": escalated}
+        if escalated:
+            status["artifact"] = driver.assemble_artifact()
+    shown = {
+        "grid": status["grid"],
+        "digest": status["grid_digest"][:12],
+        "cells": status["cells"],
+        "resumed from checkpoint": status["resumed"],
+        "computed now": status["computed"],
+        "complete": status["complete"],
+    }
+    if "escalated" in status:
+        shown["escalated"] = status["escalated"]
+    print(render_mapping("sweep:", shown))
+    if status["complete"]:
+        summary = status["artifact"]["summary"]
+        print(
+            render_mapping(
+                "landscape:",
+                {
+                    "adversaries": summary["adversaries"],
+                    "fair cells": summary["fair_cells"],
+                    "verdicts": summary["verdicts"],
+                    "distinct alphas (fair)": summary["distinct_alphas_fair"],
+                    "solve nodes": summary["solve_nodes_total"],
+                },
+            )
+        )
+        if args.output is not None:
+            data = driver.write_artifact(args.output)
+            print(f"wrote {args.output} ({len(data)} bytes)")
+        return 0
+    remaining = status["cells"] - status["done"]
+    print(f"{remaining} cell(s) pending; rerun with --resume to continue")
+    return 2
 
 
 #: ``repro batch`` sections, keyed by the engine job kind they exercise.
@@ -1276,6 +1370,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="one JSON report object per line instead of a rendering",
     )
 
+    sweep = sub.add_parser(
+        "sweep",
+        help="run or resume a checkpointed landscape sweep (repro.sweep)",
+    )
+    sweep.add_argument(
+        "--grid",
+        required=True,
+        help="grid preset name (e.g. n3-smoke, n4-sampled) or a grid "
+        "JSON file",
+    )
+    sweep.add_argument(
+        "--checkpoint-dir",
+        required=True,
+        help="directory for the grid document and per-cell resume stubs",
+    )
+    sweep.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue from existing checkpoints instead of refusing",
+    )
+    sweep.add_argument(
+        "--limit",
+        type=_positive_int,
+        default=None,
+        help="compute at most this many new cells, then exit 2",
+    )
+    sweep.add_argument(
+        "--escalate",
+        type=_positive_int,
+        default=None,
+        help="after completion, re-run budget cells at budget * 2^LEVEL",
+    )
+    sweep.add_argument(
+        "--output",
+        default=None,
+        help="write the landscape artifact here once the grid completes",
+    )
+    _add_engine_options(sweep)
+
     export = sub.add_parser(
         "export", help="dump all figure data as JSON"
     )
@@ -1352,6 +1485,7 @@ _HANDLERS = {
     "check": _cmd_check,
     "sim": _cmd_sim,
     "oracle": _cmd_oracle,
+    "sweep": _cmd_sweep,
     "trace": _cmd_trace,
 }
 

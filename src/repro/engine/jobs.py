@@ -130,6 +130,25 @@ def _compute_oracle(payload: tuple) -> Any:
     return oracle_params(protocol, adversary, n, t, k, schedules, seed)
 
 
+def _compute_sweep(payload: tuple) -> Any:
+    # One landscape sweep cell: classify the adversary and (when fair)
+    # decide one set-consensus task on its affine task R_A under a node
+    # budget.  The record is fully deterministic, so cells are safe to
+    # cache content-addressed and to persist as sweep checkpoint stubs.
+    from ..sweep.cells import compute_cell
+
+    return compute_cell(payload)
+
+
+def _compute_sweep_resume(payload: tuple) -> Any:
+    # A budget-escalated re-run of a sweep cell (payload + escalation
+    # level).  Distinct kind so the escalated value gets its own cache
+    # address and never shadows the base cell's record.
+    from ..sweep.cells import compute_cell_resume
+
+    return compute_cell_resume(payload)
+
+
 def _compute_sleep(payload: tuple) -> Any:
     # Synthetic workload: sleep for a wall-clock duration, then return
     # the token.  Exists so timeout handling and service load tests can
@@ -151,6 +170,8 @@ JOB_KINDS: Dict[str, Callable[[tuple], Any]] = {
     "fuzz": _compute_fuzz,
     "simulate": _compute_simulate,
     "oracle": _compute_oracle,
+    "sweep": _compute_sweep,
+    "sweep_resume": _compute_sweep_resume,
     "sleep": _compute_sleep,
 }
 

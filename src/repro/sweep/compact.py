@@ -1,0 +1,329 @@
+"""Structure-shared, id-interned complexes and streaming subdivision.
+
+:class:`~repro.topology.complex.SimplicialComplex` stores every simplex
+as a ``frozenset`` of vertex objects and materializes the whole face
+poset on demand — for ``Chr^m s`` at 4-5 processes that is tens of
+thousands of container objects, each paying hash-table overhead per
+member pointer.  :class:`CompactComplex` keeps the same combinatorial
+content in three flat pieces:
+
+* a **vertex table**: each distinct vertex object appears exactly once,
+  at a dense integer id assigned in :func:`~repro.topology.simplex.
+  vertex_key` order (the library-wide structural order, so the layout
+  is deterministic across runs, platforms and hash seeds);
+* **per-dimension facet arrays**: the facets of dimension ``d`` are one
+  ``array('q')`` of ids with stride ``d + 1``, each facet's ids
+  ascending and the facets sorted lexicographically — no per-facet
+  container objects at all;
+* nothing else.  Faces are enumerated on demand from the facet arrays;
+  the closure is never stored.
+
+This is the dense-interning idiom of :mod:`repro.solver.interning`
+applied to the topology layer: intern once, then work in integers.
+
+:func:`stream_chr_facets` is the second half of the story: the facets
+of ``Chr^m K`` are in bijection with ``m``-fold nested ordered set
+partitions, so they can be *streamed* depth-first — one facet of the
+result live at a time — instead of materializing each intermediate
+``Chr^i K`` in full.  ``compact_chr`` folds that stream straight into a
+:class:`CompactComplex`.
+"""
+
+from __future__ import annotations
+
+import sys
+from array import array
+from typing import Any, Dict, FrozenSet, Iterable, Iterator, List, Tuple
+
+from ..topology.chromatic import ChromaticComplex, standard_simplex
+from ..topology.complex import SimplicialComplex
+from ..topology.enumeration import ordered_set_partitions, partition_to_chr_facet
+from ..topology.simplex import Simplex, Vertex, vertex_key
+
+__all__ = [
+    "CompactComplex",
+    "compact_census",
+    "compact_chr",
+    "deep_sizeof",
+    "stream_chr_facets",
+]
+
+
+class CompactComplex:
+    """A finite simplicial complex in id-interned, array-packed form.
+
+    Construct with :meth:`from_facets` (any iterable of vertex
+    iterables; non-maximal inputs are absorbed) or :meth:`from_complex`
+    (adapter from the classic types).  Instances are immutable and
+    canonical: two runs building the same complex — in any input order
+    — produce identical vertex tables and facet arrays.
+    """
+
+    __slots__ = ("_vertices", "_ids", "_facets_by_dim", "_facet_count")
+
+    def __init__(
+        self,
+        vertices: List[Vertex],
+        ids: Dict[Vertex, int],
+        facets_by_dim: Dict[int, "array[int]"],
+    ):
+        self._vertices = vertices
+        self._ids = ids
+        self._facets_by_dim = facets_by_dim
+        self._facet_count = sum(
+            len(packed) // (d + 1) for d, packed in facets_by_dim.items()
+        )
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_facets(cls, facets: Iterable[Iterable[Vertex]]) -> "CompactComplex":
+        """Intern a stream of candidate facets (their downward closure).
+
+        The stream is consumed one simplex at a time; only the facet
+        id-tuples and the vertex table are retained, so building from
+        :func:`stream_chr_facets` never holds the naive complex.
+        """
+        ids: Dict[Vertex, int] = {}
+        vertices: List[Vertex] = []
+        seen: set = set()
+        candidates: List[Tuple[int, ...]] = []
+        for facet in facets:
+            member_ids = set()
+            for vertex in facet:
+                vid = ids.get(vertex)
+                if vid is None:
+                    vid = len(vertices)
+                    ids[vertex] = vid
+                    vertices.append(vertex)
+                member_ids.add(vid)
+            if not member_ids:
+                continue
+            packed = tuple(sorted(member_ids))
+            if packed not in seen:
+                seen.add(packed)
+                candidates.append(packed)
+
+        # Canonical ids: re-map so id order equals vertex_key order.
+        order = sorted(range(len(vertices)), key=lambda i: vertex_key(vertices[i]))
+        remap = [0] * len(vertices)
+        for new_id, old_id in enumerate(order):
+            remap[old_id] = new_id
+        vertices = [vertices[old_id] for old_id in order]
+        ids = {vertex: i for i, vertex in enumerate(vertices)}
+        candidates = [
+            tuple(sorted(remap[vid] for vid in packed)) for packed in candidates
+        ]
+
+        # Absorb non-maximal candidates (mirrors SimplicialComplex).
+        candidates.sort(key=len, reverse=True)
+        facet_sets: List[frozenset] = []
+        kept: List[Tuple[int, ...]] = []
+        for packed in candidates:
+            as_set = frozenset(packed)
+            if not any(as_set <= other for other in facet_sets):
+                facet_sets.append(as_set)
+                kept.append(packed)
+
+        facets_by_dim: Dict[int, "array[int]"] = {}
+        for d in sorted({len(p) - 1 for p in kept}):
+            of_dim = sorted(p for p in kept if len(p) - 1 == d)
+            packed_array = array("q")
+            for facet_tuple in of_dim:
+                packed_array.extend(facet_tuple)
+            facets_by_dim[d] = packed_array
+        return cls(vertices, ids, facets_by_dim)
+
+    @classmethod
+    def from_complex(cls, K) -> "CompactComplex":
+        """Adapter from :class:`SimplicialComplex` / :class:`ChromaticComplex`."""
+        return cls.from_facets(K.facets)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def vertex_table(self) -> List[Vertex]:
+        """The interned vertices, in canonical (vertex_key) id order."""
+        return list(self._vertices)
+
+    def id_of(self, vertex: Vertex) -> int:
+        return self._ids[vertex]
+
+    @property
+    def n_vertices(self) -> int:
+        return len(self._vertices)
+
+    @property
+    def n_facets(self) -> int:
+        return self._facet_count
+
+    @property
+    def dimension(self) -> int:
+        if not self._facets_by_dim:
+            return -1
+        return max(self._facets_by_dim)
+
+    def facet_ids(self) -> Iterator[Tuple[int, ...]]:
+        """All facets as ascending id-tuples, dimension then lex order."""
+        for d in sorted(self._facets_by_dim):
+            packed = self._facets_by_dim[d]
+            stride = d + 1
+            for start in range(0, len(packed), stride):
+                yield tuple(packed[start : start + stride])
+
+    def facets(self) -> Iterator[Simplex]:
+        """All facets as vertex frozensets (materialized on demand)."""
+        for packed in self.facet_ids():
+            yield frozenset(self._vertices[vid] for vid in packed)
+
+    def __len__(self) -> int:
+        return self._facet_count
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CompactComplex):
+            return NotImplemented
+        return set(self.facets()) == set(other.facets())
+
+    def __repr__(self) -> str:
+        return (
+            f"CompactComplex(dim={self.dimension}, "
+            f"vertices={self.n_vertices}, facets={self.n_facets})"
+        )
+
+    # ------------------------------------------------------------------
+    # Census
+    # ------------------------------------------------------------------
+    def f_vector(self) -> List[int]:
+        """Simplex counts per dimension, computed without storing the closure.
+
+        Faces are enumerated as id-tuples into one transient set of int
+        tuples — far cheaper than the nested-frozenset closure the naive
+        representation materializes (and discarded on return).
+        """
+        from itertools import combinations
+
+        if not self._facets_by_dim:
+            return []
+        seen: set = set()
+        counts = [0] * (self.dimension + 1)
+        for packed in self.facet_ids():
+            for size in range(1, len(packed) + 1):
+                for combo in combinations(packed, size):
+                    if combo not in seen:
+                        seen.add(combo)
+                        counts[size - 1] += 1
+        return counts
+
+    def n_simplices(self) -> int:
+        return sum(self.f_vector())
+
+    def memory_bytes(self) -> int:
+        """Deep size of this representation (vertex table + id arrays)."""
+        total = deep_sizeof(self._vertices)
+        total += sum(sys.getsizeof(a) for a in self._facets_by_dim.values())
+        total += sys.getsizeof(self._facets_by_dim)
+        # The id lookup dict is a derived index over the same objects;
+        # count its container overhead but not the (shared) keys.
+        total += sys.getsizeof(self._ids)
+        return total
+
+    # ------------------------------------------------------------------
+    # Round trips
+    # ------------------------------------------------------------------
+    def to_simplicial(self) -> SimplicialComplex:
+        """Rebuild the classic facet-set representation."""
+        return SimplicialComplex(self.facets())
+
+    def to_chromatic(self) -> ChromaticComplex:
+        """Rebuild a chromatic complex (facets must be rainbow)."""
+        return ChromaticComplex(self.facets())
+
+
+# ----------------------------------------------------------------------
+# Streaming subdivision
+# ----------------------------------------------------------------------
+def stream_chr_facets(
+    base_facets: Iterable[Iterable[Vertex]], rounds: int
+) -> Iterator[FrozenSet[Vertex]]:
+    """Stream the facets of ``Chr^m K`` from the facets of ``K``.
+
+    Facets are produced depth-first: the recursion materializes one
+    chain of nested ordered set partitions at a time, so peak memory is
+    the recursion depth times one facet — never an intermediate
+    ``Chr^i K``.  The stream enumerates each facet of the result exactly
+    once (facets of a subdivision are interior to exactly one base
+    facet) in a deterministic order.
+    """
+    if rounds < 0:
+        raise ValueError("subdivision depth must be non-negative")
+
+    def descend(facet: FrozenSet[Vertex], depth: int) -> Iterator[FrozenSet[Vertex]]:
+        if depth == 0:
+            yield facet
+            return
+        for partition in ordered_set_partitions(facet):
+            yield from descend(partition_to_chr_facet(partition), depth - 1)
+
+    for base in base_facets:
+        yield from descend(frozenset(base), rounds)
+
+
+def compact_chr(n: int, m: int) -> CompactComplex:
+    """``Chr^m s`` on ``n`` processes, built by streaming into interned form."""
+    base = standard_simplex(n)
+    return CompactComplex.from_facets(stream_chr_facets(base.facets, m))
+
+
+# ----------------------------------------------------------------------
+# Memory accounting
+# ----------------------------------------------------------------------
+def deep_sizeof(obj: Any) -> int:
+    """Recursive ``sys.getsizeof`` with sharing-aware (by-id) dedup.
+
+    Shared sub-objects — interned vertices, nested carrier frozensets —
+    are counted once, so the measurement rewards structure sharing the
+    same way the process's heap does.  Supports the container types the
+    topology layer uses; unknown leaf types count their shallow size.
+    """
+    seen: set = set()
+    stack = [obj]
+    total = 0
+    while stack:
+        current = stack.pop()
+        oid = id(current)
+        if oid in seen:
+            continue
+        seen.add(oid)
+        total += sys.getsizeof(current)
+        if isinstance(current, dict):
+            stack.extend(current.keys())
+            stack.extend(current.values())
+        elif isinstance(current, (list, tuple, set, frozenset)):
+            stack.extend(current)
+    return total
+
+
+def compact_census(K) -> Dict[str, Any]:
+    """Side-by-side census of a complex in naive vs interned form.
+
+    ``K`` is a :class:`SimplicialComplex` or :class:`ChromaticComplex`;
+    the naive measurement covers the fully materialized face poset (the
+    cost the classic representation actually pays once ``simplices`` is
+    touched), the interned one covers a :class:`CompactComplex` holding
+    the same facets.
+    """
+    compact = CompactComplex.from_complex(K)
+    naive_bytes = deep_sizeof(frozenset(K.simplices))
+    interned_bytes = compact.memory_bytes()
+    return {
+        "vertices": compact.n_vertices,
+        "facets": compact.n_facets,
+        "simplices": compact.n_simplices(),
+        "dimension": compact.dimension,
+        "f_vector": compact.f_vector(),
+        "naive_bytes": naive_bytes,
+        "interned_bytes": interned_bytes,
+        "compression_ratio": round(naive_bytes / max(interned_bytes, 1), 2),
+    }

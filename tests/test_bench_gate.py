@@ -36,6 +36,14 @@ BASELINES = {
         "workload": {"adversaries_classified": 9, "solvability_queries": 15},
         "artifacts_cached": 142,
         "speedup_warm_cache": 20.0,
+        "speedup_multiworker_cold": None,
+    },
+    "BENCH_landscape.json": {
+        "workload": {"grid_cells": 12, "adversaries": 6},
+        "verdicts": {"solvable": 1, "unsolvable": 1, "budget": 0},
+        "resume": {"recomputed_cells": 0},
+        "compact_vs_naive_memory_ratio": 6.0,
+        "resume_overhead_ratio": 1.1,
     },
     "BENCH_service.json": {
         "requests_total": 488,
@@ -191,6 +199,28 @@ def test_check_metric_kinds():
     )
     with pytest.raises(ValueError):
         check("x", "mystery", 0.0, 1, 1)
+
+
+def test_null_ratio_metric_is_skipped_not_compared():
+    # A benchmark records null when the environment cannot produce the
+    # measurement (multiworker scaling on one CPU).  Either side being
+    # null must read as "skipped (environment)" for ratio kinds...
+    check = bench_gate.check_metric
+    assert check("x", bench_gate.MIN_RATIO, 0.75, None, None) is None
+    assert check("x", bench_gate.MIN_RATIO, 0.75, 2.0, None) is None
+    assert check("x", bench_gate.MIN_RATIO, 0.75, None, 0.61) is None
+    assert check("x", bench_gate.MAX_RATIO, 1.5, None, 99.0) is None
+    # ...while parity metrics still demand an exact match.
+    assert check("x", bench_gate.EXACT, 0.0, None, None) is None
+    assert "exactly" in check("x", bench_gate.EXACT, 0.0, 5, None)
+
+
+def test_null_multiworker_speedup_passes_end_to_end(dirs):
+    baseline, fresh = dirs
+    # Baseline measured on a multi-CPU box, fresh run on a 1-CPU box.
+    _doctor(baseline, "BENCH_engine.json", speedup_multiworker_cold=1.4)
+    _doctor(fresh, "BENCH_engine.json", speedup_multiworker_cold=None, cpu_count=1)
+    assert _run(baseline, fresh) == 0
 
 
 def test_lookup_dotted_paths():

@@ -81,6 +81,67 @@ def test_inspect_json_emits_the_service_schema(capsys):
     assert response["value"] == serialize(direct)
 
 
+def test_inspect_json_census_rides_along(capsys):
+    import json
+
+    live_sets = "[[0,1],[1,2],[0,2],[0,1,2]]"
+    assert main(["inspect", "--json", live_sets]) == 0
+    response = json.loads(capsys.readouterr().out)
+    census = response["census"]
+    assert census["facets"] > 0 and census["vertices"] > 0
+    assert sum(census["f_vector"]) == census["simplices"]
+    assert census["naive_bytes"] > census["interned_bytes"]
+    assert census["compression_ratio"] > 1
+    # Unfair adversaries have no R_A; the key is present but null.
+    assert main(["inspect", "--json", "[[0,1],[2]]"]) == 0
+    response = json.loads(capsys.readouterr().out)
+    assert response["ok"] is True and response["census"] is None
+
+
+def test_inspect_human_output_shows_interned_sizes(capsys):
+    assert main(["inspect", "[[0,1],[1,2],[0,2],[0,1,2]]"]) == 0
+    out = capsys.readouterr().out
+    assert "interned form" in out
+    assert "compression" in out
+
+
+def test_sweep_cli_runs_resumes_and_writes_artifact(capsys, tmp_path):
+    checkpoint = str(tmp_path / "ckpt")
+    artifact = str(tmp_path / "landscape.json")
+    base = ["sweep", "--grid", "n3-smoke", "--checkpoint-dir", checkpoint]
+    assert main(base + ["--limit", "3"]) == 2
+    assert "pending" in capsys.readouterr().out
+    # a populated checkpoint dir without --resume is refused
+    import pytest
+
+    with pytest.raises(SystemExit):
+        main(base)
+    assert main(base + ["--resume", "--output", artifact]) == 0
+    out = capsys.readouterr().out
+    assert "resumed from checkpoint: 3" in out
+    assert "wrote" in out
+    import json
+
+    doc = json.loads(open(artifact).read())
+    assert doc["format"] == "repro.sweep/landscape"
+    assert len(doc["cells"]) == 12
+
+
+def test_sweep_cli_rejects_unknown_grid(tmp_path):
+    import pytest
+
+    with pytest.raises(SystemExit, match="unknown grid"):
+        main(
+            [
+                "sweep",
+                "--grid",
+                "no-such-grid",
+                "--checkpoint-dir",
+                str(tmp_path),
+            ]
+        )
+
+
 def test_serve_and_query_round_trip(capsys):
     """`repro query` renders values fetched from a live `repro serve`."""
     import json

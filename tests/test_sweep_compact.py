@@ -1,0 +1,158 @@
+"""Tests for repro.sweep.compact — interned complexes and streaming Chr^m."""
+
+import sys
+
+import pytest
+
+from repro.sweep.compact import (
+    CompactComplex,
+    compact_census,
+    compact_chr,
+    deep_sizeof,
+    stream_chr_facets,
+)
+from repro.topology.chromatic import ChromaticComplex, standard_simplex
+from repro.topology.complex import SimplicialComplex
+from repro.topology.simplex import vertex_key
+from repro.topology.subdivision import iterated_subdivision
+
+
+# ----------------------------------------------------------------------
+# Round trips against the classic constructions
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("n,m", [(1, 0), (2, 0), (2, 1), (2, 2), (3, 1), (3, 2), (4, 1)])
+def test_compact_chr_matches_iterated_subdivision(n, m):
+    classic = iterated_subdivision(standard_simplex(n), m)
+    compact = compact_chr(n, m)
+    assert set(compact.facets()) == set(classic.facets)
+
+
+@pytest.mark.parametrize("n,m", [(2, 1), (3, 1), (3, 2)])
+def test_round_trip_through_classic_types(n, m):
+    compact = compact_chr(n, m)
+    as_simplicial = compact.to_simplicial()
+    assert isinstance(as_simplicial, SimplicialComplex)
+    as_chromatic = compact.to_chromatic()
+    assert isinstance(as_chromatic, ChromaticComplex)
+    assert CompactComplex.from_complex(as_simplicial) == compact
+    assert CompactComplex.from_complex(as_chromatic) == compact
+
+
+def test_from_complex_accepts_both_classic_types():
+    classic = iterated_subdivision(standard_simplex(3), 1)
+    via_chromatic = CompactComplex.from_complex(classic)
+    via_simplicial = CompactComplex.from_complex(classic.complex)
+    assert via_chromatic == via_simplicial
+
+
+# ----------------------------------------------------------------------
+# Canonical layout
+# ----------------------------------------------------------------------
+def test_ids_follow_vertex_key_order():
+    compact = compact_chr(3, 1)
+    table = compact.vertex_table
+    assert table == sorted(table, key=vertex_key)
+    assert [compact.id_of(v) for v in table] == list(range(len(table)))
+
+
+def test_layout_is_input_order_independent():
+    facets = list(stream_chr_facets(standard_simplex(3).facets, 1))
+    forward = CompactComplex.from_facets(facets)
+    backward = CompactComplex.from_facets(reversed(facets))
+    assert forward.vertex_table == backward.vertex_table
+    assert list(forward.facet_ids()) == list(backward.facet_ids())
+
+
+def test_facet_ids_are_sorted_and_strided():
+    compact = compact_chr(3, 1)
+    ids = list(compact.facet_ids())
+    assert ids == sorted(ids, key=lambda t: (len(t), t))
+    assert all(tuple(sorted(t)) == t for t in ids)
+    assert len(ids) == compact.n_facets == len(compact)
+
+
+def test_non_maximal_candidates_are_absorbed():
+    a, b, c = ("a", 0), ("b", 1), ("c", 2)
+    compact = CompactComplex.from_facets([[a, b, c], [a, b], [c], [a, b, c]])
+    assert compact.n_facets == 1
+    assert next(iter(compact.facets())) == frozenset({a, b, c})
+    classic = SimplicialComplex([[a, b, c], [a, b], [c]])
+    assert set(compact.facets()) == set(classic.facets)
+
+
+def test_empty_complex():
+    compact = CompactComplex.from_facets([])
+    assert compact.n_facets == 0
+    assert compact.n_vertices == 0
+    assert compact.dimension == -1
+    assert compact.f_vector() == []
+    assert compact.n_simplices() == 0
+
+
+# ----------------------------------------------------------------------
+# Streaming subdivision
+# ----------------------------------------------------------------------
+def test_stream_chr_facets_depth_zero_is_identity():
+    base = standard_simplex(3)
+    assert set(stream_chr_facets(base.facets, 0)) == set(base.facets)
+
+
+def test_stream_chr_facets_rejects_negative_depth():
+    with pytest.raises(ValueError):
+        list(stream_chr_facets(standard_simplex(2).facets, -1))
+
+
+def test_stream_chr_facets_counts_follow_fubini():
+    # facets of Chr^1 s for n processes = Fubini(n) ordered set partitions
+    base4 = standard_simplex(4)
+    assert sum(1 for _ in stream_chr_facets(base4.facets, 1)) == 75
+    base3 = standard_simplex(3)
+    assert sum(1 for _ in stream_chr_facets(base3.facets, 2)) == 13 * 13
+
+
+def test_stream_is_lazy():
+    # Pulling a prefix must not exhaust the generator's work up front.
+    stream = stream_chr_facets(standard_simplex(4).facets, 2)
+    first = next(stream)
+    assert len(first) == 4
+
+
+# ----------------------------------------------------------------------
+# Census and memory accounting
+# ----------------------------------------------------------------------
+def test_f_vector_matches_classic_closure():
+    classic = iterated_subdivision(standard_simplex(3), 2)
+    compact = CompactComplex.from_complex(classic)
+    by_dim = {}
+    for simplex in classic.simplices:
+        by_dim[len(simplex) - 1] = by_dim.get(len(simplex) - 1, 0) + 1
+    assert compact.f_vector() == [by_dim[d] for d in sorted(by_dim)]
+    assert compact.n_simplices() == len(classic.simplices)
+
+
+def test_deep_sizeof_counts_shared_objects_once():
+    shared = tuple(range(50))
+    assert deep_sizeof([shared, shared]) < 2 * deep_sizeof([shared])
+
+
+def test_deep_sizeof_exceeds_shallow_for_containers():
+    nested = [frozenset({(1, 2), (3, 4)})]
+    assert deep_sizeof(nested) > sys.getsizeof(nested)
+
+
+def test_compact_census_reports_compression():
+    classic = iterated_subdivision(standard_simplex(3), 2)
+    census = compact_census(classic)
+    assert census["vertices"] == len(classic.vertices)
+    assert census["facets"] == len(classic.facets)
+    assert census["simplices"] == len(classic.simplices)
+    assert census["dimension"] == 2
+    assert sum(census["f_vector"]) == census["simplices"]
+    assert census["naive_bytes"] > census["interned_bytes"] > 0
+    assert census["compression_ratio"] > 1
+
+
+def test_memory_bytes_is_positive_and_smaller_than_naive():
+    classic = iterated_subdivision(standard_simplex(3), 1)
+    compact = CompactComplex.from_complex(classic)
+    assert 0 < compact.memory_bytes() < deep_sizeof(frozenset(classic.simplices))

@@ -67,6 +67,17 @@ RULES: Dict[str, List[Tuple[str, str, float]]] = {
         ("workload.solvability_queries", EXACT, 0.0),
         ("artifacts_cached", EXACT, 0.0),
         ("speedup_warm_cache", MIN_RATIO, 0.75),
+        ("speedup_multiworker_cold", MIN_RATIO, 0.75),
+    ],
+    "BENCH_landscape.json": [
+        ("workload.grid_cells", EXACT, 0.0),
+        ("workload.adversaries", EXACT, 0.0),
+        ("verdicts.solvable", EXACT, 0.0),
+        ("verdicts.unsolvable", EXACT, 0.0),
+        ("verdicts.budget", EXACT, 0.0),
+        ("resume.recomputed_cells", EXACT, 0.0),
+        ("compact_vs_naive_memory_ratio", MIN_RATIO, 0.75),
+        ("resume_overhead_ratio", MAX_RATIO, 10.0),
     ],
     "BENCH_service.json": [
         ("requests_total", EXACT, 0.0),
@@ -118,7 +129,16 @@ def lookup(data: Dict[str, Any], path: str) -> Any:
 def check_metric(
     path: str, kind: str, tolerance: float, baseline: Any, fresh: Any
 ) -> Optional[str]:
-    """``None`` when within tolerance, else a human-readable diff line."""
+    """``None`` when within tolerance, else a human-readable diff line.
+
+    Ratio metrics may legitimately be ``null`` on either side: a
+    benchmark records ``null`` when its environment cannot produce the
+    measurement (e.g. multiworker scaling on a single-CPU box).  A
+    null on either end of a ratio comparison is "skipped (environment)",
+    never a regression — the environments differ, so there is nothing
+    to compare.  Parity metrics get no such out: a null there must
+    match the baseline exactly like any other value.
+    """
     if kind == EXACT:
         if fresh != baseline:
             return (
@@ -126,6 +146,8 @@ def check_metric(
                 "(parity metric — deterministic, any drift is a bug)"
             )
         return None
+    if baseline is None or fresh is None:
+        return None  # skipped (environment): no comparable measurement
     try:
         baseline_value = float(baseline)
         fresh_value = float(fresh)
