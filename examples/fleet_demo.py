@@ -1,0 +1,211 @@
+"""End-to-end fleet demo — and the CI fleet smoke test.
+
+Starts ``python -m repro fleet --shards 2 --replicas 1`` as a real
+subprocess (two shard subprocesses + router + cert-verifying edge
+replica), then proves the fleet's load-bearing guarantees over the
+wire:
+
+* a mixed burst through the router returns values byte-identical to a
+  direct engine call, with admission accounting visible in stats;
+* a certificate served by the edge replica carries ``verified: true``
+  and equals the shard's bytes;
+* a doctored certificate (via a tampering shard proxy in front of one
+  real shard) is **rejected at the edge** with the typed
+  ``verification_failed`` error;
+* SIGTERM drains the whole fleet front-to-back and exits 0.
+
+Run from the repository root::
+
+    PYTHONPATH=src python examples/fleet_demo.py
+
+Exits non-zero on any failure, so CI can use it as a smoke gate.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import re
+import signal
+import subprocess
+import sys
+import threading
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.engine import JobSpec, serialize  # noqa: E402
+from repro.adversaries import t_resilience_alpha  # noqa: E402
+from repro.core import r_affine  # noqa: E402
+from repro.fleet import (  # noqa: E402
+    EdgeReplica,
+    TamperingShardProxy,
+    fixed_service_time_mix,
+    run_load,
+)
+from repro.service import ServiceClient, ServiceError  # noqa: E402
+from repro.tasks.set_consensus import set_consensus_task  # noqa: E402
+
+ANNOUNCE = re.compile(
+    r"repro fleet listening router=([\w.\-]+):(\d+) "
+    r"replicas=([\w.\-]+):(\d+)\S* shards=(\S+)"
+)
+
+
+def main() -> int:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "fleet",
+            "--shards",
+            "2",
+            "--replicas",
+            "1",
+            "--port",
+            "0",
+            "--memcache-size",
+            "128",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    try:
+        while True:
+            announce = process.stdout.readline()
+            assert announce, "fleet exited before announcing"
+            match = ANNOUNCE.search(announce)
+            if match:
+                break
+        print(announce.strip())
+        router_port = int(match.group(2))
+        replica_host, replica_port = match.group(3), int(match.group(4))
+        shard_addresses = [
+            (host, int(port))
+            for host, _, port in (
+                address.partition(":")
+                for address in match.group(5).split(",")
+            )
+        ]
+        assert len(shard_addresses) == 2, shard_addresses
+
+        # -- mixed burst through the router -----------------------------
+        with ServiceClient(port=router_port) as client:
+            assert client.ping()
+            chr1 = client.chr(3, 1)
+            assert len(chr1.facets) == 13
+            response = client.query_response("chr", (3, 1))
+            direct = serialize(JobSpec("chr", (3, 1)).run())
+            assert response["value"] == direct
+            print("router byte-identical: ok")
+
+        report = run_load(
+            "127.0.0.1",
+            router_port,
+            fixed_service_time_mix(24, 0.02, salt="fleet-demo")
+            + [("chr", (2, depth)) for depth in (1, 2)],
+            clients=6,
+            priority="batch",
+        )
+        assert report.errors == 0, report.error_codes
+        print(
+            f"mixed burst: {report.ok} queries, "
+            f"{report.rps:.0f} rps, p99 {report.p99_ms:.0f} ms"
+        )
+        with ServiceClient(port=router_port) as client:
+            stats = client.stats()
+            assert stats["server"]["role"] == "router"
+            assert stats["admission"]["admitted_total"] >= report.ok
+            lanes = stats["metrics"]["counters"]
+            assert lanes.get("lane_batch_total", 0) >= 24
+            print(
+                "admission accounting: "
+                f"admitted={stats['admission']['admitted_total']} "
+                f"batch_lane={lanes.get('lane_batch_total', 0)}"
+            )
+
+        # -- verified certificates from the edge replica ----------------
+        affine = r_affine(t_resilience_alpha(3, 1))
+        task = set_consensus_task(3, 2)
+        with ServiceClient(replica_host, replica_port) as client:
+            response = client.query_response("certify", (affine, task, None))
+            assert response["verified"] is True
+            cert = client.certify(affine, task)
+            assert cert["kind"] == "solvable"
+            report_dict = client.check(cert)
+            assert report_dict["valid"]
+        with ServiceClient(*shard_addresses[0]) as shard_client:
+            shard_response = shard_client.query_response(
+                "certify", (affine, task, None)
+            )
+        assert response["value"] == shard_response["value"]
+        print("edge certificate: verified, byte-identical to shard")
+
+        # -- a doctored certificate is rejected at the edge -------------
+        async def doctored_scenario() -> int:
+            proxy = await TamperingShardProxy(shard_addresses[0]).start()
+            try:
+                replica = EdgeReplica([(proxy.host, proxy.port)])
+                await replica.start()
+                try:
+                    done = asyncio.get_running_loop().run_in_executor(
+                        None, _expect_rejection, replica.port, affine, task
+                    )
+                    await done
+                finally:
+                    await replica.drain()
+            finally:
+                await proxy.close()
+            return proxy.tampered
+
+        def _expect_rejection(port, affine, task):
+            with ServiceClient(port=port, retries=0) as client:
+                try:
+                    client.certify(affine, task)
+                except ServiceError as exc:
+                    assert exc.code == "verification_failed", exc.code
+                    return
+            raise AssertionError("doctored certificate was not rejected")
+
+        tampered = asyncio.run(doctored_scenario())
+        assert tampered == 1, tampered
+        print("doctored certificate: rejected at the edge")
+
+        # -- graceful fleet drain under SIGTERM -------------------------
+        outcome = {}
+
+        def slow_query():
+            with ServiceClient(port=router_port) as draining_client:
+                outcome["value"] = draining_client.query(
+                    "sleep", (1.0, "fleet-drained")
+                )
+
+        worker = threading.Thread(target=slow_query)
+        worker.start()
+        import time
+
+        time.sleep(0.4)
+        process.send_signal(signal.SIGTERM)
+        output, _ = process.communicate(timeout=120)
+        worker.join(timeout=60)
+        assert outcome.get("value") == "fleet-drained", outcome
+        assert process.returncode == 0, process.returncode
+        assert "drained cleanly" in output
+        print("graceful fleet drain: ok (exit 0, in-flight request served)")
+    finally:
+        if process.poll() is None:
+            process.kill()
+    print("fleet demo passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

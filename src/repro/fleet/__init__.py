@@ -1,0 +1,98 @@
+"""The sharded service fleet: router, shards, cert-verified replicas.
+
+``repro.fleet`` promotes the single-process query service
+(:mod:`repro.service`) to a horizontally scaled tier with an explicit
+trust boundary:
+
+* :mod:`~repro.fleet.hashring` — consistent hashing of *statement
+  digests* onto shards, so identical queries always land where their
+  coalescing window and memcache slice live;
+* :mod:`~repro.fleet.admission` — per-tenant token buckets and
+  priority lanes (``interactive`` > ``batch`` > ``sweep``), rejections
+  surfaced as the protocol's existing typed ``overloaded`` error;
+* :mod:`~repro.fleet.router` — the front door: admission, routing,
+  failover and ring re-hash when a shard drains;
+* :mod:`~repro.fleet.replica` — edge replicas that serve certificates
+  but validate every one with the independent stdlib-only checker
+  before returning it (verify, never trust), re-routing around shards
+  that produce bad certificates;
+* :mod:`~repro.fleet.shards` — registration handshake (protocol
+  version + memcache sanity check) and pipelined upstream links;
+* :mod:`~repro.fleet.launcher` — shard subprocesses, background
+  harnesses and the ``repro fleet`` supervisor;
+* :mod:`~repro.fleet.loadgen` — the deterministic load generator
+  behind ``repro loadgen`` and ``BENCH_fleet.json``;
+* :mod:`~repro.fleet.chaos` — adversarial doubles (a certificate-
+  doctoring shard proxy) that keep the trust model honest.
+
+Entry points: ``python -m repro fleet`` and ``python -m repro loadgen``.
+See ``docs/fleet.md`` for the topology and trust model.
+"""
+
+from .admission import (
+    DEFAULT_LANE,
+    DEFAULT_TENANT,
+    LANE_CAPACITY_FRACTION,
+    AdmissionController,
+    Decision,
+    TokenBucket,
+)
+from .chaos import TamperingShardProxy, doctor_statement_digest
+from .hashring import DEFAULT_VNODES, HashRing, statement_digest
+from .launcher import (
+    BackgroundComponent,
+    FleetSupervisor,
+    ShardProcess,
+    launch_shards,
+    spawn_shard,
+    stop_shards,
+)
+from .loadgen import (
+    LoadReport,
+    chr_mix,
+    classify_mix,
+    fixed_service_time_mix,
+    run_load,
+)
+from .replica import REPLICA_KINDS, EdgeReplica
+from .router import FleetRouter
+from .shards import (
+    RegistrationError,
+    ShardDown,
+    ShardInfo,
+    ShardLink,
+    register_shard,
+)
+
+__all__ = [
+    "AdmissionController",
+    "BackgroundComponent",
+    "DEFAULT_LANE",
+    "DEFAULT_TENANT",
+    "DEFAULT_VNODES",
+    "Decision",
+    "EdgeReplica",
+    "FleetRouter",
+    "FleetSupervisor",
+    "HashRing",
+    "LANE_CAPACITY_FRACTION",
+    "LoadReport",
+    "REPLICA_KINDS",
+    "RegistrationError",
+    "ShardDown",
+    "ShardInfo",
+    "ShardLink",
+    "ShardProcess",
+    "TamperingShardProxy",
+    "TokenBucket",
+    "chr_mix",
+    "classify_mix",
+    "doctor_statement_digest",
+    "fixed_service_time_mix",
+    "launch_shards",
+    "register_shard",
+    "run_load",
+    "spawn_shard",
+    "statement_digest",
+    "stop_shards",
+]

@@ -1,0 +1,205 @@
+"""Admission control: per-tenant token buckets and priority lanes.
+
+The fleet's front door decides *before* routing whether a query may
+consume shard capacity.  Two independent mechanisms, both surfaced
+through the protocol's existing typed ``overloaded`` error so clients
+need no new failure path:
+
+* **Per-tenant token buckets** — each tenant (the request's additive
+  ``tenant`` field; absent = the shared ``"default"`` tenant) refills
+  at ``rate`` tokens/second up to ``burst``.  One admitted query costs
+  one token, so a tenant's sustained throughput is bounded at ``rate``
+  while short bursts up to ``burst`` pass untouched.
+* **Priority lanes with load shedding** — lanes are ordered
+  ``interactive > batch > sweep`` (:data:`~repro.service.protocol.
+  PRIORITIES`).  Each lane may only occupy a fraction of the router's
+  in-flight capacity: ``sweep`` is shed once the router is half full
+  and ``batch`` at three quarters, while ``interactive`` (the default
+  for unlabeled v1 traffic) may use everything.  Under overload the
+  cheap background work disappears first and interactive latency is
+  protected — strict priority, implemented as nested capacity caps so
+  no lane can starve by queueing.
+
+Time is injected (``clock``) so tests drive refill deterministically.
+All state is lock-protected: the router's event loop is single-threaded
+but stats scrapes and tests may probe from other threads.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional
+
+from ..service.protocol import PRIORITIES
+
+#: Fraction of in-flight capacity each lane may occupy, keyed by lane.
+#: ``interactive`` gets the full capacity; lower lanes are nested caps.
+LANE_CAPACITY_FRACTION: Dict[str, float] = {
+    "interactive": 1.00,
+    "batch": 0.75,
+    "sweep": 0.50,
+}
+
+#: Lane assumed when a request carries no ``priority`` field — v1
+#: clients predate lanes and must not be penalized.
+DEFAULT_LANE = "interactive"
+
+#: Tenant assumed when a request carries no ``tenant`` field.
+DEFAULT_TENANT = "default"
+
+
+class TokenBucket:
+    """A classic token bucket; not thread-safe (callers hold the lock)."""
+
+    def __init__(self, rate: float, burst: float, now: float):
+        if rate <= 0 or burst < 1:
+            raise ValueError("rate must be > 0 and burst >= 1")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.tokens = float(burst)
+        self.updated = now
+
+    def try_take(self, now: float) -> bool:
+        elapsed = max(0.0, now - self.updated)
+        self.tokens = min(self.burst, self.tokens + elapsed * self.rate)
+        self.updated = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True
+        return False
+
+
+@dataclass(frozen=True)
+class Decision:
+    """One admission verdict; ``reason`` is set only on rejection."""
+
+    admitted: bool
+    tenant: str
+    lane: str
+    reason: str = ""
+
+
+class AdmissionController:
+    """Token buckets + lane shedding in front of the router's capacity.
+
+    Parameters
+    ----------
+    max_inflight:
+        The router's total in-flight query capacity; lane caps are
+        fractions of this number.
+    rate / burst:
+        Default per-tenant refill rate (tokens/second) and bucket depth.
+    tenant_rates:
+        Optional per-tenant ``(rate, burst)`` overrides.
+    clock:
+        Monotonic time source; injected by tests.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_inflight: int = 256,
+        rate: float = 200.0,
+        burst: float = 400.0,
+        tenant_rates: Optional[Dict[str, tuple]] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        self.max_inflight = max_inflight
+        self.rate = rate
+        self.burst = burst
+        self.tenant_rates = dict(tenant_rates or {})
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._buckets: Dict[str, TokenBucket] = {}
+        self._inflight = 0
+        self._lane_inflight: Dict[str, int] = {lane: 0 for lane in PRIORITIES}
+        self.admitted_total = 0
+        self.rejected_rate: Dict[str, int] = {}
+        self.rejected_lane: Dict[str, int] = {lane: 0 for lane in PRIORITIES}
+
+    # ------------------------------------------------------------------
+    def _bucket(self, tenant: str, now: float) -> TokenBucket:
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            rate, burst = self.tenant_rates.get(tenant, (self.rate, self.burst))
+            bucket = self._buckets[tenant] = TokenBucket(rate, burst, now)
+        return bucket
+
+    def lane_capacity(self, lane: str) -> int:
+        """In-flight slots the lane may occupy (at least 1)."""
+        return max(1, int(self.max_inflight * LANE_CAPACITY_FRACTION[lane]))
+
+    # ------------------------------------------------------------------
+    def admit(
+        self, tenant: Optional[str], priority: Optional[str]
+    ) -> Decision:
+        """Admit or reject one query; admitted queries hold one slot
+        until the matching :meth:`release`."""
+        tenant = tenant if tenant else DEFAULT_TENANT
+        lane = priority if priority else DEFAULT_LANE
+        now = self.clock()
+        with self._lock:
+            if self._inflight >= self.max_inflight:
+                self.rejected_lane[lane] += 1
+                return Decision(
+                    False, tenant, lane, f"router at capacity ({self.max_inflight} in flight)"
+                )
+            if self._inflight >= self.lane_capacity(lane):
+                # The nested cap: this lane's share of the router is
+                # spoken for, even though higher lanes may still enter.
+                self.rejected_lane[lane] += 1
+                return Decision(
+                    False,
+                    tenant,
+                    lane,
+                    f"lane {lane!r} shed at {self._inflight}/"
+                    f"{self.lane_capacity(lane)} in-flight slots",
+                )
+            if not self._bucket(tenant, now).try_take(now):
+                self.rejected_rate[tenant] = (
+                    self.rejected_rate.get(tenant, 0) + 1
+                )
+                return Decision(
+                    False,
+                    tenant,
+                    lane,
+                    f"tenant {tenant!r} over its rate limit",
+                )
+            self._inflight += 1
+            self._lane_inflight[lane] += 1
+            self.admitted_total += 1
+            return Decision(True, tenant, lane)
+
+    def release(self, decision: Decision) -> None:
+        """Return the slot an admitted decision holds (idempotence is
+        the caller's responsibility — release exactly once)."""
+        if not decision.admitted:
+            return
+        with self._lock:
+            self._inflight -= 1
+            self._lane_inflight[decision.lane] -= 1
+
+    # ------------------------------------------------------------------
+    @property
+    def inflight(self) -> int:
+        with self._lock:
+            return self._inflight
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "max_inflight": self.max_inflight,
+                "inflight": self._inflight,
+                "lane_inflight": dict(self._lane_inflight),
+                "lane_capacity": {
+                    lane: self.lane_capacity(lane) for lane in PRIORITIES
+                },
+                "admitted_total": self.admitted_total,
+                "rejected_rate": dict(sorted(self.rejected_rate.items())),
+                "rejected_lane": dict(self.rejected_lane),
+                "tenants": sorted(self._buckets),
+            }

@@ -1,0 +1,335 @@
+"""Shared asyncio scaffolding for fleet nodes (router, edge replica).
+
+Routers and replicas speak the same wire surface a
+:class:`~repro.service.server.ServiceServer` does — line-delimited
+protocol v1 with the ``ping`` / ``stats`` / ``metrics`` ops answered
+locally, the same minimal HTTP shim (``/healthz`` / ``/stats`` /
+``/metrics``), the same graceful drain on SIGTERM — but their ``query``
+op *forwards* instead of computing.  :class:`FleetNode` owns everything
+except that forwarding decision, which subclasses implement in
+:meth:`_handle_query`.
+
+Keeping the surface identical is deliberate: every existing client,
+probe and dashboard works against any tier of the fleet unchanged.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import time
+from typing import Any, Dict, Optional, Set
+
+from .. import obs
+from ..service.metrics import Metrics
+from ..service.protocol import (
+    MAX_LINE_BYTES,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    Request,
+    encode_message,
+    error_response,
+    metrics_response,
+    parse_request,
+    ping_response,
+    stats_response,
+)
+
+_HTTP_METHODS = (b"GET ", b"POST ", b"HEAD ")
+
+
+class FleetNode:
+    """An asyncio line-protocol server whose queries are forwarded."""
+
+    #: Human-readable tier name, used in stats and log lines.
+    role = "fleet-node"
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        max_connections: int = 256,
+        drain_grace: float = 10.0,
+        metrics: Optional[Metrics] = None,
+    ):
+        self.host = host
+        self.port = port  # updated to the bound port after start()
+        self.max_connections = max_connections
+        self.drain_grace = drain_grace
+        self.metrics = metrics if metrics is not None else Metrics()
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._connections: Set[asyncio.StreamWriter] = set()
+        self._request_tasks: Set[asyncio.Task] = set()
+        self._draining = False
+        self._drain_task: Optional[asyncio.Task] = None
+        self._stopped: Optional[asyncio.Event] = None
+
+    # ------------------------------------------------------------------
+    # Hooks for subclasses
+    # ------------------------------------------------------------------
+    async def _handle_query(self, request: Request) -> Dict[str, Any]:
+        raise NotImplementedError
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "server": {
+                "role": self.role,
+                "host": self.host,
+                "port": self.port,
+                "protocol_version": PROTOCOL_VERSION,
+                "connections": len(self._connections),
+                "draining": self._draining,
+                "uptime_s": round(self.metrics.uptime(), 3),
+            },
+            "metrics": self.metrics.snapshot(),
+        }
+
+    async def _on_start(self) -> None:
+        """Subclass hook run after the listener binds."""
+
+    async def _on_drain(self) -> None:
+        """Subclass hook run while draining, before connections close."""
+
+    # ------------------------------------------------------------------
+    # Lifecycle (mirrors ServiceServer)
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        self._stopped = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._on_connection,
+            host=self.host,
+            port=self.port,
+            limit=MAX_LINE_BYTES,
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        await self._on_start()
+
+    async def wait_stopped(self) -> None:
+        assert self._stopped is not None, f"{self.role} not started"
+        await self._stopped.wait()
+
+    def request_drain(self) -> None:
+        if self._drain_task is None:
+            self._drain_task = asyncio.get_running_loop().create_task(
+                self.drain()
+            )
+
+    async def drain(self) -> None:
+        if self._draining:
+            await self.wait_stopped()
+            return
+        self._draining = True
+        self.metrics.inc("drains_total")
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        pending = [task for task in self._request_tasks if not task.done()]
+        if pending:
+            _, still_pending = await asyncio.wait(
+                pending, timeout=self.drain_grace
+            )
+            for task in still_pending:
+                task.cancel()
+        await self._on_drain()
+        for writer in list(self._connections):
+            writer.close()
+        self._stopped.set()
+
+    async def run(self, *, handle_signals: bool = True) -> None:
+        await self.start()
+        if handle_signals:
+            loop = asyncio.get_running_loop()
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    loop.add_signal_handler(signum, self.request_drain)
+                except NotImplementedError:  # pragma: no cover - non-POSIX
+                    pass
+        await self.wait_stopped()
+
+    # ------------------------------------------------------------------
+    # Connections (mirrors ServiceServer)
+    # ------------------------------------------------------------------
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        if self._draining:
+            writer.close()
+            return
+        self.metrics.inc("connections_total")
+        if len(self._connections) >= self.max_connections:
+            self.metrics.inc("errors_overloaded_total")
+            await self._write(
+                writer,
+                asyncio.Lock(),
+                error_response(None, "overloaded", "connection limit reached"),
+            )
+            writer.close()
+            return
+        self._connections.add(writer)
+        write_lock = asyncio.Lock()
+        first = True
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ValueError, asyncio.LimitOverrunError):
+                    self.metrics.inc("errors_bad_request_total")
+                    await self._write(
+                        writer,
+                        write_lock,
+                        error_response(
+                            None,
+                            "bad_request",
+                            f"request line exceeds {MAX_LINE_BYTES} bytes",
+                        ),
+                    )
+                    break
+                if not line:
+                    break
+                if first and line.startswith(_HTTP_METHODS):
+                    await self._handle_http(line, reader, writer)
+                    break
+                first = False
+                if not line.strip():
+                    continue
+                task = asyncio.create_task(
+                    self._serve_line(line, writer, write_lock)
+                )
+                self._request_tasks.add(task)
+                task.add_done_callback(self._request_tasks.discard)
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            self._connections.discard(writer)
+            writer.close()
+
+    async def _serve_line(
+        self,
+        line: bytes,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+    ) -> None:
+        response = await self._process_line(line)
+        try:
+            await self._write(writer, write_lock, response)
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+    async def _write(
+        self,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+        response: Dict[str, Any],
+    ) -> None:
+        text = encode_message(response)
+        async with write_lock:
+            writer.write(text.encode("utf-8") + b"\n")
+            await writer.drain()
+
+    # ------------------------------------------------------------------
+    # Request processing
+    # ------------------------------------------------------------------
+    async def _process_line(self, line: bytes) -> Dict[str, Any]:
+        started = time.perf_counter()
+        self.metrics.inc("requests_total")
+        try:
+            request = parse_request(line.decode("utf-8", errors="replace"))
+        except ProtocolError as exc:
+            self.metrics.inc(f"errors_{exc.code}_total")
+            return error_response(None, exc.code, exc.message)
+        self.metrics.inc(f"op_{request.op}_total")
+        try:
+            if request.op == "ping":
+                response = ping_response(request.id)
+            elif request.op == "stats":
+                response = stats_response(request.id, self.stats())
+            elif request.op == "metrics":
+                response = metrics_response(
+                    request.id, self.metrics.render_text()
+                )
+            else:
+                if self._draining:
+                    raise ProtocolError(
+                        "shutting_down", f"{self.role} is draining"
+                    )
+                response = await self._handle_query(request)
+        except ProtocolError as exc:
+            response = error_response(request.id, exc.code, exc.message)
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # never let a request kill the loop
+            response = error_response(
+                request.id, "internal", f"{type(exc).__name__}: {exc}"
+            )
+        if not response["ok"]:
+            self.metrics.inc(f"errors_{response['error']['code']}_total")
+        else:
+            self.metrics.inc("responses_ok_total")
+        self.metrics.observe("request", time.perf_counter() - started)
+        return response
+
+    # ------------------------------------------------------------------
+    # HTTP shim (mirrors ServiceServer)
+    # ------------------------------------------------------------------
+    def _healthz(self) -> Dict[str, Any]:
+        return {
+            "status": "draining" if self._draining else "ok",
+            "role": self.role,
+            "protocol_version": PROTOCOL_VERSION,
+        }
+
+    async def _handle_http(
+        self,
+        first_line: bytes,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        self.metrics.inc("http_requests_total")
+        try:
+            method, path, _ = first_line.decode("ascii").split(" ", 2)
+        except ValueError:
+            method, path = "GET", "/"
+        content_length = 0
+        while True:
+            header = await reader.readline()
+            if header in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = header.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    content_length = int(value.strip())
+                except ValueError:
+                    content_length = 0
+        status, content_type, body = "404 Not Found", "text/plain", "not found\n"
+        if method in ("GET", "HEAD") and path == "/metrics":
+            status, body = "200 OK", self.metrics.render_text()
+        elif method in ("GET", "HEAD") and path == "/stats":
+            status, content_type = "200 OK", "application/json"
+            body = json.dumps(self.stats(), sort_keys=True) + "\n"
+        elif method in ("GET", "HEAD") and path == "/healthz":
+            status, content_type = "200 OK", "application/json"
+            body = json.dumps(self._healthz(), sort_keys=True) + "\n"
+        elif method == "POST" and path == "/query":
+            raw = await reader.readexactly(min(content_length, MAX_LINE_BYTES))
+            response = await self._process_line(raw)
+            status, content_type = "200 OK", "application/json"
+            body = encode_message(response) + "\n"
+        payload = b"" if method == "HEAD" else body.encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status}\r\n"
+            f"Content-Type: {content_type}; charset=utf-8\r\n"
+            f"Content-Length: {len(body.encode('utf-8'))}\r\n"
+            f"Connection: close\r\n\r\n"
+        )
+        try:
+            writer.write(head.encode("ascii") + payload)
+            await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+
+# Re-exported for subclasses' span usage; keeps fleet modules importing
+# obs through one place so the NOOP fast path stays a single check.
+span = obs.span

@@ -1,0 +1,140 @@
+"""Adversarial test doubles: a shard proxy that doctors certificates.
+
+The fleet's trust model — *replicas verify, never trust* — is only
+worth committing to if the repository can demonstrate it against a
+genuinely dishonest shard.  :class:`TamperingShardProxy` is that shard:
+it forwards every request to a real upstream shard verbatim, but
+rewrites the ``value`` of successful ``certify`` responses before
+relaying them (default doctoring: overwrite the statement's claimed
+task digest, which breaks the witness-to-statement binding the
+independent checker recomputes).  Everything else — ping, stats,
+registration — passes through untouched, so the proxy registers as a
+perfectly healthy shard.
+
+This mirrors the paper's own methodology: an adversary is a first-class
+object you enumerate schedules against, not an afterthought.  Tests,
+the CI fleet smoke and ``BENCH_fleet.json`` all use this proxy to pin
+the committed guarantee that a doctored certificate is rejected at the
+edge and the query re-routes to an honest shard.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from ..service.protocol import MAX_LINE_BYTES
+
+Doctor = Callable[[Dict[str, Any]], Dict[str, Any]]
+
+
+def doctor_statement_digest(cert: Dict[str, Any]) -> Dict[str, Any]:
+    """Default doctoring: forge the statement's claimed task digest."""
+    doctored = json.loads(json.dumps(cert))  # deep copy, JSON-safe
+    statement = doctored.get("statement")
+    if isinstance(statement, dict):
+        statement["task_digest"] = "0" * 64
+    return doctored
+
+
+class TamperingShardProxy:
+    """A wire-level man-in-the-middle shard for adversarial tests."""
+
+    def __init__(
+        self,
+        upstream: Tuple[str, int],
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        doctor: Doctor = doctor_statement_digest,
+    ):
+        self.upstream = upstream
+        self.host = host
+        self.port = port
+        self.doctor = doctor
+        self.tampered = 0
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return (self.host, self.port)
+
+    # ------------------------------------------------------------------
+    async def start(self) -> "TamperingShardProxy":
+        self._server = await asyncio.start_server(
+            self._on_connection,
+            host=self.host,
+            port=self.port,
+            limit=MAX_LINE_BYTES,
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+
+    # ------------------------------------------------------------------
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        # One upstream connection per client connection: request order
+        # is preserved, so forwarding line-by-line keeps id matching
+        # trivial even with pipelined clients.
+        try:
+            up_reader, up_writer = await asyncio.open_connection(
+                *self.upstream, limit=MAX_LINE_BYTES
+            )
+        except OSError:
+            writer.close()
+            return
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                up_writer.write(line)
+                await up_writer.drain()
+                response_line = await up_reader.readline()
+                if not response_line:
+                    break
+                writer.write(self._maybe_tamper(response_line))
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        except asyncio.CancelledError:
+            # Loop teardown while relaying; a test double has nothing
+            # to unwind, so end the connection task quietly.
+            pass
+        finally:
+            up_writer.close()
+            writer.close()
+
+    def _maybe_tamper(self, response_line: bytes) -> bytes:
+        try:
+            response = json.loads(response_line)
+        except ValueError:
+            return response_line
+        if not (
+            isinstance(response, dict)
+            and response.get("ok")
+            and response.get("kind") == "certify"
+        ):
+            return response_line
+        from ..engine.serialize import deserialize, serialize
+
+        try:
+            cert = deserialize(response["value"])
+            response["value"] = serialize(self.doctor(cert))
+        except Exception:
+            return response_line
+        self.tampered += 1
+        return (
+            json.dumps(
+                response, sort_keys=True, separators=(",", ":"),
+                ensure_ascii=True,
+            ).encode("utf-8")
+            + b"\n"
+        )

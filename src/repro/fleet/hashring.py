@@ -1,0 +1,128 @@
+"""Consistent hashing of statement digests onto server shards.
+
+The router's one invariant is *placement stability*: every query for
+the same statement must reach the same shard, because the shard tiers
+that make the service fast — in-flight coalescing and the memcache LRU
+— are shard-local.  A modulo placement would reshuffle almost every
+statement whenever a shard joins or drains; the classic consistent-hash
+ring moves only the keys owned by the departed shard.
+
+Each shard is hashed onto the ring at ``vnodes`` pseudo-random points
+(virtual nodes smooth the load split: with one point per shard the
+arc lengths, and hence the load, are wildly uneven).  A key is owned by
+the first shard point clockwise from the key's hash; the *preference
+list* continues clockwise and yields each distinct shard once, which is
+the order the router tries shards in when the owner is draining or a
+replica rejects its certificate.
+
+Keys and node positions share one hash (SHA-256 prefixes), so the ring
+is deterministic across processes — a router restart computes the same
+placement, and tests can assert ownership exactly.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, Iterable, List, Optional
+
+#: Virtual nodes per shard.  64 keeps the expected worst/best arc ratio
+#: within ~2x for small fleets while the ring stays tiny (a few KiB).
+DEFAULT_VNODES = 64
+
+
+def _point(data: str) -> int:
+    """A position on the ring: the first 8 bytes of SHA-256."""
+    return int.from_bytes(
+        hashlib.sha256(data.encode("utf-8")).digest()[:8], "big"
+    )
+
+
+def statement_digest(kind: str, payload_text: str) -> str:
+    """The routing identity of one query.
+
+    Clients serialize payloads canonically (the engine codec), so the
+    raw wire text *is* a canonical statement encoding: hashing it
+    routes value-equal queries identically without decoding them.
+    """
+    return hashlib.sha256(
+        f"repro.fleet.route:{kind}\n{payload_text}".encode("utf-8")
+    ).hexdigest()
+
+
+class HashRing:
+    """A consistent-hash ring over named shards."""
+
+    def __init__(self, nodes: Iterable[str] = (), *, vnodes: int = DEFAULT_VNODES):
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        self.vnodes = vnodes
+        self._points: List[int] = []  # sorted ring positions
+        self._owners: Dict[int, str] = {}  # position -> node id
+        self._nodes: List[str] = []
+        for node in nodes:
+            self.add(node)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+    @property
+    def nodes(self) -> List[str]:
+        """Member node ids, in insertion order."""
+        return list(self._nodes)
+
+    # ------------------------------------------------------------------
+    def add(self, node: str) -> None:
+        if node in self._nodes:
+            raise ValueError(f"node {node!r} already on the ring")
+        self._nodes.append(node)
+        for index in range(self.vnodes):
+            position = _point(f"{node}#{index}")
+            # A full-width SHA collision between distinct (node, index)
+            # pairs is out of scope; ties within one node are harmless.
+            if position in self._owners:
+                continue
+            bisect.insort(self._points, position)
+            self._owners[position] = node
+
+    def remove(self, node: str) -> None:
+        if node not in self._nodes:
+            raise ValueError(f"node {node!r} not on the ring")
+        self._nodes.remove(node)
+        keep = []
+        for position in self._points:
+            if self._owners[position] == node:
+                del self._owners[position]
+            else:
+                keep.append(position)
+        self._points = keep
+
+    # ------------------------------------------------------------------
+    def owner(self, key_digest: str) -> Optional[str]:
+        """The shard owning a statement digest (None on an empty ring)."""
+        preference = self.preference(key_digest, 1)
+        return preference[0] if preference else None
+
+    def preference(self, key_digest: str, count: Optional[int] = None) -> List[str]:
+        """Distinct shards in ring order from the key's position.
+
+        The first entry is the owner; subsequent entries are the
+        failover order.  ``count`` truncates (None = every shard).
+        """
+        if not self._points:
+            return []
+        if count is None:
+            count = len(self._nodes)
+        start = bisect.bisect_right(self._points, _point(key_digest))
+        seen: List[str] = []
+        for offset in range(len(self._points)):
+            position = self._points[(start + offset) % len(self._points)]
+            node = self._owners[position]
+            if node not in seen:
+                seen.append(node)
+                if len(seen) >= count:
+                    break
+        return seen

@@ -1,0 +1,322 @@
+"""Launching fleets: shard subprocesses, background nodes, supervisor.
+
+Shards are real ``python -m repro serve`` *processes* — separate
+interpreters, so N shards genuinely use N cores (threads would share
+one GIL and one engine dispatch bottleneck).  :func:`spawn_shard` forks
+one, waits for its stable "listening" line and returns a handle with
+the bound port; SIGTERM later triggers the server's own graceful drain.
+
+:class:`BackgroundComponent` runs any :class:`~repro.fleet.base.
+FleetNode` (router, replica) on a daemon thread with its own event
+loop — the test/bench harness idiom of
+:class:`~repro.service.background.BackgroundServer`, generalized.
+
+:class:`FleetSupervisor` is the ``repro fleet`` entry point: spawn the
+shards, start replicas and router in-process, drain everything in
+order (front door first, shards last) on SIGTERM.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import re
+import signal
+import subprocess
+import sys
+import threading
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple
+
+from .base import FleetNode
+
+_LISTENING = re.compile(r"listening on ([\w.\-]+):(\d+)")
+
+
+def _announce(text: str) -> None:
+    """Default announcer: stdout with an explicit flush, so wrappers
+    reading the fleet through a pipe see the listening line promptly."""
+    print(text, flush=True)
+
+
+def _subprocess_env() -> dict:
+    """The child environment, with this ``repro`` importable."""
+    import repro
+
+    env = dict(os.environ)
+    src_dir = str(Path(repro.__file__).resolve().parent.parent)
+    env["PYTHONPATH"] = src_dir + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return env
+
+
+class ShardProcess:
+    """One ``repro serve`` subprocess with a parsed bound address."""
+
+    def __init__(self, process: subprocess.Popen, host: str, port: int):
+        self.process = process
+        self.host = host
+        self.port = port
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return (self.host, self.port)
+
+    @property
+    def node_id(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    def terminate(self) -> None:
+        """SIGTERM: the server drains in-flight work, then exits 0."""
+        if self.process.poll() is None:
+            self.process.send_signal(signal.SIGTERM)
+
+    def wait(self, timeout: float = 30.0) -> int:
+        try:
+            return self.process.wait(timeout=timeout)
+        except subprocess.TimeoutExpired:
+            self.process.kill()
+            return self.process.wait(timeout=10.0)
+
+    def __enter__(self) -> "ShardProcess":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.terminate()
+        self.wait()
+
+
+def spawn_shard(
+    *,
+    host: str = "127.0.0.1",
+    memcache_size: int = 256,
+    jobs: int = 1,
+    no_cache: bool = True,
+    cache_dir: Optional[str] = None,
+    window_ms: float = 2.0,
+    extra_args: Sequence[str] = (),
+    start_timeout: float = 60.0,
+) -> ShardProcess:
+    """Fork one shard on an ephemeral port; returns once it listens."""
+    argv = [
+        sys.executable,
+        "-m",
+        "repro",
+        "serve",
+        "--host",
+        host,
+        "--port",
+        "0",
+        "--memcache-size",
+        str(memcache_size),
+        "--jobs",
+        str(jobs),
+        "--window-ms",
+        str(window_ms),
+    ]
+    if cache_dir is not None:
+        argv += ["--cache-dir", cache_dir]
+    elif no_cache:
+        argv += ["--no-cache"]
+    argv += list(extra_args)
+    process = subprocess.Popen(
+        argv,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=_subprocess_env(),
+    )
+    # The serve command prints its stable "listening on host:port" line
+    # first; block until it appears (or the process dies).
+    deadline_note = f"shard did not report a port within {start_timeout}s"
+    line = ""
+    try:
+        while True:
+            line = process.stdout.readline()
+            if not line:
+                raise RuntimeError(
+                    "shard exited before listening: "
+                    f"rc={process.poll()!r} last={line!r}"
+                )
+            match = _LISTENING.search(line)
+            if match:
+                return ShardProcess(
+                    process, match.group(1), int(match.group(2))
+                )
+    except Exception:
+        process.kill()
+        raise RuntimeError(deadline_note)
+
+
+def launch_shards(count: int, **options) -> List[ShardProcess]:
+    """``count`` shards; tears down the already-spawned on any failure."""
+    shards: List[ShardProcess] = []
+    try:
+        for _ in range(count):
+            shards.append(spawn_shard(**options))
+        return shards
+    except Exception:
+        for shard in shards:
+            shard.terminate()
+            shard.wait()
+        raise
+
+
+def stop_shards(shards: Sequence[ShardProcess]) -> None:
+    for shard in shards:
+        shard.terminate()
+    for shard in shards:
+        shard.wait()
+
+
+class BackgroundComponent:
+    """Run one fleet node's event loop on a daemon thread."""
+
+    def __init__(self, node: FleetNode, *, start_timeout: float = 30.0):
+        self.node = node
+        self._start_timeout = start_timeout
+        self._ready = threading.Event()
+        self._failure: Optional[BaseException] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread = threading.Thread(
+            target=self._run, name=f"repro-{node.role}", daemon=True
+        )
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as exc:  # surface startup failures
+            self._failure = exc
+            self._ready.set()
+
+    async def _main(self) -> None:
+        await self.node.start()
+        self._loop = asyncio.get_running_loop()
+        self._ready.set()
+        await self.node.wait_stopped()
+
+    def start(self) -> "BackgroundComponent":
+        self._thread.start()
+        if not self._ready.wait(self._start_timeout):
+            raise TimeoutError(f"{self.node.role} did not start in time")
+        if self._failure is not None:
+            raise RuntimeError(
+                f"{self.node.role} failed to start"
+            ) from self._failure
+        return self
+
+    @property
+    def host(self) -> str:
+        return self.node.host
+
+    @property
+    def port(self) -> int:
+        return self.node.port
+
+    def stop(self) -> None:
+        if self._loop is not None and self._thread.is_alive():
+            self._loop.call_soon_threadsafe(self.node.request_drain)
+        self._thread.join(timeout=self._start_timeout)
+
+    def __enter__(self) -> "BackgroundComponent":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+class FleetSupervisor:
+    """``repro fleet``: shards as subprocesses, router+replicas in-process.
+
+    Drain order on SIGTERM/SIGINT is front-to-back: the router and
+    replicas stop accepting and finish their in-flight forwards, then
+    the shards get SIGTERM and run their own graceful drain — so no
+    query admitted before the signal is dropped by a tier behind it.
+    """
+
+    def __init__(
+        self,
+        *,
+        shards: int = 2,
+        replicas: int = 1,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        replica_port: int = 0,
+        shard_options: Optional[dict] = None,
+        router_options: Optional[dict] = None,
+        replica_options: Optional[dict] = None,
+    ):
+        if shards < 1:
+            raise ValueError("a fleet needs at least one shard")
+        self.shard_count = shards
+        self.replica_count = replicas
+        self.host = host
+        self.port = port
+        self.replica_port = replica_port
+        self.shard_options = dict(shard_options or {})
+        self.router_options = dict(router_options or {})
+        self.replica_options = dict(replica_options or {})
+        self.shards: List[ShardProcess] = []
+        self.router = None
+        self.replicas: List = []
+
+    async def run(self, *, handle_signals: bool = True, announce=_announce) -> None:
+        from .replica import EdgeReplica
+        from .router import FleetRouter
+
+        loop = asyncio.get_running_loop()
+        self.shards = await loop.run_in_executor(
+            None, lambda: launch_shards(self.shard_count, **self.shard_options)
+        )
+        try:
+            addresses = [shard.address for shard in self.shards]
+            self.replicas = []
+            for index in range(self.replica_count):
+                replica = EdgeReplica(
+                    addresses,
+                    host=self.host,
+                    # Ephemeral unless a base port is pinned.
+                    port=(self.replica_port + index) if self.replica_port else 0,
+                    **self.replica_options,
+                )
+                await replica.start()
+                self.replicas.append(replica)
+            self.router = FleetRouter(
+                addresses,
+                host=self.host,
+                port=self.port,
+                **self.router_options,
+            )
+            await self.router.start()
+            # Stable, parseable announcement (smoke tests grep it).
+            announce(
+                "repro fleet listening "
+                f"router={self.router.host}:{self.router.port} "
+                "replicas="
+                + (
+                    ",".join(f"{r.host}:{r.port}" for r in self.replicas)
+                    or "none"
+                )
+                + " shards="
+                + ",".join(shard.node_id for shard in self.shards)
+                + f" (shards={self.shard_count}, replicas={self.replica_count})",
+            )
+            if handle_signals:
+                for signum in (signal.SIGTERM, signal.SIGINT):
+                    try:
+                        loop.add_signal_handler(signum, self.request_drain)
+                    except NotImplementedError:  # pragma: no cover
+                        pass
+            waits = [self.router.wait_stopped()] + [
+                replica.wait_stopped() for replica in self.replicas
+            ]
+            await asyncio.gather(*waits)
+        finally:
+            await loop.run_in_executor(None, lambda: stop_shards(self.shards))
+
+    def request_drain(self) -> None:
+        if self.router is not None:
+            self.router.request_drain()
+        for replica in self.replicas:
+            replica.request_drain()

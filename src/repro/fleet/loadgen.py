@@ -1,0 +1,184 @@
+"""A deterministic multi-client load generator for service/fleet tiers.
+
+``repro loadgen`` and ``BENCH_fleet.json`` share this module: a fixed
+list of ``(kind, payload)`` queries is partitioned round-robin over
+``clients`` blocking connections (real TCP, real protocol), each client
+walks its slice ``cycles`` times, and the report aggregates exact
+client-side latencies into rps / p50 / p99.
+
+Two canonical mixes ship with it:
+
+* :func:`fixed_service_time_mix` — distinct ``sleep`` jobs with a known
+  per-query service time.  Aggregate throughput on this mix measures
+  the serving architecture itself (dispatch concurrency, routing,
+  batching) independent of host CPU count: a single asyncio service
+  process is bounded by its one serial engine dispatch thread, a fleet
+  of N shard processes is not.
+* :func:`classify_mix` — distinct real adversary classifications
+  (CPU-bound), for measuring compute scaling where core count allows.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..service.client import ServiceClient
+
+Query = Tuple[str, tuple]
+
+
+def fixed_service_time_mix(
+    count: int, seconds: float, salt: str = "loadgen"
+) -> List[Query]:
+    """``count`` distinct sleep queries of ``seconds`` each.
+
+    Tokens embed the salt so two runs (or two shard-count arms of one
+    benchmark) never share cache entries.
+    """
+    return [
+        ("sleep", (seconds, f"{salt}-{index}")) for index in range(count)
+    ]
+
+
+def classify_mix(count: int, n: int = 4, seed: int = 2024) -> List[Query]:
+    """``count`` distinct adversary classifications (real CPU work)."""
+    from ..sweep.driver import sample_adversaries
+
+    return [
+        ("classify", (adversary,))
+        for adversary in sample_adversaries(n, seed, count)
+    ]
+
+
+def chr_mix(depths: Tuple[int, ...] = (1, 2)) -> List[Query]:
+    """Subdivision queries (cache-friendly; exercises large values)."""
+    return [("chr", (n, depth)) for n in (2, 3) for depth in depths]
+
+
+@dataclass
+class LoadReport:
+    """Aggregated outcome of one load run (JSON-ready via ``to_dict``)."""
+
+    queries: int
+    ok: int
+    errors: int
+    retries: int
+    wall_s: float
+    rps: float
+    p50_ms: float
+    p99_ms: float
+    mean_ms: float
+    error_codes: Dict[str, int] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "queries": self.queries,
+            "ok": self.ok,
+            "errors": self.errors,
+            "retries": self.retries,
+            "wall_s": round(self.wall_s, 4),
+            "rps": round(self.rps, 2),
+            "p50_ms": round(self.p50_ms, 3),
+            "p99_ms": round(self.p99_ms, 3),
+            "mean_ms": round(self.mean_ms, 3),
+            "error_codes": dict(sorted(self.error_codes.items())),
+        }
+
+
+def _quantile(sorted_values: List[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, int(q * len(sorted_values)))
+    return sorted_values[index]
+
+
+def run_load(
+    host: str,
+    port: int,
+    queries: List[Query],
+    *,
+    clients: int = 8,
+    cycles: int = 1,
+    timeout: float = 120.0,
+    tenant: Optional[str] = None,
+    priority: Optional[str] = None,
+    retries: int = 1,
+) -> LoadReport:
+    """Drive the queries through ``clients`` concurrent connections.
+
+    Deterministic partition: client ``i`` owns ``queries[i::clients]``
+    and walks that slice ``cycles`` times in order.  Every client
+    connects first and fires on a shared barrier, so the measured
+    window is all-load, no ramp.
+    """
+    if clients < 1 or cycles < 1:
+        raise ValueError("clients and cycles must be >= 1")
+    lock = threading.Lock()
+    latencies: List[float] = []
+    error_codes: Dict[str, int] = {}
+    retried = [0]
+    barrier = threading.Barrier(clients + 1)
+
+    def worker(index: int) -> None:
+        slice_ = queries[index::clients]
+        try:
+            client = ServiceClient(
+                host,
+                port,
+                timeout=timeout,
+                retries=retries,
+                tenant=tenant,
+                priority=priority,
+            )
+        except OSError:
+            with lock:
+                error_codes["connect"] = error_codes.get("connect", 0) + 1
+            barrier.wait(timeout=timeout)
+            return
+        with client:
+            barrier.wait(timeout=timeout)
+            for _ in range(cycles):
+                for kind, payload in slice_:
+                    started = time.perf_counter()
+                    try:
+                        client.query(kind, payload)
+                        elapsed = time.perf_counter() - started
+                        with lock:
+                            latencies.append(elapsed)
+                    except Exception as exc:
+                        code = getattr(exc, "code", type(exc).__name__)
+                        with lock:
+                            error_codes[code] = error_codes.get(code, 0) + 1
+            with lock:
+                retried[0] += client.retried
+
+    threads = [
+        threading.Thread(target=worker, args=(index,), daemon=True)
+        for index in range(clients)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait(timeout=timeout)  # release the herd; clock from here
+    started = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - started
+    latencies.sort()
+    total = len(latencies) + sum(error_codes.values())
+    return LoadReport(
+        queries=total,
+        ok=len(latencies),
+        errors=sum(error_codes.values()),
+        retries=retried[0],
+        wall_s=wall,
+        rps=len(latencies) / wall if wall > 0 else 0.0,
+        p50_ms=_quantile(latencies, 0.50) * 1000.0,
+        p99_ms=_quantile(latencies, 0.99) * 1000.0,
+        mean_ms=(sum(latencies) / len(latencies) * 1000.0)
+        if latencies
+        else 0.0,
+        error_codes=error_codes,
+    )

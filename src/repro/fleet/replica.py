@@ -1,0 +1,248 @@
+"""Edge replicas: serve certificates, verify them, never trust the wire.
+
+An :class:`EdgeReplica` is the fleet's untrusted-tier answer to scale:
+it forwards ``certify`` queries to the shard that owns the statement,
+but before returning anything it re-validates the certificate with the
+independent stdlib-only checker (:mod:`repro.certify.checker`) — the
+trusted base built in PR 3 precisely so a tier that did *not* run the
+search can still know the verdict is right.  The trust model is:
+
+* a replica **verifies, never trusts** — every certificate that leaves
+  a replica passed the checker *in the replica's own process*;
+* a shard that produces an invalid certificate is treated as faulty:
+  the incident is recorded, the query re-routes to the next shard in
+  the statement's preference order, and that answer is verified too;
+* if no shard produces a valid certificate the replica returns the
+  typed ``verification_failed`` error rather than any unverified bytes.
+
+On success the replica returns the shard's value text *byte-identical*
+(it re-serializes nothing), so replica responses remain interchangeable
+with shard and direct-engine responses.
+
+``check`` queries are answered locally — the replica owns a checker, a
+shard round-trip would add latency and subtract nothing.  All other
+kinds belong on the router; the replica rejects them with
+``unknown_kind`` so a misconfigured client fails loud, not unverified.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..service.metrics import Metrics
+from ..service.protocol import (
+    ProtocolError,
+    Request,
+    query_response,
+)
+from .base import FleetNode, span
+from .hashring import DEFAULT_VNODES, HashRing, statement_digest
+from .router import MAX_INCIDENTS
+from .shards import ShardDown, ShardInfo, ShardLink, register_shard
+
+#: Query kinds a replica serves.  Everything else routes via the router.
+REPLICA_KINDS = frozenset({"certify", "check"})
+
+
+def _check_cert_text(value_text: str) -> Tuple[Dict[str, Any], str]:
+    """Decode + independently check one wire certificate (worker thread).
+
+    Returns ``(report_dict, verdict)``; decode failures count as an
+    invalid certificate (reason ``bad_format``), never an exception —
+    a doctored wire value must not crash the edge.
+    """
+    from ..certify.checker import check
+    from ..engine.serialize import deserialize
+
+    try:
+        cert = deserialize(value_text)
+    except Exception as exc:
+        return (
+            {
+                "valid": False,
+                "kind": "unknown",
+                "verdict": "invalid",
+                "reason": "bad_format",
+                "detail": f"undecodable certificate: {exc}",
+            },
+            "invalid",
+        )
+    report = check(cert)
+    return report.to_dict(), report.verdict
+
+
+class EdgeReplica(FleetNode):
+    """A cert-verified read tier in front of the shard ring."""
+
+    role = "replica"
+
+    def __init__(
+        self,
+        shard_addresses: Sequence[Tuple[str, int]],
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        vnodes: int = DEFAULT_VNODES,
+        forward_timeout: Optional[float] = None,
+        max_connections: int = 256,
+        drain_grace: float = 10.0,
+        metrics: Optional[Metrics] = None,
+    ):
+        super().__init__(
+            host,
+            port,
+            max_connections=max_connections,
+            drain_grace=drain_grace,
+            metrics=metrics,
+        )
+        if not shard_addresses:
+            raise ValueError("a replica needs at least one shard")
+        self.shard_addresses = list(shard_addresses)
+        self.forward_timeout = forward_timeout
+        self.ring = HashRing(vnodes=vnodes)
+        self.shards: Dict[str, ShardInfo] = {}
+        self._links: Dict[str, ShardLink] = {}
+        self.incidents: List[Dict[str, Any]] = []
+
+    # ------------------------------------------------------------------
+    async def _on_start(self) -> None:
+        for shard_host, shard_port in self.shard_addresses:
+            info = await register_shard(shard_host, shard_port)
+            link = await ShardLink(info).connect()
+            self.shards[info.node_id] = info
+            self._links[info.node_id] = link
+            self.ring.add(info.node_id)
+
+    async def _on_drain(self) -> None:
+        for link in self._links.values():
+            await link.close()
+
+    def _record_incident(self, node_id: str, reason: str, detail: str) -> None:
+        self.incidents.append(
+            {"kind": "bad_certificate", "shard": node_id, "reason": reason,
+             "detail": detail}
+        )
+        del self.incidents[:-MAX_INCIDENTS]
+
+    # ------------------------------------------------------------------
+    async def _handle_query(self, request: Request) -> Dict[str, Any]:
+        if request.kind == "check":
+            return await self._check_locally(request)
+        if request.kind != "certify":
+            raise ProtocolError(
+                "unknown_kind",
+                f"replicas serve certificate traffic only "
+                f"({sorted(REPLICA_KINDS)}); query the router for "
+                f"{request.kind!r}",
+            )
+        return await self._certify_verified(request)
+
+    async def _check_locally(self, request: Request) -> Dict[str, Any]:
+        """``check`` without a shard round-trip: the replica *is* a
+        checker.  Payload is ``(cert,)`` in canonical text."""
+        from ..engine.serialize import SerializationError, deserialize, serialize
+
+        loop = asyncio.get_running_loop()
+
+        def run_check() -> str:
+            from ..certify.checker import check
+
+            try:
+                payload = deserialize(request.payload_text)
+            except (SerializationError, ValueError) as exc:
+                raise ProtocolError(
+                    "bad_payload", f"undecodable payload: {exc}"
+                )
+            if not isinstance(payload, tuple) or len(payload) != 1:
+                raise ProtocolError(
+                    "bad_payload", "check payload must be a 1-tuple (cert,)"
+                )
+            return serialize(check(payload[0]).to_dict())
+
+        value_text = await loop.run_in_executor(None, run_check)
+        self.metrics.inc("local_checks_total")
+        return query_response(request.id, "check", value_text)
+
+    async def _certify_verified(self, request: Request) -> Dict[str, Any]:
+        key = statement_digest(request.kind, request.payload_text)
+        fields: Dict[str, Any] = {
+            "op": "query",
+            "kind": "certify",
+            "payload": request.payload_text,
+        }
+        if request.timeout is not None:
+            fields["timeout"] = request.timeout
+        if request.tenant is not None:
+            fields["tenant"] = request.tenant
+        if request.priority is not None:
+            fields["priority"] = request.priority
+        loop = asyncio.get_running_loop()
+        rejections = 0
+        for node_id in self.ring.preference(key):
+            link = self._links.get(node_id)
+            if link is None or link.down:
+                continue
+            try:
+                if self.forward_timeout is not None:
+                    response = await asyncio.wait_for(
+                        link.request(fields), self.forward_timeout
+                    )
+                else:
+                    response = await link.request(fields)
+            except ShardDown:
+                continue
+            except asyncio.TimeoutError:
+                raise ProtocolError(
+                    "timeout",
+                    f"shard {node_id} exceeded the replica's "
+                    f"{self.forward_timeout}s forward timeout",
+                )
+            if not response.get("ok"):
+                code = (response.get("error") or {}).get("code")
+                if code in ("shutting_down", "overloaded"):
+                    continue  # try the next shard
+                response["id"] = request.id
+                return response  # a typed per-request error; pass through
+            with span("fleet.verify", shard=node_id) as verify_span:
+                report, verdict = await loop.run_in_executor(
+                    None, _check_cert_text, response.get("value", "")
+                )
+                verify_span.set_attr("valid", report["valid"])
+                verify_span.set_attr("verdict", verdict)
+            if report["valid"]:
+                self.metrics.inc("certs_verified_total")
+                if rejections:
+                    self.metrics.inc("certs_rerouted_total")
+                response["id"] = request.id
+                # ``verified`` is an additive response field: proof the
+                # edge ran the checker, ignored by older clients.
+                response["verified"] = True
+                return response
+            rejections += 1
+            self.metrics.inc("certs_rejected_total")
+            self._record_incident(
+                node_id, report.get("reason", "invalid"),
+                report.get("detail", ""),
+            )
+        if rejections:
+            raise ProtocolError(
+                "verification_failed",
+                f"no shard produced a certificate the edge checker "
+                f"accepts ({rejections} rejected)",
+            )
+        raise ProtocolError(
+            "shutting_down", "no shard available for this statement"
+        )
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        stats = super().stats()
+        stats["fleet"] = {
+            "shards": sorted(self.shards),
+            "ring_nodes": sorted(self.ring.nodes),
+            "incidents": list(self.incidents),
+            "certs_verified": self.metrics.counter("certs_verified_total"),
+            "certs_rejected": self.metrics.counter("certs_rejected_total"),
+        }
+        return stats

@@ -1,0 +1,242 @@
+"""The fleet's front door: admission control + consistent-hash routing.
+
+A :class:`FleetRouter` accepts ordinary protocol-v1 connections and
+forwards each ``query`` to the shard that owns its statement digest
+(:func:`~repro.fleet.hashring.statement_digest` over the kind and the
+canonical payload text — no decoding on the hot path).  Placement
+stability is the point: identical statements always land on the same
+shard, so shard-local in-flight coalescing still collapses duplicate
+bursts and each shard's memcache slice stays hot for exactly the
+statements it owns.
+
+Before routing, every query passes the
+:class:`~repro.fleet.admission.AdmissionController`: per-tenant token
+buckets and priority-lane shedding, rejections surfaced as the typed
+``overloaded`` error clients already understand (and now retry once
+with backoff).
+
+Failover: a shard that answers ``shutting_down`` or whose link drops is
+*retired* — removed from the ring, its keys re-hashed onto the
+survivors — and the query is retried on the next shard in the key's
+preference order.  A shard-side ``overloaded`` answer tries the next
+shard too, but does not retire the owner (the condition is transient
+and placement stability is worth returning for).  Every routing
+decision is an ``fleet.route`` span; admissions are ``fleet.admit``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..service.metrics import Metrics
+from ..service.protocol import ProtocolError, Request
+from .admission import AdmissionController
+from .base import FleetNode, span
+from .hashring import DEFAULT_VNODES, HashRing, statement_digest
+from .shards import RegistrationError, ShardDown, ShardInfo, ShardLink, register_shard
+
+#: Incidents kept for the stats op (oldest dropped first).
+MAX_INCIDENTS = 64
+
+
+class FleetRouter(FleetNode):
+    """Stateless-per-query front tier over registered server shards."""
+
+    role = "router"
+
+    def __init__(
+        self,
+        shard_addresses: Sequence[Tuple[str, int]],
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        admission: Optional[AdmissionController] = None,
+        vnodes: int = DEFAULT_VNODES,
+        forward_timeout: Optional[float] = None,
+        max_connections: int = 256,
+        drain_grace: float = 10.0,
+        metrics: Optional[Metrics] = None,
+    ):
+        super().__init__(
+            host,
+            port,
+            max_connections=max_connections,
+            drain_grace=drain_grace,
+            metrics=metrics,
+        )
+        if not shard_addresses:
+            raise ValueError("a router needs at least one shard")
+        self.shard_addresses = list(shard_addresses)
+        self.admission = (
+            admission if admission is not None else AdmissionController()
+        )
+        self.forward_timeout = forward_timeout
+        self.ring = HashRing(vnodes=vnodes)
+        self.shards: Dict[str, ShardInfo] = {}
+        self._links: Dict[str, ShardLink] = {}
+        self.incidents: List[Dict[str, Any]] = []
+        self.rehashes = 0
+
+    # ------------------------------------------------------------------
+    # Shard membership
+    # ------------------------------------------------------------------
+    async def _on_start(self) -> None:
+        for shard_host, shard_port in self.shard_addresses:
+            await self.add_shard(shard_host, shard_port)
+
+    async def add_shard(self, shard_host: str, shard_port: int) -> ShardInfo:
+        """Register, link and ring-insert one shard (startup or later).
+
+        Raises :class:`RegistrationError` when the shard fails the
+        protocol-version / memcache sanity check.
+        """
+        info = await register_shard(shard_host, shard_port)
+        link = await ShardLink(info).connect()
+        self.shards[info.node_id] = info
+        self._links[info.node_id] = link
+        self.ring.add(info.node_id)
+        self.metrics.inc("shards_registered_total")
+        return info
+
+    def _retire(self, node_id: str, reason: str) -> None:
+        """Drop a shard from the ring; its keys re-hash to survivors."""
+        if node_id not in self.ring:
+            return
+        self.ring.remove(node_id)
+        self.rehashes += 1
+        self.metrics.inc("shard_rehashes_total")
+        self._record_incident("shard_retired", node_id, reason)
+        link = self._links.get(node_id)
+        if link is not None:
+            task = asyncio.get_running_loop().create_task(link.close())
+            self._request_tasks.add(task)
+            task.add_done_callback(self._request_tasks.discard)
+
+    def _record_incident(self, kind: str, node_id: str, detail: str) -> None:
+        self.incidents.append(
+            {"kind": kind, "shard": node_id, "detail": detail}
+        )
+        del self.incidents[:-MAX_INCIDENTS]
+
+    # ------------------------------------------------------------------
+    # Query path
+    # ------------------------------------------------------------------
+    async def _handle_query(self, request: Request) -> Dict[str, Any]:
+        with span("fleet.admit") as admit_span:
+            decision = self.admission.admit(request.tenant, request.priority)
+            admit_span.set_attr("tenant", decision.tenant)
+            admit_span.set_attr("lane", decision.lane)
+            admit_span.set_attr("admitted", decision.admitted)
+        if not decision.admitted:
+            self.metrics.inc("admission_rejected_total")
+            self.metrics.inc(f"admission_rejected_{decision.lane}_total")
+            raise ProtocolError("overloaded", decision.reason)
+        self.metrics.inc(f"lane_{decision.lane}_total")
+        try:
+            return await self._route(request)
+        finally:
+            self.admission.release(decision)
+
+    def _forward_fields(self, request: Request) -> Dict[str, Any]:
+        fields: Dict[str, Any] = {
+            "op": "query",
+            "kind": request.kind,
+            "payload": request.payload_text,
+        }
+        if request.timeout is not None:
+            fields["timeout"] = request.timeout
+        if request.tenant is not None:
+            fields["tenant"] = request.tenant
+        if request.priority is not None:
+            fields["priority"] = request.priority
+        return fields
+
+    async def _route(self, request: Request) -> Dict[str, Any]:
+        key = statement_digest(request.kind, request.payload_text)
+        fields = self._forward_fields(request)
+        with span("fleet.route", kind=request.kind) as route_span:
+            attempts = 0
+            preference = self.ring.preference(key)
+            route_span.set_attr("owner", preference[0] if preference else None)
+            for node_id in preference:
+                link = self._links.get(node_id)
+                if link is None or link.down:
+                    self._retire(node_id, "link down")
+                    continue
+                attempts += 1
+                try:
+                    if self.forward_timeout is not None:
+                        response = await asyncio.wait_for(
+                            link.request(fields), self.forward_timeout
+                        )
+                    else:
+                        response = await link.request(fields)
+                except ShardDown:
+                    self._retire(node_id, "link closed mid-request")
+                    continue
+                except asyncio.TimeoutError:
+                    raise ProtocolError(
+                        "timeout",
+                        f"shard {node_id} exceeded the router's "
+                        f"{self.forward_timeout}s forward timeout",
+                    )
+                code = (
+                    (response.get("error") or {}).get("code")
+                    if not response.get("ok")
+                    else None
+                )
+                if code == "shutting_down":
+                    self._retire(node_id, "announced shutting_down")
+                    continue
+                if code == "overloaded":
+                    # Transient: spill to the next preference without
+                    # re-hashing the owner away.
+                    self.metrics.inc("shard_overloaded_spills_total")
+                    self._record_incident(
+                        "shard_overloaded", node_id, "spilled to next shard"
+                    )
+                    continue
+                route_span.set_attr("shard", node_id)
+                route_span.set_attr("attempts", attempts)
+                if attempts > 1:
+                    self.metrics.inc("rerouted_queries_total")
+                self.metrics.inc("forwarded_queries_total")
+                response["id"] = request.id
+                return response
+            route_span.set_attr("failed", True)
+            raise ProtocolError(
+                "shutting_down",
+                "no shard available for this statement "
+                f"(tried {attempts} of {len(self.shards)} registered)",
+            )
+
+    # ------------------------------------------------------------------
+    async def _on_drain(self) -> None:
+        for link in self._links.values():
+            await link.close()
+
+    def stats(self) -> Dict[str, Any]:
+        stats = super().stats()
+        stats["fleet"] = {
+            "shards": {
+                node_id: {
+                    "live": node_id in self.ring,
+                    "memcache_capacity": info.memcache_capacity,
+                }
+                for node_id, info in sorted(self.shards.items())
+            },
+            "ring_nodes": sorted(self.ring.nodes),
+            "rehashes": self.rehashes,
+            "incidents": list(self.incidents),
+        }
+        stats["admission"] = self.admission.stats()
+        return stats
+
+
+__all__ = [
+    "FleetRouter",
+    "MAX_INCIDENTS",
+    "RegistrationError",
+    "ShardInfo",
+]

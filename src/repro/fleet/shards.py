@@ -1,0 +1,193 @@
+"""Upstream shard descriptors, registration checks, pipelined links.
+
+A *shard* is an ordinary :class:`~repro.service.server.ServiceServer`
+process; the fleet talks to it over the same line protocol clients use.
+This module owns the router/replica side of that conversation:
+
+* :func:`register_shard` — the registration handshake: one ``ping``
+  plus one ``stats`` round-trip, rejecting shards whose protocol
+  version differs from ours or that report no memcache tier (a shard
+  without a resident cache slice would silently turn the fleet's
+  placement stability into pure overhead).
+* :class:`ShardLink` — one persistent connection with *pipelining*:
+  many requests in flight at once, responses matched to waiters by
+  ``id``.  The lockstep clients in :mod:`repro.service.client` would
+  serialize the router onto one upstream request at a time; the link
+  is what lets a single router connection saturate a shard.
+
+A link failure (EOF, reset) fails every pending waiter with
+:class:`ShardDown`; the router treats that exactly like a
+``shutting_down`` answer — drop the shard from the ring, re-route.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from ..service.protocol import MAX_LINE_BYTES, PROTOCOL_VERSION
+
+
+class ShardDown(ConnectionError):
+    """The shard's link died; pending and future requests must re-route."""
+
+
+class RegistrationError(RuntimeError):
+    """A shard failed the registration sanity check."""
+
+
+@dataclass(frozen=True)
+class ShardInfo:
+    """Address and registration-time facts about one shard."""
+
+    host: str
+    port: int
+    memcache_capacity: Optional[int] = None
+
+    @property
+    def node_id(self) -> str:
+        return f"{self.host}:{self.port}"
+
+
+class ShardLink:
+    """A pipelined line-protocol connection to one shard."""
+
+    def __init__(self, shard: ShardInfo):
+        self.shard = shard
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._reader_task: Optional[asyncio.Task] = None
+        self._waiters: Dict[int, asyncio.Future] = {}
+        self._next_id = 0
+        self._down = False
+
+    @property
+    def down(self) -> bool:
+        return self._down
+
+    # ------------------------------------------------------------------
+    async def connect(self) -> "ShardLink":
+        self._reader, self._writer = await asyncio.open_connection(
+            self.shard.host, self.shard.port, limit=MAX_LINE_BYTES
+        )
+        self._reader_task = asyncio.get_running_loop().create_task(
+            self._read_loop()
+        )
+        return self
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                try:
+                    response = json.loads(line)
+                except ValueError:
+                    continue
+                waiter = self._waiters.pop(response.get("id"), None)
+                if waiter is not None and not waiter.done():
+                    waiter.set_result(response)
+        except (ConnectionResetError, asyncio.CancelledError):
+            pass
+        finally:
+            self._fail_pending()
+
+    def _fail_pending(self) -> None:
+        self._down = True
+        waiters, self._waiters = self._waiters, {}
+        for waiter in waiters.values():
+            if not waiter.done():
+                waiter.set_exception(
+                    ShardDown(f"shard {self.shard.node_id} link closed")
+                )
+
+    # ------------------------------------------------------------------
+    async def request(self, fields: Dict[str, Any]) -> Dict[str, Any]:
+        """Send one request (``fields`` minus v/id) and await its
+        response.  Safe to call concurrently from many tasks."""
+        if self._down or self._writer is None:
+            raise ShardDown(f"shard {self.shard.node_id} is down")
+        self._next_id += 1
+        request_id = self._next_id
+        message = {"v": PROTOCOL_VERSION, "id": request_id}
+        message.update(fields)
+        waiter = asyncio.get_running_loop().create_future()
+        self._waiters[request_id] = waiter
+        try:
+            self._writer.write(json.dumps(message).encode("utf-8") + b"\n")
+            await self._writer.drain()
+        except (ConnectionResetError, BrokenPipeError, OSError) as exc:
+            self._waiters.pop(request_id, None)
+            self._fail_pending()
+            raise ShardDown(
+                f"shard {self.shard.node_id} write failed: {exc}"
+            )
+        return await waiter
+
+    async def close(self) -> None:
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except asyncio.CancelledError:
+                pass
+        if self._writer is not None:
+            self._writer.close()
+        self._fail_pending()
+
+
+async def register_shard(host: str, port: int) -> ShardInfo:
+    """The registration handshake; raises :class:`RegistrationError`.
+
+    One short-lived connection: ``ping`` proves the line protocol is
+    spoken, ``stats`` exposes the shard's protocol version and memcache
+    capacity (the satellite fields added for exactly this check).
+    """
+    try:
+        reader, writer = await asyncio.open_connection(
+            host, port, limit=MAX_LINE_BYTES
+        )
+    except OSError as exc:
+        raise RegistrationError(f"shard {host}:{port} unreachable: {exc}")
+    try:
+        for request_id, op in ((1, "ping"), (2, "stats")):
+            writer.write(
+                (
+                    json.dumps(
+                        {"v": PROTOCOL_VERSION, "id": request_id, "op": op}
+                    )
+                    + "\n"
+                ).encode("utf-8")
+            )
+            await writer.drain()
+            line = await reader.readline()
+            if not line:
+                raise RegistrationError(
+                    f"shard {host}:{port} closed during registration"
+                )
+            response = json.loads(line)
+            if not response.get("ok"):
+                raise RegistrationError(
+                    f"shard {host}:{port} rejected {op}: "
+                    f"{response.get('error')}"
+                )
+        server_stats = response["stats"].get("server", {})
+        version = server_stats.get("protocol_version")
+        if version != PROTOCOL_VERSION:
+            raise RegistrationError(
+                f"shard {host}:{port} speaks protocol {version!r}, "
+                f"router speaks v{PROTOCOL_VERSION}"
+            )
+        capacity = server_stats.get("memcache_capacity")
+        if not isinstance(capacity, int) or capacity < 1:
+            raise RegistrationError(
+                f"shard {host}:{port} reports no memcache tier "
+                f"(capacity={capacity!r}); every shard must own a cache "
+                "slice"
+            )
+        return ShardInfo(host=host, port=port, memcache_capacity=capacity)
+    finally:
+        writer.close()

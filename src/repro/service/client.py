@@ -12,19 +12,42 @@ wire code — except ``budget_exceeded``, which is translated back into
 the engine's own :class:`~repro.tasks.solvability.SearchBudgetExceeded`
 so callers can keep one error-handling path for local and remote
 engines.
+
+Transient conditions — ``overloaded`` and ``shutting_down`` — are
+retried once with jittered backoff on a *fresh* connection before the
+error surfaces: both codes mean "this server, right now", so an
+immediate re-ask is exactly the thundering herd that caused them, and
+a brief randomized pause plus a reconnect (the draining server may
+have closed the socket; a fleet router may have re-hashed the shard
+away) usually lands the retry.  Pass ``retries=0`` to observe the raw
+first answer.
+
+Both clients accept optional ``tenant`` / ``priority`` labels, sent as
+the protocol's additive admission fields on every query.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import random
 import socket
+import time
 from typing import Any, Dict, Optional, Tuple
 
 from ..engine.serialize import deserialize, serialize
 from ..tasks.solvability import SearchBudgetExceeded, resolve_budget
-from .protocol import PROTOCOL_VERSION
+from .protocol import PRIORITIES, PROTOCOL_VERSION, RETRYABLE_CODES
 from .server import DEFAULT_HOST, DEFAULT_PORT
+
+#: Base pause before the single transparent retry; the actual pause is
+#: jittered uniformly over [0.5x, 1.5x] so simultaneous victims of one
+#: overload don't re-arrive as a second synchronized burst.
+DEFAULT_RETRY_BACKOFF = 0.05
+
+
+def _jittered(backoff: float, rng: random.Random) -> float:
+    return backoff * (0.5 + rng.random())
 
 
 class ServiceError(RuntimeError):
@@ -52,9 +75,11 @@ def _raise_for(response: Dict[str, Any]) -> Dict[str, Any]:
 class _QueryMixin:
     """Typed helpers shared by the sync and async clients."""
 
-    @staticmethod
+    tenant: Optional[str] = None
+    priority: Optional[str] = None
+
     def _query_fields(
-        kind: str, payload: tuple, timeout: Optional[float]
+        self, kind: str, payload: tuple, timeout: Optional[float]
     ) -> Dict[str, Any]:
         fields: Dict[str, Any] = {
             "kind": kind,
@@ -62,7 +87,19 @@ class _QueryMixin:
         }
         if timeout is not None:
             fields["timeout"] = timeout
+        if self.tenant is not None:
+            fields["tenant"] = self.tenant
+        if self.priority is not None:
+            fields["priority"] = self.priority
         return fields
+
+    @staticmethod
+    def _check_priority(priority: Optional[str]) -> Optional[str]:
+        if priority is not None and priority not in PRIORITIES:
+            raise ValueError(
+                f"priority must be one of {list(PRIORITIES)}, got {priority!r}"
+            )
+        return priority
 
     @staticmethod
     def _decode_value(response: Dict[str, Any]) -> Any:
@@ -77,30 +114,71 @@ class ServiceClient(_QueryMixin):
         host: str = DEFAULT_HOST,
         port: int = DEFAULT_PORT,
         timeout: Optional[float] = 60.0,
+        *,
+        retries: int = 1,
+        retry_backoff: float = DEFAULT_RETRY_BACKOFF,
+        tenant: Optional[str] = None,
+        priority: Optional[str] = None,
     ):
         self.host = host
         self.port = port
+        self.timeout = timeout
+        self.retries = max(0, retries)
+        self.retry_backoff = retry_backoff
+        self.tenant = tenant
+        self.priority = self._check_priority(priority)
+        #: Transparent retries performed over this client's lifetime.
+        self.retried = 0
+        self._rng = random.Random()
         self._sock = socket.create_connection((host, port), timeout=timeout)
         self._file = self._sock.makefile("rwb")
         self._next_id = 0
 
     # -- transport -----------------------------------------------------
-    def request(self, op: str, **fields: Any) -> Dict[str, Any]:
-        """One raw request/response cycle; raises on error responses."""
-        self._next_id += 1
-        message = {"v": PROTOCOL_VERSION, "id": self._next_id, "op": op}
-        message.update(fields)
+    def _reconnect(self) -> None:
+        self.close()
+        self._sock = socket.create_connection(
+            (self.host, self.port), timeout=self.timeout
+        )
+        self._file = self._sock.makefile("rwb")
+
+    def _roundtrip(self, message: Dict[str, Any]) -> Dict[str, Any]:
         self._file.write(json.dumps(message).encode("utf-8") + b"\n")
         self._file.flush()
         line = self._file.readline()
         if not line:
             raise ConnectionError("server closed the connection")
-        response = json.loads(line)
-        if response.get("id") not in (None, self._next_id):
-            raise ServiceError(
-                "internal", f"response id mismatch: {response.get('id')!r}"
-            )
-        return _raise_for(response)
+        return json.loads(line)
+
+    def request(self, op: str, **fields: Any) -> Dict[str, Any]:
+        """One raw request/response cycle; raises on error responses.
+
+        ``overloaded`` / ``shutting_down`` answers are retried once
+        (per :data:`RETRYABLE_CODES`) after a jittered pause, on a
+        fresh connection.
+        """
+        for attempt in range(self.retries + 1):
+            self._next_id += 1
+            message = {"v": PROTOCOL_VERSION, "id": self._next_id, "op": op}
+            message.update(fields)
+            response = self._roundtrip(message)
+            if (
+                not response.get("ok")
+                and attempt < self.retries
+                and (response.get("error") or {}).get("code")
+                in RETRYABLE_CODES
+            ):
+                self.retried += 1
+                time.sleep(_jittered(self.retry_backoff, self._rng))
+                self._reconnect()
+                continue
+            if response.get("id") not in (None, self._next_id):
+                raise ServiceError(
+                    "internal",
+                    f"response id mismatch: {response.get('id')!r}",
+                )
+            return _raise_for(response)
+        raise AssertionError("unreachable")  # pragma: no cover
 
     def query_response(
         self, kind: str, payload: tuple, timeout: Optional[float] = None
@@ -236,9 +314,20 @@ class AsyncServiceClient(_QueryMixin):
         self,
         host: str = DEFAULT_HOST,
         port: int = DEFAULT_PORT,
+        *,
+        retries: int = 1,
+        retry_backoff: float = DEFAULT_RETRY_BACKOFF,
+        tenant: Optional[str] = None,
+        priority: Optional[str] = None,
     ):
         self.host = host
         self.port = port
+        self.retries = max(0, retries)
+        self.retry_backoff = retry_backoff
+        self.tenant = tenant
+        self.priority = self._check_priority(priority)
+        self.retried = 0
+        self._rng = random.Random()
         self._reader: Optional[asyncio.StreamReader] = None
         self._writer: Optional[asyncio.StreamWriter] = None
         self._lock = asyncio.Lock()
@@ -253,18 +342,37 @@ class AsyncServiceClient(_QueryMixin):
         return self
 
     async def request(self, op: str, **fields: Any) -> Dict[str, Any]:
-        if self._writer is None:
-            await self.connect()
-        async with self._lock:
-            self._next_id += 1
-            message = {"v": PROTOCOL_VERSION, "id": self._next_id, "op": op}
-            message.update(fields)
-            self._writer.write(json.dumps(message).encode("utf-8") + b"\n")
-            await self._writer.drain()
-            line = await self._reader.readline()
-        if not line:
-            raise ConnectionError("server closed the connection")
-        return _raise_for(json.loads(line))
+        """As :meth:`ServiceClient.request`, with the same single
+        jittered-backoff retry on ``overloaded`` / ``shutting_down``."""
+        for attempt in range(self.retries + 1):
+            if self._writer is None:
+                await self.connect()
+            async with self._lock:
+                self._next_id += 1
+                message = {
+                    "v": PROTOCOL_VERSION,
+                    "id": self._next_id,
+                    "op": op,
+                }
+                message.update(fields)
+                self._writer.write(json.dumps(message).encode("utf-8") + b"\n")
+                await self._writer.drain()
+                line = await self._reader.readline()
+            if not line:
+                raise ConnectionError("server closed the connection")
+            response = json.loads(line)
+            if (
+                not response.get("ok")
+                and attempt < self.retries
+                and (response.get("error") or {}).get("code")
+                in RETRYABLE_CODES
+            ):
+                self.retried += 1
+                await asyncio.sleep(_jittered(self.retry_backoff, self._rng))
+                await self.close()
+                continue
+            return _raise_for(response)
+        raise AssertionError("unreachable")  # pragma: no cover
 
     async def query_response(
         self, kind: str, payload: tuple, timeout: Optional[float] = None

@@ -14,7 +14,8 @@ byte-identical to direct :class:`~repro.engine.jobs.Engine` calls.
 Request fields::
 
     {"v": 1, "id": 7, "op": "query", "kind": "solve",
-     "payload": "<canonical text>", "timeout": 30.0}
+     "payload": "<canonical text>", "timeout": 30.0,
+     "tenant": "bench", "priority": "interactive"}
 
 * ``v``       — protocol version; must equal :data:`PROTOCOL_VERSION`.
 * ``id``      — any JSON scalar; echoed verbatim in the response.
@@ -30,6 +31,14 @@ Request fields::
   payload tuple.
 * ``timeout`` — (query only, optional) per-request deadline in seconds;
   the server enforces ``min(timeout, server default)``.
+* ``tenant``  — (optional, additive) the accounting identity the fleet
+  router rate-limits by.  Plain servers accept and count it; absent
+  means the shared ``"default"`` tenant, so v1 clients are unchanged.
+* ``priority`` — (optional, additive) admission lane, one of
+  :data:`PRIORITIES` (``interactive`` > ``batch`` > ``sweep``).  Under
+  load the router sheds low lanes first via the typed ``overloaded``
+  error; absent means ``interactive``, so unlabeled v1 traffic is
+  never penalized relative to today.
 
 Response fields: ``v``, ``id``, ``ok``; on success one of ``value`` (+
 ``kind``, ``cache_hit``, ``coalesced``, ``wall_time``), ``stats``,
@@ -54,7 +63,15 @@ MAX_LINE_BYTES = 16 * 2**20
 
 OPS = frozenset({"query", "stats", "metrics", "ping"})
 
+#: Admission lanes, highest priority first.  Order is meaningful: the
+#: fleet router sheds the *last* lanes first when overloaded.
+PRIORITIES = ("interactive", "batch", "sweep")
+
 #: Typed error codes — the complete, closed set a v1 server may return.
+#: ``verification_failed`` is a fleet-era additive code: only edge
+#: replicas (which re-check certificates before returning them) ever
+#: emit it; plain shards never do, so v1 clients against a single
+#: server observe exactly the original set.
 ERROR_CODES = frozenset(
     {
         "bad_request",  # unparsable line / missing or malformed fields
@@ -65,11 +82,17 @@ ERROR_CODES = frozenset(
         "job_error",  # the engine job raised; message has traceback
         "budget_exceeded",  # solve search budget exhausted after retry
         "timeout",  # per-request deadline expired
-        "overloaded",  # connection or in-flight limit reached
+        "overloaded",  # connection, in-flight or admission limit hit
         "shutting_down",  # server is draining; retry elsewhere
+        "verification_failed",  # replica: no shard produced a valid cert
         "internal",  # unexpected server-side failure
     }
 )
+
+#: Codes a client may transparently retry once with jittered backoff:
+#: both signal a transient condition on *this* server, not a problem
+#: with the request itself.
+RETRYABLE_CODES = frozenset({"overloaded", "shutting_down"})
 
 
 class ProtocolError(Exception):
@@ -91,6 +114,12 @@ class Request:
     kind: Optional[str] = None
     payload_text: Optional[str] = None
     timeout: Optional[float] = None
+    #: Accounting identity for fleet admission control (additive field;
+    #: ``None`` = the shared default tenant).
+    tenant: Optional[str] = None
+    #: Admission lane from :data:`PRIORITIES` (additive field; ``None``
+    #: = ``interactive``).
+    priority: Optional[str] = None
 
 
 def parse_request(line: str) -> Request:
@@ -119,6 +148,15 @@ def parse_request(line: str) -> Request:
     kind = fields.get("kind")
     payload_text = fields.get("payload")
     timeout = fields.get("timeout")
+    tenant = fields.get("tenant")
+    priority = fields.get("priority")
+    if tenant is not None and not isinstance(tenant, str):
+        raise ProtocolError("bad_request", "'tenant' must be a string")
+    if priority is not None and priority not in PRIORITIES:
+        raise ProtocolError(
+            "bad_request",
+            f"'priority' must be one of {list(PRIORITIES)}, got {priority!r}",
+        )
     if op == "query":
         if not isinstance(kind, str):
             raise ProtocolError("bad_request", "query requires a string 'kind'")
@@ -137,6 +175,8 @@ def parse_request(line: str) -> Request:
         kind=kind,
         payload_text=payload_text,
         timeout=None if timeout is None else float(timeout),
+        tenant=tenant,
+        priority=priority,
     )
 
 

@@ -46,6 +46,7 @@ from .batcher import Batcher
 from .metrics import Metrics
 from .protocol import (
     MAX_LINE_BYTES,
+    PROTOCOL_VERSION,
     ProtocolError,
     encode_message,
     error_response,
@@ -264,6 +265,11 @@ class ServiceServer:
                 return error_response(None, exc.code, exc.message)
             request_span.set_attr("op", request.op)
             self.metrics.inc(f"op_{request.op}_total")
+            if request.priority is not None:
+                # Plain shards don't shed by lane (the router does) but
+                # they account for it, so fleet dashboards can compare
+                # lane mix across tiers.
+                self.metrics.inc(f"lane_{request.priority}_total")
             try:
                 if request.op == "ping":
                     response = ping_response(request.id)
@@ -382,6 +388,8 @@ class ServiceServer:
             "server": {
                 "host": self.host,
                 "port": self.port,
+                "protocol_version": PROTOCOL_VERSION,
+                "memcache_capacity": self.memcache_capacity(),
                 "connections": len(self._connections),
                 "active_requests": self._active_requests,
                 "draining": self._draining,
@@ -399,6 +407,11 @@ class ServiceServer:
         if callable(cache_stats):
             stats["memcache"] = cache_stats()
         return stats
+
+    def memcache_capacity(self) -> Optional[int]:
+        """Entries the in-memory cache tier holds (None: no such tier)."""
+        capacity = getattr(self.engine.cache, "max_entries", None)
+        return capacity if isinstance(capacity, int) else None
 
     # ------------------------------------------------------------------
     # HTTP shim
@@ -432,7 +445,20 @@ class ServiceServer:
             status, content_type = "200 OK", "application/json"
             body = json.dumps(self.stats(), sort_keys=True) + "\n"
         elif method in ("GET", "HEAD") and path == "/healthz":
-            status, body = "200 OK", "draining\n" if self._draining else "ok\n"
+            # JSON health document: the router sanity-checks a shard's
+            # protocol version and memcache capacity at registration.
+            status, content_type = "200 OK", "application/json"
+            body = (
+                json.dumps(
+                    {
+                        "status": "draining" if self._draining else "ok",
+                        "protocol_version": PROTOCOL_VERSION,
+                        "memcache_capacity": self.memcache_capacity(),
+                    },
+                    sort_keys=True,
+                )
+                + "\n"
+            )
         elif method == "POST" and path == "/query":
             raw = await reader.readexactly(min(content_length, MAX_LINE_BYTES))
             response = await self._process_line(raw)

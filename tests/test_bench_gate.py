@@ -74,6 +74,13 @@ BASELINES = {
         "oracle_agreement_rate": 1.0,
         "disagreements": 0,
     },
+    "BENCH_fleet.json": {
+        "workload": {"shard_counts": [1, 2, 4], "fixed_service_queries": 48},
+        "errors": 0,
+        "fixed_service_time": {"speedup_2x": 1.55, "speedup_4x": 2.7},
+        "cpu_bound": {"speedup_2x": None},
+        "edge": {"doctored_certs_rejected": 1, "verify_overhead_ratio": 1.4},
+    },
 }
 
 

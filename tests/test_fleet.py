@@ -1,0 +1,652 @@
+"""The fleet tier: hashing, admission, routing, cert-verified edges.
+
+The load-bearing guarantees:
+
+* **placement stability** — value-equal queries always land on the same
+  shard, so shard-local coalescing and memcache slices keep working
+  fleet-wide;
+* **graceful degradation** — a draining or dead shard is re-hashed away
+  and its queries re-route; admission rejections reuse the typed
+  ``overloaded`` error clients already retry;
+* **verify, never trust** — an edge replica re-checks every certificate
+  with the independent checker and rejects doctored ones with the typed
+  ``verification_failed`` error, recording the incident.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import threading
+import time
+from typing import Any, Callable, Dict, Optional
+
+import pytest
+
+from repro.engine import Engine
+from repro.fleet import (
+    AdmissionController,
+    BackgroundComponent,
+    EdgeReplica,
+    FleetRouter,
+    HashRing,
+    LoadReport,
+    RegistrationError,
+    TamperingShardProxy,
+    TokenBucket,
+    doctor_statement_digest,
+    fixed_service_time_mix,
+    register_shard,
+    run_load,
+    statement_digest,
+)
+from repro.service import (
+    AsyncServiceClient,
+    BackgroundServer,
+    MemCache,
+    ServiceClient,
+    ServiceError,
+)
+from repro.service.protocol import ERROR_CODES, PROTOCOL_VERSION, RETRYABLE_CODES
+from repro.tasks.set_consensus import set_consensus_task
+from repro.tasks.solvability import SearchBudgetExceeded
+
+
+def _shard() -> BackgroundServer:
+    return BackgroundServer(Engine(cache=MemCache(max_entries=128)))
+
+
+# ----------------------------------------------------------------------
+# Hash ring
+# ----------------------------------------------------------------------
+def test_ring_is_deterministic_across_instances():
+    nodes = ["a:1", "b:2", "c:3"]
+    ring1, ring2 = HashRing(nodes), HashRing(reversed(nodes))
+    keys = [statement_digest("solve", str(i)) for i in range(200)]
+    assert [ring1.owner(k) for k in keys] == [ring2.owner(k) for k in keys]
+
+
+def test_ring_balances_load_roughly():
+    ring = HashRing([f"shard:{i}" for i in range(4)])
+    keys = [statement_digest("chr", str(i)) for i in range(2000)]
+    counts: Dict[str, int] = {}
+    for key in keys:
+        owner = ring.owner(key)
+        counts[owner] = counts.get(owner, 0) + 1
+    assert len(counts) == 4
+    # Virtual nodes keep the split within a loose factor of fair share.
+    assert max(counts.values()) < 4 * min(counts.values())
+
+
+def test_ring_removal_moves_only_the_departed_nodes_keys():
+    ring = HashRing(["a:1", "b:2", "c:3"])
+    keys = [statement_digest("certify", str(i)) for i in range(500)]
+    before = {key: ring.owner(key) for key in keys}
+    ring.remove("b:2")
+    moved = 0
+    for key in keys:
+        after = ring.owner(key)
+        if before[key] == "b:2":
+            assert after != "b:2"
+        else:
+            assert after == before[key]
+            moved += 0
+    assert "b:2" not in ring
+
+
+def test_ring_preference_lists_distinct_nodes_owner_first():
+    ring = HashRing(["a:1", "b:2", "c:3"])
+    key = statement_digest("solve", "payload")
+    preference = ring.preference(key)
+    assert preference[0] == ring.owner(key)
+    assert sorted(preference) == ["a:1", "b:2", "c:3"]
+    assert ring.preference(key, 2) == preference[:2]
+    assert HashRing().preference(key) == []
+
+
+def test_statement_digest_separates_kind_and_payload():
+    assert statement_digest("solve", "x") != statement_digest("certify", "x")
+    assert statement_digest("solve", "x") != statement_digest("solve", "y")
+    assert statement_digest("solve", "x") == statement_digest("solve", "x")
+
+
+# ----------------------------------------------------------------------
+# Admission control
+# ----------------------------------------------------------------------
+def test_token_bucket_refills_at_rate():
+    bucket = TokenBucket(rate=2.0, burst=2.0, now=0.0)
+    assert bucket.try_take(0.0) and bucket.try_take(0.0)
+    assert not bucket.try_take(0.0)  # empty
+    assert not bucket.try_take(0.25)  # half a token back: still short
+    assert bucket.try_take(0.5 + 0.25)  # one token accrued by now
+
+
+def test_admission_rate_limits_per_tenant():
+    clock = [0.0]
+    controller = AdmissionController(
+        max_inflight=100, rate=1.0, burst=2.0, clock=lambda: clock[0]
+    )
+    first = controller.admit("alice", None)
+    second = controller.admit("alice", None)
+    assert first.admitted and second.admitted
+    third = controller.admit("alice", None)
+    assert not third.admitted and "rate limit" in third.reason
+    # A different tenant has its own bucket.
+    assert controller.admit("bob", None).admitted
+    clock[0] = 1.0  # one token refilled
+    assert controller.admit("alice", None).admitted
+    stats = controller.stats()
+    assert stats["rejected_rate"] == {"alice": 1}
+    assert sorted(stats["tenants"]) == ["alice", "bob"]
+
+
+def test_admission_sheds_low_lanes_first():
+    controller = AdmissionController(max_inflight=4, rate=1000.0, burst=1000.0)
+    # Capacities: interactive 4, batch 3, sweep 2.
+    held = [controller.admit("t", "interactive") for _ in range(2)]
+    assert all(d.admitted for d in held)
+    sweep = controller.admit("t", "sweep")
+    assert not sweep.admitted and "lane 'sweep' shed" in sweep.reason
+    batch = controller.admit("t", "batch")
+    assert batch.admitted  # 2 < 3
+    interactive = controller.admit("t", "interactive")
+    assert interactive.admitted  # 3 < 4
+    assert not controller.admit("t", "batch").admitted  # 4 > 3
+    assert not controller.admit("t", "interactive").admitted  # at capacity
+    for decision in held + [batch, interactive]:
+        controller.release(decision)
+    assert controller.inflight == 0
+    # Unlabeled requests ride the interactive lane: never penalized.
+    assert controller.admit("t", None).lane == "interactive"
+
+
+# ----------------------------------------------------------------------
+# Scripted wire servers (protocol doubles; no engine behind them)
+# ----------------------------------------------------------------------
+class ScriptedServer:
+    """A threaded line-protocol server answering from a callback."""
+
+    def __init__(self, respond: Callable[[Dict[str, Any]], Optional[dict]]):
+        self.respond = respond
+        self._sock = socket.socket()
+        self._sock.bind(("127.0.0.1", 0))
+        self._sock.listen(16)
+        self.port = self._sock.getsockname()[1]
+        self._running = True
+        threading.Thread(target=self._accept, daemon=True).start()
+
+    def _accept(self) -> None:
+        while self._running:
+            try:
+                conn, _ = self._sock.accept()
+            except OSError:
+                return
+            threading.Thread(
+                target=self._serve, args=(conn,), daemon=True
+            ).start()
+
+    def _serve(self, conn: socket.socket) -> None:
+        handle = conn.makefile("rwb")
+        try:
+            while True:
+                line = handle.readline()
+                if not line:
+                    return
+                response = self.respond(json.loads(line))
+                if response is None:
+                    return  # scripted connection drop
+                handle.write(json.dumps(response).encode("utf-8") + b"\n")
+                handle.flush()
+        except (ConnectionResetError, BrokenPipeError, ValueError):
+            pass
+        finally:
+            conn.close()
+
+    def close(self) -> None:
+        self._running = False
+        self._sock.close()
+
+    def __enter__(self) -> "ScriptedServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def _ok(request: Dict[str, Any]) -> Dict[str, Any]:
+    return {"v": 1, "id": request.get("id"), "ok": True, "pong": True}
+
+
+def _error(request: Dict[str, Any], code: str) -> Dict[str, Any]:
+    return {
+        "v": 1,
+        "id": request.get("id"),
+        "ok": False,
+        "error": {"code": code, "message": f"scripted {code}"},
+    }
+
+
+# ----------------------------------------------------------------------
+# Client retry (satellite 1)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("code", sorted(RETRYABLE_CODES))
+def test_sync_client_retries_transient_codes_once(code):
+    answers = {"count": 0}
+
+    def respond(request):
+        answers["count"] += 1
+        return _error(request, code) if answers["count"] == 1 else _ok(request)
+
+    with ScriptedServer(respond) as server:
+        with ServiceClient(
+            port=server.port, retries=1, retry_backoff=0.01
+        ) as client:
+            assert client.ping()
+            assert client.retried == 1
+
+
+@pytest.mark.parametrize("code", sorted(RETRYABLE_CODES))
+def test_async_client_retries_transient_codes_once(code):
+    answers = {"count": 0}
+
+    def respond(request):
+        answers["count"] += 1
+        return _error(request, code) if answers["count"] == 1 else _ok(request)
+
+    async def scenario(port: int) -> int:
+        async with AsyncServiceClient(
+            port=port, retries=1, retry_backoff=0.01
+        ) as client:
+            assert await client.ping()
+            return client.retried
+
+    with ScriptedServer(respond) as server:
+        assert asyncio.run(scenario(server.port)) == 1
+
+
+def test_clients_with_retries_zero_surface_the_raw_error():
+    with ScriptedServer(lambda r: _error(r, "overloaded")) as server:
+        with ServiceClient(port=server.port, retries=0) as client:
+            with pytest.raises(ServiceError) as info:
+                client.ping()
+            assert info.value.code == "overloaded"
+
+        async def scenario() -> None:
+            async with AsyncServiceClient(
+                port=server.port, retries=0
+            ) as client:
+                await client.ping()
+
+        with pytest.raises(ServiceError) as info:
+            asyncio.run(scenario())
+        assert info.value.code == "overloaded"
+
+
+def test_sync_client_does_not_retry_permanent_codes():
+    answers = {"count": 0}
+
+    def respond(request):
+        answers["count"] += 1
+        return _error(request, "bad_request")
+
+    with ScriptedServer(respond) as server:
+        with ServiceClient(port=server.port, retries=1) as client:
+            with pytest.raises(ServiceError):
+                client.ping()
+            assert client.retried == 0 and answers["count"] == 1
+
+
+# ----------------------------------------------------------------------
+# Every typed error code round-trips through both clients (satellite 3)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("code", sorted(ERROR_CODES))
+def test_every_error_code_round_trips_through_the_sync_client(code):
+    with ScriptedServer(lambda r: _error(r, code)) as server:
+        with ServiceClient(port=server.port, retries=0) as client:
+            if code == "budget_exceeded":
+                with pytest.raises(SearchBudgetExceeded):
+                    client.ping()
+            else:
+                with pytest.raises(ServiceError) as info:
+                    client.ping()
+                assert info.value.code == code
+
+
+@pytest.mark.parametrize("code", sorted(ERROR_CODES))
+def test_every_error_code_round_trips_through_the_async_client(code):
+    async def scenario(port: int) -> None:
+        async with AsyncServiceClient(port=port, retries=0) as client:
+            await client.ping()
+
+    with ScriptedServer(lambda r: _error(r, code)) as server:
+        if code == "budget_exceeded":
+            with pytest.raises(SearchBudgetExceeded):
+                asyncio.run(scenario(server.port))
+        else:
+            with pytest.raises(ServiceError) as info:
+                asyncio.run(scenario(server.port))
+            assert info.value.code == code
+
+
+# ----------------------------------------------------------------------
+# Shard registration
+# ----------------------------------------------------------------------
+def test_registration_rejects_shards_without_a_memcache():
+    # A plain engine-backed server reports no memcache tier.
+    with BackgroundServer(Engine()) as bare:
+        with pytest.raises(RegistrationError) as info:
+            asyncio.run(register_shard(bare.host, bare.port))
+        assert "memcache" in str(info.value)
+
+
+def test_registration_rejects_wrong_protocol_versions():
+    def respond(request):
+        if request.get("op") == "ping":
+            return _ok(request)
+        return {
+            "v": 1,
+            "id": request.get("id"),
+            "ok": True,
+            "stats": {
+                "server": {"protocol_version": 99, "memcache_capacity": 64}
+            },
+        }
+
+    with ScriptedServer(respond) as server:
+        with pytest.raises(RegistrationError) as info:
+            asyncio.run(register_shard("127.0.0.1", server.port))
+        assert "protocol" in str(info.value)
+
+
+def test_registration_accepts_a_real_shard():
+    with _shard() as shard:
+        info = asyncio.run(register_shard(shard.host, shard.port))
+        assert info.memcache_capacity == 128
+        assert info.node_id == f"{shard.host}:{shard.port}"
+
+
+# ----------------------------------------------------------------------
+# Router end-to-end
+# ----------------------------------------------------------------------
+@pytest.fixture()
+def fleet2():
+    """Two live shards behind a router, plus direct shard handles."""
+    with _shard() as s1, _shard() as s2:
+        router = FleetRouter(
+            [(s1.host, s1.port), (s2.host, s2.port)], forward_timeout=120.0
+        )
+        with BackgroundComponent(router) as front:
+            yield front, router, s1, s2
+
+
+def test_router_responses_are_byte_identical_to_shard_responses(fleet2):
+    front, _router, s1, _s2 = fleet2
+    with ServiceClient(front.host, front.port) as via_router:
+        routed = via_router.query_response("chr", (2, 1))
+    with ServiceClient(s1.host, s1.port) as direct:
+        straight = direct.query_response("chr", (2, 1))
+    assert routed["value"] == straight["value"]
+    assert routed["kind"] == straight["kind"]
+
+
+def test_router_placement_is_stable_so_memcache_hits(fleet2):
+    front, _router, _s1, _s2 = fleet2
+    with ServiceClient(front.host, front.port) as client:
+        cold = client.query_response("chr", (3, 1))
+        warm = client.query_response("chr", (3, 1))
+    assert not cold["cache_hit"]
+    # The repeat reached the same shard, whose memcache slice owns it.
+    assert warm["cache_hit"]
+    assert warm["value"] == cold["value"]
+
+
+def test_router_preserves_shard_local_coalescing(fleet2):
+    front, _router, _s1, _s2 = fleet2
+    responses = []
+    lock = threading.Lock()
+    barrier = threading.Barrier(4)
+
+    def fire():
+        with ServiceClient(front.host, front.port, timeout=120.0) as client:
+            barrier.wait(timeout=30)
+            response = client.query_response("sleep", (0.3, "fleet-coalesce"))
+            with lock:
+                responses.append(response)
+
+    threads = [threading.Thread(target=fire) for _ in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60)
+    assert len(responses) == 4
+    values = {response["value"] for response in responses}
+    assert len(values) == 1
+    # Identical statements hash to one shard, whose batcher collapses
+    # the burst: every request but the executing one reports coalesced.
+    assert sum(response["coalesced"] for response in responses) == 3
+
+
+def test_router_rehashes_a_dead_shard_and_keeps_serving(fleet2):
+    front, router, s1, s2 = fleet2
+    with ServiceClient(front.host, front.port, retries=0) as client:
+        for index in range(6):
+            client.query("sleep", (0.0, f"warm-{index}"))
+        s2.stop()  # drains and closes its listener + connections
+        # Every statement still gets an answer: the router retires the
+        # dead shard on first contact and re-routes to the survivor.
+        for index in range(6):
+            client.query("sleep", (0.0, f"after-{index}"))
+        stats = client.stats()
+    assert router.rehashes == 1
+    live = {
+        node: shard["live"] for node, shard in stats["fleet"]["shards"].items()
+    }
+    assert live[f"{s2.host}:{s2.port}"] is False
+    assert live[f"{s1.host}:{s1.port}"] is True
+    assert stats["fleet"]["incidents"]
+    assert stats["fleet"]["incidents"][-1]["kind"] == "shard_retired"
+
+
+def test_router_admission_rejects_with_the_typed_overloaded_error():
+    with _shard() as s1:
+        router = FleetRouter(
+            [(s1.host, s1.port)],
+            admission=AdmissionController(
+                max_inflight=16, rate=1e-6, burst=1.0
+            ),
+        )
+        with BackgroundComponent(router) as front:
+            with ServiceClient(front.host, front.port, retries=0) as client:
+                client.query("chr", (2, 1))  # spends the only token
+                with pytest.raises(ServiceError) as info:
+                    client.query("chr", (2, 1))
+                assert info.value.code == "overloaded"
+                stats = client.stats()
+    assert stats["admission"]["admitted_total"] >= 1
+    assert stats["admission"]["rejected_rate"] == {"default": 1}
+
+
+def test_router_stats_and_healthz_expose_the_fleet(fleet2):
+    front, _router, _s1, _s2 = fleet2
+    with ServiceClient(front.host, front.port) as client:
+        stats = client.stats()
+    assert stats["server"]["role"] == "router"
+    assert stats["server"]["protocol_version"] == PROTOCOL_VERSION
+    assert len(stats["fleet"]["ring_nodes"]) == 2
+    with socket.create_connection((front.host, front.port), timeout=30) as sock:
+        sock.sendall(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+        raw = b""
+        while b"\r\n\r\n" not in raw:
+            raw += sock.recv(4096)
+        body = raw.split(b"\r\n\r\n", 1)[1]
+        while not body.strip():
+            body += sock.recv(4096)
+    health = json.loads(body)
+    assert health["status"] == "ok"
+    assert health["role"] == "router"
+    assert health["protocol_version"] == PROTOCOL_VERSION
+
+
+# ----------------------------------------------------------------------
+# Edge replicas: verify, never trust
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def cert_inputs(ra_1res):
+    return ra_1res, set_consensus_task(3, 2)
+
+
+def test_replica_serves_verified_certificates(cert_inputs):
+    affine, task = cert_inputs
+    with _shard() as shard:
+        replica = EdgeReplica([(shard.host, shard.port)])
+        with BackgroundComponent(replica) as edge:
+            with ServiceClient(edge.host, edge.port) as client:
+                response = client.query_response(
+                    "certify", (affine, task, None)
+                )
+                assert response["verified"] is True
+                cert = client.certify(affine, task)
+                assert cert["kind"] == "solvable"
+                # check is answered by the replica's own checker.
+                report = client.check(cert)
+                assert report["valid"] and report["verdict"] == "solvable"
+                with pytest.raises(ServiceError) as info:
+                    client.query("chr", (2, 1))
+                assert info.value.code == "unknown_kind"
+        assert replica.metrics.counter("certs_verified_total") >= 1
+        assert replica.metrics.counter("local_checks_total") == 1
+    # The replica's value passthrough is byte-identical to the shard's.
+    with _shard() as shard:
+        replica = EdgeReplica([(shard.host, shard.port)])
+        with BackgroundComponent(replica) as edge:
+            with ServiceClient(edge.host, edge.port) as via_edge:
+                edge_response = via_edge.query_response(
+                    "certify", (affine, task, None)
+                )
+            with ServiceClient(shard.host, shard.port) as direct:
+                shard_response = direct.query_response(
+                    "certify", (affine, task, None)
+                )
+    assert edge_response["value"] == shard_response["value"]
+
+
+class _ProxyLoop:
+    """Run a TamperingShardProxy on its own event-loop thread."""
+
+    def __init__(self, upstream):
+        self.proxy = TamperingShardProxy(upstream)
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever, daemon=True
+        )
+
+    def __enter__(self) -> TamperingShardProxy:
+        self._thread.start()
+        asyncio.run_coroutine_threadsafe(
+            self.proxy.start(), self._loop
+        ).result(30)
+        return self.proxy
+
+    def __exit__(self, *exc) -> None:
+        asyncio.run_coroutine_threadsafe(
+            self.proxy.close(), self._loop
+        ).result(30)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=30)
+
+
+def test_replica_rejects_a_doctored_certificate(cert_inputs):
+    affine, task = cert_inputs
+    with _shard() as shard:
+        with _ProxyLoop((shard.host, shard.port)) as proxy:
+            replica = EdgeReplica([(proxy.host, proxy.port)])
+            with BackgroundComponent(replica) as edge:
+                with ServiceClient(edge.host, edge.port, retries=0) as client:
+                    with pytest.raises(ServiceError) as info:
+                        client.certify(affine, task)
+    assert info.value.code == "verification_failed"
+    assert proxy.tampered == 1
+    assert replica.metrics.counter("certs_rejected_total") == 1
+    assert replica.incidents
+    incident = replica.incidents[-1]
+    assert incident["kind"] == "bad_certificate"
+    assert incident["reason"] == "statement_digest_mismatch"
+
+
+def test_replica_reroutes_around_a_tampering_shard(cert_inputs):
+    affine, task = cert_inputs
+    with _shard() as shard:
+        with _ProxyLoop((shard.host, shard.port)) as proxy:
+            replica = EdgeReplica(
+                [(proxy.host, proxy.port), (shard.host, shard.port)]
+            )
+            with BackgroundComponent(replica) as edge:
+                # Pin the preference order so the dishonest shard is
+                # always tried first (ring order is hash-determined).
+                tamperer = f"{proxy.host}:{proxy.port}"
+                honest = f"{shard.host}:{shard.port}"
+                replica.ring.preference = (  # type: ignore[method-assign]
+                    lambda key, count=None: [tamperer, honest]
+                )
+                with ServiceClient(edge.host, edge.port) as client:
+                    cert = client.certify(affine, task)
+    assert cert["kind"] == "solvable"
+    assert proxy.tampered == 1
+    assert replica.metrics.counter("certs_rejected_total") == 1
+    assert replica.metrics.counter("certs_verified_total") == 1
+    assert replica.metrics.counter("certs_rerouted_total") == 1
+    assert replica.incidents[-1]["shard"] == tamperer
+
+
+def test_doctor_statement_digest_leaves_the_original_intact():
+    cert = {"statement": {"task_digest": "ab" * 32}, "kind": "solvable"}
+    doctored = doctor_statement_digest(cert)
+    assert doctored["statement"]["task_digest"] == "0" * 64
+    assert cert["statement"]["task_digest"] == "ab" * 32
+
+
+# ----------------------------------------------------------------------
+# Load generator
+# ----------------------------------------------------------------------
+def test_fixed_service_time_mix_is_distinct_and_salted():
+    mix = fixed_service_time_mix(8, 0.01, salt="a")
+    assert len({payload for _, payload in mix}) == 8
+    assert mix != fixed_service_time_mix(8, 0.01, salt="b")
+
+
+def test_run_load_reports_exact_counts():
+    with _shard() as shard:
+        report = run_load(
+            shard.host,
+            shard.port,
+            fixed_service_time_mix(8, 0.01, salt="loadtest"),
+            clients=4,
+            cycles=2,
+        )
+    assert isinstance(report, LoadReport)
+    assert report.queries == 16 and report.ok == 16 and report.errors == 0
+    assert report.rps > 0 and report.p99_ms >= report.p50_ms >= 0
+    encoded = report.to_dict()
+    assert encoded["queries"] == 16 and encoded["error_codes"] == {}
+
+
+def test_loadgen_cli_runs_against_a_live_service(capsys):
+    from repro.cli import main
+
+    with _shard() as shard:
+        exit_code = main(
+            [
+                "loadgen",
+                "--port",
+                str(shard.port),
+                "--mix",
+                "chr",
+                "--clients",
+                "2",
+                "--json",
+            ]
+        )
+    assert exit_code == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["errors"] == 0 and report["ok"] == report["queries"]

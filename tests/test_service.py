@@ -285,8 +285,12 @@ def test_http_shim_metrics_stats_health_and_query(server, client):
     assert b"repro_service_requests_total" in metrics
     stats = json.loads(urllib.request.urlopen(f"{base}/stats", timeout=30).read())
     assert stats["server"]["port"] == server.port
-    health = urllib.request.urlopen(f"{base}/healthz", timeout=30).read()
-    assert health == b"ok\n"
+    health = json.loads(
+        urllib.request.urlopen(f"{base}/healthz", timeout=30).read()
+    )
+    assert health["status"] == "ok"
+    assert health["protocol_version"] == 1
+    assert health["memcache_capacity"] == 256
     body = json.dumps(
         {"v": 1, "id": 1, "op": "query", "kind": "chr", "payload": serialize((2, 1))}
     ).encode()

@@ -102,6 +102,20 @@ RULES: Dict[str, List[Tuple[str, str, float]]] = {
         ("sim.span_sim_guard_wait", EXACT, 0.0),
         ("sim.traced_overhead_ratio", MAX_RATIO, 3.00),
     ],
+    "BENCH_fleet.json": [
+        ("workload.shard_counts", EXACT, 0.0),
+        ("workload.fixed_service_queries", EXACT, 0.0),
+        ("errors", EXACT, 0.0),
+        ("edge.doctored_certs_rejected", EXACT, 0.0),
+        # Intra-run scaling ratios on the fixed-service-time mix: the
+        # serving architecture must keep multiplying throughput with
+        # shard processes regardless of the host's core count.
+        ("fixed_service_time.speedup_2x", MIN_RATIO, 0.75),
+        ("fixed_service_time.speedup_4x", MIN_RATIO, 0.60),
+        # CPU-bound scaling is null on single-CPU hosts (skipped).
+        ("cpu_bound.speedup_2x", MIN_RATIO, 0.60),
+        ("edge.verify_overhead_ratio", MAX_RATIO, 3.00),
+    ],
     "BENCH_sim.json": [
         ("workload.cases", EXACT, 0.0),
         ("workload.schedules_total", EXACT, 0.0),
