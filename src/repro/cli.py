@@ -91,7 +91,12 @@ def _build_engine(args: argparse.Namespace, default_cache: bool = False):
     want_cache = (
         cache_dir is not None or default_cache
     ) and not getattr(args, "no_cache", False)
-    cache = ArtifactCache(cache_dir) if want_cache else NullCache()
+    # --shared-cache opts in to the mmap cross-process read layer; the
+    # None default defers to the REPRO_SHARED_CACHE environment switch.
+    shared = True if getattr(args, "shared_cache", False) else None
+    cache = (
+        ArtifactCache(cache_dir, shared=shared) if want_cache else NullCache()
+    )
     return Engine(
         jobs=getattr(args, "jobs", 1),
         cache=cache,
@@ -185,6 +190,8 @@ def _cmd_classify(args: argparse.Namespace) -> int:
                 ]
             )
     print(render_table(["adversary", "ssc", "sym", "fair", "setcon", "csize"], rows))
+    if engine is not None:
+        engine.close()
     return 0
 
 
@@ -208,6 +215,8 @@ def _cmd_landscape(args: argparse.Namespace) -> int:
             },
         )
     )
+    if engine is not None:
+        engine.close()
     return 0
 
 
@@ -231,6 +240,8 @@ def _cmd_fact(args: argparse.Namespace) -> int:
     else:
         rows = [(name, minimal_set_consensus(task)) for name, task in cases]
     print(render_table(["affine task", "min k-set consensus"], rows))
+    if engine is not None:
+        engine.close()
     return 0
 
 
@@ -257,6 +268,8 @@ def _cmd_algorithm1(args: argparse.Namespace) -> int:
         steps = [outcome.result.steps_taken for outcome in outcomes]
         violations = 0
         run_count = len(outcomes)
+    if engine is not None:
+        engine.close()
     print(
         render_mapping(
             "1-resilient model:",
@@ -374,6 +387,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     try:
         status = driver.run(resume=args.resume, limit=args.limit)
     except ValueError as exc:
+        driver.close()
         raise SystemExit(f"repro sweep: {exc}")
     if args.escalate and status["complete"]:
         escalated = driver.escalate(args.escalate)
@@ -408,9 +422,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         if args.output is not None:
             data = driver.write_artifact(args.output)
             print(f"wrote {args.output} ({len(data)} bytes)")
+        driver.close()
         return 0
     remaining = status["cells"] - status["done"]
     print(f"{remaining} cell(s) pending; rerun with --resume to continue")
+    driver.close()
     return 2
 
 
@@ -580,6 +596,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             },
         )
     )
+    engine.close()
     return exit_code
 
 
@@ -652,6 +669,9 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             "no_cache": args.no_cache or args.cache_dir is None,
             "cache_dir": args.cache_dir,
             "window_ms": args.window_ms,
+            # Shards sharing one --cache-dir read warm artifacts from
+            # one mmap segment instead of deserializing per process.
+            "shared_cache": getattr(args, "shared_cache", False),
         },
         router_options={
             "admission": AdmissionController(
@@ -932,6 +952,7 @@ def _cmd_certify(args: argparse.Namespace) -> int:
     task = set_consensus_task(args.n, args.k)
     engine = _build_engine(args)
     cert = engine.certify(affine, task, args.budget)
+    engine.close()
     if args.output is not None:
         write_cert(args.output, cert)
         print(
@@ -1035,6 +1056,7 @@ def _cmd_sim(args: argparse.Namespace) -> int:
     if report["first_violation"] is not None and args.artifact is not None:
         write_artifact(args.artifact, report["first_violation"])
         print(f"wrote replay artifact to {args.artifact}", file=sys.stderr)
+    engine.close()
     return 0 if report["pass"] else 1
 
 
@@ -1135,6 +1157,7 @@ def _cmd_oracle(args: argparse.Namespace) -> int:
             )
             write_artifact(path, report["artifact"])
             print(f"wrote replay artifact to {path}", file=sys.stderr)
+    engine.close()
     if disagreements:
         print(
             f"oracle: {disagreements} of {len(cases)} cases DISAGREE",
@@ -1169,6 +1192,13 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
         "--no-cache",
         action="store_true",
         help="disable the artifact cache",
+    )
+    parser.add_argument(
+        "--shared-cache",
+        action="store_true",
+        help="mirror warm artifacts into a shared mmap segment so every "
+        "process on this cache directory deserializes them once "
+        "(env fallback: REPRO_SHARED_CACHE=1)",
     )
     parser.add_argument(
         "--kernel",

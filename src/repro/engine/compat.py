@@ -1,0 +1,62 @@
+"""One home for every deprecated entry point's warning.
+
+The engine grew several transitional surfaces — positional solve
+payload tuples, the ``node_budget``/``max_nodes`` budget aliases, the
+module-level ``execute_batch`` executor — and each used to carry its
+own ``warnings.warn`` call.  They now all route through
+:func:`deprecated`, so the warning category, the removal schedule and
+the ``stacklevel`` bookkeeping live in exactly one place, and the
+pytest ``error::DeprecationWarning:repro`` filter keeps the library
+itself off every one of these paths.
+
+Removal schedule (documented for users in ``docs/engine.md``):
+
+* ``as_solve_request`` legacy 4/5-tuples — accepted with a warning for
+  one release after the typed :class:`~repro.solver.api.SolveRequest`
+  landed; the adapter then becomes an error.
+* ``node_budget`` / ``max_nodes`` keyword aliases — same window; spell
+  it ``budget=``.
+* ``repro.engine.executor.execute_batch`` — shimmed onto
+  :class:`repro.workers.WorkerPool` for one release, then removed.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Optional
+
+__all__ = ["deprecated", "resolve_budget_aliases"]
+
+
+def deprecated(message: str, *, stacklevel: int = 3) -> None:
+    """Emit the library's one ``DeprecationWarning``.
+
+    ``stacklevel`` counts from *this* frame: ``3`` attributes the
+    warning to the caller of the deprecated entry point (1 = here,
+    2 = the deprecated entry point, 3 = its caller).
+    """
+    warnings.warn(message, DeprecationWarning, stacklevel=stacklevel)
+
+
+def resolve_budget_aliases(
+    budget: Optional[int],
+    *,
+    node_budget: Optional[int] = None,
+    max_nodes: Optional[int] = None,
+    stacklevel: int = 4,
+) -> Optional[int]:
+    """Fold the deprecated budget keyword aliases into ``budget``.
+
+    ``budget`` wins when several are given; each alias that was passed
+    emits one deprecation warning naming it.
+    """
+    for name, value in (("node_budget", node_budget), ("max_nodes", max_nodes)):
+        if value is None:
+            continue
+        deprecated(
+            f"the {name!r} keyword is deprecated; pass budget= instead",
+            stacklevel=stacklevel,
+        )
+        if budget is None:
+            budget = value
+    return budget

@@ -1,132 +1,30 @@
-"""Batch execution: in-process sequential, or a process-pool fan-out.
+"""Sequential batch execution (and the deprecated pooled entry point).
 
-``execute_batch`` is the engine's only execution primitive.  With
-``jobs=1`` it runs every spec in the calling process in submission
-order — the bit-identical default path.  With ``jobs>1`` it partitions
-the batch into contiguous chunks and dispatches them to a
-``ProcessPoolExecutor``; payloads and results cross the process
-boundary as canonical serialized text (never pickled closures), each
-chunk gets a wall-clock deadline derived from the per-job ``timeout``,
-and results are always returned in submission order regardless of
-completion order.
+The in-process path lives here: ``_execute_sequential`` runs every spec
+in the calling process in submission order — the bit-identical default
+the engine uses for ``jobs=1`` and single-job batches.
 
-``SearchBudgetExceeded`` is not an error here: workers catch it and
-return a structured ``budget`` outcome carrying the node count, which
-the engine turns into a domain-split retry (see
+The process-parallel path moved to :class:`repro.workers.WorkerPool`
+(persistent warm workers, digest+delta wire format, affinity routing);
+:class:`repro.engine.jobs.Engine` owns one per process and dispatches
+to it directly.  The old module-level ``execute_batch`` remains as a
+thin deprecated shim for one release — it builds a throwaway pool per
+call, which is exactly the cost profile the redesign removed, so new
+code should go through ``Engine`` or ``WorkerPool.run_batch``.
+
+``SearchBudgetExceeded`` is not an error here: it becomes a structured
+``budget`` result that the engine turns into a domain-split retry (see
 :meth:`repro.engine.jobs.Engine._split_retry`).
-
-When tracing is enabled (:mod:`repro.obs`), the submitting context's
-span carrier rides along with each chunk: workers run their jobs under
-a private tracer with the carrier attached, so the per-job
-``engine.compute`` / ``engine.codec.*`` spans they produce are parented
-under the submitting span, and the finished span dicts come back beside
-the outcomes for the parent tracer to reattach.  With tracing off the
-carrier is ``None`` and workers skip all of it.
 """
 
 from __future__ import annotations
 
 import time
 import traceback
-from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures import TimeoutError as FutureTimeoutError
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from .. import obs
 from ..tasks.solvability import SearchBudgetExceeded
-from .serialize import deserialize, serialize
-
-# Outcome tuples crossing the process boundary:
-#   ("ok",     serialized_value, wall_time)
-#   ("budget", nodes_explored,   wall_time)
-#   ("error",  message,          wall_time)
-_ChunkItem = Tuple[str, str]  # (kind, serialized payload)
-_ChunkReturn = Tuple[List[Tuple[str, Any, float]], List[Dict[str, Any]]]
-
-
-def _run_chunk(
-    chunk: Sequence[_ChunkItem],
-    carrier: Optional[Dict[str, str]] = None,
-) -> _ChunkReturn:
-    """Worker entry point: execute one chunk of serialized jobs.
-
-    Returns ``(outcomes, span_dicts)``; ``span_dicts`` is empty unless
-    the submitting process sent a span carrier.
-    """
-    from .jobs import JOB_KINDS
-
-    # Workers forked from a traced parent inherit its module-global
-    # tracer; reset explicitly so worker tracing is governed only by
-    # the carrier the submitting batch chose to send.
-    tracer = obs.enable() if carrier is not None else None
-    if carrier is None:
-        obs.disable()
-
-    outcomes: List[Tuple[str, Any, float]] = []
-    with obs.attach(carrier):
-        for kind, payload_text in chunk:
-            started = time.perf_counter()
-            try:
-                with obs.span("engine.codec.decode", kind=kind):
-                    payload = deserialize(payload_text)
-                with obs.span("engine.compute", kind=kind):
-                    value = JOB_KINDS[kind](payload)
-                with obs.span("engine.codec.encode", kind=kind):
-                    value_text = serialize(value)
-                outcomes.append(
-                    ("ok", value_text, time.perf_counter() - started)
-                )
-            except SearchBudgetExceeded as exc:
-                outcomes.append(
-                    (
-                        "budget",
-                        exc.nodes_explored,
-                        time.perf_counter() - started,
-                    )
-                )
-            except Exception:
-                outcomes.append(
-                    (
-                        "error",
-                        traceback.format_exc(limit=8),
-                        time.perf_counter() - started,
-                    )
-                )
-    span_dicts: List[Dict[str, Any]] = []
-    if tracer is not None:
-        span_dicts = [span_obj.to_dict() for span_obj in tracer.drain()]
-        obs.disable()
-    return outcomes, span_dicts
-
-
-def _chunked(items: List, chunk_count: int) -> List[List]:
-    """Split into at most ``chunk_count`` contiguous, near-equal chunks."""
-    chunk_count = max(1, min(chunk_count, len(items)))
-    base, extra = divmod(len(items), chunk_count)
-    chunks, start = [], 0
-    for index in range(chunk_count):
-        size = base + (1 if index < extra else 0)
-        chunks.append(items[start : start + size])
-        start += size
-    return chunks
-
-
-def execute_batch(
-    pending: Sequence[Tuple[int, "JobSpec"]],
-    jobs: int = 1,
-    timeout: Optional[float] = None,
-) -> List["JobResult"]:
-    """Run ``(index, spec)`` pairs; results in submission order.
-
-    The ``index`` of each pair is carried through to the corresponding
-    :class:`~repro.engine.jobs.JobResult`, so callers can interleave
-    cache hits and executed jobs without re-sorting.
-    """
-    from .jobs import JobResult, JobSpec  # late: avoids an import cycle
-
-    if jobs <= 1 or len(pending) <= 1:
-        return _execute_sequential(pending, timeout)
-    return _execute_pool(pending, jobs, timeout)
 
 
 def _execute_sequential(
@@ -172,91 +70,26 @@ def _execute_sequential(
     return results
 
 
-def _execute_pool(
+def execute_batch(
     pending: Sequence[Tuple[int, "JobSpec"]],
-    jobs: int,
-    timeout: Optional[float],
+    jobs: int = 1,
+    timeout: Optional[float] = None,
 ) -> List["JobResult"]:
-    from .jobs import JobResult
+    """Deprecated shim over the sequential path / a throwaway pool.
 
-    # Contiguous chunks, a few per worker: amortizes IPC/codec overhead
-    # on many-small-job batches while keeping the pool load-balanced.
-    indexed = list(pending)
-    chunks = _chunked(indexed, jobs * 4)
-    with obs.span("engine.codec.encode", jobs=len(indexed)):
-        payload_chunks = [
-            [(spec.kind, serialize(spec.payload)) for _, spec in chunk]
-            for chunk in chunks
-        ]
-    # The submitting span context rides along so worker spans reattach
-    # under it; ``None`` (tracing off) costs workers nothing.
-    carrier = obs.current_carrier()
-    tracer = obs.get_tracer()
+    Kept for one release so pre-``WorkerPool`` callers keep compiling;
+    use :meth:`repro.engine.jobs.Engine.run_jobs` (which owns a
+    persistent pool) or :meth:`repro.workers.WorkerPool.run_batch`.
+    """
+    from .compat import deprecated
 
-    results: List["JobResult"] = []
-    timed_out = False
-    pool = ProcessPoolExecutor(max_workers=jobs)
-    try:
-        futures = [
-            pool.submit(_run_chunk, payload, carrier)
-            for payload in payload_chunks
-        ]
-        for chunk, future in zip(chunks, futures):
-            chunk_timeout = timeout * len(chunk) if timeout else None
-            try:
-                outcomes, worker_spans = future.result(timeout=chunk_timeout)
-                if tracer is not None and worker_spans:
-                    tracer.ingest(worker_spans)
-            except FutureTimeoutError:
-                timed_out = True
-                for index, spec in chunk:
-                    results.append(
-                        JobResult(index=index, kind=spec.kind, error="timeout")
-                    )
-                continue
-            except Exception:
-                message = traceback.format_exc(limit=8)
-                for index, spec in chunk:
-                    results.append(
-                        JobResult(index=index, kind=spec.kind, error=message)
-                    )
-                continue
-            for (index, spec), (status, data, wall) in zip(chunk, outcomes):
-                if status == "ok":
-                    with obs.span("engine.codec.decode", kind=spec.kind):
-                        value = deserialize(data)
-                    results.append(
-                        JobResult(
-                            index=index,
-                            kind=spec.kind,
-                            value=value,
-                            wall_time=wall,
-                        )
-                    )
-                elif status == "budget":
-                    results.append(
-                        JobResult(
-                            index=index,
-                            kind=spec.kind,
-                            error="budget",
-                            nodes_explored=data,
-                            wall_time=wall,
-                        )
-                    )
-                else:
-                    results.append(
-                        JobResult(
-                            index=index, kind=spec.kind, error=data, wall_time=wall
-                        )
-                    )
-    finally:
-        if timed_out:
-            # A hung CPU-bound worker would block a graceful shutdown
-            # forever; reclaim the pool by force.
-            for process in getattr(pool, "_processes", {}).values():
-                process.terminate()
-            pool.shutdown(wait=False, cancel_futures=True)
-        else:
-            pool.shutdown(wait=True)
-    results.sort(key=lambda result: result.index)
-    return results
+    deprecated(
+        "execute_batch() is deprecated; use Engine.run_jobs or "
+        "repro.workers.WorkerPool.run_batch",
+    )
+    if jobs <= 1 or len(pending) <= 1:
+        return _execute_sequential(pending, timeout)
+    from ..workers.pool import WorkerPool
+
+    with WorkerPool(jobs, timeout=timeout) as pool:
+        return pool.run_batch(pending)

@@ -158,6 +158,19 @@ def _compute_sleep(payload: tuple) -> Any:
     return token
 
 
+def _compute_crash(payload: tuple) -> Any:
+    # Synthetic failure injection: kill the executing process outright,
+    # mid-job, with no cleanup — ``os._exit`` skips every handler.  This
+    # is how worker-pool crash recovery (restart + bounded re-dispatch)
+    # is tested deterministically instead of racing SIGKILL from the
+    # outside.  Never run it on an in-process engine: with ``jobs=1``
+    # the "worker" is you.
+    import os as _os
+
+    (code,) = payload
+    _os._exit(code)
+
+
 #: kind -> compute function.  Worker processes resolve kinds through
 #: this registry, so adding a job type is one entry + one payload codec.
 JOB_KINDS: Dict[str, Callable[[tuple], Any]] = {
@@ -173,6 +186,7 @@ JOB_KINDS: Dict[str, Callable[[tuple], Any]] = {
     "sweep": _compute_sweep,
     "sweep_resume": _compute_sweep_resume,
     "sleep": _compute_sleep,
+    "crash": _compute_crash,
 }
 
 
@@ -278,9 +292,53 @@ class Engine:
         self.kernel = kernel
         #: Jobs answered by batch-level dedup instead of computation.
         self.deduped = 0
+        #: The persistent worker pool (``jobs > 1`` only), built lazily
+        #: on the first pooled batch and reused across ``run_jobs``
+        #: calls — that persistence is what keeps worker-side payload
+        #: objects and solver setups warm between batches.
+        self._pool = None
 
     def __repr__(self) -> str:
         return f"Engine(jobs={self.jobs}, cache={self.cache!r})"
+
+    # ------------------------------------------------------------------
+    # Worker-pool lifecycle
+    # ------------------------------------------------------------------
+    def _worker_pool(self):
+        """The engine's persistent :class:`repro.workers.WorkerPool`."""
+        if self._pool is None:
+            from ..workers.pool import WorkerPool
+
+            self._pool = WorkerPool(self.jobs, timeout=self.timeout)
+            self._pool.start()
+        return self._pool
+
+    def _execute(self, pending: List[Tuple[int, JobSpec]]) -> List[JobResult]:
+        """Dispatch one deduplicated batch: sequential or pooled."""
+        from .executor import _execute_sequential
+
+        if self.jobs <= 1 or len(pending) <= 1:
+            return _execute_sequential(pending, self.timeout)
+        return self._worker_pool().run_batch(pending)
+
+    def close(self) -> None:
+        """Release the worker pool (idempotent; the engine stays usable —
+        the next pooled batch starts a fresh pool)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def __enter__(self) -> "Engine":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def worker_stats(self) -> Optional[Dict[str, Any]]:
+        """Pool dispatch/affinity counters, or ``None`` (no pool yet)."""
+        if self._pool is None:
+            return None
+        return self._pool.stats()
 
     # ------------------------------------------------------------------
     def run_jobs(self, specs: Sequence[JobSpec]) -> List[JobResult]:
@@ -333,13 +391,7 @@ class Engine:
                 lookup_span.set_attr("pending", len(pending))
 
             if pending:
-                from .executor import execute_batch
-
-                for result in execute_batch(
-                    pending,
-                    jobs=self.jobs,
-                    timeout=self.timeout,
-                ):
+                for result in self._execute(pending):
                     if (
                         result.error == "budget"
                         and specs[result.index].kind == "solve"
@@ -402,8 +454,6 @@ class Engine:
     def _split_retry_impl(self, spec: JobSpec, failed: JobResult) -> JobResult:
         from dataclasses import replace as dc_replace
 
-        from .executor import execute_batch
-
         request = as_solve_request(spec.payload, warn=False)
         total_nodes = failed.nodes_explored or 0
         splits_done = 0
@@ -429,9 +479,7 @@ class Engine:
                 (i, JobSpec("solve", (sub,)))
                 for i, sub in enumerate(sub_requests)
             ]
-            sub_results = execute_batch(
-                sub_pending, jobs=self.jobs, timeout=self.timeout
-            )
+            sub_results = self._execute(sub_pending)
             for sub_result, sub_request in zip(sub_results, sub_requests):
                 if sub_result.error == "budget":
                     total_nodes += sub_result.nodes_explored or 0

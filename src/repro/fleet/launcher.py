@@ -94,6 +94,7 @@ def spawn_shard(
     jobs: int = 1,
     no_cache: bool = True,
     cache_dir: Optional[str] = None,
+    shared_cache: bool = False,
     window_ms: float = 2.0,
     extra_args: Sequence[str] = (),
     start_timeout: float = 60.0,
@@ -117,6 +118,10 @@ def spawn_shard(
     ]
     if cache_dir is not None:
         argv += ["--cache-dir", cache_dir]
+        if shared_cache:
+            # Shards sharing one cache dir read warm artifacts out of
+            # one mmap segment instead of deserializing per process.
+            argv += ["--shared-cache"]
     elif no_cache:
         argv += ["--no-cache"]
     argv += list(extra_args)

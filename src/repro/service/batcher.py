@@ -153,7 +153,15 @@ class Batcher:
             await asyncio.gather(*list(self._batch_tasks), return_exceptions=True)
 
     async def close(self) -> None:
-        """Drain, then refuse further submissions and free the worker."""
+        """Drain, then refuse further submissions and free the workers.
+
+        Closing also releases the engine's persistent worker pool: all
+        engine batches serialize through this batcher's dispatch thread,
+        so once it is shut down nothing else is using the pool.  The
+        engine itself stays usable (a later batch would start a fresh
+        pool).
+        """
         await self.drain()
         self._closed = True
         self._executor.shutdown(wait=True)
+        self.engine.close()

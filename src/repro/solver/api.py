@@ -22,7 +22,6 @@ are the protocol-v1 format and not a deprecated call site).
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
@@ -46,6 +45,7 @@ __all__ = [
     "as_solve_request",
     "make_searcher",
     "run_request",
+    "setup_digest",
     "solve_request_from_payload",
 ]
 
@@ -136,6 +136,10 @@ class SolveRequest:
             return base + (self.resume_dict(),)
         return base
 
+    def setup_digest(self) -> str:
+        """Digest of the solver setup this request would build/reuse."""
+        return setup_digest(self.affine, self.task)
+
 
 @dataclass(frozen=True)
 class SolveResult:
@@ -153,6 +157,23 @@ class SolveResult:
     def as_pair(self) -> Tuple[Optional[Dict], int]:
         """The legacy ``(mapping, nodes_explored)`` value shape."""
         return (self.mapping, self.nodes)
+
+
+def setup_digest(affine: AffineTask, task: Task) -> str:
+    """The content address of one ``(affine, task)`` solver setup.
+
+    The expensive part of a solve — the interned ``MapSearch`` tables
+    the bitset kernel caches on ``task._solver_setup`` — depends only
+    on the ``(affine, task)`` pair, never on budgets, overrides or
+    resume seeds.  This digest therefore identifies the *warm state* a
+    request reuses, and is what :class:`repro.workers.WorkerPool` routes
+    job affinity by: a worker that has built this setup keeps receiving
+    the requests that hit it.
+    """
+    # Late import: repro.engine.serialize imports this module.
+    from ..engine.serialize import digest
+
+    return digest(("repro.solver.setup", affine, task))
 
 
 # ----------------------------------------------------------------------
@@ -197,11 +218,14 @@ def as_solve_request(
     ):
         return payload[0]
     if warn:
-        warnings.warn(
+        # Late import: the compat module lives in the engine package,
+        # which imports this module at package-import time.
+        from ..engine.compat import deprecated
+
+        deprecated(
             "positional solve payload tuples are deprecated; "
             "pass a SolveRequest",
-            DeprecationWarning,
-            stacklevel=3,
+            stacklevel=4,
         )
     return solve_request_from_payload(tuple(payload), kernel=kernel)
 

@@ -361,6 +361,17 @@ class SweepDriver:
         self.engine = engine if engine is not None else Engine()
         self._payload_digests: Dict[int, str] = {}
 
+    # -- lifecycle -------------------------------------------------------
+    def close(self) -> None:
+        """Release the engine's persistent worker pool (idempotent)."""
+        self.engine.close()
+
+    def __enter__(self) -> "SweepDriver":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
     # -- checkpoint plumbing ---------------------------------------------
     def _grid_path(self) -> Path:
         return self.root / "grid.json"

@@ -19,7 +19,6 @@ failures surface at the smallest violating face.
 
 from __future__ import annotations
 
-import warnings
 from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 from ..core.affine import AffineTask
@@ -55,16 +54,19 @@ def resolve_budget(
     aliases that warn once per call site.  An explicit ``budget`` wins
     over any alias.
     """
-    for name, value in (("node_budget", node_budget), ("max_nodes", max_nodes)):
-        if value is not None:
-            warnings.warn(
-                f"the {name!r} keyword is deprecated; spell it budget=",
-                DeprecationWarning,
-                stacklevel=stacklevel,
-            )
-            if budget is None:
-                budget = value
-    return budget
+    # Late import: repro.engine.compat owns every deprecation warning,
+    # but importing the engine package at module-import time would cycle
+    # (engine.jobs imports this module).
+    from ..engine.compat import resolve_budget_aliases
+
+    return resolve_budget_aliases(
+        budget,
+        node_budget=node_budget,
+        max_nodes=max_nodes,
+        # compat adds two frames (resolve_budget_aliases + deprecated)
+        # between this function and warnings.warn.
+        stacklevel=stacklevel + 2,
+    )
 
 
 class SearchBudgetExceeded(Exception):

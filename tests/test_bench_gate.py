@@ -37,6 +37,23 @@ BASELINES = {
         "artifacts_cached": 142,
         "speedup_warm_cache": 20.0,
         "speedup_multiworker_cold": None,
+        "speedup_multiworker_warm": None,
+        "saturation": {"speedup_jobs2": None},
+    },
+    "BENCH_workers.json": {
+        "workload": {
+            "affinity_jobs": 20,
+            "distinct_setups": 2,
+            "sleep_jobs": 20,
+        },
+        "affinity": {"routed": 20, "hits": 18, "hit_rate": 0.9},
+        "failures": {
+            "worker_restarts": 0,
+            "redispatched": 0,
+            "codec_errors": 0,
+        },
+        "dispatch_overhead_ratio": 1.1,
+        "saturation": {"speedup_jobs2": 1.9},
     },
     "BENCH_landscape.json": {
         "workload": {"grid_cells": 12, "adversaries": 6},

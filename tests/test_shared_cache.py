@@ -1,0 +1,238 @@
+"""The shared-memory artifact read layer and its cache integration.
+
+The segment is an accelerator, never an authority: every test that
+corrupts, truncates or fills it asserts two things — the anomaly is
+detected (the process stops trusting the segment) *and* the on-disk
+store still answers correctly.  The cross-process test is the layer's
+reason to exist: two unrelated processes attached to one cache
+directory must read byte-identical artifact values out of one mmap.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+
+import pytest
+
+from repro.engine import MISS, ArtifactCache, digest, serialize
+from repro.topology import chr_complex
+from repro.workers.shm import SharedArtifactSegment
+
+
+@pytest.fixture
+def segment_path(tmp_path):
+    return tmp_path / "artifacts.shm"
+
+
+# ----------------------------------------------------------------------
+# Segment primitives
+# ----------------------------------------------------------------------
+def test_segment_round_trip(segment_path):
+    segment = SharedArtifactSegment(segment_path)
+    key = digest("round-trip")
+    assert segment.usable
+    assert segment.get_text(key) is None
+    assert segment.put_text(key, '["hello"]')
+    assert segment.get_text(key) == '["hello"]'
+    stats = segment.stats()
+    assert stats["published"] == 1 and stats["hits"] == 1
+    segment.close()
+
+
+def test_second_attachment_sees_committed_records(segment_path):
+    writer = SharedArtifactSegment(segment_path)
+    key = digest("cross-attach")
+    writer.put_text(key, "[1,2,3]")
+    reader = SharedArtifactSegment(segment_path)
+    assert reader.get_text(key) == "[1,2,3]"
+    writer.close()
+    reader.close()
+
+
+def test_torn_payload_is_detected_and_distrusted(segment_path):
+    writer = SharedArtifactSegment(segment_path)
+    key = digest("torn")
+    writer.put_text(key, '["payload that will be torn"]')
+    offset, length, _crc = writer._index[key]
+    writer.close()
+
+    # Flip committed payload bytes behind every reader's back.
+    with open(segment_path, "r+b") as handle:
+        handle.seek(offset)
+        handle.write(b"X" * min(4, length))
+
+    reader = SharedArtifactSegment(segment_path)
+    assert reader.get_text(key) is None
+    assert not reader.usable  # latched: one torn record poisons trust
+    assert reader.stats()["corruption_detected"] >= 1
+    reader.close()
+
+
+def test_truncated_segment_attaches_unusable(segment_path):
+    writer = SharedArtifactSegment(segment_path)
+    writer.put_text(digest("pre-truncation"), "[0]")
+    writer.close()
+    with open(segment_path, "r+b") as handle:
+        handle.truncate(128)  # declared capacity no longer backed
+    reader = SharedArtifactSegment(segment_path)
+    assert not reader.usable
+    assert reader.get_text(digest("pre-truncation")) is None
+    reader.close()
+
+
+def test_bad_magic_attaches_unusable(segment_path):
+    segment_path.write_bytes(b"NOTASEGM" + b"\x00" * 1024)
+    reader = SharedArtifactSegment(segment_path)
+    assert not reader.usable
+    reader.close()
+
+
+def test_full_segment_rejects_without_breaking(segment_path):
+    segment = SharedArtifactSegment(segment_path, capacity=256)
+    key_small = digest("fits")
+    assert segment.put_text(key_small, "[1]")
+    key_large = digest("does-not-fit")
+    assert not segment.put_text(key_large, "x" * 4096)
+    assert segment.usable  # full is a capacity condition, not corruption
+    assert segment.stats()["rejected_full"] == 1
+    assert segment.get_text(key_small) == "[1]"
+    segment.close()
+
+
+def test_reset_rewinds_the_committed_cursor(segment_path):
+    segment = SharedArtifactSegment(segment_path)
+    key = digest("resettable")
+    segment.put_text(key, "[7]")
+    segment.reset()
+    assert segment.get_text(key) is None
+    assert segment.put_text(key, "[8]")
+    assert segment.get_text(key) == "[8]"
+    segment.close()
+
+
+# ----------------------------------------------------------------------
+# ArtifactCache integration
+# ----------------------------------------------------------------------
+def test_shared_layer_is_off_by_default(tmp_path):
+    cache = ArtifactCache(tmp_path)
+    assert cache._shared is None
+    assert cache.shared_stats() is None
+
+
+def test_env_var_opts_in(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_SHARED_CACHE", "1")
+    assert ArtifactCache(tmp_path)._shared is not None
+    monkeypatch.setenv("REPRO_SHARED_CACHE", "0")
+    assert ArtifactCache(tmp_path)._shared is None
+    monkeypatch.delenv("REPRO_SHARED_CACHE")
+    assert ArtifactCache(tmp_path)._shared is None
+
+
+def test_shared_hit_serves_after_disk_object_vanishes(tmp_path):
+    writer = ArtifactCache(tmp_path, shared=True)
+    key = digest("shared-served")
+    value = chr_complex(3, 1)
+    writer.put(key, value)
+    writer._path(key).unlink()  # the segment is now the only copy
+
+    reader = ArtifactCache(tmp_path, shared=True)
+    assert reader.get(key) == value
+    assert reader.shared_hits == 1
+    # Without the shared layer the same lookup is a miss.
+    assert ArtifactCache(tmp_path).get(key) is MISS
+
+
+def test_disk_hits_are_published_for_later_readers(tmp_path):
+    plain = ArtifactCache(tmp_path)
+    key = digest("promoted")
+    plain.put(key, (1, 2, 3))
+
+    warmer = ArtifactCache(tmp_path, shared=True)
+    assert warmer.get(key) == (1, 2, 3)
+    assert warmer.shared_hits == 0  # came from disk ...
+    assert warmer.shared_stats()["published"] == 1  # ... and was mirrored
+
+    reader = ArtifactCache(tmp_path, shared=True)
+    assert reader.get(key) == (1, 2, 3)
+    assert reader.shared_hits == 1
+
+
+def test_repeat_hits_use_the_hot_memo(tmp_path):
+    cache = ArtifactCache(tmp_path, shared=True)
+    key = digest("memoized")
+    cache.put(key, (9, 9))
+    first = cache.get(key)
+    second = cache.get(key)
+    assert first == second == (9, 9)
+    assert first is second  # same deserialized object, not a re-decode
+
+
+def test_torn_segment_falls_back_to_disk(tmp_path):
+    writer = ArtifactCache(tmp_path, shared=True)
+    key = digest("fallback")
+    writer.put(key, ("disk", "is", "authority"))
+    offset, length, _crc = writer._shared._index[key]
+    writer._shared.close()
+
+    with open(tmp_path / "shared" / "artifacts.shm", "r+b") as handle:
+        handle.seek(offset)
+        handle.write(b"Z" * min(4, length))
+
+    reader = ArtifactCache(tmp_path, shared=True)
+    assert reader.get(key) == ("disk", "is", "authority")
+    assert reader.shared_hits == 0
+    assert not reader._shared.usable
+
+
+def test_full_segment_cache_still_serves_from_disk(tmp_path):
+    cache = ArtifactCache(tmp_path, shared=True, shared_capacity=256)
+    key = digest("oversize")
+    cache.put(key, list(range(2000)))  # too large for the tiny segment
+    assert cache.shared_stats()["rejected_full"] >= 1
+    fresh = ArtifactCache(tmp_path, shared=True, shared_capacity=256)
+    assert fresh.get(key) == list(range(2000))
+    assert fresh.shared_hits == 0
+
+
+def test_clear_resets_the_segment_too(tmp_path):
+    cache = ArtifactCache(tmp_path, shared=True)
+    key = digest("cleared")
+    cache.put(key, (1,))
+    assert cache.clear() == 1
+    assert cache.get(key) is MISS
+    assert cache.shared_stats()["indexed"] == 0
+
+
+# ----------------------------------------------------------------------
+# Cross-process
+# ----------------------------------------------------------------------
+def _read_shared(root, key, queue):
+    cache = ArtifactCache(root, shared=True)
+    value = cache.get(key)
+    queue.put((serialize(value), cache.shared_hits))
+
+
+def test_two_processes_read_byte_identical_values(tmp_path):
+    writer = ArtifactCache(tmp_path, shared=True)
+    key = digest("cross-process")
+    value = chr_complex(3, 1)
+    writer.put(key, value)
+    writer._path(key).unlink()  # force both readers through the segment
+
+    queue = multiprocessing.get_context().Queue()
+    readers = [
+        multiprocessing.get_context().Process(
+            target=_read_shared, args=(tmp_path, key, queue)
+        )
+        for _ in range(2)
+    ]
+    for process in readers:
+        process.start()
+    texts = [queue.get(timeout=30) for _ in readers]
+    for process in readers:
+        process.join(timeout=30)
+        assert process.exitcode == 0
+
+    (text_a, hits_a), (text_b, hits_b) = texts
+    assert text_a == text_b == serialize(value)
+    assert hits_a == 1 and hits_b == 1  # both served from the segment

@@ -67,7 +67,28 @@ RULES: Dict[str, List[Tuple[str, str, float]]] = {
         ("workload.solvability_queries", EXACT, 0.0),
         ("artifacts_cached", EXACT, 0.0),
         ("speedup_warm_cache", MIN_RATIO, 0.75),
+        # Multiworker scaling (null on single-CPU hosts — skipped):
+        # cold measures process fan-out, warm measures the persistent
+        # pool's warm-setup advantage over its own first batch.
         ("speedup_multiworker_cold", MIN_RATIO, 0.75),
+        ("speedup_multiworker_warm", MIN_RATIO, 0.75),
+        ("saturation.speedup_jobs2", MIN_RATIO, 0.75),
+    ],
+    "BENCH_workers.json": [
+        ("workload.affinity_jobs", EXACT, 0.0),
+        ("workload.distinct_setups", EXACT, 0.0),
+        ("workload.sleep_jobs", EXACT, 0.0),
+        # Routing is deterministic by construction (idle-pool
+        # submissions): hits and the rate must not drift at all beyond
+        # tolerance, and a healthy run never restarts a worker.
+        ("affinity.routed", EXACT, 0.0),
+        ("affinity.hits", EXACT, 0.0),
+        ("affinity.hit_rate", MIN_RATIO, 0.90),
+        ("failures.worker_restarts", EXACT, 0.0),
+        ("failures.redispatched", EXACT, 0.0),
+        ("failures.codec_errors", EXACT, 0.0),
+        ("dispatch_overhead_ratio", MAX_RATIO, 3.00),
+        ("saturation.speedup_jobs2", MIN_RATIO, 0.75),
     ],
     "BENCH_landscape.json": [
         ("workload.grid_cells", EXACT, 0.0),
