@@ -519,7 +519,16 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             for _, task in cases
             for k in range(1, 4)
         ]
-        solved = engine.solve_many(queries)
+        winners: Optional[List[str]] = None
+        if getattr(args, "portfolio", False):
+            raced = engine.portfolio_many(queries)
+            solved = [(mapping, nodes) for mapping, nodes, _ in raced]
+            winners = [kernel for _, _, kernel in raced]
+        else:
+            solved = engine.solve_many(queries)
+        headers = ["affine task", "min k-set consensus", "search nodes"]
+        if winners is not None:
+            headers.append("winning kernels")
         fact_rows = []
         for row, (name, _) in enumerate(cases):
             answers = solved[row * 3 : row * 3 + 3]
@@ -528,13 +537,13 @@ def _cmd_batch(args: argparse.Namespace) -> int:
                 if mapping is not None
             )
             nodes = sum(nodes for _, nodes in answers)
-            fact_rows.append((name, min_k, nodes))
-        print(
-            render_table(
-                ["affine task", "min k-set consensus", "search nodes"],
-                fact_rows,
-            )
-        )
+            fact_row = [name, min_k, nodes]
+            if winners is not None:
+                fact_row.append(
+                    ",".join(sorted(set(winners[row * 3 : row * 3 + 3])))
+                )
+            fact_rows.append(tuple(fact_row))
+        print(render_table(headers, fact_rows))
 
     if "simulate" in sections:
         from .sim import standard_grid
@@ -1254,6 +1263,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="run only the sections for these job kinds "
         "(e.g. --only simulate oracle)",
+    )
+    batch.add_argument(
+        "--portfolio",
+        action="store_true",
+        help="race each FACT query across the kernel portfolio "
+        "(bitset, fc, symmetry); with --jobs > 1 the lanes run on "
+        "distinct workers and losers are cancelled",
     )
     _add_engine_options(batch)
 

@@ -2,8 +2,9 @@
 
 A :class:`JobSpec` is a pure description of one expensive computation —
 a subdivision, an ``R_A`` construction, an adversary classification, a
-FACT solvability query (plain or certificate-producing), a certificate
-check, or one Algorithm-1 fuzz case.  Specs are
+FACT solvability query (plain, certificate-producing, or raced across
+the kernel portfolio), a certificate check, or one Algorithm-1 fuzz
+case.  Specs are
 canonically serializable (see :mod:`repro.engine.serialize`), which
 gives each job a content-addressed cache key and lets the executor ship
 it to worker processes without pickling closures.
@@ -36,7 +37,7 @@ from ..solver.api import (
     as_solve_request,
     run_request,
 )
-from ..solver.split import split_request
+from ..solver.split import PORTFOLIO_KERNELS, portfolio_requests, split_request
 from ..tasks.solvability import SearchBudgetExceeded, resolve_budget
 from ..tasks.task import Task
 from ..topology.subdivision import iterated_subdivision
@@ -79,6 +80,19 @@ def _compute_solve(payload: tuple) -> Any:
     # emits a DeprecationWarning.
     result = run_request(as_solve_request(payload))
     return result.as_pair()
+
+
+def _compute_portfolio(payload: tuple) -> Any:
+    # One solve raced across the kernel portfolio.  In a worker or on
+    # the sequential path there is nobody to race against, so the
+    # degenerate semantics run the canonical lane (the first portfolio
+    # kernel) inline; the pooled engine path intercepts this kind and
+    # races the lanes on distinct workers instead (see
+    # ``Engine._race_portfolio``).  The value is always
+    # ``(mapping, nodes, winner_kernel)``.
+    lane = portfolio_requests(as_solve_request(payload))[0]
+    result = run_request(lane)
+    return (result.mapping, result.nodes, lane.kernel)
 
 
 def _compute_certify(payload: tuple) -> Any:
@@ -178,6 +192,7 @@ JOB_KINDS: Dict[str, Callable[[tuple], Any]] = {
     "classify": _compute_classify,
     "r_affine": _compute_r_affine,
     "solve": _compute_solve,
+    "portfolio": _compute_portfolio,
     "certify": _compute_certify,
     "check": _compute_check,
     "fuzz": _compute_fuzz,
@@ -314,12 +329,74 @@ class Engine:
         return self._pool
 
     def _execute(self, pending: List[Tuple[int, JobSpec]]) -> List[JobResult]:
-        """Dispatch one deduplicated batch: sequential or pooled."""
+        """Dispatch one deduplicated batch: sequential or pooled.
+
+        ``portfolio`` specs are intercepted on the pooled path — even a
+        single-spec batch — and raced across workers (see
+        :meth:`_race_portfolio`); everything else keeps the historical
+        routing (in-process when it would not help to parallelize).
+        """
         from .executor import _execute_sequential
 
-        if self.jobs <= 1 or len(pending) <= 1:
+        if self.jobs <= 1:
             return _execute_sequential(pending, self.timeout)
-        return self._worker_pool().run_batch(pending)
+        races = [item for item in pending if item[1].kind == "portfolio"]
+        rest = [item for item in pending if item[1].kind != "portfolio"]
+        results: List[JobResult] = []
+        if rest:
+            if len(rest) == 1 and not races:
+                return _execute_sequential(rest, self.timeout)
+            results.extend(self._worker_pool().run_batch(rest))
+        for index, spec in races:
+            results.append(self._race_portfolio(index, spec))
+        return results
+
+    def _race_portfolio(self, index: int, spec: JobSpec) -> JobResult:
+        """Race one solve across the kernel portfolio on the pool.
+
+        Each portfolio kernel becomes a ``solve`` lane dispatched to a
+        distinct worker; the first lane to return a verdict wins and the
+        losers are cancelled through the pool's kill-and-restart
+        machinery (:meth:`repro.workers.WorkerPool.race`).  The result
+        value is ``(mapping, nodes, winner_kernel)`` — identical in
+        shape to the sequential degenerate, but the winner (and its
+        node count) depends on which kernel finished first, so raced
+        values are witness-nondeterministic.  The solvability verdict
+        itself is kernel-independent, hence deterministic.
+
+        Budget overruns surface as ``error="budget"`` without the
+        ``solve`` split-retry (a race already *is* the retry strategy).
+        """
+        request = as_solve_request(spec.payload, warn=False)
+        lanes = portfolio_requests(request)
+        with obs.span(
+            "solver.portfolio",
+            lanes=len(lanes),
+            kernels=",".join(lane.kernel for lane in lanes),
+        ) as race_span:
+            raced = self._worker_pool().race(
+                [JobSpec("solve", (lane,)) for lane in lanes]
+            )
+            winner_kernel = lanes[raced.index].kernel
+            race_span.set_attr("winner_lane", raced.index)
+            race_span.set_attr("winner_kernel", winner_kernel)
+        if not raced.ok:
+            return JobResult(
+                index=index,
+                kind=spec.kind,
+                error=raced.error,
+                nodes_explored=raced.nodes_explored,
+                wall_time=raced.wall_time,
+            )
+        mapping, nodes = raced.value
+        return JobResult(
+            index=index,
+            kind=spec.kind,
+            value=(mapping, nodes, winner_kernel),
+            wall_time=raced.wall_time,
+            nodes_explored=nodes,
+            kernel=winner_kernel,
+        )
 
     def close(self) -> None:
         """Release the worker pool (idempotent; the engine stays usable —
@@ -410,13 +487,18 @@ class Engine:
                         )
 
             for result in results:
-                if result is not None and result.kind == "solve" and result.ok:
+                if result is None or not result.ok:
+                    continue
+                if result.kind == "solve":
                     result.nodes_explored = result.value[1]
                     payload = specs[result.index].payload
                     if len(payload) == 1 and isinstance(
                         payload[0], SolveRequest
                     ):
                         result.kernel = payload[0].kernel
+                elif result.kind == "portfolio":
+                    result.nodes_explored = result.value[1]
+                    result.kernel = result.value[2]
             batch_span.set_attr("cache_hits", hits)
             batch_span.set_attr("computed", len(pending))
             batch_span.set_attr("coalesced", len(specs) - hits - len(pending))
@@ -635,6 +717,57 @@ class Engine:
             kernel=kernel or self.kernel,
         )
         return self.solve_many([request])[0][0]
+
+    def portfolio_many(
+        self,
+        queries: Iterable,
+    ) -> List[Tuple[Optional[Dict], int, str]]:
+        """Batch FACT queries raced across the kernel portfolio.
+
+        Each query is a :class:`SolveRequest` or ``(L, T, budget)``
+        triple; each result is ``(mapping_or_None, nodes, kernel)``
+        where ``kernel`` names the portfolio member that produced the
+        value.  On a pooled engine (``jobs > 1``) the lanes genuinely
+        race on distinct workers and losers are cancelled; sequentially
+        the canonical lane runs alone.  The query's own ``kernel`` field
+        is ignored (and normalized for the cache key): the portfolio is
+        always :data:`repro.solver.split.PORTFOLIO_KERNELS`.  Raced
+        values are cached first-winner, so a cache hit may report a
+        different kernel than a fresh race would elect — the verdict is
+        kernel-independent either way.
+        """
+        specs = []
+        for query in queries:
+            request = replace(
+                self._request_of(query),
+                kernel=PORTFOLIO_KERNELS[0],
+                resume=None,
+            )
+            specs.append(JobSpec("portfolio", (request,)))
+        return [self._value(r) for r in self.run_jobs(specs)]
+
+    def portfolio(
+        self,
+        affine: AffineTask,
+        task: Task,
+        budget: Optional[int] = None,
+        *,
+        node_budget: Optional[int] = None,
+        max_nodes: Optional[int] = None,
+    ) -> SolveResult:
+        """One portfolio-raced FACT query; the result's ``kernel`` is
+        the winning lane's kernel."""
+        budget = resolve_budget(
+            budget, node_budget=node_budget, max_nodes=max_nodes
+        )
+        request = SolveRequest(affine=affine, task=task, budget=budget)
+        mapping, nodes, kernel = self.portfolio_many([request])[0]
+        return SolveResult(
+            verdict="solvable" if mapping is not None else "unsolvable",
+            mapping=mapping,
+            nodes=nodes,
+            kernel=kernel,
+        )
 
     def certify_many(
         self,

@@ -7,8 +7,11 @@ the typed query surface the engine, service and CLI share;
 the legacy :class:`~repro.tasks.solvability.MapSearch` (same verdicts,
 maps *and node counts* — legacy stays on as the differential-testing
 oracle); :class:`ForwardCheckingKernel` is the opt-in pruning kernel;
-:func:`split_request` slices a request for the engine's portfolio
-split-retry.  See docs/solver.md.
+:class:`SymmetryKernel` quotients the DFS by verified process-symmetry
+orbits (symmetric adversaries are the paper-central case);
+:func:`split_request` slices a request for the engine's split-retry and
+:func:`portfolio_requests` fans one request out to the racing kernels.
+See docs/solver.md.
 """
 
 from .api import (
@@ -16,6 +19,7 @@ from .api import (
     KERNEL_BITSET,
     KERNEL_FC,
     KERNEL_LEGACY,
+    KERNEL_SYMMETRY,
     KERNELS,
     TREE_IDENTICAL_KERNELS,
     SolveRequest,
@@ -27,9 +31,11 @@ from .api import (
 )
 from .interning import CompiledConstraint, InternTable
 from .kernel import BitsetKernel, ForwardCheckingKernel
-from .split import split_request
+from .split import PORTFOLIO_KERNELS, portfolio_requests, split_request
+from .symmetry import Automorphism, SymmetryKernel, automorphism_group
 
 __all__ = [
+    "Automorphism",
     "BitsetKernel",
     "CompiledConstraint",
     "DEFAULT_KERNEL",
@@ -39,11 +45,16 @@ __all__ = [
     "KERNEL_BITSET",
     "KERNEL_FC",
     "KERNEL_LEGACY",
+    "KERNEL_SYMMETRY",
+    "PORTFOLIO_KERNELS",
     "SolveRequest",
     "SolveResult",
+    "SymmetryKernel",
     "TREE_IDENTICAL_KERNELS",
     "as_solve_request",
+    "automorphism_group",
     "make_searcher",
+    "portfolio_requests",
     "run_request",
     "solve_request_from_payload",
     "split_request",

@@ -39,6 +39,7 @@ __all__ = [
     "KERNEL_BITSET",
     "KERNEL_FC",
     "KERNEL_LEGACY",
+    "KERNEL_SYMMETRY",
     "SolveRequest",
     "SolveResult",
     "TREE_IDENTICAL_KERNELS",
@@ -52,8 +53,9 @@ __all__ = [
 KERNEL_LEGACY = "legacy"
 KERNEL_BITSET = "bitset"
 KERNEL_FC = "fc"
+KERNEL_SYMMETRY = "symmetry"
 #: Every selectable kernel, in documentation order.
-KERNELS = (KERNEL_LEGACY, KERNEL_BITSET, KERNEL_FC)
+KERNELS = (KERNEL_LEGACY, KERNEL_BITSET, KERNEL_FC, KERNEL_SYMMETRY)
 #: The kernel used when none is requested: tree-identical to legacy.
 DEFAULT_KERNEL = KERNEL_BITSET
 
@@ -238,7 +240,7 @@ def make_searcher(request: SolveRequest):
 
     A request carrying ``resume`` is coerced to a tree-identical kernel
     — resume stubs encode positions in the *legacy* tree, which the fc
-    kernel prunes.
+    kernel prunes and the symmetry kernel quotients.
     """
     kernel = request.kernel
     if request.resume is not None and kernel not in TREE_IDENTICAL_KERNELS:
@@ -253,6 +255,13 @@ def make_searcher(request: SolveRequest):
             )
     if kernel == KERNEL_FC:
         return ForwardCheckingKernel(
+            request.affine, request.task, domain_overrides=overrides
+        )
+    if kernel == KERNEL_SYMMETRY:
+        # Late import: the symmetry module imports kernel machinery.
+        from .symmetry import SymmetryKernel
+
+        return SymmetryKernel(
             request.affine, request.task, domain_overrides=overrides
         )
     return BitsetKernel(

@@ -23,6 +23,15 @@ target that complete an allowed image — computed once, then a single
 ``&`` per arrival at that position.  The memo is shared by the
 tree-identical bitset kernel (target = firing position) and the
 forward-checking kernel (any unassigned position).
+
+Memo *misses* are vectorized with numpy when the interned output
+universe fits one machine word: a miss tests every candidate (or, for
+the GAC revision in :meth:`InternTable.supported_candidates`, every
+live ``(source, target)`` candidate pair) against the constraint's
+allowed-mask array in one ``isin`` call instead of a Python-level
+probe per candidate.  The numpy paths are bit-identical to the scalar
+fallbacks — they fill the same memos with the same masks — so kernels
+never observe which path ran.
 """
 
 from __future__ import annotations
@@ -32,7 +41,16 @@ from typing import Dict, FrozenSet, List, Optional, Tuple
 from ..tasks.solvability import MapSearch
 from ..tasks.task import OutputVertex
 
+try:  # numpy is optional: every vectorized path has a scalar fallback
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via REPRO_NO_NUMPY
+    _np = None
+
 __all__ = ["CompiledConstraint", "InternTable"]
+
+#: Below this many membership probes a memo miss stays scalar — numpy
+#: call overhead would dominate the loop it replaces.
+_VECTOR_MIN_PROBES = 8
 
 
 class CompiledConstraint:
@@ -46,7 +64,7 @@ class CompiledConstraint:
     dropped: no assignment can ever produce them).
     """
 
-    __slots__ = ("positions", "allowed", "memo")
+    __slots__ = ("positions", "allowed", "memo", "allowed_array")
 
     def __init__(
         self, positions: Tuple[int, ...], allowed: FrozenSet[int]
@@ -55,6 +73,8 @@ class CompiledConstraint:
         self.allowed = allowed
         #: ``(target_position, others_mask) -> candidate-index bitmask``
         self.memo: Dict[Tuple[int, int], int] = {}
+        #: lazily-built sorted numpy view of ``allowed`` (vector path).
+        self.allowed_array = None
 
 
 class InternTable:
@@ -112,6 +132,9 @@ class InternTable:
             for position in positions:
                 self.involving[position].append(constraint)
 
+        #: vector paths need every mask to fit one unsigned word.
+        self.vectorized = _np is not None and len(self.out_index) <= 63
+
     def _image_mask(self, image) -> Optional[int]:
         """Bitmask of an allowed image, or ``None`` if unreachable."""
         mask = 0
@@ -138,10 +161,103 @@ class InternTable:
         key = (target, others_mask)
         mask = constraint.memo.get(key)
         if mask is None:
-            mask = 0
-            allowed = constraint.allowed
-            for index, bit in enumerate(self.domain_bits[target]):
-                if (others_mask | bit) in allowed:
-                    mask |= 1 << index
+            bits = self.domain_bits[target]
+            if self.vectorized and len(bits) >= _VECTOR_MIN_PROBES:
+                mask = self._vector_candidates(
+                    constraint, bits, others_mask
+                )
+            else:
+                mask = 0
+                allowed = constraint.allowed
+                for index, bit in enumerate(bits):
+                    if (others_mask | bit) in allowed:
+                        mask |= 1 << index
             constraint.memo[key] = mask
+        return mask
+
+    def supported_candidates(
+        self,
+        constraint: CompiledConstraint,
+        target: int,
+        others_mask: int,
+        source: int,
+        alive: int,
+    ) -> int:
+        """Union of allowed candidates at ``target`` over the live
+        candidates of ``source`` — the GAC revision step.
+
+        Equivalent to OR-ing :meth:`allowed_candidates` over every live
+        source candidate, and memoized through the same per-call memo,
+        but the *misses* are batched: one vectorized membership test
+        covers every missing ``(source candidate, target candidate)``
+        pair instead of a Python probe per pair.
+        """
+        memo = constraint.memo
+        source_bits = self.domain_bits[source]
+        supported = 0
+        missing: List[int] = []
+        for candidate, bit in enumerate(source_bits):
+            if not (alive >> candidate) & 1:
+                continue
+            context = others_mask | bit
+            mask = memo.get((target, context))
+            if mask is None:
+                missing.append(context)
+            else:
+                supported |= mask
+        if not missing:
+            return supported
+        target_bits = self.domain_bits[target]
+        probes = len(missing) * len(target_bits)
+        if self.vectorized and probes >= _VECTOR_MIN_PROBES:
+            contexts = _np.fromiter(
+                missing, dtype=_np.uint64, count=len(missing)
+            )
+            bits_arr = _np.fromiter(
+                target_bits, dtype=_np.uint64, count=len(target_bits)
+            )
+            hits = _np.isin(
+                contexts[:, None] | bits_arr[None, :],
+                self._allowed_array(constraint),
+            )
+            for row, context in enumerate(missing):
+                mask = 0
+                for index in _np.flatnonzero(hits[row]):
+                    mask |= 1 << int(index)
+                memo[(target, context)] = mask
+                supported |= mask
+        else:
+            allowed = constraint.allowed
+            for context in missing:
+                mask = 0
+                for index, bit in enumerate(target_bits):
+                    if (context | bit) in allowed:
+                        mask |= 1 << index
+                memo[(target, context)] = mask
+                supported |= mask
+        return supported
+
+    # -- numpy internals ------------------------------------------------
+    def _allowed_array(self, constraint: CompiledConstraint):
+        array = constraint.allowed_array
+        if array is None:
+            array = _np.fromiter(
+                constraint.allowed,
+                dtype=_np.uint64,
+                count=len(constraint.allowed),
+            )
+            array.sort()
+            constraint.allowed_array = array
+        return array
+
+    def _vector_candidates(
+        self, constraint: CompiledConstraint, bits: List[int], others: int
+    ) -> int:
+        bits_arr = _np.fromiter(bits, dtype=_np.uint64, count=len(bits))
+        hits = _np.isin(
+            _np.uint64(others) | bits_arr, self._allowed_array(constraint)
+        )
+        mask = 0
+        for index in _np.flatnonzero(hits):
+            mask |= 1 << int(index)
         return mask

@@ -444,14 +444,9 @@ class ForwardCheckingKernel(_KernelBase):
                 for member in positions:
                     if member <= depth:
                         others |= chosen_bit[member]
-                supported = 0
-                alive = live[source]
-                source_bits = tables.domain_bits[source]
-                for candidate, bit in enumerate(source_bits):
-                    if (alive >> candidate) & 1:
-                        supported |= tables.allowed_candidates(
-                            constraint, target, others | bit
-                        )
+                supported = tables.supported_candidates(
+                    constraint, target, others, source, live[source]
+                )
                 if not self._restrict(
                     target, supported, live, trail, queue
                 ):

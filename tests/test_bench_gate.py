@@ -31,6 +31,12 @@ BASELINES = {
         "median_speedup_warm": 100.0,
         "median_speedup_cold": 1.0,
         "median_speedup_fc_warm": 25.0,
+        "symmetry": {"qualifying_queries": 3},
+        "median_speedup_cold_symmetry": 1.8,
+        "portfolio": {
+            "races": 15,
+            "win_histogram": {"bitset": 9, "fc": 4, "symmetry": 2},
+        },
     },
     "BENCH_engine.json": {
         "workload": {"adversaries_classified": 9, "solvability_queries": 15},
@@ -200,6 +206,37 @@ def test_missing_metric_fails(dirs, capsys):
     assert "missing" in capsys.readouterr().out
 
 
+def test_new_metric_absent_from_baseline_is_informational(dirs, capsys):
+    """A fresh file may carry gated metrics the committed baseline
+    predates (a new benchmark section landed in the same PR as its
+    gate rule): that is a note, never a failure."""
+    baseline, fresh = dirs
+    data = json.loads((baseline / "BENCH_solver.json").read_text())
+    del data["median_speedup_cold_symmetry"]
+    del data["portfolio"]
+    del data["symmetry"]
+    (baseline / "BENCH_solver.json").write_text(json.dumps(data))
+    assert _run(baseline, fresh) == 0
+    out = capsys.readouterr().out
+    assert "PASS BENCH_solver.json" in out
+    assert "note:" in out
+    assert "median_speedup_cold_symmetry" in out
+    assert "informational until re-baselined" in out
+
+
+def test_null_symmetry_speedup_skips(dirs):
+    # No qualifying symmetric search-dominant case on some grid: the
+    # benchmark records null, the ratio comparison skips.
+    baseline, fresh = dirs
+    _doctor(
+        fresh,
+        "BENCH_solver.json",
+        median_speedup_cold_symmetry=None,
+        symmetry={"qualifying_queries": 3},
+    )
+    assert _run(baseline, fresh) == 0
+
+
 def test_new_benchmark_without_baseline_passes(dirs, capsys):
     baseline, fresh = dirs
     (baseline / "BENCH_obs.json").unlink()
@@ -245,6 +282,87 @@ def test_null_multiworker_speedup_passes_end_to_end(dirs):
     _doctor(baseline, "BENCH_engine.json", speedup_multiworker_cold=1.4)
     _doctor(fresh, "BENCH_engine.json", speedup_multiworker_cold=None, cpu_count=1)
     assert _run(baseline, fresh) == 0
+
+
+def test_min_value_and_present_kinds():
+    check = bench_gate.check_metric
+    assert check("x", bench_gate.MIN_VALUE, 2.0, None, 2.0) is None
+    assert "minimum" in check("x", bench_gate.MIN_VALUE, 2.0, None, 1.9)
+    # The multicore lane demands a real measurement: null fails here.
+    assert "requires a real measurement" in check(
+        "x", bench_gate.MIN_VALUE, 0.1, None, None
+    )
+    assert "not numeric" in check("x", bench_gate.MIN_VALUE, 0.1, None, "fast")
+    # PRESENT passes on any value once the lookup resolved it.
+    assert check("x", bench_gate.PRESENT, 0.0, None, {"bitset": 3}) is None
+
+
+# ----------------------------------------------------------------------
+# The multicore lane
+# ----------------------------------------------------------------------
+def _run_multicore(baseline: Path, fresh: Path) -> int:
+    return bench_gate.main(
+        [
+            "--baseline-dir",
+            str(baseline),
+            "--fresh-dir",
+            str(fresh),
+            "--require-multicore",
+        ]
+    )
+
+
+@pytest.fixture()
+def multicore_dirs(dirs):
+    """Baselines/fresh doctored to what a multi-core lane produces."""
+    baseline, fresh = dirs
+    for side in dirs:
+        _doctor(
+            side,
+            "BENCH_engine.json",
+            cpu_count=2,
+            speedup_multiworker_cold=0.9,
+            speedup_multiworker_warm=1.1,
+            saturation={"speedup_jobs2": 1.2},
+        )
+    return baseline, fresh
+
+
+def test_multicore_rules_pass_with_real_measurements(multicore_dirs):
+    baseline, fresh = multicore_dirs
+    assert _run_multicore(baseline, fresh) == 0
+
+
+def test_multicore_rules_fail_on_null_saturation(multicore_dirs, capsys):
+    baseline, fresh = multicore_dirs
+    _doctor(
+        fresh,
+        "BENCH_engine.json",
+        speedup_multiworker_cold=None,
+        saturation={"speedup_jobs2": None},
+    )
+    # The default gate still skips nulls...
+    assert _run(baseline, fresh) == 0
+    # ...but the multicore lane treats them as missing measurements.
+    assert _run_multicore(baseline, fresh) == 1
+    out = capsys.readouterr().out
+    assert "requires a real measurement" in out
+
+
+def test_multicore_env_var_activates(multicore_dirs, monkeypatch, capsys):
+    baseline, fresh = multicore_dirs
+    _doctor(fresh, "BENCH_workers.json", saturation={"speedup_jobs2": None})
+    monkeypatch.setenv("REPRO_BENCH_MULTICORE", "1")
+    assert _run(baseline, fresh) == 1
+    assert "saturation.speedup_jobs2" in capsys.readouterr().out
+
+
+def test_every_multicore_rule_resolves_in_doctored_baselines(multicore_dirs):
+    baseline, fresh = multicore_dirs
+    for name, rules in bench_gate.MULTICORE_RULES.items():
+        data = json.loads((fresh / name).read_text())
+        for path, _, _ in rules:
+            bench_gate.lookup(data, path)
 
 
 def test_lookup_dotted_paths():

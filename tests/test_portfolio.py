@@ -1,0 +1,187 @@
+"""Tests for portfolio racing — ``WorkerPool.race`` and the engine kind.
+
+The load-bearing guarantees:
+
+* the first lane to resolve **without error** wins; losing lanes are
+  cancelled (``error="cancelled"``) and their workers reclaimed, with
+  exactly-once verdict delivery even when a racing worker is SIGKILLed
+  mid-race;
+* a race in which no lane succeeds falls back to lane 0 — the caller's
+  canonical kernel — so error/budget semantics stay deterministic;
+* the ``portfolio`` job kind returns ``(mapping, nodes, kernel)`` on
+  both paths: raced across workers on a pooled engine, degenerate
+  canonical-lane execution sequentially, with verdicts that match the
+  plain solver and witnesses that pass the independent verifier;
+* portfolio cache keys are kernel-normalized, so engines configured
+  with different default kernels share cached portfolio values.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+
+import pytest
+
+from repro.core import full_affine_task
+from repro.engine import Engine, JobSpec
+from repro.engine.cache import ArtifactCache
+from repro.solver import PORTFOLIO_KERNELS, SolveRequest, portfolio_requests
+from repro.tasks.set_consensus import set_consensus_task
+from repro.tasks.solvability import SearchBudgetExceeded, verify_carried_map
+from repro.workers.pool import WorkerPool
+
+
+@pytest.fixture(scope="session")
+def wf_affine():
+    return full_affine_task(3, 1)
+
+
+# --------------------------------------------------------- pool-level race
+def test_race_first_ok_wins_and_losers_cancel():
+    with WorkerPool(3) as pool:
+        result = pool.race(
+            [
+                JobSpec("sleep", (0.05, "fast")),
+                JobSpec("sleep", (5.0, "slow-a")),
+                JobSpec("sleep", (5.0, "slow-b")),
+            ]
+        )
+        assert result.ok and result.value == "fast" and result.index == 0
+        stats = pool.stats()
+        assert stats["races"] == 1
+        assert stats["race_cancelled"] == 2
+        assert stats["alive"] == 3
+        # Losers were mid-sleep, so their workers were kill-restarted.
+        assert stats["worker_restarts"] == 2
+        # The pool survives the reclaim: a normal batch still runs.
+        batch = pool.run_batch(
+            [(i, JobSpec("sleep", (0.0, i))) for i in range(3)]
+        )
+        assert [r.value for r in batch] == [0, 1, 2]
+
+
+def test_race_winner_is_by_speed_not_lane_order():
+    with WorkerPool(2) as pool:
+        result = pool.race(
+            [
+                JobSpec("sleep", (5.0, "slow")),
+                JobSpec("sleep", (0.05, "quick")),
+            ]
+        )
+        assert result.ok and result.value == "quick" and result.index == 1
+
+
+def test_race_with_no_winner_returns_canonical_lane():
+    with WorkerPool(2) as pool:
+        result = pool.race(
+            [
+                JobSpec("no-such-kind", ("a",)),
+                JobSpec("no-such-kind", ("b",)),
+            ]
+        )
+        assert not result.ok and result.index == 0
+
+
+def test_race_exactly_once_under_worker_kill():
+    """SIGKILL a losing lane's worker mid-race: the race still settles,
+    every lane resolves exactly once, and no ticket leaks."""
+    with WorkerPool(3) as pool:
+        pool.start()
+        pids = pool.pids()
+        # On a fresh (idle) pool lane i dispatches to worker i, so
+        # pids[1] is running the first losing lane.
+        killer = threading.Timer(0.15, os.kill, (pids[1], signal.SIGKILL))
+        killer.start()
+        try:
+            result = pool.race(
+                [
+                    JobSpec("sleep", (0.7, "win")),
+                    JobSpec("sleep", (10.0, "lose-a")),
+                    JobSpec("sleep", (10.0, "lose-b")),
+                ]
+            )
+        finally:
+            killer.cancel()
+        assert result.ok and result.value == "win" and result.index == 0
+        stats = pool.stats()
+        assert stats["worker_restarts"] >= 1
+        assert stats["race_cancelled"] == 2
+        # Exactly-once: three lanes, three resolutions, no stragglers.
+        assert stats["completed"] == 3
+        assert pool._unresolved == 0 and not pool._tickets
+        assert stats["alive"] == 3
+
+
+# ----------------------------------------------------- the portfolio lanes
+def test_portfolio_requests_fan_out(wf_affine):
+    request = SolveRequest(
+        affine=wf_affine, task=set_consensus_task(3, 2), kernel="fc"
+    )
+    lanes = portfolio_requests(request)
+    assert tuple(lane.kernel for lane in lanes) == PORTFOLIO_KERNELS
+    assert all(lane.resume is None for lane in lanes)
+
+
+# -------------------------------------------------- engine job kind: solo
+def test_portfolio_sequential_degenerate(wf_affine):
+    task = set_consensus_task(3, 3)
+    with Engine(jobs=1) as engine:
+        result = engine.portfolio(wf_affine, task)
+        assert result.solvable and result.kernel == PORTFOLIO_KERNELS[0]
+        assert verify_carried_map(wf_affine, task, result.mapping)
+
+        refuted = engine.portfolio(wf_affine, set_consensus_task(3, 2))
+        assert not refuted.solvable and refuted.mapping is None
+        assert refuted.nodes > 0
+
+
+# ------------------------------------------------- engine job kind: raced
+def test_portfolio_races_on_the_pool(wf_affine):
+    tasks = [set_consensus_task(3, k) for k in (1, 2, 3)]
+    with Engine(jobs=3) as engine:
+        triples = engine.portfolio_many(
+            [SolveRequest(affine=wf_affine, task=task) for task in tasks]
+        )
+        assert [mapping is not None for mapping, _, _ in triples] == [
+            False,
+            False,
+            True,
+        ]
+        for (mapping, nodes, kernel), task in zip(triples, tasks):
+            assert kernel in PORTFOLIO_KERNELS
+            assert nodes > 0
+            if mapping is not None:
+                assert verify_carried_map(wf_affine, task, mapping)
+        stats = engine.worker_stats()
+        assert stats["races"] == len(tasks)
+
+
+def test_portfolio_budget_surfaces_without_split_retry(wf_affine):
+    task = set_consensus_task(3, 2)
+    for jobs in (1, 2):
+        with Engine(jobs=jobs) as engine:
+            with pytest.raises(SearchBudgetExceeded):
+                engine.portfolio(wf_affine, task, budget=5)
+
+
+def test_portfolio_cache_key_is_kernel_normalized(tmp_path, wf_affine):
+    task = set_consensus_task(3, 2)
+    query = (wf_affine, task, None)
+    with Engine(jobs=1, cache=ArtifactCache(tmp_path)) as engine:
+        first = engine.portfolio_many([query])
+    cache = ArtifactCache(tmp_path)
+    with Engine(jobs=1, cache=cache, kernel="fc") as engine:
+        # A different engine default kernel still hits the same entry.
+        assert engine.portfolio_many([query]) == first
+    assert cache.hits == 1
+
+
+def test_cli_batch_portfolio(capsys):
+    from repro.cli import main
+
+    assert main(["batch", "--only", "solve", "--portfolio", "--no-cache"]) == 0
+    out = capsys.readouterr().out
+    assert "winning kernels" in out
+    assert "min k-set consensus" in out

@@ -33,6 +33,7 @@ from repro.solver import (
     KERNEL_BITSET,
     KERNEL_FC,
     KERNEL_LEGACY,
+    KERNEL_SYMMETRY,
     KERNELS,
     TREE_IDENTICAL_KERNELS,
     BitsetKernel,
@@ -398,4 +399,9 @@ def test_curated_exports_resolve():
         for name in module.__all__:
             assert hasattr(module, name), (module.__name__, name)
     assert TREE_IDENTICAL_KERNELS == {KERNEL_LEGACY, KERNEL_BITSET}
-    assert set(KERNELS) == {KERNEL_LEGACY, KERNEL_BITSET, KERNEL_FC}
+    assert set(KERNELS) == {
+        KERNEL_LEGACY,
+        KERNEL_BITSET,
+        KERNEL_FC,
+        KERNEL_SYMMETRY,
+    }

@@ -18,6 +18,15 @@ Absolute latencies are deliberately **not** gated — they track the CI
 machine, not the code.  Ratios computed inside one run (speedup of
 path A over path B on the same box) are the machine-independent signal.
 
+A gated metric that exists in the fresh file but not in the committed
+baseline is **informational**, not a failure: it is newer than the
+baseline and starts gating once re-baselined (a metric missing from the
+*fresh* file remains a failure — a renamed field ungates nothing).
+The dedicated multi-core CI lane opts into ``MULTICORE_RULES`` via
+``--require-multicore`` / ``REPRO_BENCH_MULTICORE=1``: scaling metrics
+that ordinary boxes may record as ``null`` must be real measurements
+there.
+
 Baselines come from ``git show HEAD:<file>`` by default so the gate
 compares against what is committed even after the benchmark step has
 overwritten the working-tree files; ``--baseline-dir`` overrides this
@@ -47,6 +56,8 @@ from typing import Any, Dict, List, Optional, Tuple
 EXACT = "exact"  # fresh == baseline, exactly
 MIN_RATIO = "min_ratio"  # fresh >= tolerance * baseline (bigger is better)
 MAX_RATIO = "max_ratio"  # fresh <= tolerance * baseline (smaller is better)
+MIN_VALUE = "min_value"  # fresh >= tolerance, absolute; null/missing fails
+PRESENT = "present"  # the metric must exist in the fresh file; any value
 
 #: file -> [(dotted metric path, kind, tolerance)].
 #:
@@ -61,6 +72,16 @@ RULES: Dict[str, List[Tuple[str, str, float]]] = {
         ("median_speedup_warm", MIN_RATIO, 0.75),
         ("median_speedup_cold", MIN_RATIO, 0.50),
         ("median_speedup_fc_warm", MIN_RATIO, 0.50),
+        # Symmetry quotient: cold speedup over the qualifying subset
+        # (symmetric adversary + search-dominant); null when no case
+        # qualifies on this grid — skipped, never a failure.
+        ("symmetry.qualifying_queries", EXACT, 0.0),
+        ("median_speedup_cold_symmetry", MIN_RATIO, 0.50),
+        # Portfolio racing: the race count is deterministic; which
+        # kernel wins each race is a property of the host, so the
+        # histogram is gated for presence only.
+        ("portfolio.races", EXACT, 0.0),
+        ("portfolio.win_histogram", PRESENT, 0.0),
     ],
     "BENCH_engine.json": [
         ("workload.adversaries_classified", EXACT, 0.0),
@@ -147,6 +168,32 @@ RULES: Dict[str, List[Tuple[str, str, float]]] = {
 }
 
 
+#: Extra, environment-conditional rules for the dedicated multi-core CI
+#: lane (``--require-multicore`` or ``REPRO_BENCH_MULTICORE=1``).  The
+#: regular rules treat a null scaling metric as "skipped (environment)"
+#: because most boxes cannot measure it; the multicore lane exists to
+#: measure exactly those, so there a null *is* a failure.  The floors
+#: are deliberately loose sanity bounds (the trajectory gating stays
+#: ratio-vs-baseline) — their job is to guarantee the lane produced
+#: real, non-null measurements.
+MULTICORE_RULES: Dict[str, List[Tuple[str, str, float]]] = {
+    "BENCH_engine.json": [
+        ("cpu_count", MIN_VALUE, 2.0),
+        ("speedup_multiworker_cold", MIN_VALUE, 0.10),
+        ("speedup_multiworker_warm", MIN_VALUE, 0.10),
+        ("saturation.speedup_jobs2", MIN_VALUE, 0.10),
+    ],
+    "BENCH_workers.json": [
+        # Sleep-job saturation parallelizes independently of solver
+        # economics: two workers must beat one by a real margin.
+        ("saturation.speedup_jobs2", MIN_VALUE, 1.20),
+    ],
+    "BENCH_solver.json": [
+        ("portfolio.races", MIN_VALUE, 1.0),
+    ],
+}
+
+
 class GateFailure(Exception):
     """One metric outside its tolerance (message is the diff line)."""
 
@@ -180,6 +227,23 @@ def check_metric(
                 f"{path}: expected exactly {baseline!r}, got {fresh!r} "
                 "(parity metric — deterministic, any drift is a bug)"
             )
+        return None
+    if kind == PRESENT:
+        return None  # existence was established by the lookup
+    if kind == MIN_VALUE:
+        # Absolute floor against the fresh value alone: the lane that
+        # activates this rule promised the environment can measure it,
+        # so null is a failure here, not a skip.
+        if fresh is None:
+            return (
+                f"{path}: null, but this lane requires a real measurement"
+            )
+        try:
+            fresh_value = float(fresh)
+        except (TypeError, ValueError):
+            return f"{path}: not numeric (fresh={fresh!r})"
+        if fresh_value < tolerance:
+            return f"{path}: {fresh_value:g} < required minimum {tolerance:g}"
         return None
     if baseline is None or fresh is None:
         return None  # skipped (environment): no comparable measurement
@@ -242,25 +306,47 @@ def compare_file(
     name: str,
     baseline: Optional[Dict[str, Any]],
     fresh: Optional[Dict[str, Any]],
-) -> List[str]:
-    """Every diff line for one benchmark file (empty = pass)."""
+    rules: Optional[List[Tuple[str, str, float]]] = None,
+) -> Tuple[List[str], List[str]]:
+    """``(failures, notes)`` for one benchmark file (no failures = pass).
+
+    A gated metric **missing from the fresh file** is a failure (a
+    renamed field silently ungates nothing).  A gated metric present in
+    the fresh file but **absent from the baseline** is informational: it
+    is a metric newer than the committed baseline, so there is nothing
+    to regress against yet — it starts gating once re-baselined.
+    """
     if baseline is None:
         # First benchmark of its kind: nothing to regress against.
-        return []
+        return [], []
     if fresh is None:
-        return [f"{name}: fresh results missing (benchmark did not run?)"]
+        return [f"{name}: fresh results missing (benchmark did not run?)"], []
     failures: List[str] = []
-    for path, kind, tolerance in RULES[name]:
+    notes: List[str] = []
+    for path, kind, tolerance in rules if rules is not None else RULES[name]:
         try:
-            baseline_value = lookup(baseline, path)
             fresh_value = lookup(fresh, path)
         except GateFailure as exc:
-            failures.append(f"{name}: {exc}")
+            failures.append(f"{name}: fresh {exc}")
+            continue
+        if kind in (PRESENT, MIN_VALUE):
+            # Judged against the fresh file alone — no baseline needed.
+            diff = check_metric(path, kind, tolerance, None, fresh_value)
+            if diff is not None:
+                failures.append(f"{name}: {diff}")
+            continue
+        try:
+            baseline_value = lookup(baseline, path)
+        except GateFailure:
+            notes.append(
+                f"{name}: {path} = {fresh_value!r} is new (absent from "
+                "the baseline) — informational until re-baselined"
+            )
             continue
         diff = check_metric(path, kind, tolerance, baseline_value, fresh_value)
         if diff is not None:
             failures.append(f"{name}: {diff}")
-    return failures
+    return failures, notes
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -282,6 +368,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
         help="repository root for git baseline lookup",
     )
+    parser.add_argument(
+        "--require-multicore",
+        action="store_true",
+        default=os.environ.get("REPRO_BENCH_MULTICORE") == "1",
+        help="additionally enforce MULTICORE_RULES: scaling metrics "
+        "must be real (non-null) measurements — the dedicated "
+        "multi-core CI lane (also via REPRO_BENCH_MULTICORE=1)",
+    )
     args = parser.parse_args(argv)
     fresh_dir = args.fresh_dir or args.repo_root
 
@@ -292,7 +386,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         fresh = load_fresh(name, fresh_dir)
         if baseline is None and fresh is None:
             continue
-        file_failures = compare_file(name, baseline, fresh)
+        rules = list(RULES[name])
+        if args.require_multicore:
+            rules.extend(MULTICORE_RULES.get(name, []))
+        file_failures, notes = compare_file(name, baseline, fresh, rules)
         if baseline is not None and fresh is not None:
             compared += 1
         if file_failures:
@@ -303,6 +400,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         else:
             status = "PASS" if baseline is not None else "NEW "
             print(f"{status} {name}")
+        for line in notes:
+            print(f"  note: {line}")
 
     if failures:
         print(
